@@ -1,0 +1,142 @@
+//! Pretty printing for programs, rules and ground atoms — the format used
+//! when reproducing the paper's Example 21/22 program listings.
+
+use crate::ground::{GroundAtom, GroundProgram};
+use crate::syntax::{Literal, Program, Rule, Term};
+use cqa_relational::Value;
+use std::fmt::Write as _;
+
+fn term_to_string(rule: &Rule, t: &Term) -> String {
+    match t {
+        Term::Var(v) => rule.var_names[*v as usize].clone(),
+        Term::Const(c) => const_to_string(c),
+    }
+}
+
+fn const_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn atom_to_string(program: &Program, rule: &Rule, a: &crate::syntax::RuleAtom) -> String {
+    if a.terms.is_empty() {
+        return program.pred_name(a.pred).to_string();
+    }
+    let args: Vec<String> = a.terms.iter().map(|t| term_to_string(rule, t)).collect();
+    format!("{}({})", program.pred_name(a.pred), args.join(", "))
+}
+
+/// Render one rule, e.g. `q(x) :- r(x, y), not s(y), y != null.`
+pub fn rule_to_string(program: &Program, rule: &Rule) -> String {
+    let head: Vec<String> = rule
+        .head
+        .iter()
+        .map(|a| atom_to_string(program, rule, a))
+        .collect();
+    let body: Vec<String> = rule
+        .body
+        .iter()
+        .map(|lit| match lit {
+            Literal::Pos(a) => atom_to_string(program, rule, a),
+            Literal::Neg(a) => format!("not {}", atom_to_string(program, rule, a)),
+            Literal::Cmp(op, l, r) => format!(
+                "{} {} {}",
+                term_to_string(rule, l),
+                op.symbol(),
+                term_to_string(rule, r)
+            ),
+        })
+        .collect();
+    match (head.is_empty(), body.is_empty()) {
+        (true, _) => format!(":- {}.", body.join(", ")),
+        (false, true) => format!("{}.", head.join(" v ")),
+        (false, false) => format!("{} :- {}.", head.join(" v "), body.join(", ")),
+    }
+}
+
+/// Render the whole program: facts, then rules.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for (pred, args) in program.facts() {
+        if args.is_empty() {
+            let _ = writeln!(out, "{}.", program.pred_name(*pred));
+        } else {
+            let rendered: Vec<String> = args.iter().map(const_to_string).collect();
+            let _ = writeln!(out, "{}({}).", program.pred_name(*pred), rendered.join(", "));
+        }
+    }
+    for rule in program.rules() {
+        let _ = writeln!(out, "{}", rule_to_string(program, rule));
+    }
+    out
+}
+
+/// Render a ground atom, e.g. `r(a, null)`.
+pub fn ground_atom_to_string(program: &Program, atom: &GroundAtom) -> String {
+    if atom.args.is_empty() {
+        return program.pred_name(atom.pred).to_string();
+    }
+    let args: Vec<String> = atom.args.iter().map(const_to_string).collect();
+    format!("{}({})", program.pred_name(atom.pred), args.join(", "))
+}
+
+/// Render a model as a sorted atom set `{a, b(1), …}`.
+pub fn model_to_string(
+    program: &Program,
+    gp: &GroundProgram,
+    model: &crate::stable::Model,
+) -> String {
+    let atoms: Vec<String> = model
+        .iter()
+        .map(|&a| ground_atom_to_string(program, gp.atom(a)))
+        .collect();
+    format!("{{{}}}", atoms.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::stable::stable_models;
+    use crate::syntax::{atom, cmp, neg, pos, tc, tv, BuiltinOp, Program};
+    use cqa_relational::{null, s};
+
+    #[test]
+    fn rule_rendering_matches_paper_style() {
+        let mut p = Program::new();
+        p.rule(
+            [atom("q", [tv("x")]), atom("r", [tv("x")])],
+            [
+                pos(atom("s", [tv("x"), tv("y")])),
+                neg(atom("t", [tv("y")])),
+                cmp(tv("x"), BuiltinOp::Neq, tc(null())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            rule_to_string(&p, &p.rules()[0]),
+            "q(x) v r(x) :- s(x, y), not t(y), x != null."
+        );
+    }
+
+    #[test]
+    fn denial_rendering() {
+        let mut p = Program::new();
+        p.fact("a", [s("1")]).unwrap();
+        p.rule([], [pos(atom("a", [tv("x")]))]).unwrap();
+        let text = program_to_string(&p);
+        assert!(text.contains("a(1)."));
+        assert!(text.contains(":- a(x)."));
+    }
+
+    #[test]
+    fn model_rendering() {
+        let mut p = Program::new();
+        p.fact("a", [s("c1")]).unwrap();
+        let gp = ground(&p);
+        let models = stable_models(&gp);
+        assert_eq!(model_to_string(&p, &gp, &models[0]), "{a(c1)}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for program construction and grounding.
+
+use std::fmt;
+
+/// Errors raised while building or grounding logic programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AspError {
+    /// A predicate was used with two different arities.
+    ArityConflict {
+        /// Predicate name.
+        predicate: String,
+        /// Arity recorded first.
+        declared: usize,
+        /// Arity of the offending use.
+        used: usize,
+    },
+    /// A rule is unsafe: the variable occurs in the head, a negative
+    /// literal or a builtin, but in no positive body atom.
+    UnsafeRule {
+        /// Rendered rule (for diagnostics).
+        rule: String,
+        /// The unsafe variable.
+        var: String,
+    },
+    /// The operation requires a non-disjunctive (normal) program.
+    NotNormal,
+    /// The shift transformation requires a head-cycle-free program.
+    NotHcf,
+}
+
+impl fmt::Display for AspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AspError::ArityConflict {
+                predicate,
+                declared,
+                used,
+            } => write!(
+                f,
+                "predicate `{predicate}` used with arity {used} but declared with {declared}"
+            ),
+            AspError::UnsafeRule { rule, var } => {
+                write!(f, "unsafe rule (variable `{var}` unbound by positive body): {rule}")
+            }
+            AspError::NotNormal => write!(f, "operation requires a non-disjunctive program"),
+            AspError::NotHcf => write!(f, "shift requires a head-cycle-free program"),
+        }
+    }
+}
+
+impl std::error::Error for AspError {}

@@ -1,0 +1,440 @@
+//! Intelligent grounding: instantiate a non-ground program over its
+//! possibly-true Herbrand subset.
+//!
+//! Phase 1 computes the *possibly-true* atom set `PT`: the least fixpoint
+//! of the rules with negative literals ignored (an over-approximation of
+//! every atom that can be true in any stable model). Phase 2 re-instantiates
+//! each rule against `PT`, evaluating builtins and resolving negative
+//! literals whose atoms are definitely false (`∉ PT`), and emits ground
+//! rules over dense atom ids. Tautological instances (a head atom also in
+//! the positive body) are dropped.
+
+use crate::syntax::{Literal, PredId, Program, Rule, Term};
+use cqa_relational::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// Dense ground-atom identifier.
+pub type AtomId = u32;
+
+/// A ground atom: predicate plus constant arguments.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroundAtom {
+    /// Predicate.
+    pub pred: PredId,
+    /// Ground arguments.
+    pub args: Vec<Value>,
+}
+
+/// A ground rule over atom ids: `head ← pos, not neg`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroundRule {
+    /// Disjunctive head (empty = denial).
+    pub head: Vec<AtomId>,
+    /// Positive body atoms.
+    pub pos: Vec<AtomId>,
+    /// Negated body atoms.
+    pub neg: Vec<AtomId>,
+}
+
+/// The ground program: an atom table plus ground rules. Facts are rules
+/// with empty bodies.
+#[derive(Debug, Clone, Default)]
+pub struct GroundProgram {
+    atoms: Vec<GroundAtom>,
+    index: HashMap<GroundAtom, AtomId>,
+    /// Ground rules, deduplicated, in deterministic order.
+    pub rules: Vec<GroundRule>,
+}
+
+impl GroundProgram {
+    /// Register (or look up) a ground atom.
+    pub fn intern(&mut self, atom: GroundAtom) -> AtomId {
+        if let Some(&id) = self.index.get(&atom) {
+            return id;
+        }
+        let id = self.atoms.len() as AtomId;
+        self.atoms.push(atom.clone());
+        self.index.insert(atom, id);
+        id
+    }
+
+    /// Look up an atom id.
+    pub fn atom_id(&self, atom: &GroundAtom) -> Option<AtomId> {
+        self.index.get(atom).copied()
+    }
+
+    /// The atom for an id.
+    pub fn atom(&self, id: AtomId) -> &GroundAtom {
+        &self.atoms[id as usize]
+    }
+
+    /// Number of interned atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// All atoms with their ids.
+    pub fn atoms(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> {
+        self.atoms.iter().enumerate().map(|(i, a)| (i as AtomId, a))
+    }
+
+    /// Is every rule non-disjunctive (|head| ≤ 1)?
+    pub fn is_normal(&self) -> bool {
+        self.rules.iter().all(|r| r.head.len() <= 1)
+    }
+
+    /// Add a rule (dedup is the caller's concern; [`ground`] dedups).
+    pub fn push_rule(&mut self, rule: GroundRule) {
+        self.rules.push(rule);
+    }
+}
+
+/// Ground `program`.
+pub fn ground(program: &Program) -> GroundProgram {
+    let mut gp = GroundProgram::default();
+
+    // Possibly-true set, indexed by predicate for joins.
+    let mut pt_by_pred: Vec<BTreeSet<Vec<Value>>> = vec![BTreeSet::new(); program.pred_count()];
+    for (pred, args) in program.facts() {
+        pt_by_pred[pred.index()].insert(args.clone());
+    }
+
+    // Phase 1: least fixpoint ignoring negation. New head atoms are
+    // buffered per round (the join borrows the possibly-true set).
+    loop {
+        let mut buffer: Vec<(PredId, Vec<Value>)> = Vec::new();
+        for rule in program.rules() {
+            instantiate(rule, &pt_by_pred, &mut |bindings| {
+                for h in &rule.head {
+                    let args = ground_args(&h.terms, bindings);
+                    if !pt_by_pred[h.pred.index()].contains(&args) {
+                        buffer.push((h.pred, args));
+                    }
+                }
+            });
+        }
+        let mut grew = false;
+        for (pred, args) in buffer {
+            if pt_by_pred[pred.index()].insert(args) {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Phase 2: emit ground rules. Facts first (stable ids for facts).
+    let mut seen_rules: BTreeSet<GroundRule> = BTreeSet::new();
+    for (pred, args) in program.facts() {
+        let id = gp.intern(GroundAtom {
+            pred: *pred,
+            args: args.clone(),
+        });
+        let rule = GroundRule {
+            head: vec![id],
+            pos: vec![],
+            neg: vec![],
+        };
+        if seen_rules.insert(rule.clone()) {
+            gp.push_rule(rule);
+        }
+    }
+    for rule in program.rules() {
+        // Capture instantiations first (interning needs &mut gp).
+        let mut instances: Vec<Vec<Value>> = Vec::new();
+        instantiate(rule, &pt_by_pred, &mut |bindings| {
+            instances.push(bindings.iter().map(|b| b.clone().expect("safe rule")).collect());
+        });
+        'instances: for bindings in instances {
+            let opt: Vec<Option<Value>> = bindings.into_iter().map(Some).collect();
+            let mut head = Vec::with_capacity(rule.head.len());
+            for h in &rule.head {
+                let args = ground_args(&h.terms, &opt);
+                head.push(gp.intern(GroundAtom { pred: h.pred, args }));
+            }
+            let mut pos_ids = Vec::new();
+            let mut neg_ids = Vec::new();
+            for lit in &rule.body {
+                match lit {
+                    Literal::Pos(a) => {
+                        let args = ground_args(&a.terms, &opt);
+                        pos_ids.push(gp.intern(GroundAtom { pred: a.pred, args }));
+                    }
+                    Literal::Neg(a) => {
+                        let args = ground_args(&a.terms, &opt);
+                        if pt_by_pred[a.pred.index()].contains(&args) {
+                            neg_ids.push(gp.intern(GroundAtom { pred: a.pred, args }));
+                        }
+                        // else: definitely false → literal true → drop.
+                    }
+                    Literal::Cmp(..) => {} // evaluated during instantiation
+                }
+            }
+            // Tautology: head atom in positive body.
+            for h in &head {
+                if pos_ids.contains(h) {
+                    continue 'instances;
+                }
+            }
+            head.sort_unstable();
+            head.dedup();
+            pos_ids.sort_unstable();
+            pos_ids.dedup();
+            neg_ids.sort_unstable();
+            neg_ids.dedup();
+            let grule = GroundRule {
+                head,
+                pos: pos_ids,
+                neg: neg_ids,
+            };
+            if seen_rules.insert(grule.clone()) {
+                gp.push_rule(grule);
+            }
+        }
+    }
+    gp
+}
+
+fn ground_args(terms: &[Term], bindings: &[Option<Value>]) -> Vec<Value> {
+    terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => bindings[*v as usize]
+                .clone()
+                .expect("variable bound by safety"),
+        })
+        .collect()
+}
+
+/// Enumerate all substitutions satisfying the positive body against `pt`
+/// and all builtins; negative literals are ignored here.
+fn instantiate(
+    rule: &Rule,
+    pt: &[BTreeSet<Vec<Value>>],
+    f: &mut impl FnMut(&[Option<Value>]),
+) {
+    let positives: Vec<&crate::syntax::RuleAtom> = rule
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Pos(a) => Some(a),
+            _ => None,
+        })
+        .collect();
+    let mut bindings: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+    rec(rule, &positives, pt, 0, &mut bindings, f);
+
+    fn rec(
+        rule: &Rule,
+        positives: &[&crate::syntax::RuleAtom],
+        pt: &[BTreeSet<Vec<Value>>],
+        depth: usize,
+        bindings: &mut Vec<Option<Value>>,
+        f: &mut impl FnMut(&[Option<Value>]),
+    ) {
+        if depth == positives.len() {
+            // All variables bound (safety). Check builtins.
+            for lit in &rule.body {
+                if let Literal::Cmp(op, l, r) = lit {
+                    let lv = term_val(l, bindings);
+                    let rv = term_val(r, bindings);
+                    if !op.eval(lv, rv) {
+                        return;
+                    }
+                }
+            }
+            f(bindings);
+            return;
+        }
+        let atom = positives[depth];
+        'rows: for row in &pt[atom.pred.index()] {
+            let mut newly: Vec<u32> = Vec::new();
+            for (val, term) in row.iter().zip(&atom.terms) {
+                match term {
+                    Term::Const(c) => {
+                        if val != c {
+                            undo(bindings, &newly);
+                            continue 'rows;
+                        }
+                    }
+                    Term::Var(v) => match &bindings[*v as usize] {
+                        Some(b) => {
+                            if b != val {
+                                undo(bindings, &newly);
+                                continue 'rows;
+                            }
+                        }
+                        None => {
+                            bindings[*v as usize] = Some(val.clone());
+                            newly.push(*v);
+                        }
+                    },
+                }
+            }
+            rec(rule, positives, pt, depth + 1, bindings, f);
+            undo(bindings, &newly);
+        }
+    }
+
+    fn term_val<'a>(t: &'a Term, bindings: &'a [Option<Value>]) -> &'a Value {
+        match t {
+            Term::Const(c) => c,
+            Term::Var(v) => bindings[*v as usize].as_ref().expect("bound by safety"),
+        }
+    }
+
+    fn undo(bindings: &mut [Option<Value>], newly: &[u32]) {
+        for v in newly {
+            bindings[*v as usize] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{atom, cmp, neg, pos, tc, tv, BuiltinOp, Program};
+    use cqa_relational::{i, s};
+
+    #[test]
+    fn facts_become_unit_rules() {
+        let mut p = Program::new();
+        p.fact("r", [s("a")]).unwrap();
+        p.fact("r", [s("b")]).unwrap();
+        let gp = ground(&p);
+        assert_eq!(gp.atom_count(), 2);
+        assert_eq!(gp.rules.len(), 2);
+        assert!(gp.rules.iter().all(|r| r.pos.is_empty() && r.head.len() == 1));
+    }
+
+    #[test]
+    fn transitive_closure_fixpoint() {
+        // path(x,y) ← edge(x,y); path(x,z) ← edge(x,y), path(y,z).
+        let mut p = Program::new();
+        p.fact("edge", [i(1), i(2)]).unwrap();
+        p.fact("edge", [i(2), i(3)]).unwrap();
+        p.rule(
+            [atom("path", [tv("x"), tv("y")])],
+            [pos(atom("edge", [tv("x"), tv("y")]))],
+        )
+        .unwrap();
+        p.rule(
+            [atom("path", [tv("x"), tv("z")])],
+            [
+                pos(atom("edge", [tv("x"), tv("y")])),
+                pos(atom("path", [tv("y"), tv("z")])),
+            ],
+        )
+        .unwrap();
+        let gp = ground(&p);
+        let path = p.pred_id("path").unwrap();
+        let derived: Vec<&GroundAtom> = gp
+            .atoms()
+            .map(|(_, a)| a)
+            .filter(|a| a.pred == path)
+            .collect();
+        // path(1,2), path(2,3), path(1,3)
+        assert_eq!(derived.len(), 3);
+    }
+
+    #[test]
+    fn builtins_filter_instances() {
+        let mut p = Program::new();
+        p.fact("n", [i(1)]).unwrap();
+        p.fact("n", [i(5)]).unwrap();
+        p.rule(
+            [atom("big", [tv("x")])],
+            [pos(atom("n", [tv("x")])), cmp(tv("x"), BuiltinOp::Gt, tc(i(3)))],
+        )
+        .unwrap();
+        let gp = ground(&p);
+        let big = p.pred_id("big").unwrap();
+        let derived: Vec<&GroundAtom> = gp
+            .atoms()
+            .map(|(_, a)| a)
+            .filter(|a| a.pred == big)
+            .collect();
+        assert_eq!(derived.len(), 1);
+        assert_eq!(derived[0].args, vec![i(5)]);
+    }
+
+    #[test]
+    fn definitely_false_negatives_are_dropped() {
+        // q(x) ← n(x), not m(x): m is never derivable → literal vanishes.
+        let mut p = Program::new();
+        p.fact("n", [i(1)]).unwrap();
+        p.pred("m", 1).unwrap();
+        p.rule(
+            [atom("q", [tv("x")])],
+            [pos(atom("n", [tv("x")])), neg(atom("m", [tv("x")]))],
+        )
+        .unwrap();
+        let gp = ground(&p);
+        let q_rule = gp
+            .rules
+            .iter()
+            .find(|r| !r.head.is_empty() && r.head.len() == 1 && !r.pos.is_empty())
+            .unwrap();
+        assert!(q_rule.neg.is_empty());
+    }
+
+    #[test]
+    fn possibly_true_negatives_are_kept() {
+        // m(1) is a fact, so `not m(x)` stays in the ground rule.
+        let mut p = Program::new();
+        p.fact("n", [i(1)]).unwrap();
+        p.fact("m", [i(1)]).unwrap();
+        p.rule(
+            [atom("q", [tv("x")])],
+            [pos(atom("n", [tv("x")])), neg(atom("m", [tv("x")]))],
+        )
+        .unwrap();
+        let gp = ground(&p);
+        let q_rule = gp.rules.iter().find(|r| !r.pos.is_empty()).unwrap();
+        assert_eq!(q_rule.neg.len(), 1);
+    }
+
+    #[test]
+    fn tautologies_dropped_and_rules_deduped() {
+        let mut p = Program::new();
+        p.fact("r", [i(1)]).unwrap();
+        // r(x) ← r(x): tautology.
+        p.rule([atom("r", [tv("x")])], [pos(atom("r", [tv("x")]))])
+            .unwrap();
+        let gp = ground(&p);
+        assert_eq!(gp.rules.len(), 1); // just the fact
+    }
+
+    #[test]
+    fn disjunctive_heads_expand_pt() {
+        // a(x) ∨ b(x) ← r(x): both a(1) and b(1) possibly true.
+        let mut p = Program::new();
+        p.fact("r", [i(1)]).unwrap();
+        p.rule(
+            [atom("a", [tv("x")]), atom("b", [tv("x")])],
+            [pos(atom("r", [tv("x")]))],
+        )
+        .unwrap();
+        p.rule([atom("c", [tv("x")])], [pos(atom("b", [tv("x")]))])
+            .unwrap();
+        let gp = ground(&p);
+        let c = p.pred_id("c").unwrap();
+        assert!(gp.atoms().any(|(_, a)| a.pred == c));
+    }
+
+    #[test]
+    fn denial_rules_ground() {
+        let mut p = Program::new();
+        p.fact("r", [i(1)]).unwrap();
+        p.fact("q", [i(1)]).unwrap();
+        p.rule(
+            [],
+            [pos(atom("r", [tv("x")])), pos(atom("q", [tv("x")]))],
+        )
+        .unwrap();
+        let gp = ground(&p);
+        assert!(gp.rules.iter().any(|r| r.head.is_empty() && r.pos.len() == 2));
+    }
+}

@@ -1,0 +1,271 @@
+//! Head-cycle-freeness and the shift transformation (Section 6 of the
+//! paper; Ben-Eliyahu & Dechter 1994).
+//!
+//! The dependency graph of a ground program has its atoms as vertices and
+//! an edge `A → B` whenever some rule has `A` in its positive body and `B`
+//! in its head. A program is **head-cycle-free (HCF)** iff no directed
+//! cycle passes through two atoms in the head of one rule — equivalently,
+//! no rule has two head atoms in the same strongly connected component.
+//!
+//! An HCF disjunctive rule `h₁ ∨ … ∨ hₙ ← body` can be *shifted* into the
+//! n normal rules `hᵢ ← body, not h₁, …, not hᵢ₋₁, not hᵢ₊₁, …, not hₙ`
+//! preserving the stable models; query answering drops from Π₂ᵖ to coNP
+//! (Corollary 1 of the paper).
+
+use crate::error::AspError;
+use crate::ground::{AtomId, GroundProgram, GroundRule};
+
+/// Tarjan SCC over the positive dependency graph; returns the component
+/// id of every atom.
+pub fn scc_components(gp: &GroundProgram) -> Vec<u32> {
+    let n = gp.atom_count();
+    // adjacency: pos-body atom -> every head atom.
+    let mut adj: Vec<Vec<AtomId>> = vec![Vec::new(); n];
+    for rule in &gp.rules {
+        for &p in &rule.pos {
+            for &h in &rule.head {
+                adj[p as usize].push(h);
+            }
+        }
+    }
+    // Iterative Tarjan.
+    #[derive(Clone, Copy)]
+    struct Frame {
+        node: u32,
+        edge: usize,
+    }
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut comp = vec![u32::MAX; n];
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+    for start in 0..n as u32 {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame { node: start, edge: 0 }];
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.node as usize;
+            if frame.edge < adj[v].len() {
+                let w = adj[v][frame.edge];
+                frame.edge += 1;
+                let wi = w as usize;
+                if index[wi] == u32::MAX {
+                    index[wi] = next_index;
+                    low[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    frames.push(Frame { node: w, edge: 0 });
+                } else if on_stack[wi] {
+                    low[v] = low[v].min(index[wi]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    // v is an SCC root.
+                    loop {
+                        let w = stack.pop().expect("scc stack");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w as usize == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                let done = frames.pop().expect("frame");
+                if let Some(parent) = frames.last() {
+                    let p = parent.node as usize;
+                    low[p] = low[p].min(low[done.node as usize]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Is the ground program head-cycle-free?
+pub fn is_hcf(gp: &GroundProgram) -> bool {
+    let comp = scc_components(gp);
+    for rule in &gp.rules {
+        for (i, &a) in rule.head.iter().enumerate() {
+            for &b in &rule.head[i + 1..] {
+                if comp[a as usize] == comp[b as usize] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Shift a head-cycle-free program into an equivalent normal program
+/// (same atoms, same stable models). Errors with [`AspError::NotHcf`] on
+/// non-HCF inputs, where the transformation is unsound.
+pub fn shift(gp: &GroundProgram) -> Result<GroundProgram, AspError> {
+    if !is_hcf(gp) {
+        return Err(AspError::NotHcf);
+    }
+    let mut out = gp.clone();
+    out.rules = Vec::with_capacity(gp.rules.len());
+    for rule in &gp.rules {
+        if rule.head.len() <= 1 {
+            out.rules.push(rule.clone());
+            continue;
+        }
+        for (i, &h) in rule.head.iter().enumerate() {
+            let mut neg = rule.neg.clone();
+            for (j, &other) in rule.head.iter().enumerate() {
+                if j != i {
+                    neg.push(other);
+                }
+            }
+            neg.sort_unstable();
+            neg.dedup();
+            out.rules.push(GroundRule {
+                head: vec![h],
+                pos: rule.pos.clone(),
+                neg,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::stable::stable_models;
+    use crate::syntax::{atom, pos, Program};
+
+    fn prog(rules: &[(&[&str], &[&str])]) -> Program {
+        let mut p = Program::new();
+        for (head, body) in rules {
+            for a in head.iter().chain(body.iter()) {
+                p.pred(a, 0).unwrap();
+            }
+            p.rule(
+                head.iter().map(|h| atom(*h, [])).collect::<Vec<_>>(),
+                body.iter().map(|b| pos(atom(*b, []))).collect::<Vec<_>>(),
+            )
+            .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn disjunction_without_cycle_is_hcf() {
+        let p = prog(&[(&["a", "b"], &[])]);
+        let gp = ground(&p);
+        assert!(is_hcf(&gp));
+    }
+
+    #[test]
+    fn head_cycle_detected() {
+        // a ∨ b. a ← b. b ← a.  — a and b in one SCC and one head.
+        let p = prog(&[(&["a", "b"], &[]), (&["a"], &["b"]), (&["b"], &["a"])]);
+        let gp = ground(&p);
+        assert!(!is_hcf(&gp));
+        assert!(matches!(shift(&gp), Err(AspError::NotHcf)));
+    }
+
+    #[test]
+    fn cycle_not_through_one_head_is_fine() {
+        // a ← b. b ← a. c ∨ d. — the cycle avoids the disjunctive head.
+        let p = prog(&[(&["a"], &["b"]), (&["b"], &["a"]), (&["c", "d"], &[])]);
+        let gp = ground(&p);
+        assert!(is_hcf(&gp));
+    }
+
+    #[test]
+    fn shift_preserves_stable_models_on_hcf() {
+        // a ∨ b. c ← a. c ← b.
+        let p = prog(&[(&["a", "b"], &[]), (&["c"], &["a"]), (&["c"], &["b"])]);
+        let gp = ground(&p);
+        let shifted = shift(&gp).unwrap();
+        assert!(shifted.is_normal());
+        assert_eq!(stable_models(&gp), stable_models(&shifted));
+    }
+
+    #[test]
+    fn shift_keeps_normal_rules_untouched() {
+        let p = prog(&[(&["a"], &["b"]), (&["b"], &[])]);
+        let gp = ground(&p);
+        let shifted = shift(&gp).unwrap();
+        assert_eq!(gp.rules, shifted.rules);
+    }
+
+    #[test]
+    fn shifting_non_hcf_would_lose_models() {
+        // Documented unsoundness: the non-HCF program has stable model
+        // {a, b}; its naive shift has none. shift() refuses, so emulate it.
+        let p = prog(&[(&["a", "b"], &[]), (&["a"], &["b"]), (&["b"], &["a"])]);
+        let gp = ground(&p);
+        assert_eq!(stable_models(&gp).len(), 1);
+        // Hand-build the (unsound) shifted version:
+        let mut bad = gp.clone();
+        bad.rules = Vec::new();
+        for rule in &gp.rules {
+            if rule.head.len() <= 1 {
+                bad.rules.push(rule.clone());
+            } else {
+                for (i, &h) in rule.head.iter().enumerate() {
+                    let neg: Vec<_> = rule
+                        .head
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, &o)| o)
+                        .collect();
+                    bad.rules.push(GroundRule {
+                        head: vec![h],
+                        pos: rule.pos.clone(),
+                        neg,
+                    });
+                }
+            }
+        }
+        assert!(stable_models(&bad).is_empty());
+    }
+
+    #[test]
+    fn scc_groups_mutually_reachable_atoms() {
+        // Hand-built ground program: a ← b; b ← a; c ← a.
+        use crate::ground::{GroundAtom, GroundProgram, GroundRule};
+        use crate::syntax::PredId;
+        let mut gp = GroundProgram::default();
+        let mk = |i: u32| GroundAtom {
+            pred: PredId(i),
+            args: vec![],
+        };
+        let a = gp.intern(mk(0));
+        let b = gp.intern(mk(1));
+        let c = gp.intern(mk(2));
+        gp.push_rule(GroundRule {
+            head: vec![a],
+            pos: vec![b],
+            neg: vec![],
+        });
+        gp.push_rule(GroundRule {
+            head: vec![b],
+            pos: vec![a],
+            neg: vec![],
+        });
+        gp.push_rule(GroundRule {
+            head: vec![c],
+            pos: vec![a],
+            neg: vec![],
+        });
+        let comp = scc_components(&gp);
+        assert_eq!(comp[a as usize], comp[b as usize]);
+        assert_ne!(comp[a as usize], comp[c as usize]);
+    }
+}

@@ -1,0 +1,358 @@
+//! A small CNF engine (DPLL with counter-based propagation) used to
+//! enumerate candidate models of ground programs and to decide the
+//! minimality sub-problem of the stability test.
+//!
+//! The encoding of a ground program is built in [`crate::stable`]:
+//! rule clauses plus Clark-style support clauses with auxiliary support
+//! variables, so every enumerated assignment is a *supported* classical
+//! model — a superset of the stable models that avoids the exponential
+//! blow-up of unsupported guesses.
+
+use std::ops::ControlFlow;
+
+/// A literal: variable index with polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// Variable index.
+    pub var: u32,
+    /// `true` for the positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal.
+    pub fn pos(var: u32) -> Self {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal.
+    pub fn neg(var: u32) -> Self {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+}
+
+/// A CNF formula.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Add a clause (empty clause makes the formula unsatisfiable).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        c.sort_unstable_by_key(|l| (l.var, l.positive));
+        c.dedup();
+        // A clause with both polarities of a variable is a tautology.
+        for w in c.windows(2) {
+            if w[0].var == w[1].var {
+                return;
+            }
+        }
+        self.clauses.push(c);
+    }
+
+    /// Enumerate all satisfying assignments over the first `decide_vars`
+    /// variables (remaining variables must be forced by propagation; if an
+    /// assignment leaves one free, both completions are models and the
+    /// callback sees the propagated-only projection — the encodings in
+    /// this crate guarantee full determination). The callback receives the
+    /// full assignment; `Break` stops the enumeration.
+    pub fn for_each_model<B>(
+        &self,
+        decide_vars: usize,
+        mut f: impl FnMut(&[bool]) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        let mut solver = Solver::new(self);
+        if !solver.propagate_initial() {
+            return ControlFlow::Continue(());
+        }
+        solver.search(decide_vars.min(self.num_vars), &mut f)
+    }
+
+    /// Find one satisfying assignment.
+    pub fn find_model(&self) -> Option<Vec<bool>> {
+        let mut found = None;
+        let _ = self.for_each_model(self.num_vars, |m| {
+            found = Some(m.to_vec());
+            ControlFlow::Break(())
+        });
+        found
+    }
+
+    /// Is the formula satisfiable?
+    pub fn satisfiable(&self) -> bool {
+        self.find_model().is_some()
+    }
+}
+
+struct Solver<'a> {
+    cnf: &'a Cnf,
+    /// Assignment: None = unassigned.
+    assign: Vec<Option<bool>>,
+    /// Assigned variables in order (for undo).
+    trail: Vec<u32>,
+    /// Per-clause: number of satisfied literals.
+    n_sat: Vec<u32>,
+    /// Per-clause: number of unassigned literals.
+    n_undef: Vec<u32>,
+    /// Per-variable occurrence lists: (clause index, polarity).
+    occ: Vec<Vec<(u32, bool)>>,
+    /// Clauses that lost a literal and may have become unit/conflicting.
+    pending: Vec<u32>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(cnf: &'a Cnf) -> Self {
+        let mut occ = vec![Vec::new(); cnf.num_vars];
+        for (ci, clause) in cnf.clauses.iter().enumerate() {
+            for lit in clause {
+                occ[lit.var as usize].push((ci as u32, lit.positive));
+            }
+        }
+        Solver {
+            cnf,
+            assign: vec![None; cnf.num_vars],
+            trail: Vec::new(),
+            n_sat: vec![0; cnf.clauses.len()],
+            n_undef: cnf.clauses.iter().map(|c| c.len() as u32).collect(),
+            occ,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Assign a variable and update clause counters; returns `false` on an
+    /// immediate conflict (some clause fully falsified). Clauses that lost
+    /// a literal are queued for unit propagation.
+    fn assign(&mut self, var: u32, value: bool) -> bool {
+        debug_assert!(self.assign[var as usize].is_none());
+        self.assign[var as usize] = Some(value);
+        self.trail.push(var);
+        let mut ok = true;
+        for i in 0..self.occ[var as usize].len() {
+            let (ci, polarity) = self.occ[var as usize][i];
+            let c = ci as usize;
+            self.n_undef[c] -= 1;
+            if polarity == value {
+                self.n_sat[c] += 1;
+            } else if self.n_sat[c] == 0 {
+                if self.n_undef[c] == 0 {
+                    ok = false; // falsified clause
+                } else {
+                    self.pending.push(ci);
+                }
+            }
+        }
+        ok
+    }
+
+    fn unassign(&mut self, var: u32) {
+        let value = self.assign[var as usize].take().expect("assigned");
+        for &(ci, polarity) in &self.occ[var as usize] {
+            let ci = ci as usize;
+            self.n_undef[ci] += 1;
+            if polarity == value {
+                self.n_sat[ci] -= 1;
+            }
+        }
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let var = self.trail.pop().expect("trail non-empty");
+            self.unassign(var);
+        }
+    }
+
+    /// Propagate queued unit clauses to fixpoint; `false` on conflict (the
+    /// pending queue is drained either way).
+    fn propagate(&mut self) -> bool {
+        while let Some(ci) = self.pending.pop() {
+            let c = ci as usize;
+            if self.n_sat[c] > 0 {
+                continue;
+            }
+            match self.n_undef[c] {
+                0 => {
+                    self.pending.clear();
+                    return false;
+                }
+                1 => {
+                    let lit = *self.cnf.clauses[c]
+                        .iter()
+                        .find(|l| self.assign[l.var as usize].is_none())
+                        .expect("one unassigned literal");
+                    if !self.assign(lit.var, lit.positive) {
+                        self.pending.clear();
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    fn propagate_initial(&mut self) -> bool {
+        // Empty clauses make the formula unsatisfiable outright.
+        if self.cnf.clauses.iter().any(|c| c.is_empty()) {
+            return false;
+        }
+        // Seed the queue with every clause (catches initial units).
+        self.pending = (0..self.cnf.clauses.len() as u32).collect();
+        self.propagate()
+    }
+
+    fn pick_unassigned(&self, decide_vars: usize) -> Option<u32> {
+        (0..decide_vars as u32).find(|&v| self.assign[v as usize].is_none())
+    }
+
+    fn search<B>(
+        &mut self,
+        decide_vars: usize,
+        f: &mut impl FnMut(&[bool]) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        match self.pick_unassigned(decide_vars) {
+            None => {
+                // All decision variables assigned; remaining variables are
+                // forced by propagation in our encodings. Any stragglers
+                // default to false (they are unconstrained either way).
+                let model: Vec<bool> =
+                    self.assign.iter().map(|a| a.unwrap_or(false)).collect();
+                f(&model)
+            }
+            Some(var) => {
+                for value in [false, true] {
+                    let mark = self.trail.len();
+                    if self.assign(var, value) && self.propagate() {
+                        self.search(decide_vars, f)?;
+                    }
+                    // Drop any queue left by a failed assign before undoing.
+                    self.pending.clear();
+                    self.undo_to(mark);
+                }
+                ControlFlow::Continue(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_models(cnf: &Cnf) -> Vec<Vec<bool>> {
+        let mut out = Vec::new();
+        let _ = cnf.for_each_model(cnf.num_vars(), |m| {
+            out.push(m.to_vec());
+            ControlFlow::<()>::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn single_clause_three_models() {
+        // x ∨ y has models {01, 10, 11}.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::pos(0), Lit::pos(1)]);
+        let models = all_models(&cnf);
+        assert_eq!(models.len(), 3);
+        assert!(!models.contains(&vec![false, false]));
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // x; ¬x ∨ y; ¬y ∨ z → unique model 111.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([Lit::pos(0)]);
+        cnf.add_clause([Lit::neg(0), Lit::pos(1)]);
+        cnf.add_clause([Lit::neg(1), Lit::pos(2)]);
+        assert_eq!(all_models(&cnf), vec![vec![true, true, true]]);
+    }
+
+    #[test]
+    fn unsat_detected() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([Lit::pos(0)]);
+        cnf.add_clause([Lit::neg(0)]);
+        assert!(!cnf.satisfiable());
+        assert!(all_models(&cnf).is_empty());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([]);
+        assert!(!cnf.satisfiable());
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([Lit::pos(0), Lit::neg(0)]);
+        assert_eq!(cnf.num_clauses(), 0);
+        assert_eq!(all_models(&cnf).len(), 2);
+    }
+
+    #[test]
+    fn models_enumerated_false_first() {
+        // Free variable: false branch explored first.
+        let cnf = Cnf::new(1);
+        let models = all_models(&cnf);
+        assert_eq!(models, vec![vec![false], vec![true]]);
+    }
+
+    #[test]
+    fn break_stops_enumeration() {
+        let cnf = Cnf::new(3);
+        let mut count = 0;
+        let _ = cnf.for_each_model(3, |_| {
+            count += 1;
+            if count == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn duplicate_literals_collapse() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([Lit::pos(0), Lit::pos(0)]);
+        assert_eq!(all_models(&cnf), vec![vec![true]]);
+    }
+
+    #[test]
+    fn find_model_returns_satisfying_assignment() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause([Lit::neg(1)]);
+        let m = cnf.find_model().unwrap();
+        assert!(m[0]);
+        assert!(!m[1]);
+    }
+}

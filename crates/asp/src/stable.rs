@@ -1,0 +1,437 @@
+//! Stable models of ground disjunctive programs (Gelfond–Lifschitz), with
+//! cautious/brave reasoning.
+//!
+//! Enumeration strategy: encode the program as CNF —
+//!
+//! 1. **Rule clauses**: `head ∨ ¬pos ∨ neg` for every rule;
+//! 2. **Support clauses**: for every rule `r` and head atom `a`, an
+//!    auxiliary variable `s(r,a)` with `s(r,a) ↔ (pos(r) ∧ ¬neg(r) ∧
+//!    ¬(head(r) ∖ {a}))`, and for every atom `a` the clause
+//!    `a → ∨ s(r,a)`. Every stable model of a disjunctive program is a
+//!    *supported* model in this sense (each true atom has a rule whose
+//!    body holds and whose other head atoms are false), so the encoding
+//!    prunes the exponential space of unsupported guesses while keeping
+//!    all stable models.
+//!
+//! Each supported model `M` is then checked stable: build the GL-reduct
+//! `Π^M` (drop rules with `neg ∩ M ≠ ∅`, then drop negative literals) and
+//! test that `M` is a *minimal* model of it. Minimality of a model of a
+//! positive disjunctive program is itself coNP, decided here by a second,
+//! small CNF search for a strictly smaller model within `M`; for normal
+//! (non-disjunctive) programs the least-model fixpoint decides it in
+//! polynomial time — the complexity gap of the paper's Section 6 made
+//! concrete.
+
+use crate::ground::{AtomId, GroundProgram, GroundRule};
+use crate::solve::{Cnf, Lit};
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+/// A model: the set of true atoms.
+pub type Model = BTreeSet<AtomId>;
+
+/// Enumerate the stable models, calling `f` for each; `Break` stops early.
+pub fn for_each_stable_model<B>(
+    gp: &GroundProgram,
+    mut f: impl FnMut(&Model) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    let n = gp.atom_count();
+    let cnf = encode(gp);
+    cnf.for_each_model(n, |assignment| {
+        let model: Model = (0..n as AtomId)
+            .filter(|&a| assignment[a as usize])
+            .collect();
+        if is_stable(gp, &model) {
+            f(&model)?;
+        }
+        ControlFlow::Continue(())
+    })
+}
+
+/// All stable models, sorted (deterministic order independent of the
+/// solver's branching order).
+pub fn stable_models(gp: &GroundProgram) -> Vec<Model> {
+    let mut out = Vec::new();
+    let _ = for_each_stable_model(gp, |m| {
+        out.push(m.clone());
+        ControlFlow::<()>::Continue(())
+    });
+    out.sort();
+    out
+}
+
+/// Cautious consequences: atoms true in *every* stable model.
+/// `None` if the program has no stable models (everything follows).
+pub fn cautious_consequences(gp: &GroundProgram) -> Option<Model> {
+    let mut acc: Option<Model> = None;
+    let _ = for_each_stable_model(gp, |m| {
+        match &mut acc {
+            None => acc = Some(m.clone()),
+            Some(seen) => {
+                seen.retain(|a| m.contains(a));
+                if seen.is_empty() {
+                    return ControlFlow::Break(());
+                }
+            }
+        }
+        ControlFlow::<()>::Continue(())
+    });
+    acc
+}
+
+/// Brave consequences: atoms true in *some* stable model.
+/// `None` if the program has no stable models.
+pub fn brave_consequences(gp: &GroundProgram) -> Option<Model> {
+    let mut acc: Option<Model> = None;
+    let _ = for_each_stable_model(gp, |m| {
+        match &mut acc {
+            None => acc = Some(m.clone()),
+            Some(seen) => seen.extend(m.iter().copied()),
+        }
+        ControlFlow::<()>::Continue(())
+    });
+    acc
+}
+
+/// Is `model` a stable model of `gp`?
+pub fn is_stable(gp: &GroundProgram, model: &Model) -> bool {
+    // The GL-reduct: rules whose negative body avoids the model.
+    let reduct: Vec<&GroundRule> = gp
+        .rules
+        .iter()
+        .filter(|r| r.neg.iter().all(|n| !model.contains(n)))
+        .collect();
+    // M must be a model of the reduct…
+    for rule in &reduct {
+        let body_holds = rule.pos.iter().all(|p| model.contains(p));
+        if body_holds && !rule.head.iter().any(|h| model.contains(h)) {
+            return false;
+        }
+    }
+    // …and a minimal one.
+    if reduct.iter().all(|r| r.head.len() <= 1) {
+        // Normal reduct: minimal model of a definite program = least
+        // fixpoint; stable iff lfp == M. Polynomial (Section 6 fast path).
+        least_model_equals(&reduct, model)
+    } else {
+        !has_smaller_model(&reduct, model)
+    }
+}
+
+/// Definite-program least-model check (restricted to rules with bodies in
+/// M — others cannot fire below M).
+fn least_model_equals(reduct: &[&GroundRule], model: &Model) -> bool {
+    let mut derived: Model = Model::new();
+    loop {
+        let mut grew = false;
+        for rule in reduct {
+            if rule.head.len() != 1 {
+                continue; // denials don't derive
+            }
+            if rule.pos.iter().all(|p| derived.contains(p))
+                && derived.insert(rule.head[0])
+            {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // lfp ⊆ M always (M is a model); stable iff every atom of M derived.
+    &derived == model
+}
+
+/// Search for a model `M′ ⊊ M` of the (positive) reduct: SAT over the
+/// atoms of M with "keep" variables.
+fn has_smaller_model(reduct: &[&GroundRule], model: &Model) -> bool {
+    let atoms: Vec<AtomId> = model.iter().copied().collect();
+    let var_of = |a: AtomId| -> Option<u32> {
+        atoms.binary_search(&a).ok().map(|i| i as u32)
+    };
+    let mut cnf = Cnf::new(atoms.len());
+    for rule in reduct {
+        // Atoms outside M in the positive body keep the rule satisfied in
+        // any M′ ⊆ M.
+        if rule.pos.iter().any(|p| !model.contains(p)) {
+            continue;
+        }
+        // keep(pos) → ∨ keep(head ∩ M)
+        let mut clause: Vec<Lit> = rule
+            .pos
+            .iter()
+            .map(|&p| Lit::neg(var_of(p).expect("pos ⊆ M")))
+            .collect();
+        for h in &rule.head {
+            if let Some(v) = var_of(*h) {
+                clause.push(Lit::pos(v));
+            }
+        }
+        cnf.add_clause(clause);
+    }
+    // Strictly smaller: at least one atom dropped.
+    cnf.add_clause((0..atoms.len() as u32).map(Lit::neg));
+    cnf.satisfiable()
+}
+
+/// CNF encoding: rule clauses + support clauses (see module docs).
+fn encode(gp: &GroundProgram) -> Cnf {
+    let n = gp.atom_count();
+    // Auxiliary support variables, one per (rule, head-atom) pair.
+    let mut support_vars: Vec<Vec<u32>> = Vec::with_capacity(gp.rules.len());
+    let mut next = n as u32;
+    for rule in &gp.rules {
+        let mut vars = Vec::with_capacity(rule.head.len());
+        for _ in &rule.head {
+            vars.push(next);
+            next += 1;
+        }
+        support_vars.push(vars);
+    }
+    let mut cnf = Cnf::new(next as usize);
+    // Supports of each atom.
+    let mut supports: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    for (ri, rule) in gp.rules.iter().enumerate() {
+        // Rule clause: ∨ head ∨ ¬pos ∨ neg.
+        let clause = rule
+            .head
+            .iter()
+            .map(|&h| Lit::pos(h))
+            .chain(rule.pos.iter().map(|&p| Lit::neg(p)))
+            .chain(rule.neg.iter().map(|&m| Lit::pos(m)));
+        cnf.add_clause(clause);
+
+        // Support definitions.
+        for (hi, &a) in rule.head.iter().enumerate() {
+            let s = support_vars[ri][hi];
+            supports[a as usize].push(s);
+            // s → pos true, neg false, other heads false.
+            let mut condition: Vec<Lit> = Vec::new();
+            for &p in &rule.pos {
+                cnf.add_clause([Lit::neg(s), Lit::pos(p)]);
+                condition.push(Lit::neg(p));
+            }
+            for &m in &rule.neg {
+                cnf.add_clause([Lit::neg(s), Lit::neg(m)]);
+                condition.push(Lit::pos(m));
+            }
+            for (hj, &b) in rule.head.iter().enumerate() {
+                if hj != hi {
+                    cnf.add_clause([Lit::neg(s), Lit::neg(b)]);
+                    condition.push(Lit::pos(b));
+                }
+            }
+            // Completion: condition → s (makes s functionally determined,
+            // so each supported model appears exactly once).
+            condition.push(Lit::pos(s));
+            cnf.add_clause(condition);
+        }
+    }
+    // a → ∨ supports(a).
+    for (a, sup) in supports.iter().enumerate() {
+        let mut clause = vec![Lit::neg(a as u32)];
+        clause.extend(sup.iter().map(|&s| Lit::pos(s)));
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::syntax::{atom, neg, pos, tv, Program};
+    use cqa_relational::{i, s, Value};
+
+    fn models_of(p: &Program) -> Vec<Vec<String>> {
+        let gp = ground(p);
+        stable_models(&gp)
+            .into_iter()
+            .map(|m| {
+                m.iter()
+                    .map(|&a| crate::display::ground_atom_to_string(p, gp.atom(a)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Brute-force stable-model oracle: enumerate all subsets of atoms.
+    fn oracle(gp: &GroundProgram) -> Vec<Model> {
+        let n = gp.atom_count();
+        assert!(n <= 16, "oracle only for tiny programs");
+        let mut out = Vec::new();
+        for mask in 0u32..(1 << n) {
+            let m: Model = (0..n as AtomId).filter(|&a| mask & (1 << a) != 0).collect();
+            // classical model check
+            let classical = gp.rules.iter().all(|r| {
+                let body = r.pos.iter().all(|p| m.contains(p))
+                    && r.neg.iter().all(|x| !m.contains(x));
+                !body || r.head.iter().any(|h| m.contains(h))
+            });
+            if classical && is_stable(gp, &m) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn facts_alone_have_one_stable_model() {
+        let mut p = Program::new();
+        p.fact("r", [i(1)]).unwrap();
+        p.fact("r", [i(2)]).unwrap();
+        let gp = ground(&p);
+        let models = stable_models(&gp);
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].len(), 2);
+        assert_eq!(models, oracle(&gp));
+    }
+
+    #[test]
+    fn disjunctive_fact_gives_two_minimal_models() {
+        // a ∨ b. → stable models {a}, {b} (not {a,b}: not minimal).
+        let mut p = Program::new();
+        p.pred("a", 0).unwrap();
+        p.pred("b", 0).unwrap();
+        p.rule([atom("a", []), atom("b", [])], []).unwrap();
+        let gp = ground(&p);
+        let models = stable_models(&gp);
+        assert_eq!(models.len(), 2);
+        assert!(models.iter().all(|m| m.len() == 1));
+        assert_eq!(models, oracle(&gp));
+    }
+
+    #[test]
+    fn negation_choice_program() {
+        // a ← not b. b ← not a. → {a}, {b}.
+        let mut p = Program::new();
+        p.pred("a", 0).unwrap();
+        p.pred("b", 0).unwrap();
+        p.rule([atom("a", [])], [neg(atom("b", []))]).unwrap();
+        p.rule([atom("b", [])], [neg(atom("a", []))]).unwrap();
+        let gp = ground(&p);
+        let models = stable_models(&gp);
+        assert_eq!(models.len(), 2);
+        assert_eq!(models, oracle(&gp));
+    }
+
+    #[test]
+    fn odd_loop_has_no_stable_model() {
+        // a ← not a. → no stable model.
+        let mut p = Program::new();
+        p.pred("a", 0).unwrap();
+        p.rule([atom("a", [])], [neg(atom("a", []))]).unwrap();
+        let gp = ground(&p);
+        assert!(stable_models(&gp).is_empty());
+        assert!(cautious_consequences(&gp).is_none());
+        assert_eq!(oracle(&gp), Vec::<Model>::new());
+    }
+
+    #[test]
+    fn positive_loop_is_unfounded() {
+        // a ← b. b ← a. → only {} stable ({a,b} is supported but unfounded).
+        let mut p = Program::new();
+        p.pred("a", 0).unwrap();
+        p.pred("b", 0).unwrap();
+        p.rule([atom("a", [])], [pos(atom("b", []))]).unwrap();
+        p.rule([atom("b", [])], [pos(atom("a", []))]).unwrap();
+        let gp = ground(&p);
+        let models = stable_models(&gp);
+        assert_eq!(models.len(), 1);
+        assert!(models[0].is_empty());
+        assert_eq!(models, oracle(&gp));
+    }
+
+    #[test]
+    fn denial_filters_models() {
+        // a ∨ b. ← a. → only {b}.
+        let mut p = Program::new();
+        p.pred("a", 0).unwrap();
+        p.pred("b", 0).unwrap();
+        p.rule([atom("a", []), atom("b", [])], []).unwrap();
+        p.rule([], [pos(atom("a", []))]).unwrap();
+        let gp = ground(&p);
+        let models = stable_models(&gp);
+        assert_eq!(models.len(), 1);
+        assert_eq!(models, oracle(&gp));
+    }
+
+    #[test]
+    fn disjunction_with_shared_consequence() {
+        // a ∨ b. c ← a. c ← b. → {a,c}, {b,c}.
+        let mut p = Program::new();
+        for q in ["a", "b", "c"] {
+            p.pred(q, 0).unwrap();
+        }
+        p.rule([atom("a", []), atom("b", [])], []).unwrap();
+        p.rule([atom("c", [])], [pos(atom("a", []))]).unwrap();
+        p.rule([atom("c", [])], [pos(atom("b", []))]).unwrap();
+        let gp = ground(&p);
+        let models = stable_models(&gp);
+        assert_eq!(models.len(), 2);
+        assert!(models.iter().all(|m| m.len() == 2));
+        assert_eq!(models, oracle(&gp));
+    }
+
+    #[test]
+    fn non_hcf_program_stable_models() {
+        // The classic non-HCF example: a ∨ b. a ← b. b ← a.
+        // Minimal models of the reduct: {a,b} is the unique stable model?
+        // Check against the oracle rather than intuition.
+        let mut p = Program::new();
+        p.pred("a", 0).unwrap();
+        p.pred("b", 0).unwrap();
+        p.rule([atom("a", []), atom("b", [])], []).unwrap();
+        p.rule([atom("a", [])], [pos(atom("b", []))]).unwrap();
+        p.rule([atom("b", [])], [pos(atom("a", []))]).unwrap();
+        let gp = ground(&p);
+        assert_eq!(stable_models(&gp), oracle(&gp));
+    }
+
+    #[test]
+    fn cautious_and_brave() {
+        // a ∨ b. c. → cautious {c}, brave {a,b,c}.
+        let mut p = Program::new();
+        p.pred("a", 0).unwrap();
+        p.pred("b", 0).unwrap();
+        p.fact("c", []).unwrap();
+        p.rule([atom("a", []), atom("b", [])], []).unwrap();
+        let gp = ground(&p);
+        let cautious = cautious_consequences(&gp).unwrap();
+        let brave = brave_consequences(&gp).unwrap();
+        assert_eq!(cautious.len(), 1);
+        assert_eq!(brave.len(), 3);
+    }
+
+    #[test]
+    fn grounded_variables_and_negation() {
+        // q(x) ← r(x), not bad(x). with bad(2) a fact.
+        let mut p = Program::new();
+        p.fact("r", [i(1)]).unwrap();
+        p.fact("r", [i(2)]).unwrap();
+        p.fact("bad", [i(2)]).unwrap();
+        p.rule(
+            [atom("q", [tv("x")])],
+            [pos(atom("r", [tv("x")])), neg(atom("bad", [tv("x")]))],
+        )
+        .unwrap();
+        let models = models_of(&p);
+        assert_eq!(models.len(), 1);
+        assert!(models[0].contains(&"q(1)".to_string()));
+        assert!(!models[0].contains(&"q(2)".to_string()));
+    }
+
+    #[test]
+    fn string_constants_work() {
+        let mut p = Program::new();
+        p.fact("r", [Value::str("x"), s("y")]).unwrap();
+        p.rule(
+            [atom("swap", [tv("b"), tv("a")])],
+            [pos(atom("r", [tv("a"), tv("b")]))],
+        )
+        .unwrap();
+        let models = models_of(&p);
+        assert!(models[0].contains(&"swap(y, x)".to_string()));
+    }
+}

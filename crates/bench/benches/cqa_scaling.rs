@@ -1,0 +1,98 @@
+//! Bench: consistent query answering — direct (repair intersection) vs
+//! program-based (cautious reasoning over Π(D, IC)), on the data and
+//! conflict axes. The two must return identical answers; the bench
+//! reports who wins where (the paper's Section 5 motivation is that the
+//! program route generalises, not that it is faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_constraints::v;
+use cqa_core::query::AnswerSemantics;
+use cqa_core::{ProgramStyle, RepairConfig};
+use std::hint::black_box;
+
+fn query_for(w: &cqa_bench::Workload) -> cqa_core::Query {
+    cqa_core::ConjunctiveQuery::builder(w.instance.schema(), "q", ["x"])
+        .atom("R", [v("x"), v("y")])
+        .finish()
+        .unwrap()
+        .into()
+}
+
+fn cqa_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cqa_direct_vs_program");
+    group.sample_size(10);
+    for clean in [10usize, 40, 160] {
+        let w = cqa_bench::example19_scaled(clean, 2, 1, 31);
+        let q = query_for(&w);
+        group.bench_with_input(BenchmarkId::new("direct", clean), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    cqa_core::consistent_answers(
+                        &w.instance,
+                        &w.ics,
+                        &q,
+                        RepairConfig::default(),
+                        AnswerSemantics::IncludeNullAnswers,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("via_program", clean), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    cqa_core::consistent_answers_via_program(
+                        &w.instance,
+                        &w.ics,
+                        &q,
+                        ProgramStyle::Corrected,
+                        AnswerSemantics::IncludeNullAnswers,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cqa_conflict_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cqa_conflict_axis");
+    group.sample_size(10);
+    for conflicts in [1usize, 3, 5] {
+        let w = cqa_bench::example19_scaled(10, conflicts, 1, 37);
+        let q = query_for(&w);
+        group.bench_with_input(BenchmarkId::new("direct", conflicts), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    cqa_core::consistent_answers(
+                        &w.instance,
+                        &w.ics,
+                        &q,
+                        RepairConfig::default(),
+                        AnswerSemantics::IncludeNullAnswers,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("via_program", conflicts), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    cqa_core::consistent_answers_via_program(
+                        &w.instance,
+                        &w.ics,
+                        &q,
+                        ProgramStyle::Corrected,
+                        AnswerSemantics::IncludeNullAnswers,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cqa_engines, cqa_conflict_axis);
+criterion_main!(benches);

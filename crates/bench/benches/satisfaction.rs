@@ -1,0 +1,60 @@
+//! Bench: `|=_N` consistency checking scales polynomially in data size
+//! (the tractable side of the paper's complexity picture), across the
+//! three main constraint shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn satisfaction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfaction_nullaware");
+    group.sample_size(20);
+    for n in [100usize, 400, 1600] {
+        // Consistent FD workload: checking is the quadratic self-join.
+        let fd = cqa_bench::fd_workload(n, 0, 3);
+        group.bench_with_input(BenchmarkId::new("fd_clean", n), &fd, |b, w| {
+            b.iter(|| black_box(cqa_constraints::is_consistent(&w.instance, &w.ics)))
+        });
+        // FK workload with 10% dangling references (finds violations).
+        let fk = cqa_bench::fk_workload(n, n / 2, n / 10, 3);
+        group.bench_with_input(BenchmarkId::new("fk_dangling", n), &fk, |b, w| {
+            b.iter(|| {
+                black_box(cqa_constraints::violations(
+                    &w.instance,
+                    &w.ics,
+                    cqa_constraints::SatMode::NullAware,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn semantics_overhead(c: &mut Criterion) {
+    // NullAware vs Classical: the IsNull escapes and relevant-attribute
+    // matching must not cost more than classical checking.
+    let w = cqa_bench::fk_workload(800, 400, 40, 5);
+    let mut group = c.benchmark_group("satisfaction_mode_overhead");
+    group.sample_size(20);
+    group.bench_function("null_aware", |b| {
+        b.iter(|| {
+            black_box(cqa_constraints::violations(
+                &w.instance,
+                &w.ics,
+                cqa_constraints::SatMode::NullAware,
+            ))
+        })
+    });
+    group.bench_function("classical", |b| {
+        b.iter(|| {
+            black_box(cqa_constraints::violations(
+                &w.instance,
+                &w.ics,
+                cqa_constraints::SatMode::Classical,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, satisfaction_scaling, semantics_overhead);
+criterion_main!(benches);

@@ -1,0 +1,385 @@
+//! Practice-level constraint constructors: keys, functional dependencies,
+//! foreign keys, inclusion dependencies, checks, denials, NOT NULLs.
+//!
+//! These produce ordinary form-(1) constraints ([`crate::ast::Ic`]) and NOT
+//! NULL constraints; nothing here extends the paper's constraint language —
+//! it just packages the encodings the paper itself uses (functional
+//! dependencies as implications with a single equality, primary keys as
+//! FDs plus NOT NULLs, foreign keys as RICs, Example 19).
+
+use crate::ast::{CmpOp, Constraint, Ic, Nnc, Term, TermSpec};
+use crate::error::ConstraintError;
+use cqa_relational::{Schema, Value};
+
+fn var(i: usize) -> TermSpec {
+    TermSpec::Var(format!("x{i}"))
+}
+
+fn var2(i: usize) -> TermSpec {
+    TermSpec::Var(format!("y{i}"))
+}
+
+/// A functional dependency `R: determinant → dependent` encoded as
+/// `R(x̄) ∧ R(x̄′) → x_dep = x′_dep` with the determinant positions shared
+/// (one constraint per dependent position, as in the paper's preliminaries).
+pub fn functional_dependency(
+    schema: &Schema,
+    relation: &str,
+    determinant: &[usize],
+    dependent: usize,
+) -> Result<Ic, ConstraintError> {
+    let rel = schema
+        .rel_id(relation)
+        .ok_or_else(|| ConstraintError::UnknownRelation(relation.to_string()))?;
+    let arity = schema.relation(rel).arity();
+    for &p in determinant.iter().chain([&dependent]) {
+        if p >= arity {
+            return Err(ConstraintError::InvalidBuilder(format!(
+                "FD position {p} out of range for `{relation}` (arity {arity})"
+            )));
+        }
+    }
+    if determinant.contains(&dependent) {
+        return Err(ConstraintError::InvalidBuilder(
+            "FD dependent position inside the determinant is trivial".into(),
+        ));
+    }
+    if determinant.is_empty() {
+        return Err(ConstraintError::InvalidBuilder(
+            "FD needs at least one determinant position".into(),
+        ));
+    }
+    let first: Vec<TermSpec> = (0..arity).map(var).collect();
+    let second: Vec<TermSpec> = (0..arity)
+        .map(|i| if determinant.contains(&i) { var(i) } else { var2(i) })
+        .collect();
+    Ic::builder(schema, format!("fd_{relation}_{dependent}"))
+        .body_atom(relation, first)
+        .body_atom(relation, second)
+        .builtin(var(dependent), CmpOp::Eq, var2(dependent))
+        .finish()
+}
+
+/// A primary key: one FD per non-key position plus a NOT NULL constraint on
+/// every key position ("with the keys set to be non-null", Section 4).
+pub fn primary_key(
+    schema: &Schema,
+    relation: &str,
+    key: &[usize],
+) -> Result<Vec<Constraint>, ConstraintError> {
+    let rel = schema
+        .rel_id(relation)
+        .ok_or_else(|| ConstraintError::UnknownRelation(relation.to_string()))?;
+    let arity = schema.relation(rel).arity();
+    if key.is_empty() {
+        return Err(ConstraintError::InvalidBuilder(
+            "primary key needs at least one attribute".into(),
+        ));
+    }
+    let mut out = Vec::new();
+    for dep in 0..arity {
+        if !key.contains(&dep) {
+            out.push(Constraint::from(functional_dependency(
+                schema, relation, key, dep,
+            )?));
+        }
+    }
+    for &p in key {
+        if p >= arity {
+            return Err(ConstraintError::InvalidBuilder(format!(
+                "key position {p} out of range for `{relation}` (arity {arity})"
+            )));
+        }
+        out.push(Constraint::from(Nnc::new(
+            schema,
+            format!("pk_notnull_{relation}_{p}"),
+            relation,
+            p,
+        )?));
+    }
+    Ok(out)
+}
+
+/// A referential IC / foreign key, form (3):
+/// `∀x̄ (child(x̄) → ∃ȳ parent(…))` where `child_cols[i]` references
+/// `parent_cols[i]` and every other parent position is existential.
+pub fn foreign_key(
+    schema: &Schema,
+    child: &str,
+    child_cols: &[usize],
+    parent: &str,
+    parent_cols: &[usize],
+) -> Result<Ic, ConstraintError> {
+    if child_cols.len() != parent_cols.len() || child_cols.is_empty() {
+        return Err(ConstraintError::InvalidBuilder(format!(
+            "foreign key column lists must be equal-length and non-empty \
+             (got {} and {})",
+            child_cols.len(),
+            parent_cols.len()
+        )));
+    }
+    let child_rel = schema
+        .rel_id(child)
+        .ok_or_else(|| ConstraintError::UnknownRelation(child.to_string()))?;
+    let parent_rel = schema
+        .rel_id(parent)
+        .ok_or_else(|| ConstraintError::UnknownRelation(parent.to_string()))?;
+    let child_arity = schema.relation(child_rel).arity();
+    let parent_arity = schema.relation(parent_rel).arity();
+    for &p in child_cols {
+        if p >= child_arity {
+            return Err(ConstraintError::InvalidBuilder(format!(
+                "child column {p} out of range for `{child}`"
+            )));
+        }
+    }
+    for &p in parent_cols {
+        if p >= parent_arity {
+            return Err(ConstraintError::InvalidBuilder(format!(
+                "parent column {p} out of range for `{parent}`"
+            )));
+        }
+    }
+    let body: Vec<TermSpec> = (0..child_arity).map(var).collect();
+    let head: Vec<TermSpec> = (0..parent_arity)
+        .map(|p| match parent_cols.iter().position(|&pc| pc == p) {
+            Some(i) => var(child_cols[i]),
+            None => var2(p),
+        })
+        .collect();
+    Ic::builder(schema, format!("fk_{child}_{parent}"))
+        .body_atom(child, body)
+        .head_atom(parent, head)
+        .finish()
+}
+
+/// A full inclusion dependency `R[cols] ⊆ S[cols]` as a universal IC (no
+/// existentials): every position of `S` must be named by a child column.
+pub fn full_inclusion(
+    schema: &Schema,
+    child: &str,
+    child_cols: &[usize],
+    parent: &str,
+) -> Result<Ic, ConstraintError> {
+    let child_rel = schema
+        .rel_id(child)
+        .ok_or_else(|| ConstraintError::UnknownRelation(child.to_string()))?;
+    let parent_rel = schema
+        .rel_id(parent)
+        .ok_or_else(|| ConstraintError::UnknownRelation(parent.to_string()))?;
+    if child_cols.len() != schema.relation(parent_rel).arity() {
+        return Err(ConstraintError::InvalidBuilder(format!(
+            "full inclusion into `{parent}` needs exactly {} child columns",
+            schema.relation(parent_rel).arity()
+        )));
+    }
+    let child_arity = schema.relation(child_rel).arity();
+    for &p in child_cols {
+        if p >= child_arity {
+            return Err(ConstraintError::InvalidBuilder(format!(
+                "child column {p} out of range for `{child}`"
+            )));
+        }
+    }
+    let body: Vec<TermSpec> = (0..child_arity).map(var).collect();
+    let head: Vec<TermSpec> = child_cols.iter().map(|&p| var(p)).collect();
+    Ic::builder(schema, format!("incl_{child}_{parent}"))
+        .body_atom(child, body)
+        .head_atom(parent, head)
+        .finish()
+}
+
+/// A single-row check constraint comparing one column against a constant,
+/// e.g. `Emp.salary > 100` (Example 6).
+pub fn check_column(
+    schema: &Schema,
+    relation: &str,
+    column: usize,
+    op: CmpOp,
+    constant: impl Into<Value>,
+) -> Result<Ic, ConstraintError> {
+    let rel = schema
+        .rel_id(relation)
+        .ok_or_else(|| ConstraintError::UnknownRelation(relation.to_string()))?;
+    let arity = schema.relation(rel).arity();
+    if column >= arity {
+        return Err(ConstraintError::InvalidBuilder(format!(
+            "check column {column} out of range for `{relation}`"
+        )));
+    }
+    let body: Vec<TermSpec> = (0..arity).map(var).collect();
+    Ic::builder(schema, format!("check_{relation}_{column}"))
+        .body_atom(relation, body)
+        .builtin(var(column), op, TermSpec::Const(constant.into()))
+        .finish()
+}
+
+/// A NOT NULL constraint on one column.
+pub fn not_null(schema: &Schema, relation: &str, column: usize) -> Result<Nnc, ConstraintError> {
+    Nnc::new(schema, format!("nn_{relation}_{column}"), relation, column)
+}
+
+/// Extract, for a referential IC of form (3), the referencing positions in
+/// the child and the referenced positions in the parent:
+/// `(child_positions, parent_positions)` aligned pairwise.
+///
+/// Returns `None` if the constraint is not of form (3).
+pub fn ric_column_map(ic: &Ic) -> Option<(Vec<usize>, Vec<usize>)> {
+    if crate::classify::classify(ic) != crate::classify::IcClass::Referential {
+        return None;
+    }
+    let body = &ic.body()[0];
+    let head = &ic.head()[0];
+    let mut child = Vec::new();
+    let mut parent = Vec::new();
+    for (hp, term) in head.terms.iter().enumerate() {
+        match term {
+            Term::Var(v) if !ic.is_existential(*v) => {
+                let bp = body
+                    .terms
+                    .iter()
+                    .position(|t| t.as_var() == Some(*v))?;
+                child.push(bp);
+                parent.push(hp);
+            }
+            Term::Const(_) => return None, // constants in the head: not a plain FK
+            _ => {}
+        }
+    }
+    if child.is_empty() {
+        return None;
+    }
+    Some((child, parent))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, IcClass};
+    use crate::satisfaction::{is_consistent, violations, SatMode};
+    use crate::IcSet;
+    use cqa_relational::{i, null, s, Instance, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .relation("R", ["A", "B"])
+            .relation("S", ["U", "V"])
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn fd_detects_key_violation() {
+        let sc = schema();
+        let fd = functional_dependency(&sc, "R", &[0], 1).unwrap();
+        assert_eq!(classify(&fd), IcClass::Universal);
+        let ics = IcSet::new([Constraint::from(fd)]);
+        let mut d = Instance::empty(Arc::new(sc));
+        d.insert_named("R", [s("a"), s("b")]).unwrap();
+        d.insert_named("R", [s("a"), s("c")]).unwrap();
+        assert!(!is_consistent(&d, &ics));
+        // violations come in both orientations of the pair
+        assert_eq!(violations(&d, &ics, SatMode::NullAware).len(), 2);
+    }
+
+    #[test]
+    fn fd_null_key_does_not_violate() {
+        // Keys containing null escape via IsNull (the key attribute is
+        // relevant); the NNC part of `primary_key` is what forbids them.
+        let sc = schema();
+        let fd = functional_dependency(&sc, "R", &[0], 1).unwrap();
+        let ics = IcSet::new([Constraint::from(fd)]);
+        let mut d = Instance::empty(Arc::new(sc));
+        d.insert_named("R", [null(), s("b")]).unwrap();
+        d.insert_named("R", [null(), s("c")]).unwrap();
+        assert!(is_consistent(&d, &ics));
+    }
+
+    #[test]
+    fn primary_key_bundles_fds_and_nncs() {
+        let sc = schema();
+        let pk = primary_key(&sc, "R", &[0]).unwrap();
+        // one FD (for position 1) + one NNC (for position 0)
+        assert_eq!(pk.len(), 2);
+        let ics = IcSet::new(pk);
+        let mut d = Instance::empty(Arc::new(sc));
+        d.insert_named("R", [null(), s("b")]).unwrap();
+        assert!(!is_consistent(&d, &ics)); // NNC bites
+    }
+
+    #[test]
+    fn foreign_key_shape_and_example19() {
+        // S[2] references R[1] (0-based: S column 1 → R column 0).
+        let sc = schema();
+        let fk = foreign_key(&sc, "S", &[1], "R", &[0]).unwrap();
+        assert_eq!(classify(&fk), IcClass::Referential);
+        assert_eq!(ric_column_map(&fk), Some((vec![1], vec![0])));
+        let ics = IcSet::new([Constraint::from(fk)]);
+        let mut d = Instance::empty(Arc::new(sc));
+        d.insert_named("R", [s("a"), s("b")]).unwrap();
+        d.insert_named("S", [s("e"), s("f")]).unwrap(); // f missing in R
+        d.insert_named("S", [null(), s("a")]).unwrap(); // a present
+        assert!(!is_consistent(&d, &ics));
+        assert_eq!(violations(&d, &ics, SatMode::NullAware).len(), 1);
+    }
+
+    #[test]
+    fn foreign_key_null_reference_is_consistent_simple_match() {
+        let sc = schema();
+        let fk = foreign_key(&sc, "S", &[1], "R", &[0]).unwrap();
+        let ics = IcSet::new([Constraint::from(fk)]);
+        let mut d = Instance::empty(Arc::new(sc));
+        d.insert_named("S", [s("e"), null()]).unwrap();
+        assert!(is_consistent(&d, &ics)); // simple match: null FK accepted
+    }
+
+    #[test]
+    fn full_inclusion_is_universal() {
+        let sc = Schema::builder()
+            .relation("R", ["A", "B"])
+            .relation("T", ["X"])
+            .finish()
+            .unwrap();
+        let incl = full_inclusion(&sc, "R", &[0], "T").unwrap();
+        assert_eq!(classify(&incl), IcClass::Universal);
+    }
+
+    #[test]
+    fn check_column_example6() {
+        let sc = Schema::builder()
+            .relation("Emp", ["ID", "Name", "Salary"])
+            .finish()
+            .unwrap();
+        let chk = check_column(&sc, "Emp", 2, CmpOp::Gt, 100).unwrap();
+        let ics = IcSet::new([Constraint::from(chk)]);
+        let mut d = Instance::empty(Arc::new(sc));
+        d.insert_named("Emp", [i(32), null(), i(1000)]).unwrap();
+        d.insert_named("Emp", [i(41), s("Paul"), null()]).unwrap();
+        assert!(is_consistent(&d, &ics));
+        let mut d2 = d.clone();
+        d2.insert_named("Emp", [i(50), null(), i(50)]).unwrap();
+        assert!(!is_consistent(&d2, &ics));
+    }
+
+    #[test]
+    fn builder_errors() {
+        let sc = schema();
+        assert!(functional_dependency(&sc, "R", &[], 1).is_err());
+        assert!(functional_dependency(&sc, "R", &[0], 0).is_err());
+        assert!(functional_dependency(&sc, "R", &[5], 1).is_err());
+        assert!(primary_key(&sc, "R", &[]).is_err());
+        assert!(foreign_key(&sc, "S", &[0, 1], "R", &[0]).is_err());
+        assert!(foreign_key(&sc, "S", &[9], "R", &[0]).is_err());
+        assert!(full_inclusion(&sc, "R", &[0], "S").is_err()); // S has arity 2
+        assert!(check_column(&sc, "R", 7, CmpOp::Gt, 0).is_err());
+        assert!(not_null(&sc, "Z", 0).is_err());
+    }
+
+    #[test]
+    fn ric_column_map_rejects_non_rics() {
+        let sc = schema();
+        let uic = full_inclusion(&sc, "R", &[0, 1], "S").unwrap();
+        assert_eq!(ric_column_map(&uic), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Syntactic classification of form-(1) constraints into the paper's
+//! subclasses: universal ICs (2), referential ICs (3), and the shapes used
+//! in practice (denials, checks, functional dependencies).
+
+use crate::ast::{Ic, Term};
+
+/// The syntactic class of a form-(1) constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcClass {
+    /// Form (2): no existentially quantified variables.
+    Universal,
+    /// Form (3): one body atom, one head atom, no ϕ, at least one
+    /// existential variable, and no existential variable repeated inside
+    /// the head atom. (The repair-program rules 3 of Definition 9 are
+    /// generated for exactly this class.)
+    Referential,
+    /// Has existential variables but does not fit form (3) — e.g.
+    /// Example 13's `P(x,y) → ∃z Q(x,z,z)` (repeated existential) or
+    /// Example 1(c)'s disjunctive-head constraint. Covered by `|=_N` and
+    /// the direct repair engine, not by Definition 9 programs.
+    GeneralExistential,
+}
+
+/// Classify a constraint.
+pub fn classify(ic: &Ic) -> IcClass {
+    if ic.existential_vars().is_empty() {
+        return IcClass::Universal;
+    }
+    let ric_shape = ic.body().len() == 1 && ic.head().len() == 1 && ic.builtins().is_empty();
+    if ric_shape && !has_repeated_existential(ic) {
+        IcClass::Referential
+    } else {
+        IcClass::GeneralExistential
+    }
+}
+
+fn has_repeated_existential(ic: &Ic) -> bool {
+    for atom in ic.head() {
+        let vars: Vec<_> = atom
+            .terms
+            .iter()
+            .filter_map(Term::as_var)
+            .filter(|v| ic.is_existential(*v))
+            .collect();
+        let mut sorted = vars.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != vars.len() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is this a denial constraint: `⋀ᵢ Pᵢ(x̄ᵢ) → false`?
+pub fn is_denial(ic: &Ic) -> bool {
+    ic.head().is_empty() && ic.builtins().is_empty()
+}
+
+/// Is this a check constraint (possibly multi-row): head empty, consequent
+/// a pure builtin disjunction?
+pub fn is_check(ic: &Ic) -> bool {
+    ic.head().is_empty() && !ic.builtins().is_empty()
+}
+
+/// Is this a single-row check constraint (one body atom)?
+pub fn is_single_row_check(ic: &Ic) -> bool {
+    is_check(ic) && ic.body().len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{c, v, CmpOp, Ic};
+    use cqa_relational::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .relation("P", ["a", "b"])
+            .relation("Q", ["x", "y", "z"])
+            .relation("R", ["r"])
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn universal_classification() {
+        let sc = schema();
+        let uic = Ic::builder(&sc, "u")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("R", [v("x")])
+            .finish()
+            .unwrap();
+        assert_eq!(classify(&uic), IcClass::Universal);
+        assert!(!is_denial(&uic));
+    }
+
+    #[test]
+    fn referential_classification() {
+        let sc = schema();
+        let ric = Ic::builder(&sc, "r")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("Q", [v("x"), v("u"), v("w")])
+            .finish()
+            .unwrap();
+        assert_eq!(classify(&ric), IcClass::Referential);
+    }
+
+    #[test]
+    fn repeated_existential_is_general() {
+        // Example 13 shape.
+        let sc = schema();
+        let ic = Ic::builder(&sc, "g")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("Q", [v("x"), v("z"), v("z")])
+            .finish()
+            .unwrap();
+        assert_eq!(classify(&ic), IcClass::GeneralExistential);
+    }
+
+    #[test]
+    fn multi_head_existential_is_general() {
+        // Example 1(c): S(x) → ∃yz (R′(x,y) ∨ R(x,y,z)) — adapted.
+        let sc = schema();
+        let ic = Ic::builder(&sc, "g")
+            .body_atom("R", [v("x")])
+            .head_atom("P", [v("x"), v("y")])
+            .head_atom("Q", [v("x"), v("u"), v("w")])
+            .finish()
+            .unwrap();
+        assert_eq!(classify(&ic), IcClass::GeneralExistential);
+    }
+
+    #[test]
+    fn denial_and_check_shapes() {
+        let sc = schema();
+        let denial = Ic::builder(&sc, "d")
+            .body_atom("P", [v("x"), v("y")])
+            .body_atom("R", [v("x")])
+            .finish()
+            .unwrap();
+        assert!(is_denial(&denial));
+        assert_eq!(classify(&denial), IcClass::Universal);
+
+        let check = Ic::builder(&sc, "c")
+            .body_atom("P", [v("x"), v("y")])
+            .builtin(v("y"), CmpOp::Gt, c(0))
+            .finish()
+            .unwrap();
+        assert!(is_check(&check));
+        assert!(is_single_row_check(&check));
+        assert!(!is_denial(&check));
+
+        let multirow = Ic::builder(&sc, "m")
+            .body_atom("P", [v("x"), v("y")])
+            .body_atom("P", [v("y"), v("z")])
+            .builtin(v("z"), CmpOp::Gt, v("x"))
+            .finish()
+            .unwrap();
+        assert!(is_check(&multirow));
+        assert!(!is_single_row_check(&multirow));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for constraint construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating integrity constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// The constraint references a relation missing from the schema.
+    UnknownRelation(String),
+    /// An atom's argument count does not match the relation's arity.
+    ArityMismatch {
+        /// Constraint name.
+        ic: String,
+        /// Relation name.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Number of terms written in the atom.
+        actual: usize,
+    },
+    /// Form (1) requires at least one antecedent atom (`m ≥ 1`).
+    EmptyBody(String),
+    /// A head (consequent) variable set violates the form-(1) side
+    /// conditions: existential variables must not be shared between
+    /// distinct head atoms (`z̄ᵢ ∩ z̄ⱼ = ∅`).
+    SharedExistential {
+        /// Constraint name.
+        ic: String,
+        /// The offending variable.
+        var: String,
+    },
+    /// ϕ must only use universally quantified (body) variables.
+    BuiltinUsesNonBodyVar {
+        /// Constraint name.
+        ic: String,
+        /// The offending variable.
+        var: String,
+    },
+    /// `null` may not appear as a constant inside a form-(1) constraint;
+    /// NOT NULL constraints are a separate syntactic class (Definition 5).
+    NullConstant(String),
+    /// A NOT NULL constraint refers to a position outside the relation.
+    NncPositionOutOfRange {
+        /// Relation name.
+        relation: String,
+        /// The 0-based position given.
+        position: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
+    /// A builder was asked for an impossible shape (e.g. a key with no
+    /// attributes, or a foreign key with mismatched column counts).
+    InvalidBuilder(String),
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            ConstraintError::ArityMismatch {
+                ic,
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "constraint `{ic}`: atom over `{relation}` has {actual} terms, schema arity is {expected}"
+            ),
+            ConstraintError::EmptyBody(ic) => {
+                write!(f, "constraint `{ic}`: form (1) requires m ≥ 1 body atoms")
+            }
+            ConstraintError::SharedExistential { ic, var } => write!(
+                f,
+                "constraint `{ic}`: existential variable `{var}` shared between head atoms (z̄ᵢ ∩ z̄ⱼ must be empty)"
+            ),
+            ConstraintError::BuiltinUsesNonBodyVar { ic, var } => write!(
+                f,
+                "constraint `{ic}`: builtin formula ϕ uses variable `{var}` that does not occur in the antecedent"
+            ),
+            ConstraintError::NullConstant(ic) => write!(
+                f,
+                "constraint `{ic}`: `null` cannot appear as a constant; use a NOT NULL constraint instead"
+            ),
+            ConstraintError::NncPositionOutOfRange {
+                relation,
+                position,
+                arity,
+            } => write!(
+                f,
+                "NOT NULL constraint on `{relation}` position {position} out of range (arity {arity})"
+            ),
+            ConstraintError::InvalidBuilder(msg) => write!(f, "invalid constraint builder: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}

@@ -1,0 +1,253 @@
+//! Exhaustive repair enumeration over the Proposition-1 candidate space —
+//! the correctness oracle for [`crate::engine`].
+//!
+//! Proposition 1: every repair's active domain is contained in
+//! `adom(D) ∪ const(IC) ∪ {null}`. The oracle therefore enumerates every
+//! instance whose atoms are drawn from that (finite) universe, filters by
+//! `|=_N` consistency, and keeps the `≤_D`-minimal ones. Exponential in
+//! the universe size; callers keep inputs tiny (property tests, Theorem-1
+//! experiments).
+
+use crate::repair::minimize_candidates;
+use cqa_constraints::{is_consistent, IcSet};
+use cqa_relational::{DatabaseAtom, Instance, Schema, Tuple, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The atom universe: every tuple over `adom(D) ∪ const(IC) ∪ {null}` for
+/// every relation, in deterministic order. Original atoms come first so
+/// subset enumeration visits "close" candidates early.
+pub fn candidate_universe(d: &Instance, ics: &IcSet) -> Vec<DatabaseAtom> {
+    let mut domain: BTreeSet<Value> = d.active_domain();
+    domain.extend(ics.constants());
+    domain.insert(Value::Null);
+    let domain: Vec<Value> = domain.into_iter().collect();
+
+    let mut atoms: Vec<DatabaseAtom> = d.atoms().collect();
+    let existing: BTreeSet<DatabaseAtom> = atoms.iter().cloned().collect();
+    for (rel, decl) in d.schema().iter() {
+        let arity = decl.arity();
+        let mut indices = vec![0usize; arity];
+        loop {
+            let tuple: Tuple = indices.iter().map(|&i| domain[i].clone()).collect();
+            let atom = DatabaseAtom::new(rel, tuple);
+            if !existing.contains(&atom) {
+                atoms.push(atom);
+            }
+            // Odometer increment.
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break;
+                }
+                indices[pos] += 1;
+                if indices[pos] < domain.len() {
+                    break;
+                }
+                indices[pos] = 0;
+                pos += 1;
+            }
+            if pos == arity {
+                break;
+            }
+        }
+        if arity == 0 {
+            // Zero-arity relations: single empty tuple handled above once.
+        }
+    }
+    atoms
+}
+
+/// Enumerate every subset of `universe` as an instance; the callback
+/// returns `false` to stop. Panics if the universe exceeds 20 atoms
+/// (2^20 instances is the sanity bound for oracle use).
+pub fn for_each_subset(
+    schema: Arc<Schema>,
+    universe: &[DatabaseAtom],
+    mut f: impl FnMut(&Instance) -> bool,
+) {
+    let n = universe.len();
+    assert!(
+        n <= 20,
+        "brute-force universe too large ({n} atoms); oracle is for tiny inputs"
+    );
+    for mask in 0u64..(1u64 << n) {
+        let atoms = universe
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask & (1 << i) != 0)
+            .map(|(_, a)| a.clone());
+        let inst = Instance::from_atoms(schema.clone(), atoms).expect("universe atoms well-typed");
+        if !f(&inst) {
+            return;
+        }
+    }
+}
+
+/// All repairs of `d` wrt `ics`, by exhaustive search.
+pub fn oracle_repairs(d: &Instance, ics: &IcSet) -> Vec<Instance> {
+    let universe = candidate_universe(d, ics);
+    let mut consistent: Vec<Instance> = Vec::new();
+    for_each_subset(d.schema().clone(), &universe, |inst| {
+        if is_consistent(inst, ics) {
+            consistent.push(inst.clone());
+        }
+        true
+    });
+    minimize_candidates(d, consistent).expect("same schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{v, Constraint, Ic};
+    use cqa_relational::s;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .relation("P", ["a"])
+            .relation("Q", ["x"])
+            .finish()
+            .unwrap()
+            .into_shared()
+    }
+
+    #[test]
+    fn universe_contains_original_atoms_and_null_variants() {
+        let sc = schema();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("P", [s("a")]).unwrap();
+        let ics = IcSet::default();
+        let universe = candidate_universe(&d, &ics);
+        // domain = {a, null}; per relation 2 tuples → 4 atoms total.
+        assert_eq!(universe.len(), 4);
+        assert_eq!(universe[0], d.atoms().next().unwrap());
+    }
+
+    #[test]
+    fn universe_includes_ic_constants() {
+        let sc = schema();
+        let d = Instance::empty(sc.clone());
+        let ic = Ic::builder(&sc, "k")
+            .body_atom("P", [v("x")])
+            .builtin(v("x"), cqa_constraints::CmpOp::Neq, cqa_constraints::c(s("z")))
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ic)]);
+        let universe = candidate_universe(&d, &ics);
+        // domain = {z, null} → 2 tuples per relation.
+        assert_eq!(universe.len(), 4);
+    }
+
+    #[test]
+    fn oracle_on_consistent_instance_returns_it() {
+        let sc = schema();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("P", [s("a")]).unwrap();
+        let ic = Ic::builder(&sc, "incl")
+            .body_atom("P", [v("x")])
+            .head_atom("Q", [v("x")])
+            .finish()
+            .unwrap();
+        let mut d_ok = d.clone();
+        d_ok.insert_named("Q", [s("a")]).unwrap();
+        let ics = IcSet::new([Constraint::from(ic)]);
+        let repairs = oracle_repairs(&d_ok, &ics);
+        assert_eq!(repairs, vec![d_ok]);
+    }
+
+    #[test]
+    fn oracle_finds_both_repairs_of_inclusion_violation() {
+        // D = {P(a)}, IC: P(x) → Q(x): repairs {} and {P(a), Q(a)}.
+        let sc = schema();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("P", [s("a")]).unwrap();
+        let ic = Ic::builder(&sc, "incl")
+            .body_atom("P", [v("x")])
+            .head_atom("Q", [v("x")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ic)]);
+        let repairs = oracle_repairs(&d, &ics);
+        assert_eq!(repairs.len(), 2);
+        let sizes: Vec<usize> = repairs.iter().map(Instance::len).collect();
+        assert!(sizes.contains(&0));
+        assert!(sizes.contains(&2));
+    }
+
+    #[test]
+    fn oracle_example16() {
+        // D = {Q(a,b), P(a,c)}; ψ1: P(x,y) → ∃z Q(x,z); ψ2: Q(x,y) → y ≠ b.
+        let sc = Schema::builder()
+            .relation("P", ["a", "b"])
+            .relation("Q", ["x", "y"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("P", [s("a"), s("c")]).unwrap();
+        d.insert_named("Q", [s("a"), s("b")]).unwrap();
+        let psi1 = Ic::builder(&sc, "psi1")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("Q", [v("x"), v("z")])
+            .finish()
+            .unwrap();
+        let psi2 = Ic::builder(&sc, "psi2")
+            .body_atom("Q", [v("x"), v("y")])
+            .builtin(v("y"), cqa_constraints::CmpOp::Neq, cqa_constraints::c(s("b")))
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(psi1), Constraint::from(psi2)]);
+        // Universe: domain {a,b,c,null}: P and Q each 16 tuples → 32 atoms:
+        // too big for subset enumeration. Shrink: restrict to a 1-ary-ish
+        // variant is not faithful; instead verify via the engine elsewhere.
+        // Here: only check the universe bound panics.
+        let universe = candidate_universe(&d, &ics);
+        assert!(universe.len() > 20);
+    }
+
+    #[test]
+    fn example16_with_tight_domain() {
+        // Same shape as Example 16 but over unary relations so the oracle
+        // applies: D = {Q(b), P(a)}, ψ1: P(x) → Q′(x)… simplified to keep
+        // the two-repair structure: IC1: P(x) → R(x); IC2: Q(x) → false.
+        let sc = Schema::builder()
+            .relation("P", ["a"])
+            .relation("Q", ["x"])
+            .relation("R", ["r"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("P", [s("a")]).unwrap();
+        d.insert_named("Q", [s("a")]).unwrap();
+        let ic1 = Ic::builder(&sc, "ic1")
+            .body_atom("P", [v("x")])
+            .head_atom("R", [v("x")])
+            .finish()
+            .unwrap();
+        let ic2 = Ic::builder(&sc, "ic2")
+            .body_atom("Q", [v("x")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ic1), Constraint::from(ic2)]);
+        let repairs = oracle_repairs(&d, &ics);
+        // Q(a) must go; P(a) either deleted or joined by R(a): 2 repairs.
+        assert_eq!(repairs.len(), 2);
+        for r in &repairs {
+            assert!(is_consistent(r, &ics));
+            assert!(r.relation_named("Q").unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn null_only_universe_for_empty_instance() {
+        let sc = schema();
+        let d = Instance::empty(sc);
+        let ics = IcSet::default();
+        let universe = candidate_universe(&d, &ics);
+        // domain = {null} → one tuple per relation.
+        assert_eq!(universe.len(), 2);
+        assert!(universe.iter().all(|a| a.tuple.all_null()));
+    }
+}

@@ -1,0 +1,300 @@
+//! The classic repair semantics of Arenas, Bertossi & Chomicki 1999 —
+//! reference \[2\] of the paper — as the baseline of Examples 14/15.
+//!
+//! Classic repairs minimise the symmetric difference `Δ(D, D′)` under set
+//! inclusion, with no special role for `null`: restoring a referential
+//! constraint by insertion must pick *concrete* values for the existential
+//! attributes, one repair per choice. Over an infinite domain this yields
+//! infinitely many repairs (and CQA is undecidable for cyclic referential
+//! sets, Calì–Lembo–Rosati 2003 — reference \[11\]); this module therefore
+//! takes the candidate value domain as an explicit, finite parameter so
+//! the growth is observable (experiment E11).
+
+use crate::error::CoreError;
+use cqa_constraints::{
+    first_violation, IcSet, SatMode, Term, Violation, ViolationKind,
+};
+use cqa_relational::{delta, DatabaseAtom, Instance, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// All classic repairs of `d` wrt `ics`, with insertions drawing
+/// existential values from `domain`. `null` in the domain is allowed but
+/// defeats the point of the baseline; Example 14 uses plain constants.
+pub fn repairs_with_domain(
+    d: &Instance,
+    ics: &IcSet,
+    domain: &[Value],
+    node_budget: usize,
+) -> Result<Vec<Instance>, CoreError> {
+    let mut search = Search {
+        ics,
+        domain,
+        node_budget,
+        nodes: 0,
+        candidates: Vec::new(),
+    };
+    let mut decisions = BTreeMap::new();
+    search.run(d.clone(), &mut decisions)?;
+    // ⊆-minimise the symmetric differences.
+    let mut unique: Vec<Instance> = Vec::new();
+    for c in search.candidates {
+        if !unique.contains(&c) {
+            unique.push(c);
+        }
+    }
+    let deltas: Vec<_> = unique
+        .iter()
+        .map(|c| delta(d, c))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut keep = Vec::new();
+    'outer: for (i, di) in deltas.iter().enumerate() {
+        for (j, dj) in deltas.iter().enumerate() {
+            if i != j && dj.subset_of(di) && dj.len() < di.len() {
+                continue 'outer;
+            }
+        }
+        keep.push(unique[i].clone());
+    }
+    keep.sort_by(|a, b| {
+        a.atoms()
+            .collect::<Vec<_>>()
+            .cmp(&b.atoms().collect::<Vec<_>>())
+    });
+    Ok(keep)
+}
+
+struct Search<'a> {
+    ics: &'a IcSet,
+    domain: &'a [Value],
+    node_budget: usize,
+    nodes: usize,
+    candidates: Vec<Instance>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    Inserted,
+    Deleted,
+}
+
+impl Search<'_> {
+    fn run(
+        &mut self,
+        current: Instance,
+        decisions: &mut BTreeMap<DatabaseAtom, Decision>,
+    ) -> Result<(), CoreError> {
+        self.nodes += 1;
+        if self.nodes > self.node_budget {
+            return Err(CoreError::BudgetExceeded {
+                budget: self.node_budget,
+            });
+        }
+        let Some(violation) = first_violation(&current, self.ics, SatMode::Classical) else {
+            self.candidates.push(current);
+            return Ok(());
+        };
+        for fix in self.fixes(&violation) {
+            let (atom, decision) = match &fix {
+                Fix::Delete(a) => (a, Decision::Deleted),
+                Fix::Insert(a) => (a, Decision::Inserted),
+            };
+            let conflicting = match decision {
+                Decision::Deleted => decisions.get(atom) == Some(&Decision::Inserted),
+                Decision::Inserted => decisions.get(atom) == Some(&Decision::Deleted),
+            };
+            if conflicting {
+                continue;
+            }
+            let fresh = !decisions.contains_key(atom);
+            if fresh {
+                decisions.insert(atom.clone(), decision);
+            }
+            let next = match decision {
+                Decision::Deleted => current.without_atom(atom),
+                Decision::Inserted => current.with_atom(atom),
+            };
+            self.run(next, decisions)?;
+            if fresh {
+                decisions.remove(atom);
+            }
+        }
+        Ok(())
+    }
+
+    fn fixes(&self, violation: &Violation) -> Vec<Fix> {
+        let mut out = Vec::new();
+        match &violation.kind {
+            ViolationKind::NotNull { atom, .. } => out.push(Fix::Delete(atom.clone())),
+            ViolationKind::Tgd {
+                bindings,
+                body_atoms,
+            } => {
+                for a in body_atoms {
+                    let fix = Fix::Delete(a.clone());
+                    if !out.contains(&fix) {
+                        out.push(fix);
+                    }
+                }
+                let ic = self.ics.constraints()[violation.constraint_index]
+                    .as_ic()
+                    .expect("Tgd violation");
+                for head in ic.head() {
+                    // Enumerate every domain valuation of the existential
+                    // positions — the classic semantics' insertion space.
+                    let ex_positions: Vec<usize> = head
+                        .terms
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| {
+                            matches!(t, Term::Var(v) if bindings[v.index()].is_none())
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    let base: Vec<Value> = head
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(c) => c.clone(),
+                            Term::Var(v) => {
+                                bindings[v.index()].clone().unwrap_or(Value::Null)
+                            }
+                        })
+                        .collect();
+                    let mut odometer = vec![0usize; ex_positions.len()];
+                    loop {
+                        let mut vals = base.clone();
+                        for (slot, &pos) in ex_positions.iter().enumerate() {
+                            vals[pos] = self.domain[odometer[slot]].clone();
+                        }
+                        // Repeated existential variables must agree; the
+                        // odometer assigns per-position, so filter
+                        // inconsistent choices.
+                        if consistent_repeats(head, bindings, &vals) {
+                            let fix =
+                                Fix::Insert(DatabaseAtom::new(head.rel, Tuple::new(vals)));
+                            if !out.contains(&fix) {
+                                out.push(fix);
+                            }
+                        }
+                        if ex_positions.is_empty() {
+                            break;
+                        }
+                        let mut slot = 0;
+                        loop {
+                            if slot == odometer.len() {
+                                break;
+                            }
+                            odometer[slot] += 1;
+                            if odometer[slot] < self.domain.len() {
+                                break;
+                            }
+                            odometer[slot] = 0;
+                            slot += 1;
+                        }
+                        if slot == odometer.len() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn consistent_repeats(
+    head: &cqa_constraints::IcAtom,
+    bindings: &[Option<Value>],
+    vals: &[Value],
+) -> bool {
+    let mut seen: BTreeMap<u32, &Value> = BTreeMap::new();
+    for (i, t) in head.terms.iter().enumerate() {
+        if let Term::Var(v) = t {
+            if bindings[v.index()].is_none() {
+                if let Some(prev) = seen.get(&v.0) {
+                    if *prev != &vals[i] {
+                        return false;
+                    }
+                } else {
+                    seen.insert(v.0, &vals[i]);
+                }
+            }
+        }
+    }
+    true
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Fix {
+    Delete(DatabaseAtom),
+    Insert(DatabaseAtom),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{v, Constraint, Ic};
+    use cqa_relational::{s, Schema};
+    use std::sync::Arc;
+
+    /// Example 14: Course/Student with the classic semantics.
+    fn example14() -> (Arc<Schema>, Instance, IcSet) {
+        let sc = Schema::builder()
+            .relation("Course", ["ID", "Code"])
+            .relation("Student", ["ID", "Name"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("Course", [s("21"), s("C15")]).unwrap();
+        d.insert_named("Course", [s("34"), s("C18")]).unwrap();
+        d.insert_named("Student", [s("21"), s("Ann")]).unwrap();
+        d.insert_named("Student", [s("45"), s("Paul")]).unwrap();
+        let ric = Ic::builder(&sc, "ric")
+            .body_atom("Course", [v("id"), v("code")])
+            .head_atom("Student", [v("id"), v("name")])
+            .finish()
+            .unwrap();
+        (sc, d, IcSet::new([Constraint::from(ric)]))
+    }
+
+    #[test]
+    fn example14_repair_count_grows_with_domain() {
+        let (_, d, ics) = example14();
+        for k in [1usize, 2, 4, 8] {
+            let domain: Vec<Value> = (0..k).map(|i| s(&format!("mu{i}"))).collect();
+            let reps = repairs_with_domain(&d, &ics, &domain, 1 << 20).unwrap();
+            // one deletion repair + one insertion repair per domain value
+            assert_eq!(reps.len(), k + 1, "domain size {k}");
+        }
+    }
+
+    #[test]
+    fn classic_repairs_are_consistent_classically() {
+        let (_, d, ics) = example14();
+        let domain = vec![s("mu")];
+        for r in repairs_with_domain(&d, &ics, &domain, 1 << 20).unwrap() {
+            assert!(cqa_constraints::violations(&r, &ics, SatMode::Classical).is_empty());
+        }
+    }
+
+    #[test]
+    fn consistent_database_unique_repair() {
+        let (sc, _, ics) = example14();
+        let mut d = Instance::empty(sc);
+        d.insert_named("Course", [s("21"), s("C15")]).unwrap();
+        d.insert_named("Student", [s("21"), s("Ann")]).unwrap();
+        let reps = repairs_with_domain(&d, &ics, &[s("mu")], 1 << 20).unwrap();
+        assert_eq!(reps, vec![d]);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let (_, d, ics) = example14();
+        let domain: Vec<Value> = (0..64).map(|i| s(&format!("m{i}"))).collect();
+        assert!(matches!(
+            repairs_with_domain(&d, &ics, &domain, 2),
+            Err(CoreError::BudgetExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,689 @@
+//! Repair enumeration by violation-driven decision search.
+//!
+//! A branch state is the original instance plus a set of *decisions*
+//! (`atom ↦ Inserted | Deleted`). The loop finds the first violation of
+//! the current instance (deterministic order) and branches over its
+//! minimal fixes:
+//!
+//! * form-(1) violation with assignment σ — delete any one matched ground
+//!   body atom, or insert any one consequent atom instantiated with σ at
+//!   the universal positions and `null` at the existential positions (the
+//!   paper's null-privileging repair steps; value-insertions are `≤_D`-
+//!   dominated by null-insertions, Example 17);
+//! * denial / check violation — deletions only (nothing to insert);
+//! * NOT NULL violation — delete the offending tuple.
+//!
+//! Decisions never flip (an atom once inserted is protected, once deleted
+//! stays out — mirroring the program denial `← P(t_a), P(f_a)` of
+//! Definition 9), which makes every branch terminate: the decided-atom set
+//! grows monotonically inside the finite Proposition-1 universe.
+//! Fixpoints are consistent candidates; the result is their
+//! `≤_D`-minimisation. The engine is validated against the brute-force
+//! oracle in the property suite.
+
+use crate::error::CoreError;
+use crate::repair::minimize_candidates;
+use cqa_constraints::{
+    first_violation, Constraint, IcSet, SatMode, Term, Violation, ViolationKind,
+};
+use cqa_relational::{DatabaseAtom, Instance, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// Which repair semantics to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairSemantics {
+    /// The paper's null-based semantics (Definitions 6–7). Requires a
+    /// non-conflicting constraint set; conflicting sets are rejected with
+    /// [`CoreError::ConflictingConstraints`].
+    #[default]
+    NullBased,
+    /// `Rep_d`: NOT-NULL-conflicting referential violations are repaired
+    /// by deletion only (the paper's remark after Example 20). Accepts
+    /// conflicting sets.
+    DeletionPreferring,
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairConfig {
+    /// Semantics variant.
+    pub semantics: RepairSemantics,
+    /// Maximum number of search nodes (branches are exponential in the
+    /// number of interacting violations).
+    pub node_budget: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            semantics: RepairSemantics::NullBased,
+            node_budget: 1 << 22,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    Inserted,
+    Deleted,
+}
+
+/// What a repair step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairAction {
+    /// The atom was inserted (a `t_a` decision).
+    Insert,
+    /// The atom was deleted (an `f_a` decision).
+    Delete,
+}
+
+/// One step of a repair derivation: which constraint fired and how the
+/// violation was fixed — the "sequence of local repairs" view the paper's
+/// Section 7(c) sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairStep {
+    /// Name of the violated constraint.
+    pub constraint: String,
+    /// Insert or delete.
+    pub action: RepairAction,
+    /// The atom acted on.
+    pub atom: DatabaseAtom,
+}
+
+/// A repair together with the decision sequence that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedRepair {
+    /// The repaired instance.
+    pub instance: Instance,
+    /// The decisions, in the order the search made them.
+    pub steps: Vec<RepairStep>,
+}
+
+/// All repairs of `d` wrt `ics` under the default configuration.
+pub fn repairs(d: &Instance, ics: &IcSet) -> Result<Vec<Instance>, CoreError> {
+    repairs_with_config(d, ics, RepairConfig::default())
+}
+
+/// All repairs of `d` wrt `ics`.
+pub fn repairs_with_config(
+    d: &Instance,
+    ics: &IcSet,
+    config: RepairConfig,
+) -> Result<Vec<Instance>, CoreError> {
+    Ok(repairs_with_trace(d, ics, config)?
+        .into_iter()
+        .map(|t| t.instance)
+        .collect())
+}
+
+/// All repairs with the decision sequences that produced them
+/// (provenance; the paper's Section 7(b)/(c) hooks).
+pub fn repairs_with_trace(
+    d: &Instance,
+    ics: &IcSet,
+    config: RepairConfig,
+) -> Result<Vec<TracedRepair>, CoreError> {
+    if config.semantics == RepairSemantics::NullBased && !ics.is_non_conflicting() {
+        return Err(CoreError::ConflictingConstraints(ics.conflicting_pairs()));
+    }
+    let mut search = Search {
+        ics,
+        config,
+        nodes: 0,
+        candidates: Vec::new(),
+    };
+    let mut decisions = BTreeMap::new();
+    let mut trace = Vec::new();
+    search.run(d.clone(), &mut decisions, &mut trace)?;
+    // Deduplicate instances, keeping the first-found trace.
+    let mut unique: Vec<TracedRepair> = Vec::new();
+    for (instance, steps) in search.candidates {
+        if !unique.iter().any(|u| u.instance == instance) {
+            unique.push(TracedRepair { instance, steps });
+        }
+    }
+    let kept =
+        minimize_candidates(d, unique.iter().map(|u| u.instance.clone()).collect())?;
+    Ok(kept
+        .into_iter()
+        .map(|instance| {
+            let steps = unique
+                .iter()
+                .find(|u| u.instance == instance)
+                .map(|u| u.steps.clone())
+                .unwrap_or_default();
+            TracedRepair { instance, steps }
+        })
+        .collect())
+}
+
+struct Search<'a> {
+    ics: &'a IcSet,
+    config: RepairConfig,
+    nodes: usize,
+    candidates: Vec<(Instance, Vec<RepairStep>)>,
+}
+
+impl Search<'_> {
+    fn run(
+        &mut self,
+        current: Instance,
+        decisions: &mut BTreeMap<DatabaseAtom, Decision>,
+        trace: &mut Vec<RepairStep>,
+    ) -> Result<(), CoreError> {
+        self.nodes += 1;
+        if self.nodes > self.config.node_budget {
+            return Err(CoreError::BudgetExceeded {
+                budget: self.config.node_budget,
+            });
+        }
+        let Some(violation) = first_violation(&current, self.ics, SatMode::NullAware) else {
+            self.candidates.push((current, trace.clone()));
+            return Ok(());
+        };
+        let constraint_name = self.ics.constraints()[violation.constraint_index]
+            .name()
+            .to_string();
+        for fix in self.fixes(&violation) {
+            match fix {
+                Fix::Delete(atom) => {
+                    if decisions.get(&atom) == Some(&Decision::Inserted) {
+                        continue; // protected
+                    }
+                    let fresh = !decisions.contains_key(&atom);
+                    if fresh {
+                        decisions.insert(atom.clone(), Decision::Deleted);
+                    }
+                    trace.push(RepairStep {
+                        constraint: constraint_name.clone(),
+                        action: RepairAction::Delete,
+                        atom: atom.clone(),
+                    });
+                    let next = current.without_atom(&atom);
+                    self.run(next, decisions, trace)?;
+                    trace.pop();
+                    if fresh {
+                        decisions.remove(&atom);
+                    }
+                }
+                Fix::Insert(atom) => {
+                    if decisions.get(&atom) == Some(&Decision::Deleted) {
+                        continue; // already ruled out on this branch
+                    }
+                    debug_assert!(
+                        !current.contains(&atom),
+                        "insert fix must not already be present"
+                    );
+                    let fresh = !decisions.contains_key(&atom);
+                    if fresh {
+                        decisions.insert(atom.clone(), Decision::Inserted);
+                    }
+                    trace.push(RepairStep {
+                        constraint: constraint_name.clone(),
+                        action: RepairAction::Insert,
+                        atom: atom.clone(),
+                    });
+                    let next = current.with_atom(&atom);
+                    self.run(next, decisions, trace)?;
+                    trace.pop();
+                    if fresh {
+                        decisions.remove(&atom);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The minimal fixes for a violation, in deterministic order:
+    /// deletions (body order), then insertions (head order).
+    fn fixes(&self, violation: &Violation) -> Vec<Fix> {
+        let mut out: Vec<Fix> = Vec::new();
+        match &violation.kind {
+            ViolationKind::NotNull { atom, .. } => {
+                out.push(Fix::Delete(atom.clone()));
+            }
+            ViolationKind::Tgd {
+                bindings,
+                body_atoms,
+            } => {
+                for atom in body_atoms {
+                    let fix = Fix::Delete(atom.clone());
+                    if !out.contains(&fix) {
+                        out.push(fix);
+                    }
+                }
+                let ic = self.ics.constraints()[violation.constraint_index]
+                    .as_ic()
+                    .expect("Tgd violation indexes a form-(1) constraint");
+                for head in ic.head() {
+                    let tuple: Tuple = head
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(c) => c.clone(),
+                            Term::Var(v) => bindings[v.index()].clone().unwrap_or(Value::Null),
+                        })
+                        .collect();
+                    let atom = DatabaseAtom::new(head.rel, tuple);
+                    if self.config.semantics == RepairSemantics::DeletionPreferring
+                        && self.insert_violates_nnc(&atom)
+                    {
+                        continue;
+                    }
+                    let fix = Fix::Insert(atom);
+                    if !out.contains(&fix) {
+                        out.push(fix);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn insert_violates_nnc(&self, atom: &DatabaseAtom) -> bool {
+        self.ics.constraints().iter().any(|c| match c {
+            Constraint::NotNull(nnc) => {
+                nnc.rel == atom.rel && atom.tuple.get(nnc.position).is_null()
+            }
+            Constraint::Tgd(_) => false,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Fix {
+    Delete(DatabaseAtom),
+    Insert(DatabaseAtom),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{builders, c, is_consistent, v, CmpOp, Ic};
+    use cqa_relational::{display::instance_set, null, s, Schema};
+    use std::sync::Arc;
+
+    fn inst(sc: &Arc<Schema>, rows: &[(&str, Vec<Value>)]) -> Instance {
+        let mut d = Instance::empty(sc.clone());
+        for (rel, vals) in rows {
+            d.insert_named(rel, Tuple::new(vals.clone())).unwrap();
+        }
+        d
+    }
+
+    fn sets(repairs: &[Instance]) -> Vec<String> {
+        repairs.iter().map(instance_set).collect()
+    }
+
+    #[test]
+    fn consistent_database_is_its_own_single_repair() {
+        let sc = Schema::builder()
+            .relation("P", ["a", "b"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(&sc, &[("P", vec![s("a"), null()])]);
+        let ics = IcSet::default();
+        assert_eq!(repairs(&d, &ics).unwrap(), vec![d]);
+    }
+
+    #[test]
+    fn example15_course_student_two_repairs() {
+        // Course(ID, Code) → ∃Name Student(ID, Name); Course(34, C18)
+        // dangling: delete it or insert Student(34, null).
+        let sc = Schema::builder()
+            .relation("Course", ["ID", "Code"])
+            .relation("Student", ["ID", "Name"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(
+            &sc,
+            &[
+                ("Course", vec![s("21"), s("C15")]),
+                ("Course", vec![s("34"), s("C18")]),
+                ("Student", vec![s("21"), s("Ann")]),
+                ("Student", vec![s("45"), s("Paul")]),
+            ],
+        );
+        let ric = Ic::builder(&sc, "ric")
+            .body_atom("Course", [v("id"), v("code")])
+            .head_atom("Student", [v("id"), v("name")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ric)]);
+        let reps = repairs(&d, &ics).unwrap();
+        assert_eq!(reps.len(), 2);
+        let rendered = sets(&reps);
+        assert!(rendered
+            .iter()
+            .any(|r| !r.contains("Course(34, C18)") && !r.contains("Student(34")));
+        assert!(rendered
+            .iter()
+            .any(|r| r.contains("Course(34, C18)") && r.contains("Student(34, null)")));
+        for r in &reps {
+            assert!(is_consistent(r, &ics));
+        }
+    }
+
+    #[test]
+    fn example16_two_repairs() {
+        // D = {Q(a,b), P(a,c)}; ψ1: P(x,y) → ∃z Q(x,z); ψ2: Q(x,y) → y ≠ b.
+        let sc = Schema::builder()
+            .relation("P", ["a", "b"])
+            .relation("Q", ["x", "y"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(&sc, &[("P", vec![s("a"), s("c")]), ("Q", vec![s("a"), s("b")])]);
+        let psi1 = Ic::builder(&sc, "psi1")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("Q", [v("x"), v("z")])
+            .finish()
+            .unwrap();
+        let psi2 = Ic::builder(&sc, "psi2")
+            .body_atom("Q", [v("x"), v("y")])
+            .builtin(v("y"), CmpOp::Neq, c(s("b")))
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(psi1), Constraint::from(psi2)]);
+        let reps = repairs(&d, &ics).unwrap();
+        let rendered = sets(&reps);
+        assert_eq!(reps.len(), 2, "{rendered:?}");
+        assert!(rendered.contains(&"{}".to_string()));
+        assert!(rendered.contains(&"{P(a, c), Q(a, null)}".to_string()));
+    }
+
+    #[test]
+    fn example17_two_repairs() {
+        let sc = Schema::builder()
+            .relation("P", ["a", "b"])
+            .relation("R", ["x", "y"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(
+            &sc,
+            &[
+                ("P", vec![s("a"), null()]),
+                ("P", vec![s("b"), s("c")]),
+                ("R", vec![s("a"), s("b")]),
+            ],
+        );
+        let ric = Ic::builder(&sc, "ric")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("R", [v("x"), v("z")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ric)]);
+        let reps = repairs(&d, &ics).unwrap();
+        let rendered = sets(&reps);
+        assert_eq!(reps.len(), 2, "{rendered:?}");
+        assert!(rendered.contains(
+            &"{P(a, null), P(b, c), R(a, b), R(b, null)}".to_string()
+        ));
+        assert!(rendered.contains(&"{P(a, null), R(a, b)}".to_string()));
+    }
+
+    #[test]
+    fn example18_cyclic_rics_four_repairs() {
+        // UIC: P(x,y) → T(x); RIC: T(x) → ∃y P(y,x);
+        // D = {P(a,b), P(null,a), T(c)}.
+        let sc = Schema::builder()
+            .relation("P", ["a", "b"])
+            .relation("T", ["t"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(
+            &sc,
+            &[
+                ("P", vec![s("a"), s("b")]),
+                ("P", vec![null(), s("a")]),
+                ("T", vec![s("c")]),
+            ],
+        );
+        let uic = Ic::builder(&sc, "uic")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("T", [v("x")])
+            .finish()
+            .unwrap();
+        let ric = Ic::builder(&sc, "ric")
+            .body_atom("T", [v("x")])
+            .head_atom("P", [v("y"), v("x")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(uic), Constraint::from(ric)]);
+        let reps = repairs(&d, &ics).unwrap();
+        let rendered = sets(&reps);
+        assert_eq!(reps.len(), 4, "{rendered:?}");
+        assert!(rendered.contains(
+            &"{P(null, a), P(null, c), P(a, b), T(a), T(c)}".to_string()
+        ));
+        assert!(rendered.contains(&"{P(null, a), P(a, b), T(a)}".to_string()));
+        assert!(rendered.contains(&"{P(null, a), P(null, c), T(c)}".to_string()));
+        assert!(rendered.contains(&"{P(null, a)}".to_string()));
+    }
+
+    #[test]
+    fn example19_key_fk_nnc_four_repairs() {
+        // R(X,Y) with key R[1]; S(U,V) with S[2] → R[1]; NNC on R[1].
+        let sc = Schema::builder()
+            .relation("R", ["X", "Y"])
+            .relation("S", ["U", "V"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(
+            &sc,
+            &[
+                ("R", vec![s("a"), s("b")]),
+                ("R", vec![s("a"), s("c")]),
+                ("S", vec![s("e"), s("f")]),
+                ("S", vec![null(), s("a")]),
+            ],
+        );
+        let mut ics = IcSet::default();
+        ics.push(builders::functional_dependency(&sc, "R", &[0], 1).unwrap());
+        ics.push(builders::foreign_key(&sc, "S", &[1], "R", &[0]).unwrap());
+        ics.push(builders::not_null(&sc, "R", 0).unwrap());
+        let reps = repairs(&d, &ics).unwrap();
+        let rendered = sets(&reps);
+        assert_eq!(reps.len(), 4, "{rendered:?}");
+        assert!(rendered.contains(
+            &"{R(a, b), R(f, null), S(null, a), S(e, f)}".to_string()
+        ));
+        assert!(rendered.contains(
+            &"{R(a, c), R(f, null), S(null, a), S(e, f)}".to_string()
+        ));
+        assert!(rendered.contains(&"{R(a, b), S(null, a)}".to_string()));
+        assert!(rendered.contains(&"{R(a, c), S(null, a)}".to_string()));
+    }
+
+    #[test]
+    fn example20_conflicting_set_rejected_then_handled_by_repd() {
+        // P(x) → ∃y Q(x,y) with NNC on Q[2].
+        let sc = Schema::builder()
+            .relation("P", ["a"])
+            .relation("Q", ["x", "y"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(
+            &sc,
+            &[
+                ("P", vec![s("a")]),
+                ("P", vec![s("b")]),
+                ("Q", vec![s("b"), s("c")]),
+            ],
+        );
+        let ric = Ic::builder(&sc, "ric")
+            .body_atom("P", [v("x")])
+            .head_atom("Q", [v("x"), v("y")])
+            .finish()
+            .unwrap();
+        let mut ics = IcSet::default();
+        ics.push(ric);
+        ics.push(builders::not_null(&sc, "Q", 1).unwrap());
+        assert!(matches!(
+            repairs(&d, &ics),
+            Err(CoreError::ConflictingConstraints(_))
+        ));
+        let reps = repairs_with_config(
+            &d,
+            &ics,
+            RepairConfig {
+                semantics: RepairSemantics::DeletionPreferring,
+                ..RepairConfig::default()
+            },
+        )
+        .unwrap();
+        // Rep_d: only the deletion repair {P(b), Q(b,c)}.
+        assert_eq!(sets(&reps), vec!["{P(b), Q(b, c)}".to_string()]);
+    }
+
+    #[test]
+    fn chase_through_uic_chain() {
+        // S(x) → Q(x), Q(x) → R(x); D = {S(a)}: repairs are {}, plus the
+        // full chain {S(a), Q(a), R(a)}, plus… deleting the inserted Q is
+        // blocked, so intermediate states don't leak out.
+        let sc = Schema::builder()
+            .relation("S", ["s"])
+            .relation("Q", ["q"])
+            .relation("R", ["r"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(&sc, &[("S", vec![s("a")])]);
+        let ic1 = Ic::builder(&sc, "ic1")
+            .body_atom("S", [v("x")])
+            .head_atom("Q", [v("x")])
+            .finish()
+            .unwrap();
+        let ic2 = Ic::builder(&sc, "ic2")
+            .body_atom("Q", [v("x")])
+            .head_atom("R", [v("x")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ic1), Constraint::from(ic2)]);
+        let reps = repairs(&d, &ics).unwrap();
+        let rendered = sets(&reps);
+        assert_eq!(rendered, vec!["{}".to_string(), "{S(a), Q(a), R(a)}".to_string()]);
+    }
+
+    #[test]
+    fn budget_exceeded_reported() {
+        let sc = Schema::builder()
+            .relation("P", ["a"])
+            .relation("Q", ["x"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        for i in 0..6 {
+            d.insert_named("P", [s(&format!("v{i}"))]).unwrap();
+        }
+        let ic = Ic::builder(&sc, "incl")
+            .body_atom("P", [v("x")])
+            .head_atom("Q", [v("x")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ic)]);
+        let err = repairs_with_config(
+            &d,
+            &ics,
+            RepairConfig {
+                node_budget: 3,
+                ..RepairConfig::default()
+            },
+        );
+        assert!(matches!(err, Err(CoreError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn traces_explain_each_repair() {
+        // Example 15 shape: the deletion repair is one step, the
+        // insertion repair one step; steps name the violated constraint.
+        let sc = Schema::builder()
+            .relation("Course", ["ID", "Code"])
+            .relation("Student", ["ID", "Name"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(
+            &sc,
+            &[
+                ("Course", vec![s("34"), s("C18")]),
+                ("Student", vec![s("21"), s("Ann")]),
+            ],
+        );
+        let ric = Ic::builder(&sc, "enrolled")
+            .body_atom("Course", [v("id"), v("code")])
+            .head_atom("Student", [v("id"), v("name")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ric)]);
+        let traced = repairs_with_trace(&d, &ics, RepairConfig::default()).unwrap();
+        assert_eq!(traced.len(), 2);
+        for t in &traced {
+            assert_eq!(t.steps.len(), 1);
+            assert_eq!(t.steps[0].constraint, "enrolled");
+            // replaying the steps on D yields the repair
+            let mut replay = d.clone();
+            for step in &t.steps {
+                match step.action {
+                    RepairAction::Insert => {
+                        replay.insert(step.atom.rel, step.atom.tuple.clone()).unwrap();
+                    }
+                    RepairAction::Delete => {
+                        replay.remove(step.atom.rel, &step.atom.tuple);
+                    }
+                }
+            }
+            assert_eq!(&replay, &t.instance);
+        }
+        let actions: Vec<RepairAction> = traced.iter().map(|t| t.steps[0].action).collect();
+        assert!(actions.contains(&RepairAction::Insert));
+        assert!(actions.contains(&RepairAction::Delete));
+    }
+
+    #[test]
+    fn engine_matches_oracle_on_small_cases() {
+        // Deterministic mini-stress: engine vs brute force on several
+        // hand-picked shapes with unary/binary relations.
+        let sc = Schema::builder()
+            .relation("P", ["a"])
+            .relation("Q", ["x"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let incl = Ic::builder(&sc, "incl")
+            .body_atom("P", [v("x")])
+            .head_atom("Q", [v("x")])
+            .finish()
+            .unwrap();
+        let denial = Ic::builder(&sc, "den")
+            .body_atom("P", [v("x")])
+            .body_atom("Q", [v("x")])
+            .finish()
+            .unwrap();
+        for ics in [
+            IcSet::new([Constraint::from(incl.clone())]),
+            IcSet::new([Constraint::from(denial.clone())]),
+            IcSet::new([Constraint::from(incl), Constraint::from(denial)]),
+        ] {
+            for rows in [
+                vec![("P", vec![s("a")])],
+                vec![("P", vec![s("a")]), ("Q", vec![s("a")])],
+                vec![("P", vec![null()]), ("Q", vec![s("a")])],
+                vec![("P", vec![s("a")]), ("P", vec![null()]), ("Q", vec![null()])],
+            ] {
+                let d = inst(&sc, &rows);
+                let engine = repairs(&d, &ics).unwrap();
+                let oracle = crate::bruteforce::oracle_repairs(&d, &ics);
+                assert_eq!(engine, oracle, "rows={rows:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the repair and CQA layers.
+
+use std::fmt;
+
+/// Errors raised by repair enumeration, program generation and CQA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The constraint set has conflicting NOT NULL / existential
+    /// interactions (Example 20) and the chosen semantics requires the
+    /// paper's non-conflicting assumption. The pairs are
+    /// `(tgd index, nnc index)` into the constraint set.
+    ConflictingConstraints(Vec<(usize, usize)>),
+    /// A constraint falls outside the class handled by Definition 9
+    /// programs (UICs, RICs, NNCs) — e.g. a repeated existential variable
+    /// or a disjunctive head with existentials.
+    UnsupportedByProgram {
+        /// Constraint name.
+        constraint: String,
+        /// Why it is unsupported.
+        reason: String,
+    },
+    /// The search exceeded its node budget (the repair space is
+    /// exponential in the number of interacting violations).
+    BudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A relational-layer error (arity mismatches and the like).
+    Relational(cqa_relational::RelationalError),
+    /// An ASP-layer error surfaced during program construction.
+    Asp(cqa_asp::AspError),
+    /// The repair program unexpectedly has no stable models (cannot
+    /// happen for non-conflicting sets; indicates a malformed program).
+    NoStableModels,
+    /// A query failed validation (safety, arity, unknown relation).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ConflictingConstraints(pairs) => write!(
+                f,
+                "constraint set is conflicting (NOT NULL on an existential attribute) at pairs {pairs:?}; \
+                 use RepairSemantics::DeletionPreferring or drop the NNC"
+            ),
+            CoreError::UnsupportedByProgram { constraint, reason } => {
+                write!(f, "constraint `{constraint}` not expressible as a Definition-9 repair program: {reason}")
+            }
+            CoreError::BudgetExceeded { budget } => {
+                write!(f, "repair search exceeded its node budget of {budget}")
+            }
+            CoreError::Relational(e) => write!(f, "relational error: {e}"),
+            CoreError::Asp(e) => write!(f, "logic-program error: {e}"),
+            CoreError::NoStableModels => write!(f, "repair program has no stable models"),
+            CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<cqa_relational::RelationalError> for CoreError {
+    fn from(e: cqa_relational::RelationalError) -> Self {
+        CoreError::Relational(e)
+    }
+}
+
+impl From<cqa_asp::AspError> for CoreError {
+    fn from(e: cqa_asp::AspError) -> Self {
+        CoreError::Asp(e)
+    }
+}

@@ -1,0 +1,100 @@
+//! The non-conflicting assumption and helpers around `Rep_d`
+//! (Example 20 and the remark following it).
+//!
+//! A set of constraints is *conflicting* when some NOT NULL constraint
+//! guards an attribute that is existentially quantified in a form-(1)
+//! constraint: the null-based repair of the latter would immediately
+//! violate the former, and the only ≤_D-repairs insert arbitrary domain
+//! values — infinitely many over an infinite domain, which is exactly the
+//! classic-semantics pathology the null semantics was designed to avoid.
+//!
+//! The paper's standing assumption is non-conflicting sets; for
+//! conflicting ones it sketches `Rep_d`, which prefers deletions. The
+//! enumeration side lives in [`crate::engine`]
+//! (`RepairSemantics::DeletionPreferring`); this module provides the
+//! analysis entry points.
+
+use cqa_constraints::IcSet;
+
+/// A conflicting (tgd, nnc) interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// Index of the form-(1) constraint in the set.
+    pub tgd_index: usize,
+    /// Index of the NOT NULL constraint in the set.
+    pub nnc_index: usize,
+    /// Names, for reporting.
+    pub tgd_name: String,
+    /// Name of the NOT NULL constraint.
+    pub nnc_name: String,
+}
+
+/// All conflicting interactions of a constraint set.
+pub fn conflicts(ics: &IcSet) -> Vec<Conflict> {
+    ics.conflicting_pairs()
+        .into_iter()
+        .map(|(t, n)| Conflict {
+            tgd_index: t,
+            nnc_index: n,
+            tgd_name: ics.constraints()[t].name().to_string(),
+            nnc_name: ics.constraints()[n].name().to_string(),
+        })
+        .collect()
+}
+
+/// The constraint set with its conflicting NOT NULL constraints removed —
+/// the `IC′` of the `Rep_d` definition.
+pub fn without_conflicting_nncs(ics: &IcSet) -> IcSet {
+    let drop: std::collections::BTreeSet<usize> =
+        ics.conflicting_pairs().into_iter().map(|(_, n)| n).collect();
+    ics.constraints()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !drop.contains(i))
+        .map(|(_, c)| c.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{builders, v, Constraint, Ic, IcSet};
+    use cqa_relational::Schema;
+
+    fn conflicted() -> IcSet {
+        let sc = Schema::builder()
+            .relation("P", ["a"])
+            .relation("Q", ["x", "y"])
+            .finish()
+            .unwrap();
+        let ric = Ic::builder(&sc, "ric")
+            .body_atom("P", [v("x")])
+            .head_atom("Q", [v("x"), v("y")])
+            .finish()
+            .unwrap();
+        let mut ics = IcSet::default();
+        ics.push(Constraint::from(ric));
+        ics.push(builders::not_null(&sc, "Q", 1).unwrap());
+        ics.push(builders::not_null(&sc, "Q", 0).unwrap()); // non-conflicting
+        ics
+    }
+
+    #[test]
+    fn conflicts_reported_with_names() {
+        let ics = conflicted();
+        let cs = conflicts(&ics);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].tgd_name, "ric");
+        assert_eq!(cs[0].nnc_name, "nn_Q_1");
+    }
+
+    #[test]
+    fn dropping_conflicting_nncs_keeps_the_rest() {
+        let ics = conflicted();
+        let cleaned = without_conflicting_nncs(&ics);
+        assert_eq!(cleaned.len(), 2);
+        assert!(cleaned.is_non_conflicting());
+        // the harmless NNC survives
+        assert!(cleaned.constraints().iter().any(|c| c.name() == "nn_Q_0"));
+    }
+}

@@ -1,0 +1,723 @@
+//! Safe first-order queries: conjunctive queries with negation and
+//! builtins, and unions thereof.
+//!
+//! The paper (Definition 8) defines consistent answers for first-order
+//! queries under a query-answering relation `|=q_N` it deliberately leaves
+//! open (Section 4). This implementation fixes the standard choice: safe
+//! queries evaluated classically with `null` treated as an ordinary
+//! constant — polynomial in data, coinciding with classical first-order
+//! semantics on null-free databases, exactly the two properties the paper
+//! assumes. A convenience filter excludes answers containing `null`
+//! ([`AnswerSemantics::ExcludeNullAnswers`]) for applications that read
+//! nulls as "unknown" rather than as a value.
+
+use crate::error::CoreError;
+use cqa_constraints::{c, v, CmpOp, TermSpec};
+use cqa_relational::{Instance, RelId, Schema, Tuple, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How to treat nulls in answer tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnswerSemantics {
+    /// Return every answer, nulls included (default: null is a value).
+    #[default]
+    IncludeNullAnswers,
+    /// Drop answer tuples containing `null` (null as "unknown").
+    ExcludeNullAnswers,
+}
+
+/// How nulls behave *inside* query evaluation — the `|=q_N` knob the
+/// paper's Section 7(a) defers to its extended version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryNullSemantics {
+    /// Null is an ordinary constant: `null = null` joins, comparisons
+    /// treat null via the total value order. Matches the IC-checking
+    /// convention of Definition 4 (default).
+    #[default]
+    NullAsValue,
+    /// SQL's three-valued reading: a comparison or join touching `null`
+    /// is *unknown*, hence never satisfies a condition. Nulls still bind
+    /// to variables (they can be *returned*), but they never *test* equal
+    /// — not even to another null — and builtins over null are false.
+    SqlThreeValued,
+}
+
+impl QueryNullSemantics {
+    /// Equality test under this semantics.
+    fn values_match(self, a: &Value, b: &Value) -> bool {
+        match self {
+            QueryNullSemantics::NullAsValue => a == b,
+            QueryNullSemantics::SqlThreeValued => !a.is_null() && !b.is_null() && a == b,
+        }
+    }
+
+    /// Builtin comparison under this semantics.
+    fn cmp(self, op: CmpOp, a: &Value, b: &Value) -> bool {
+        match self {
+            QueryNullSemantics::NullAsValue => op.eval(a, b),
+            QueryNullSemantics::SqlThreeValued => {
+                !a.is_null() && !b.is_null() && op.eval(a, b)
+            }
+        }
+    }
+}
+
+/// A term inside a query atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum QTerm {
+    Var(u32),
+    Const(Value),
+}
+
+/// A query atom over a schema relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct QAtom {
+    pub rel: RelId,
+    pub terms: Vec<QTerm>,
+}
+
+/// A builtin comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct QBuiltin {
+    pub op: CmpOp,
+    pub lhs: QTerm,
+    pub rhs: QTerm,
+}
+
+/// A safe conjunctive query with negation:
+/// `ans(x̄) ← pos₁, …, not neg₁, …, cmp₁, …`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    pub(crate) name: String,
+    pub(crate) var_names: Vec<String>,
+    pub(crate) head: Vec<u32>,
+    pub(crate) pos: Vec<QAtom>,
+    pub(crate) neg: Vec<QAtom>,
+    pub(crate) builtins: Vec<QBuiltin>,
+}
+
+impl ConjunctiveQuery {
+    /// Start building a query against `schema`. `head_vars` lists the
+    /// answer variables (empty = boolean query).
+    pub fn builder(
+        schema: &Schema,
+        name: impl Into<String>,
+        head_vars: impl IntoIterator<Item = impl Into<String>>,
+    ) -> QueryBuilder<'_> {
+        QueryBuilder::new(schema, name, head_vars)
+    }
+
+    /// Number of answer variables (0 = boolean).
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Is this a boolean (sentence) query?
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Query name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluate over one instance with the default (null-as-value)
+    /// semantics: the set of head-variable bindings. For a boolean query
+    /// the result is either `{()}` (true) or `{}`.
+    pub fn eval(&self, instance: &Instance) -> std::collections::BTreeSet<Tuple> {
+        self.eval_with(instance, QueryNullSemantics::NullAsValue)
+    }
+
+    /// Evaluate under an explicit null semantics (`|=q_N` hook).
+    pub fn eval_with(
+        &self,
+        instance: &Instance,
+        mode: QueryNullSemantics,
+    ) -> std::collections::BTreeSet<Tuple> {
+        let mut out = std::collections::BTreeSet::new();
+        let mut bindings: Vec<Option<Value>> = vec![None; self.var_names.len()];
+        self.join(instance, mode, 0, &mut bindings, &mut out);
+        out
+    }
+
+    fn join(
+        &self,
+        instance: &Instance,
+        mode: QueryNullSemantics,
+        depth: usize,
+        bindings: &mut Vec<Option<Value>>,
+        out: &mut std::collections::BTreeSet<Tuple>,
+    ) {
+        if depth == self.pos.len() {
+            // builtins
+            for b in &self.builtins {
+                let l = term_value(&b.lhs, bindings);
+                let r = term_value(&b.rhs, bindings);
+                if !mode.cmp(b.op, l, r) {
+                    return;
+                }
+            }
+            // negated atoms: no matching tuple may exist.
+            for n in &self.neg {
+                if atom_has_match(instance, n, bindings, mode) {
+                    return;
+                }
+            }
+            let answer: Tuple = self
+                .head
+                .iter()
+                .map(|v| bindings[*v as usize].clone().expect("safe head var"))
+                .collect();
+            out.insert(answer);
+            return;
+        }
+        let atom = &self.pos[depth];
+        'tuples: for t in instance.relation(atom.rel) {
+            let mut newly: Vec<u32> = Vec::new();
+            for (pos, term) in atom.terms.iter().enumerate() {
+                let val = t.get(pos);
+                match term {
+                    QTerm::Const(cv) => {
+                        if !mode.values_match(val, cv) {
+                            undo(bindings, &newly);
+                            continue 'tuples;
+                        }
+                    }
+                    QTerm::Var(vid) => match &bindings[*vid as usize] {
+                        Some(b) => {
+                            if !mode.values_match(b, val) {
+                                undo(bindings, &newly);
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            bindings[*vid as usize] = Some(val.clone());
+                            newly.push(*vid);
+                        }
+                    },
+                }
+            }
+            self.join(instance, mode, depth + 1, bindings, out);
+            undo(bindings, &newly);
+        }
+    }
+}
+
+fn undo(bindings: &mut [Option<Value>], newly: &[u32]) {
+    for v in newly {
+        bindings[*v as usize] = None;
+    }
+}
+
+fn term_value<'a>(t: &'a QTerm, bindings: &'a [Option<Value>]) -> &'a Value {
+    match t {
+        QTerm::Const(c) => c,
+        QTerm::Var(v) => bindings[*v as usize].as_ref().expect("safe var"),
+    }
+}
+
+fn atom_has_match(
+    instance: &Instance,
+    atom: &QAtom,
+    bindings: &[Option<Value>],
+    mode: QueryNullSemantics,
+) -> bool {
+    'tuples: for t in instance.relation(atom.rel) {
+        for (pos, term) in atom.terms.iter().enumerate() {
+            let val = t.get(pos);
+            let expect = match term {
+                QTerm::Const(c) => c,
+                QTerm::Var(v) => bindings[*v as usize].as_ref().expect("safe var"),
+            };
+            if !mode.values_match(val, expect) {
+                continue 'tuples;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// A union of conjunctive queries with matching answer arity — the `Query`
+/// type the CQA layer accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    pub(crate) disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl Query {
+    /// A single-disjunct query.
+    pub fn from_cq(cq: ConjunctiveQuery) -> Self {
+        Query { disjuncts: vec![cq] }
+    }
+
+    /// A union; all disjuncts must share the answer arity.
+    pub fn union(disjuncts: Vec<ConjunctiveQuery>) -> Result<Self, CoreError> {
+        if disjuncts.is_empty() {
+            return Err(CoreError::InvalidQuery("empty union".into()));
+        }
+        let arity = disjuncts[0].arity();
+        if disjuncts.iter().any(|d| d.arity() != arity) {
+            return Err(CoreError::InvalidQuery(
+                "union disjuncts must share answer arity".into(),
+            ));
+        }
+        Ok(Query { disjuncts })
+    }
+
+    /// Answer arity.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].arity()
+    }
+
+    /// Is this a boolean query?
+    pub fn is_boolean(&self) -> bool {
+        self.arity() == 0
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// Evaluate: union of the disjunct answers.
+    pub fn eval(&self, instance: &Instance) -> std::collections::BTreeSet<Tuple> {
+        self.eval_with(instance, QueryNullSemantics::NullAsValue)
+    }
+
+    /// Evaluate under an explicit null semantics.
+    pub fn eval_with(
+        &self,
+        instance: &Instance,
+        mode: QueryNullSemantics,
+    ) -> std::collections::BTreeSet<Tuple> {
+        let mut out = std::collections::BTreeSet::new();
+        for d in &self.disjuncts {
+            out.extend(d.eval_with(instance, mode));
+        }
+        out
+    }
+}
+
+impl From<ConjunctiveQuery> for Query {
+    fn from(cq: ConjunctiveQuery) -> Self {
+        Query::from_cq(cq)
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vars: Vec<&str> = self
+            .head
+            .iter()
+            .map(|v| self.var_names[*v as usize].as_str())
+            .collect();
+        write!(f, "{}({})", self.name, vars.join(", "))
+    }
+}
+
+/// Builder for [`ConjunctiveQuery`]. Reuses the constraint layer's
+/// [`TermSpec`] (so `v("x")` / `c(1)` work in both).
+pub struct QueryBuilder<'s> {
+    schema: &'s Schema,
+    name: String,
+    head_names: Vec<String>,
+    vars: BTreeMap<String, u32>,
+    var_names: Vec<String>,
+    pos: Vec<QAtom>,
+    neg: Vec<QAtom>,
+    builtins: Vec<QBuiltin>,
+    error: Option<CoreError>,
+}
+
+impl<'s> QueryBuilder<'s> {
+    fn new(
+        schema: &'s Schema,
+        name: impl Into<String>,
+        head_vars: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        QueryBuilder {
+            schema,
+            name: name.into(),
+            head_names: head_vars.into_iter().map(Into::into).collect(),
+            vars: BTreeMap::new(),
+            var_names: Vec::new(),
+            pos: Vec::new(),
+            neg: Vec::new(),
+            builtins: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn term(&mut self, spec: TermSpec) -> QTerm {
+        match spec {
+            TermSpec::Var(n) => {
+                let next = self.var_names.len() as u32;
+                let id = *self.vars.entry(n.clone()).or_insert_with(|| {
+                    self.var_names.push(n);
+                    next
+                });
+                QTerm::Var(id)
+            }
+            TermSpec::Const(val) => QTerm::Const(val),
+        }
+    }
+
+    fn resolve(&mut self, relation: &str, terms: Vec<TermSpec>) -> Option<QAtom> {
+        let Some(rel) = self.schema.rel_id(relation) else {
+            self.error = Some(CoreError::InvalidQuery(format!(
+                "unknown relation `{relation}`"
+            )));
+            return None;
+        };
+        let arity = self.schema.relation(rel).arity();
+        if terms.len() != arity {
+            self.error = Some(CoreError::InvalidQuery(format!(
+                "atom over `{relation}` has {} terms, arity is {arity}",
+                terms.len()
+            )));
+            return None;
+        }
+        let terms = terms.into_iter().map(|t| self.term(t)).collect();
+        Some(QAtom { rel, terms })
+    }
+
+    /// Add a positive atom.
+    pub fn atom(mut self, relation: &str, terms: impl IntoIterator<Item = TermSpec>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if let Some(a) = self.resolve(relation, terms.into_iter().collect()) {
+            self.pos.push(a);
+        }
+        self
+    }
+
+    /// Add a negated atom.
+    pub fn not_atom(mut self, relation: &str, terms: impl IntoIterator<Item = TermSpec>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if let Some(a) = self.resolve(relation, terms.into_iter().collect()) {
+            self.neg.push(a);
+        }
+        self
+    }
+
+    /// Add a builtin comparison.
+    pub fn cmp(mut self, lhs: TermSpec, op: CmpOp, rhs: TermSpec) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let l = self.term(lhs);
+        let r = self.term(rhs);
+        self.builtins.push(QBuiltin { op, lhs: l, rhs: r });
+        self
+    }
+
+    /// Validate safety and finish.
+    pub fn finish(mut self) -> Result<ConjunctiveQuery, CoreError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        // Resolve head variables (they must occur in the body to be safe).
+        let head: Vec<u32> = self
+            .head_names
+            .iter()
+            .map(|n| self.vars.get(n).copied())
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| {
+                CoreError::InvalidQuery("head variable does not occur in the body".into())
+            })?;
+        // Safety: positive atoms bind everything used elsewhere.
+        let mut safe = vec![false; self.var_names.len()];
+        for a in &self.pos {
+            for t in &a.terms {
+                if let QTerm::Var(v) = t {
+                    safe[*v as usize] = true;
+                }
+            }
+        }
+        let unsafe_var = |terms: &[&QTerm]| -> Option<String> {
+            for t in terms {
+                if let QTerm::Var(v) = t {
+                    if !safe[*v as usize] {
+                        return Some(self.var_names[*v as usize].clone());
+                    }
+                }
+            }
+            None
+        };
+        for v in &head {
+            if !safe[*v as usize] {
+                return Err(CoreError::InvalidQuery(format!(
+                    "head variable `{}` not bound by a positive atom",
+                    self.var_names[*v as usize]
+                )));
+            }
+        }
+        for a in &self.neg {
+            if let Some(name) = unsafe_var(&a.terms.iter().collect::<Vec<_>>()) {
+                return Err(CoreError::InvalidQuery(format!(
+                    "negated atom uses unbound variable `{name}`"
+                )));
+            }
+        }
+        for b in &self.builtins {
+            if let Some(name) = unsafe_var(&[&b.lhs, &b.rhs]) {
+                return Err(CoreError::InvalidQuery(format!(
+                    "builtin uses unbound variable `{name}`"
+                )));
+            }
+        }
+        Ok(ConjunctiveQuery {
+            name: self.name,
+            var_names: self.var_names,
+            head,
+            pos: self.pos,
+            neg: self.neg,
+            builtins: self.builtins,
+        })
+    }
+}
+
+/// Re-export the term shorthands for query building.
+pub fn qv(name: &str) -> TermSpec {
+    v(name)
+}
+
+/// Constant term shorthand.
+pub fn qc(value: impl Into<Value>) -> TermSpec {
+    c(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relational::{i, null, s, Schema};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, Instance) {
+        let sc = Schema::builder()
+            .relation("Emp", ["id", "dept"])
+            .relation("Dept", ["name"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("Emp", [i(1), s("cs")]).unwrap();
+        d.insert_named("Emp", [i(2), s("math")]).unwrap();
+        d.insert_named("Emp", [i(3), null()]).unwrap();
+        d.insert_named("Dept", [s("cs")]).unwrap();
+        (sc, d)
+    }
+
+    #[test]
+    fn basic_join() {
+        let (sc, d) = setup();
+        let q = ConjunctiveQuery::builder(&sc, "q", ["x"])
+            .atom("Emp", [qv("x"), qv("d")])
+            .atom("Dept", [qv("d")])
+            .finish()
+            .unwrap();
+        let answers = q.eval(&d);
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains(&Tuple::new(vec![i(1)])));
+    }
+
+    #[test]
+    fn negation() {
+        let (sc, d) = setup();
+        let q = ConjunctiveQuery::builder(&sc, "q", ["x"])
+            .atom("Emp", [qv("x"), qv("d")])
+            .not_atom("Dept", [qv("d")])
+            .finish()
+            .unwrap();
+        let answers = q.eval(&d);
+        // math and null departments are not in Dept (null as a constant).
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn builtins_and_constants() {
+        let (sc, d) = setup();
+        let q = ConjunctiveQuery::builder(&sc, "q", ["x"])
+            .atom("Emp", [qv("x"), qv("d")])
+            .cmp(qv("x"), CmpOp::Gt, qc(1))
+            .finish()
+            .unwrap();
+        assert_eq!(q.eval(&d).len(), 2);
+        let q2 = ConjunctiveQuery::builder(&sc, "q2", ["x"])
+            .atom("Emp", [qv("x"), qc(s("cs"))])
+            .finish()
+            .unwrap();
+        assert_eq!(q2.eval(&d).len(), 1);
+    }
+
+    #[test]
+    fn null_matches_null_constant_semantics() {
+        let (sc, d) = setup();
+        let q = ConjunctiveQuery::builder(&sc, "q", ["x"])
+            .atom("Emp", [qv("x"), qc(null())])
+            .finish()
+            .unwrap();
+        let answers = q.eval(&d);
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains(&Tuple::new(vec![i(3)])));
+    }
+
+    #[test]
+    fn sql_three_valued_mode_never_joins_null() {
+        let (sc, d) = setup();
+        // join Emp.dept with Dept.name: emp 3 has a null dept.
+        let join = ConjunctiveQuery::builder(&sc, "j", ["x"])
+            .atom("Emp", [qv("x"), qv("d")])
+            .atom("Dept", [qv("d")])
+            .finish()
+            .unwrap();
+        // Both modes agree here (no null in Dept):
+        assert_eq!(
+            join.eval_with(&d, QueryNullSemantics::SqlThreeValued),
+            join.eval(&d)
+        );
+        // But a literal null never matches in SQL mode:
+        let null_probe = ConjunctiveQuery::builder(&sc, "p", ["x"])
+            .atom("Emp", [qv("x"), qc(null())])
+            .finish()
+            .unwrap();
+        assert_eq!(null_probe.eval(&d).len(), 1);
+        assert!(null_probe
+            .eval_with(&d, QueryNullSemantics::SqlThreeValued)
+            .is_empty());
+        // Builtins over null are unknown → false:
+        let cmp_null = ConjunctiveQuery::builder(&sc, "c", ["x"])
+            .atom("Emp", [qv("x"), qv("d")])
+            .cmp(qv("d"), CmpOp::Neq, qc(s("cs")))
+            .finish()
+            .unwrap();
+        // null dept: `d <> 'cs'` is true as-value, unknown in SQL mode.
+        assert!(cmp_null.eval(&d).contains(&Tuple::new(vec![i(3)])));
+        assert!(!cmp_null
+            .eval_with(&d, QueryNullSemantics::SqlThreeValued)
+            .contains(&Tuple::new(vec![i(3)])));
+    }
+
+    #[test]
+    fn sql_mode_nulls_still_bindable_and_returnable() {
+        let (sc, d) = setup();
+        // Nulls can be *returned* — they just never *test* equal.
+        let q = ConjunctiveQuery::builder(&sc, "q", ["d"])
+            .atom("Emp", [qv("x"), qv("d")])
+            .finish()
+            .unwrap();
+        let answers = q.eval_with(&d, QueryNullSemantics::SqlThreeValued);
+        assert!(answers.contains(&Tuple::new(vec![null()])));
+    }
+
+    #[test]
+    fn sql_mode_negation_uses_strict_matching() {
+        let (sc, d) = setup();
+        // `not Dept(d)` with d = null: under SQL semantics the negated
+        // atom can never match (null never equals), so emp 3 qualifies in
+        // both modes; the difference shows when Dept itself holds a null.
+        let mut d2 = d.clone();
+        d2.insert_named("Dept", [null()]).unwrap();
+        let q = ConjunctiveQuery::builder(&sc, "q", ["x"])
+            .atom("Emp", [qv("x"), qv("dd")])
+            .not_atom("Dept", [qv("dd")])
+            .finish()
+            .unwrap();
+        // as-value: Dept(null) matches emp 3's null dept → excluded.
+        assert!(!q.eval(&d2).contains(&Tuple::new(vec![i(3)])));
+        // SQL mode: null ≠ null → not excluded.
+        assert!(q
+            .eval_with(&d2, QueryNullSemantics::SqlThreeValued)
+            .contains(&Tuple::new(vec![i(3)])));
+    }
+
+    #[test]
+    fn boolean_query() {
+        let (sc, d) = setup();
+        let q = ConjunctiveQuery::builder(&sc, "q", Vec::<String>::new())
+            .atom("Dept", [qc(s("cs"))])
+            .finish()
+            .unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.eval(&d).len(), 1); // the empty tuple: true
+        let q2 = ConjunctiveQuery::builder(&sc, "q2", Vec::<String>::new())
+            .atom("Dept", [qc(s("bio"))])
+            .finish()
+            .unwrap();
+        assert!(q2.eval(&d).is_empty()); // false
+    }
+
+    #[test]
+    fn union_queries() {
+        let (sc, d) = setup();
+        let q1 = ConjunctiveQuery::builder(&sc, "q1", ["x"])
+            .atom("Emp", [qv("x"), qc(s("cs"))])
+            .finish()
+            .unwrap();
+        let q2 = ConjunctiveQuery::builder(&sc, "q2", ["x"])
+            .atom("Emp", [qv("x"), qc(s("math"))])
+            .finish()
+            .unwrap();
+        let u = Query::union(vec![q1, q2]).unwrap();
+        assert_eq!(u.eval(&d).len(), 2);
+    }
+
+    #[test]
+    fn safety_violations_rejected() {
+        let (sc, _) = setup();
+        assert!(matches!(
+            ConjunctiveQuery::builder(&sc, "bad", ["z"])
+                .atom("Dept", [qv("d")])
+                .finish(),
+            Err(CoreError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            ConjunctiveQuery::builder(&sc, "bad", Vec::<String>::new())
+                .atom("Dept", [qv("d")])
+                .not_atom("Emp", [qv("w"), qv("d")])
+                .finish(),
+            Err(CoreError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            ConjunctiveQuery::builder(&sc, "bad", Vec::<String>::new())
+                .atom("Dept", [qv("d")])
+                .cmp(qv("q"), CmpOp::Lt, qc(1))
+                .finish(),
+            Err(CoreError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatched_union_rejected() {
+        let (sc, _) = setup();
+        let q1 = ConjunctiveQuery::builder(&sc, "q1", ["x"])
+            .atom("Emp", [qv("x"), qv("d")])
+            .finish()
+            .unwrap();
+        let q2 = ConjunctiveQuery::builder(&sc, "q2", Vec::<String>::new())
+            .atom("Dept", [qv("d")])
+            .finish()
+            .unwrap();
+        assert!(Query::union(vec![q1, q2]).is_err());
+        assert!(Query::union(vec![]).is_err());
+    }
+
+    #[test]
+    fn unknown_relation_and_arity_errors() {
+        let (sc, _) = setup();
+        assert!(ConjunctiveQuery::builder(&sc, "bad", Vec::<String>::new())
+            .atom("Nope", [qv("x")])
+            .finish()
+            .is_err());
+        assert!(ConjunctiveQuery::builder(&sc, "bad", Vec::<String>::new())
+            .atom("Dept", [qv("x"), qv("y")])
+            .finish()
+            .is_err());
+    }
+}

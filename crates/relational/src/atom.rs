@@ -1,0 +1,123 @@
+//! Ground database atoms `R(c̄)`: the elements of an instance.
+
+use crate::schema::{RelId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// A ground database atom: a relation id together with a tuple.
+///
+/// Database atoms are the currency of the repair layer: instances are sets
+/// of atoms, Δ (symmetric difference) is a set of atoms, repair decisions
+/// insert or delete atoms.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DatabaseAtom {
+    /// The relation this atom belongs to.
+    pub rel: RelId,
+    /// The atom's tuple of constants.
+    pub tuple: Tuple,
+}
+
+impl DatabaseAtom {
+    /// Construct an atom.
+    pub fn new(rel: RelId, tuple: Tuple) -> Self {
+        DatabaseAtom { rel, tuple }
+    }
+
+    /// `true` iff some attribute is null (drives the case split in the
+    /// `≤_D` order, Definition 6).
+    pub fn has_null(&self) -> bool {
+        self.tuple.has_null()
+    }
+
+    /// 0-based positions where the tuple is **not** null. Two atoms of the
+    /// same relation "agree outside nulls of `self`" iff their values match
+    /// on these positions — the `Q(ā, b̄)` pattern of Definition 6(b).
+    pub fn non_null_positions(&self) -> Vec<usize> {
+        self.tuple
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_null())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Does `other` agree with `self` on every non-null position of `self`?
+    ///
+    /// This implements the existential pattern of Definition 6(b): for an
+    /// atom `Q(ā, null̄)` in a Δ, a covering atom is any `Q(ā, b̄)` — same
+    /// relation, same values wherever `self` is non-null, anything (possibly
+    /// null) at `self`'s null positions.
+    pub fn covered_by(&self, other: &DatabaseAtom) -> bool {
+        self.rel == other.rel
+            && self.tuple.arity() == other.tuple.arity()
+            && self
+                .tuple
+                .values()
+                .iter()
+                .zip(other.tuple.values())
+                .all(|(a, b)| a.is_null() || a == b)
+    }
+
+    /// Render with the relation's name from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a DatabaseAtom, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.1.relation(self.0.rel).name(), self.0.tuple)
+            }
+        }
+        D(self, schema)
+    }
+
+    /// The values of the tuple (convenience).
+    pub fn values(&self) -> &[Value] {
+        self.tuple.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{i, null, s, Schema};
+
+    fn atom(rel: u32, vs: Vec<Value>) -> DatabaseAtom {
+        DatabaseAtom::new(RelId(rel), Tuple::new(vs))
+    }
+
+    #[test]
+    fn covered_by_matches_non_null_positions() {
+        // Q(f, null) is covered by Q(f, b) and Q(f, null), not by Q(g, b).
+        let q_f_null = atom(0, vec![s("f"), null()]);
+        assert!(q_f_null.covered_by(&atom(0, vec![s("f"), s("b")])));
+        assert!(q_f_null.covered_by(&atom(0, vec![s("f"), null()])));
+        assert!(!q_f_null.covered_by(&atom(0, vec![s("g"), s("b")])));
+        // different relation never covers
+        assert!(!q_f_null.covered_by(&atom(1, vec![s("f"), s("b")])));
+    }
+
+    #[test]
+    fn covered_by_all_null_matches_any_same_relation() {
+        let all_null = atom(0, vec![null(), null()]);
+        assert!(all_null.covered_by(&atom(0, vec![i(1), i(2)])));
+        assert!(!all_null.covered_by(&atom(0, vec![i(1)]))); // arity differs
+    }
+
+    #[test]
+    fn non_null_positions_and_has_null() {
+        let a = atom(0, vec![s("a"), null(), i(3)]);
+        assert!(a.has_null());
+        assert_eq!(a.non_null_positions(), vec![0, 2]);
+    }
+
+    #[test]
+    fn display_uses_relation_name() {
+        let schema = Schema::builder()
+            .relation("Course", ["code", "id"])
+            .finish()
+            .unwrap();
+        let a = DatabaseAtom::new(RelId(0), Tuple::new(vec![s("CS27"), i(21)]));
+        assert_eq!(a.display(&schema).to_string(), "Course(CS27, 21)");
+    }
+}

@@ -1,0 +1,152 @@
+//! Symmetric differences Δ(D, D′) between instances over one schema.
+
+use crate::atom::DatabaseAtom;
+use crate::error::RelationalError;
+use crate::instance::Instance;
+use std::collections::BTreeSet;
+
+/// The symmetric difference `Δ(D, D′) = (D ∖ D′) ∪ (D′ ∖ D)` split by
+/// direction.
+///
+/// The paper's repair machinery (Definitions 6–7) works on Δ as a plain set
+/// of atoms; [`Delta::atoms`] provides that view, while `removed`/`inserted`
+/// keep the direction for reporting and for applying repairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Delta {
+    /// Atoms of `D` missing from `D′` (deletions).
+    pub removed: BTreeSet<DatabaseAtom>,
+    /// Atoms of `D′` missing from `D` (insertions).
+    pub inserted: BTreeSet<DatabaseAtom>,
+}
+
+impl Delta {
+    /// All atoms of the symmetric difference, deletions first.
+    pub fn atoms(&self) -> impl Iterator<Item = &DatabaseAtom> {
+        self.removed.iter().chain(self.inserted.iter())
+    }
+
+    /// Number of atoms in the symmetric difference.
+    pub fn len(&self) -> usize {
+        self.removed.len() + self.inserted.len()
+    }
+
+    /// `true` iff the instances were equal.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.inserted.is_empty()
+    }
+
+    /// Membership in the symmetric difference.
+    pub fn contains(&self, atom: &DatabaseAtom) -> bool {
+        self.removed.contains(atom) || self.inserted.contains(atom)
+    }
+
+    /// Is the *set* `Δ₁ ⊆ Δ₂`? (Direction-sensitive: a deletion only
+    /// matches a deletion, an insertion only an insertion — Δs against the
+    /// same original `D` agree on direction for any shared atom.)
+    pub fn subset_of(&self, other: &Delta) -> bool {
+        self.removed.is_subset(&other.removed) && self.inserted.is_subset(&other.inserted)
+    }
+}
+
+/// Compute `Δ(d, d_prime)`.
+///
+/// Errors if the two instances do not share a schema.
+pub fn delta(d: &Instance, d_prime: &Instance) -> Result<Delta, RelationalError> {
+    if !d.same_schema(d_prime) {
+        return Err(RelationalError::SchemaMismatch);
+    }
+    let mut out = Delta::default();
+    for atom in d.atoms() {
+        if !d_prime.contains(&atom) {
+            out.removed.insert(atom);
+        }
+    }
+    for atom in d_prime.atoms() {
+        if !d.contains(&atom) {
+            out.inserted.insert(atom);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{i, s, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .relation("P", ["a"])
+            .relation("Q", ["x", "y"])
+            .finish()
+            .unwrap()
+            .into_shared()
+    }
+
+    #[test]
+    fn delta_of_identical_instances_is_empty() {
+        let mut d = Instance::empty(schema());
+        d.insert_named("P", [i(1)]).unwrap();
+        let dl = delta(&d, &d.clone()).unwrap();
+        assert!(dl.is_empty());
+        assert_eq!(dl.len(), 0);
+    }
+
+    #[test]
+    fn delta_splits_directions() {
+        let sc = schema();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("P", [i(1)]).unwrap();
+        d.insert_named("Q", [s("a"), s("b")]).unwrap();
+        let mut d2 = Instance::empty(sc);
+        d2.insert_named("P", [i(1)]).unwrap();
+        d2.insert_named("Q", [s("a"), s("c")]).unwrap();
+        let dl = delta(&d, &d2).unwrap();
+        assert_eq!(dl.removed.len(), 1); // Q(a,b)
+        assert_eq!(dl.inserted.len(), 1); // Q(a,c)
+        assert_eq!(dl.len(), 2);
+        assert_eq!(dl.atoms().count(), 2);
+    }
+
+    #[test]
+    fn delta_is_symmetric_as_a_set() {
+        let sc = schema();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("P", [i(1)]).unwrap();
+        let d2 = Instance::empty(sc);
+        let ab = delta(&d, &d2).unwrap();
+        let ba = delta(&d2, &d).unwrap();
+        let set_ab: BTreeSet<_> = ab.atoms().cloned().collect();
+        let set_ba: BTreeSet<_> = ba.atoms().cloned().collect();
+        assert_eq!(set_ab, set_ba);
+        assert_eq!(ab.removed, ba.inserted);
+    }
+
+    #[test]
+    fn subset_respects_direction() {
+        let sc = schema();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("P", [i(1)]).unwrap();
+        let empty = Instance::empty(sc.clone());
+        let mut with_two = Instance::empty(sc);
+        with_two.insert_named("P", [i(2)]).unwrap();
+
+        let del = delta(&d, &empty).unwrap(); // remove P(1)
+        let swap = delta(&d, &with_two).unwrap(); // remove P(1), insert P(2)
+        assert!(del.subset_of(&swap));
+        assert!(!swap.subset_of(&del));
+    }
+
+    #[test]
+    fn mismatched_schemas_error() {
+        let other = Schema::builder()
+            .relation("Z", ["a"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = Instance::empty(schema());
+        let d2 = Instance::empty(other);
+        assert!(delta(&d, &d2).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! ASCII table rendering for relations and instances, in the style of the
+//! paper's example tables.
+
+use crate::instance::Instance;
+use crate::schema::RelId;
+use std::fmt::Write as _;
+
+/// Render one relation as an aligned ASCII table.
+///
+/// ```text
+/// Course
+///  Code | ID | Term
+/// ------+----+-----
+///  CS27 | 21 | W04
+/// ```
+pub fn relation_table(instance: &Instance, rel: RelId) -> String {
+    let decl = instance.schema().relation(rel);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    rows.push(decl.attrs().to_vec());
+    for t in instance.relation(rel) {
+        rows.push(t.values().iter().map(|v| v.to_string()).collect());
+    }
+    let arity = decl.arity();
+    let mut widths = vec![0usize; arity];
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", decl.name());
+    for (r, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str(" | ");
+            }
+            let _ = write!(line, "{:width$}", cell, width = widths[i]);
+        }
+        let _ = writeln!(out, " {}", line.trim_end());
+        if r == 0 {
+            let sep: Vec<String> = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+            let _ = writeln!(out, "{}", sep.join("+").trim_end());
+        }
+    }
+    if rows.len() == 1 {
+        let _ = writeln!(out, " (empty)");
+    }
+    out
+}
+
+/// Render every non-empty relation of the instance (empty relations are
+/// listed at the end as names only).
+pub fn instance_tables(instance: &Instance) -> String {
+    let mut out = String::new();
+    let mut empties: Vec<&str> = Vec::new();
+    for (rel, decl) in instance.schema().iter() {
+        if instance.relation(rel).is_empty() {
+            empties.push(decl.name());
+        } else {
+            out.push_str(&relation_table(instance, rel));
+            out.push('\n');
+        }
+    }
+    if !empties.is_empty() {
+        let _ = writeln!(out, "(empty relations: {})", empties.join(", "));
+    }
+    out
+}
+
+/// Render an instance as a one-line set of atoms, e.g.
+/// `{P(a, b), P(null, a), T(c)}` — the notation used in the paper's
+/// repair examples.
+pub fn instance_set(instance: &Instance) -> String {
+    let atoms: Vec<String> = instance
+        .atoms()
+        .map(|a| a.display(instance.schema()).to_string())
+        .collect();
+    format!("{{{}}}", atoms.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{i, null, s, Schema};
+
+    fn example5_course() -> Instance {
+        let schema = Schema::builder()
+            .relation("Course", ["Code", "ID", "Term"])
+            .relation("Empty", ["X"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(schema);
+        d.insert_named("Course", [s("CS27"), i(21).to_string().into(), s("W04")])
+            .unwrap();
+        d.insert_named("Course", [s("CS50"), null(), s("W05")]).unwrap();
+        d
+    }
+
+    #[test]
+    fn table_has_header_separator_and_rows() {
+        let d = example5_course();
+        let rel = d.schema().rel_id("Course").unwrap();
+        let t = relation_table(&d, rel);
+        assert!(t.starts_with("Course\n"));
+        assert!(t.contains("Code |"));
+        assert!(t.contains("| Term"));
+        assert!(t.contains("CS27"));
+        assert!(t.contains("null"));
+        assert!(t.contains("-+-"));
+    }
+
+    #[test]
+    fn empty_relation_renders_placeholder() {
+        let d = example5_course();
+        let rel = d.schema().rel_id("Empty").unwrap();
+        assert!(relation_table(&d, rel).contains("(empty)"));
+    }
+
+    #[test]
+    fn instance_tables_lists_empty_relations() {
+        let d = example5_course();
+        let all = instance_tables(&d);
+        assert!(all.contains("Course"));
+        assert!(all.contains("(empty relations: Empty)"));
+    }
+
+    #[test]
+    fn set_notation() {
+        let schema = Schema::builder()
+            .relation("P", ["a", "b"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(schema);
+        d.insert_named("P", [s("a"), null()]).unwrap();
+        assert_eq!(instance_set(&d), "{P(a, null)}");
+    }
+}

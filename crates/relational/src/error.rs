@@ -1,0 +1,82 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while building schemas or manipulating instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A relation name was declared twice in one schema.
+    DuplicateRelation(String),
+    /// An attribute name appears twice in one relation.
+    DuplicateAttribute {
+        /// The relation being declared.
+        relation: String,
+        /// The repeated attribute name.
+        attribute: String,
+    },
+    /// A relation name was not found in the schema.
+    UnknownRelation(String),
+    /// A tuple's arity does not match its relation's arity.
+    ArityMismatch {
+        /// The relation the tuple was inserted into.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// Two instances were combined that do not share a schema.
+    SchemaMismatch,
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` declared more than once")
+            }
+            RelationalError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => write!(
+                f,
+                "attribute `{attribute}` declared more than once in relation `{relation}`"
+            ),
+            RelationalError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}`")
+            }
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: schema says {expected}, tuple has {actual}"
+            ),
+            RelationalError::SchemaMismatch => {
+                write!(f, "operation requires instances over the same schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_names() {
+        let e = RelationalError::ArityMismatch {
+            relation: "P".into(),
+            expected: 2,
+            actual: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('P') && msg.contains('2') && msg.contains('3'));
+        assert!(RelationalError::UnknownRelation("Q".into())
+            .to_string()
+            .contains('Q'));
+    }
+}

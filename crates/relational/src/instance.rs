@@ -1,0 +1,260 @@
+//! Database instances: finite sets of ground atoms over a schema.
+
+use crate::atom::DatabaseAtom;
+use crate::error::RelationalError;
+use crate::schema::{RelId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The extension of one relation: a *set* of tuples.
+///
+/// Sets, not bags: the paper explicitly works with set semantics and
+/// discusses the divergence from SQL's bag semantics in Example 7.
+pub type Relation = BTreeSet<Tuple>;
+
+/// A database instance `D` over a fixed [`Schema`].
+///
+/// Instances are ordinary values: cloning is O(data) but tuples are
+/// reference-counted, so search algorithms that fork instances stay cheap.
+/// All iteration is in deterministic (B-tree) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    schema: Arc<Schema>,
+    relations: Vec<Relation>,
+}
+
+impl Instance {
+    /// An empty instance over `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        let relations = vec![Relation::new(); schema.len()];
+        Instance { schema, relations }
+    }
+
+    /// Build an instance from atoms.
+    pub fn from_atoms(
+        schema: Arc<Schema>,
+        atoms: impl IntoIterator<Item = DatabaseAtom>,
+    ) -> Result<Self, RelationalError> {
+        let mut inst = Instance::empty(schema);
+        for a in atoms {
+            inst.insert(a.rel, a.tuple)?;
+        }
+        Ok(inst)
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Insert a tuple into a relation; `Ok(true)` if it was new.
+    pub fn insert(&mut self, rel: RelId, tuple: Tuple) -> Result<bool, RelationalError> {
+        let decl = self.schema.relation(rel);
+        if decl.arity() != tuple.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: decl.name().to_string(),
+                expected: decl.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        Ok(self.relations[rel.index()].insert(tuple))
+    }
+
+    /// Insert by relation name.
+    pub fn insert_named(
+        &mut self,
+        relation: &str,
+        tuple: impl Into<Tuple>,
+    ) -> Result<bool, RelationalError> {
+        let rel = self.schema.require(relation)?;
+        self.insert(rel, tuple.into())
+    }
+
+    /// Remove a tuple; `true` if it was present.
+    pub fn remove(&mut self, rel: RelId, tuple: &Tuple) -> bool {
+        self.relations[rel.index()].remove(tuple)
+    }
+
+    /// Membership test for an atom.
+    pub fn contains(&self, atom: &DatabaseAtom) -> bool {
+        self.relations[atom.rel.index()].contains(&atom.tuple)
+    }
+
+    /// The extension of a relation.
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel.index()]
+    }
+
+    /// The extension of a relation, by name.
+    pub fn relation_named(&self, name: &str) -> Result<&Relation, RelationalError> {
+        Ok(self.relation(self.schema.require(name)?))
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn len(&self) -> usize {
+        self.relations.iter().map(BTreeSet::len).sum()
+    }
+
+    /// `true` iff the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.relations.iter().all(BTreeSet::is_empty)
+    }
+
+    /// Iterate over every atom, relation by relation, in deterministic order.
+    pub fn atoms(&self) -> impl Iterator<Item = DatabaseAtom> + '_ {
+        self.relations.iter().enumerate().flat_map(|(i, rel)| {
+            rel.iter()
+                .map(move |t| DatabaseAtom::new(RelId(i as u32), t.clone()))
+        })
+    }
+
+    /// The active domain `adom(D)`: every constant occurring in the
+    /// instance, including `null` if present (Proposition 1 adds `null`
+    /// explicitly, so callers that need it add it themselves).
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for rel in &self.relations {
+            for t in rel {
+                for v in t.values() {
+                    dom.insert(v.clone());
+                }
+            }
+        }
+        dom
+    }
+
+    /// Functional update: a copy with `atom` added.
+    pub fn with_atom(&self, atom: &DatabaseAtom) -> Instance {
+        let mut next = self.clone();
+        next.relations[atom.rel.index()].insert(atom.tuple.clone());
+        next
+    }
+
+    /// Functional update: a copy with `atom` removed.
+    pub fn without_atom(&self, atom: &DatabaseAtom) -> Instance {
+        let mut next = self.clone();
+        next.relations[atom.rel.index()].remove(&atom.tuple);
+        next
+    }
+
+    /// Apply a batch of insertions and deletions in place.
+    pub fn apply(
+        &mut self,
+        insert: impl IntoIterator<Item = DatabaseAtom>,
+        delete: impl IntoIterator<Item = DatabaseAtom>,
+    ) {
+        for a in delete {
+            self.relations[a.rel.index()].remove(&a.tuple);
+        }
+        for a in insert {
+            self.relations[a.rel.index()].insert(a.tuple);
+        }
+    }
+
+    /// `true` iff both instances share (pointer- or value-) equal schemas.
+    pub fn same_schema(&self, other: &Instance) -> bool {
+        Arc::ptr_eq(&self.schema, &other.schema) || self.schema == other.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{i, null, s};
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .relation("P", ["a", "b"])
+            .relation("R", ["x"])
+            .finish()
+            .unwrap()
+            .into_shared()
+    }
+
+    fn p(inst: &Instance) -> RelId {
+        inst.schema().rel_id("P").unwrap()
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut d = Instance::empty(schema());
+        assert!(d.insert_named("P", [s("a"), null()]).unwrap());
+        assert!(!d.insert_named("P", [s("a"), null()]).unwrap()); // set semantics
+        let atom = DatabaseAtom::new(p(&d), Tuple::new(vec![s("a"), null()]));
+        assert!(d.contains(&atom));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn arity_checked_on_insert() {
+        let mut d = Instance::empty(schema());
+        let err = d.insert_named("P", [s("a")]).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let mut d = Instance::empty(schema());
+        assert!(d.insert_named("Z", [s("a")]).is_err());
+    }
+
+    #[test]
+    fn active_domain_collects_all_constants_including_null() {
+        let mut d = Instance::empty(schema());
+        d.insert_named("P", [s("a"), null()]).unwrap();
+        d.insert_named("R", [i(7)]).unwrap();
+        let dom = d.active_domain();
+        assert!(dom.contains(&null()));
+        assert!(dom.contains(&s("a")));
+        assert!(dom.contains(&i(7)));
+        assert_eq!(dom.len(), 3);
+    }
+
+    #[test]
+    fn functional_updates_do_not_mutate() {
+        let mut d = Instance::empty(schema());
+        d.insert_named("R", [i(1)]).unwrap();
+        let a = DatabaseAtom::new(d.schema().rel_id("R").unwrap(), Tuple::new(vec![i(2)]));
+        let d2 = d.with_atom(&a);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d2.len(), 2);
+        let d3 = d2.without_atom(&a);
+        assert_eq!(d3, d);
+    }
+
+    #[test]
+    fn atoms_iterates_in_deterministic_order() {
+        let mut d = Instance::empty(schema());
+        d.insert_named("P", [s("b"), s("c")]).unwrap();
+        d.insert_named("P", [s("a"), s("z")]).unwrap();
+        d.insert_named("R", [i(1)]).unwrap();
+        let atoms: Vec<String> = d
+            .atoms()
+            .map(|a| a.display(d.schema()).to_string())
+            .collect();
+        assert_eq!(atoms, vec!["P(a, z)", "P(b, c)", "R(1)"]);
+    }
+
+    #[test]
+    fn from_atoms_roundtrip() {
+        let mut d = Instance::empty(schema());
+        d.insert_named("P", [s("a"), s("b")]).unwrap();
+        d.insert_named("R", [i(3)]).unwrap();
+        let rebuilt = Instance::from_atoms(d.schema().clone(), d.atoms()).unwrap();
+        assert_eq!(rebuilt, d);
+    }
+
+    #[test]
+    fn apply_batches_insertions_and_deletions() {
+        let mut d = Instance::empty(schema());
+        d.insert_named("R", [i(1)]).unwrap();
+        let r = d.schema().rel_id("R").unwrap();
+        let del = DatabaseAtom::new(r, Tuple::new(vec![i(1)]));
+        let ins = DatabaseAtom::new(r, Tuple::new(vec![i(2)]));
+        d.apply([ins.clone()], [del.clone()]);
+        assert!(d.contains(&ins));
+        assert!(!d.contains(&del));
+    }
+}

@@ -1,0 +1,256 @@
+//! Relation schemas: named predicates with named, ordered attributes.
+
+use crate::error::RelationalError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a relation inside a [`Schema`] (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The dense index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Schema of a single relation: its name and attribute names.
+///
+/// Attribute positions are 0-based everywhere in this workspace; the paper's
+/// `R[i]` is 1-based and the pretty printers translate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Create a relation schema. Attribute names must be distinct.
+    pub fn new(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self, RelationalError> {
+        let name = name.into();
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &attrs {
+            if !seen.insert(a.clone()) {
+                return Err(RelationalError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.clone(),
+                });
+            }
+        }
+        Ok(RelationSchema { name, attrs })
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names, in order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// 0-based position of a named attribute.
+    pub fn position_of(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+}
+
+/// A database schema: an ordered collection of relation schemas.
+///
+/// Schemas are cheap to share (`Arc` internally via [`crate::Instance`]) and
+/// immutable after construction; build them with [`SchemaBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<RelationSchema>,
+    by_name: BTreeMap<String, RelId>,
+}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` iff the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Look up a relation by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Look up a relation by name, with a descriptive error.
+    pub fn require(&self, name: &str) -> Result<RelId, RelationalError> {
+        self.rel_id(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Schema of a relation.
+    pub fn relation(&self, id: RelId) -> &RelationSchema {
+        &self.relations[id.index()]
+    }
+
+    /// All relation ids, in declaration order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+
+    /// All relation schemas with their ids, in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+
+    /// Wrap in an `Arc` for sharing across instances.
+    pub fn into_shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    relations: Vec<RelationSchema>,
+    by_name: BTreeMap<String, RelId>,
+    error: Option<RelationalError>,
+}
+
+impl SchemaBuilder {
+    /// Add a relation with named attributes.
+    ///
+    /// Errors are deferred to [`SchemaBuilder::finish`] so calls chain.
+    pub fn relation(
+        mut self,
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match RelationSchema::new(name, attrs) {
+            Ok(rel) => {
+                if self.by_name.contains_key(rel.name()) {
+                    self.error = Some(RelationalError::DuplicateRelation(rel.name().to_string()));
+                } else {
+                    let id = RelId(self.relations.len() as u32);
+                    self.by_name.insert(rel.name().to_string(), id);
+                    self.relations.push(rel);
+                }
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Add a relation with positional attributes auto-named `a0..a{n-1}`.
+    pub fn relation_with_arity(self, name: impl Into<String>, arity: usize) -> Self {
+        let attrs: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+        self.relation(name, attrs)
+    }
+
+    /// Finish, returning the schema or the first error encountered.
+    pub fn finish(self) -> Result<Schema, RelationalError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(Schema {
+                relations: self.relations,
+                by_name: self.by_name,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rel_schema() -> Schema {
+        Schema::builder()
+            .relation("P", ["a", "b"])
+            .relation("R", ["x"])
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = two_rel_schema();
+        let p = s.rel_id("P").unwrap();
+        let r = s.rel_id("R").unwrap();
+        assert_ne!(p, r);
+        assert_eq!(s.relation(p).name(), "P");
+        assert_eq!(s.relation(p).arity(), 2);
+        assert_eq!(s.relation(r).arity(), 1);
+        assert!(s.rel_id("missing").is_none());
+        assert!(s.require("missing").is_err());
+    }
+
+    #[test]
+    fn attribute_positions() {
+        let s = two_rel_schema();
+        let p = s.relation(s.rel_id("P").unwrap());
+        assert_eq!(p.position_of("a"), Some(0));
+        assert_eq!(p.position_of("b"), Some(1));
+        assert_eq!(p.position_of("z"), None);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let err = Schema::builder()
+            .relation("P", ["a"])
+            .relation("P", ["b"])
+            .finish()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::builder().relation("P", ["a", "a"]).finish().unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn arity_helper_names_attributes() {
+        let s = Schema::builder()
+            .relation_with_arity("T", 3)
+            .finish()
+            .unwrap();
+        let t = s.relation(s.rel_id("T").unwrap());
+        assert_eq!(t.attrs(), &["a0".to_string(), "a1".into(), "a2".into()]);
+    }
+
+    #[test]
+    fn iteration_order_is_declaration_order() {
+        let s = two_rel_schema();
+        let names: Vec<&str> = s.iter().map(|(_, r)| r.name()).collect();
+        assert_eq!(names, vec!["P", "R"]);
+    }
+}

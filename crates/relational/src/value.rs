@@ -1,0 +1,159 @@
+//! Domain values, including the distinguished `null` constant.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A value of the database domain `U`.
+///
+/// The paper's domain is a possibly infinite set of constants with
+/// `null ∈ U`. We support 64-bit integers and interned strings; `null` is a
+/// first-class variant rather than an `Option` wrapper so that tuples can
+/// hold it positionally, exactly as SQL does.
+///
+/// `Value` implements a *total* order (`Null < Int < Str`, integers
+/// numerically, strings lexicographically). This order is what "treating
+/// `null` as any other constant" (Definition 4 of the paper) means
+/// operationally: equality and comparison are ordinary value comparisons.
+/// Whether a comparison involving `null` is *semantically meaningful* is
+/// decided by the constraint layer (via `IsNull` escapes), never here.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Value {
+    /// The single SQL-style null constant.
+    Null,
+    /// A 64-bit integer constant.
+    Int(i64),
+    /// A string constant. `Arc<str>` keeps tuple cloning cheap during
+    /// repair-space search.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(v: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(v.as_ref()))
+    }
+
+    /// `true` iff this value is the null constant.
+    /// This is the `IsNull(·)` predicate of Definition 5.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short type tag, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Numeric view, if the value is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view, if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null_and_nothing_else_is() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+        assert!(!Value::str("null").is_null()); // the *string* "null" is data
+    }
+
+    #[test]
+    fn total_order_is_null_int_str() {
+        let mut vs = vec![Value::str("a"), Value::Int(3), Value::Null, Value::Int(-1)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::Null, Value::Int(-1), Value::Int(3), Value::str("a")]
+        );
+    }
+
+    #[test]
+    fn null_equals_null_as_ordinary_constant() {
+        // Definition 4 evaluates ψ^N classically with null as an ordinary
+        // constant; Example 12 relies on null = null holding there.
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("W04").to_string(), "W04");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from("x".to_string()), Value::str("x"));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::Int(1).as_str(), None);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_derives_compile() {
+        // Smoke-test that the optional serde derives exist (serialization
+        // itself is exercised by downstream users; no JSON dependency
+        // here).
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<Value>();
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Int(0).type_name(), "int");
+        assert_eq!(Value::str("").type_name(), "str");
+    }
+}

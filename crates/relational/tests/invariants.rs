@@ -1,0 +1,128 @@
+//! Property suite for the relational substrate: value ordering, tuple
+//! covering, and symmetric-difference algebra.
+
+use cqa_relational::{delta, DatabaseAtom, Instance, RelId, Schema, Tuple, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        "[a-c]{0,2}".prop_map(Value::str),
+    ]
+}
+
+fn tuple_strategy(arity: usize) -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(value_strategy(), arity).prop_map(Tuple::new)
+}
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .relation("P", ["a", "b"])
+        .relation("Q", ["x"])
+        .finish()
+        .unwrap()
+        .into_shared()
+}
+
+fn instance_strategy(sc: Arc<Schema>) -> impl Strategy<Value = Instance> {
+    let p = proptest::collection::btree_set(tuple_strategy(2), 0..5);
+    let q = proptest::collection::btree_set(tuple_strategy(1), 0..5);
+    (p, q).prop_map(move |(ps, qs)| {
+        let mut d = Instance::empty(sc.clone());
+        for t in ps {
+            d.insert(RelId(0), t).unwrap();
+        }
+        for t in qs {
+            d.insert(RelId(1), t).unwrap();
+        }
+        d
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_order_is_total_and_antisymmetric(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        // total
+        prop_assert!(a <= b || b <= a);
+        // antisymmetric
+        if a <= b && b <= a {
+            prop_assert_eq!(&a, &b);
+        }
+        // transitive
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    #[test]
+    fn covered_by_is_reflexive_and_respects_nulls(
+        t in tuple_strategy(3),
+        u in tuple_strategy(3),
+    ) {
+        let at = DatabaseAtom::new(RelId(0), t.clone());
+        let au = DatabaseAtom::new(RelId(0), u.clone());
+        // reflexive
+        prop_assert!(at.covered_by(&at));
+        // a null-free atom is covered only by itself
+        if !t.has_null() && at.covered_by(&au) {
+            prop_assert_eq!(&t, &u);
+        }
+        // covering agrees on non-null positions
+        if at.covered_by(&au) {
+            for (i, val) in t.values().iter().enumerate() {
+                if !val.is_null() {
+                    prop_assert_eq!(val, u.get(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leq_information_is_a_partial_order(
+        t in tuple_strategy(2),
+        u in tuple_strategy(2),
+        w in tuple_strategy(2),
+    ) {
+        prop_assert!(t.leq_information(&t));
+        if t.leq_information(&u) && u.leq_information(&t) {
+            prop_assert_eq!(&t, &u);
+        }
+        if t.leq_information(&u) && u.leq_information(&w) {
+            prop_assert!(t.leq_information(&w));
+        }
+    }
+
+    #[test]
+    fn delta_algebra(
+        d1 in instance_strategy(schema()),
+        d2 in instance_strategy(schema()),
+    ) {
+        let dl = delta(&d1, &d2).unwrap();
+        // Δ(D,D) = ∅
+        prop_assert!(delta(&d1, &d1).unwrap().is_empty());
+        // symmetry as sets
+        let rl = delta(&d2, &d1).unwrap();
+        prop_assert_eq!(dl.removed.clone(), rl.inserted.clone());
+        prop_assert_eq!(dl.inserted.clone(), rl.removed.clone());
+        // applying the delta to d1 yields d2
+        let mut applied = d1.clone();
+        applied.apply(dl.inserted.iter().cloned(), dl.removed.iter().cloned());
+        prop_assert_eq!(applied, d2.clone());
+        // delta is empty iff equal
+        prop_assert_eq!(dl.is_empty(), d1 == d2);
+    }
+
+    #[test]
+    fn projection_composes(t in tuple_strategy(4)) {
+        // projecting twice = projecting the composition
+        let first = t.project(&[0, 2, 3]);
+        let second = first.project(&[1, 2]);
+        prop_assert_eq!(second, t.project(&[2, 3]));
+    }
+}

@@ -1,0 +1,47 @@
+//! The catalog: schema + instance + constraints, the unit a parsed script
+//! produces and the repair/CQA layers consume.
+
+use cqa_constraints::IcSet;
+use cqa_relational::{Instance, Schema};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Column types of the DDL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// 64-bit integer (`INT`, `INTEGER`).
+    Int,
+    /// String (`TEXT`, `STRING`, `VARCHAR`).
+    Text,
+}
+
+impl ColType {
+    /// DDL spelling.
+    pub fn ddl_name(self) -> &'static str {
+        match self {
+            ColType::Int => "INT",
+            ColType::Text => "TEXT",
+        }
+    }
+}
+
+/// A parsed database: schema, contents, constraints and column types.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// The schema.
+    pub schema: Arc<Schema>,
+    /// The instance built by the INSERT statements.
+    pub instance: Instance,
+    /// Every constraint (keys, foreign keys, NOT NULLs, checks, and
+    /// free-form `CONSTRAINT` statements).
+    pub constraints: IcSet,
+    /// Declared column types per relation name.
+    pub column_types: BTreeMap<String, Vec<ColType>>,
+}
+
+impl Catalog {
+    /// Consistency under the paper's `|=_N` (convenience passthrough).
+    pub fn is_consistent(&self) -> bool {
+        cqa_constraints::is_consistent(&self.instance, &self.constraints)
+    }
+}

@@ -1,0 +1,461 @@
+//! Tokeniser shared by the DDL and logic parsers.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parsers; the original spelling is preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `:-`
+    Implies,
+    /// `->`
+    Arrow,
+    /// `|`
+    Pipe,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Leq,
+    /// `>`
+    Gt,
+    /// `>=`
+    Geq,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Render for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Int(v) => format!("integer `{v}`"),
+            Token::Str(s) => format!("string '{s}'"),
+            Token::LParen => "`(`".into(),
+            Token::RParen => "`)`".into(),
+            Token::Comma => "`,`".into(),
+            Token::Semi => "`;`".into(),
+            Token::Dot => "`.`".into(),
+            Token::Implies => "`:-`".into(),
+            Token::Arrow => "`->`".into(),
+            Token::Pipe => "`|`".into(),
+            Token::Colon => "`:`".into(),
+            Token::Eq => "`=`".into(),
+            Token::Neq => "`<>`".into(),
+            Token::Lt => "`<`".into(),
+            Token::Leq => "`<=`".into(),
+            Token::Gt => "`>`".into(),
+            Token::Geq => "`>=`".into(),
+            Token::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Tokenise the input. `--` starts a line comment.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned {
+                token: $tok,
+                line: $l,
+                column: $c,
+            })
+        };
+    }
+    while i < chars.len() {
+        let (l, c) = (line, col);
+        let ch = chars[i];
+        let advance = |i: &mut usize, col: &mut usize| {
+            *i += 1;
+            *col += 1;
+        };
+        match ch {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => advance(&mut i, &mut col),
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if chars.get(i + 1) == Some(&'>') => {
+                i += 2;
+                col += 2;
+                push!(Token::Arrow, l, c);
+            }
+            '-' if chars.get(i + 1).map(|d| d.is_ascii_digit()).unwrap_or(false) => {
+                let start = i;
+                i += 1;
+                col += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    advance(&mut i, &mut col);
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text
+                    .parse()
+                    .map_err(|_| ParseError::new(l, c, format!("bad integer `{text}`")))?;
+                push!(Token::Int(value), l, c);
+            }
+            ':' if chars.get(i + 1) == Some(&'-') => {
+                i += 2;
+                col += 2;
+                push!(Token::Implies, l, c);
+            }
+            ':' => {
+                advance(&mut i, &mut col);
+                push!(Token::Colon, l, c);
+            }
+            '(' => {
+                advance(&mut i, &mut col);
+                push!(Token::LParen, l, c);
+            }
+            ')' => {
+                advance(&mut i, &mut col);
+                push!(Token::RParen, l, c);
+            }
+            ',' => {
+                advance(&mut i, &mut col);
+                push!(Token::Comma, l, c);
+            }
+            ';' => {
+                advance(&mut i, &mut col);
+                push!(Token::Semi, l, c);
+            }
+            '.' => {
+                advance(&mut i, &mut col);
+                push!(Token::Dot, l, c);
+            }
+            '|' => {
+                advance(&mut i, &mut col);
+                push!(Token::Pipe, l, c);
+            }
+            '=' => {
+                advance(&mut i, &mut col);
+                push!(Token::Eq, l, c);
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                i += 2;
+                col += 2;
+                push!(Token::Neq, l, c);
+            }
+            '<' if chars.get(i + 1) == Some(&'>') => {
+                i += 2;
+                col += 2;
+                push!(Token::Neq, l, c);
+            }
+            '<' if chars.get(i + 1) == Some(&'=') => {
+                i += 2;
+                col += 2;
+                push!(Token::Leq, l, c);
+            }
+            '<' => {
+                advance(&mut i, &mut col);
+                push!(Token::Lt, l, c);
+            }
+            '>' if chars.get(i + 1) == Some(&'=') => {
+                i += 2;
+                col += 2;
+                push!(Token::Geq, l, c);
+            }
+            '>' => {
+                advance(&mut i, &mut col);
+                push!(Token::Gt, l, c);
+            }
+            '\'' => {
+                i += 1;
+                col += 1;
+                let mut text = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(ParseError::new(l, c, "unterminated string")),
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            text.push('\'');
+                            i += 2;
+                            col += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            col += 1;
+                            break;
+                        }
+                        Some('\n') => {
+                            return Err(ParseError::new(l, c, "unterminated string"))
+                        }
+                        Some(other) => {
+                            text.push(*other);
+                            i += 1;
+                            col += 1;
+                        }
+                    }
+                }
+                push!(Token::Str(text), l, c);
+            }
+            d if d.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    advance(&mut i, &mut col);
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text
+                    .parse()
+                    .map_err(|_| ParseError::new(l, c, format!("bad integer `{text}`")))?;
+                push!(Token::Int(value), l, c);
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                {
+                    advance(&mut i, &mut col);
+                }
+                push!(Token::Ident(chars[start..i].iter().collect()), l, c);
+            }
+            other => {
+                return Err(ParseError::new(l, c, format!("unexpected character `{other}`")))
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+        column: col,
+    });
+    Ok(out)
+}
+
+/// Cursor over a token stream, shared by the parsers.
+pub struct Cursor {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Wrap a token stream.
+    pub fn new(tokens: Vec<Spanned>) -> Self {
+        Cursor { tokens, pos: 0 }
+    }
+
+    /// Current token.
+    pub fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    /// Advance and return the token.
+    #[allow(clippy::should_implement_trait)] // a cursor, not an iterator
+    pub fn next(&mut self) -> Spanned {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Error at the current position.
+    pub fn error(&self, message: impl Into<String>) -> ParseError {
+        let at = self.peek();
+        ParseError::new(at.line, at.column, message)
+    }
+
+    /// Consume a specific token or fail.
+    pub fn expect(&mut self, token: Token) -> Result<(), ParseError> {
+        if self.peek().token == token {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                token.describe(),
+                self.peek().token.describe()
+            )))
+        }
+    }
+
+    /// Consume an identifier (any spelling) or fail.
+    pub fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().token {
+            Token::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    /// Consume a keyword (case-insensitive) or fail.
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.peek().token {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.next();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    /// Is the current token the given keyword?
+    pub fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().token, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the keyword if present.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the token if present.
+    pub fn eat(&mut self, token: &Token) -> bool {
+        if &self.peek().token == token {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// At end of input?
+    pub fn at_eof(&self) -> bool {
+        self.peek().token == Token::Eof
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_punctuation() {
+        let toks = kinds("CREATE TABLE r (x INT);");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("CREATE".into()),
+                Token::Ident("TABLE".into()),
+                Token::Ident("r".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::Ident("INT".into()),
+                Token::RParen,
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![Token::Str("it's".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_including_negative() {
+        assert_eq!(
+            kinds("42 -7"),
+            vec![Token::Int(42), Token::Int(-7), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >= -> :- : | ."),
+            vec![
+                Token::Eq,
+                Token::Neq,
+                Token::Neq,
+                Token::Lt,
+                Token::Leq,
+                Token::Gt,
+                Token::Geq,
+                Token::Arrow,
+                Token::Implies,
+                Token::Colon,
+                Token::Pipe,
+                Token::Dot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a -- comment to end of line\nb"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("ok\n  @").unwrap_err();
+        assert_eq!((err.line, err.column), (2, 3));
+        let err2 = lex("'unterminated").unwrap_err();
+        assert!(err2.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn cursor_basics() {
+        let mut cur = Cursor::new(lex("a, b").unwrap());
+        assert_eq!(cur.expect_ident().unwrap(), "a");
+        assert!(cur.eat(&Token::Comma));
+        assert!(cur.at_keyword("B"));
+        assert!(cur.expect_keyword("b").is_ok());
+        assert!(cur.at_eof());
+        // Cursor never advances past EOF.
+        cur.next();
+        assert!(cur.at_eof());
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # cqa-sql
+//!
+//! Text front-end for the *nullcqa* workspace: a small SQL DDL/DML subset
+//! plus a first-order rule syntax for integrity constraints and queries.
+//!
+//! The paper's machinery starts from a schema, an instance and a set of
+//! constraints; this crate lets all three be written as text:
+//!
+//! ```text
+//! CREATE TABLE r (x TEXT NOT NULL, y TEXT, PRIMARY KEY (x));
+//! CREATE TABLE s (u TEXT, v TEXT, FOREIGN KEY (v) REFERENCES r(x));
+//! INSERT INTO r VALUES ('a', 'b'), ('a', 'c');
+//! INSERT INTO s VALUES ('e', 'f'), (NULL, 'a');
+//! CONSTRAINT audit: r(x, y) -> y <> 'z';
+//! ```
+//!
+//! and queries in Datalog style:
+//!
+//! ```text
+//! q(x) :- r(x, y), not s(y, y), y <> 'b'.
+//! ```
+//!
+//! The DDL subset covers exactly the constraint classes of the paper's
+//! Section 3 (primary keys, foreign keys, NOT NULL, check constraints);
+//! the `CONSTRAINT` statement covers the general form (1). Everything
+//! parses into the `cqa-relational` / `cqa-constraints` / `cqa-core`
+//! types — this crate owns no semantics.
+
+pub mod catalog;
+pub mod ddl;
+pub mod error;
+pub mod lexer;
+pub mod logic;
+pub mod pretty;
+
+pub use catalog::Catalog;
+pub use ddl::parse_script;
+pub use error::ParseError;
+pub use logic::{parse_constraint, parse_query};

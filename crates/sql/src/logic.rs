@@ -1,0 +1,398 @@
+//! First-order rule syntax: constraints of the paper's form (1) and
+//! Datalog-style queries.
+//!
+//! Constraint grammar (whitespace-insensitive, `--` comments):
+//!
+//! ```text
+//! constraint := body "->" consequent
+//! body       := atom ("," atom)*
+//! consequent := "false"
+//!             | ["exists" var ("," var)* ":"] disjunct ("|" disjunct)*
+//! disjunct   := atom | term op term
+//! atom       := relname "(" term ("," term)* ")"
+//! term       := var | integer | 'string'
+//! op         := "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+//! notnull    := "not" "null" relname "(" colname ")"
+//! ```
+//!
+//! Query grammar: one or more rules `name(vars) :- literal, … .` where a
+//! literal is an atom, `not atom`, or a comparison; rules sharing the name
+//! form a union.
+
+use crate::error::ParseError;
+use crate::lexer::{lex, Cursor, Token};
+use cqa_constraints::{Constraint, Ic, IcBuilder, Nnc, TermSpec};
+use cqa_core::{ConjunctiveQuery, Query};
+use cqa_relational::{Schema, Value};
+use std::collections::BTreeMap;
+
+/// Comparison operators shared by both grammars.
+pub(crate) fn parse_op(cur: &mut Cursor) -> Result<cqa_constraints::CmpOp, ParseError> {
+    use cqa_constraints::CmpOp::*;
+    let op = match cur.peek().token {
+        Token::Eq => Eq,
+        Token::Neq => Neq,
+        Token::Lt => Lt,
+        Token::Leq => Leq,
+        Token::Gt => Gt,
+        Token::Geq => Geq,
+        _ => return Err(cur.error("expected a comparison operator")),
+    };
+    cur.next();
+    Ok(op)
+}
+
+fn parse_term(cur: &mut Cursor) -> Result<TermSpec, ParseError> {
+    match cur.peek().token.clone() {
+        Token::Ident(name) => {
+            cur.next();
+            if name.eq_ignore_ascii_case("null") {
+                Err(cur.error("`null` cannot appear in a constraint; use `not null r(col)`"))
+            } else {
+                Ok(TermSpec::Var(name))
+            }
+        }
+        Token::Int(v) => {
+            cur.next();
+            Ok(TermSpec::Const(Value::Int(v)))
+        }
+        Token::Str(s) => {
+            cur.next();
+            Ok(TermSpec::Const(Value::str(s)))
+        }
+        other => Err(cur.error(format!("expected a term, found {}", other.describe()))),
+    }
+}
+
+fn parse_terms(cur: &mut Cursor) -> Result<Vec<TermSpec>, ParseError> {
+    cur.expect(Token::LParen)?;
+    let mut terms = vec![parse_term(cur)?];
+    while cur.eat(&Token::Comma) {
+        terms.push(parse_term(cur)?);
+    }
+    cur.expect(Token::RParen)?;
+    Ok(terms)
+}
+
+/// Parse one constraint from text.
+pub fn parse_constraint(
+    schema: &Schema,
+    name: &str,
+    input: &str,
+) -> Result<Constraint, ParseError> {
+    let mut cur = Cursor::new(lex(input)?);
+    let con = parse_constraint_tokens(schema, name, &mut cur)?;
+    if !cur.at_eof() {
+        return Err(cur.error(format!(
+            "trailing input after constraint: {}",
+            cur.peek().token.describe()
+        )));
+    }
+    Ok(con)
+}
+
+/// Parse a constraint from an existing token cursor (used by the DDL
+/// parser for `CONSTRAINT name: …;` statements).
+pub fn parse_constraint_tokens(
+    schema: &Schema,
+    name: &str,
+    cur: &mut Cursor,
+) -> Result<Constraint, ParseError> {
+    // NOT NULL form.
+    if cur.at_keyword("not") {
+        cur.next();
+        cur.expect_keyword("null")?;
+        let rel = cur.expect_ident()?;
+        cur.expect(Token::LParen)?;
+        let col = cur.expect_ident()?;
+        cur.expect(Token::RParen)?;
+        let rel_id = schema
+            .rel_id(&rel)
+            .ok_or_else(|| cur.error(format!("unknown relation `{rel}`")))?;
+        let position = schema
+            .relation(rel_id)
+            .position_of(&col)
+            .ok_or_else(|| cur.error(format!("unknown column `{col}` of `{rel}`")))?;
+        let nnc = Nnc::new(schema, name, &rel, position)
+            .map_err(|e| cur.error(e.to_string()))?;
+        return Ok(Constraint::NotNull(nnc));
+    }
+
+    let mut builder = Ic::builder(schema, name);
+    // Body atoms.
+    loop {
+        let rel = cur.expect_ident()?;
+        let terms = parse_terms(cur)?;
+        builder = builder.body_atom(&rel, terms);
+        if !cur.eat(&Token::Comma) {
+            break;
+        }
+    }
+    cur.expect(Token::Arrow)?;
+    // Consequent.
+    if cur.eat_keyword("false") {
+        return finish(builder, cur);
+    }
+    // Optional `exists v1, v2:` — the existential variables are inferred
+    // anyway; the clause is validated for consistency.
+    let mut declared_exists: Vec<String> = Vec::new();
+    if cur.eat_keyword("exists") {
+        declared_exists.push(cur.expect_ident()?);
+        while cur.eat(&Token::Comma) {
+            declared_exists.push(cur.expect_ident()?);
+        }
+        cur.expect(Token::Colon)?;
+    }
+    loop {
+        // Disjunct: atom or comparison. An identifier followed by `(` is
+        // an atom; anything else is a comparison.
+        let is_atom = matches!(&cur.peek().token, Token::Ident(id)
+            if !id.eq_ignore_ascii_case("false"))
+            && {
+                // lookahead: clone a cursor? cheap: peek after ident needs
+                // duplication; instead parse ident, then decide.
+                true
+            };
+        if is_atom {
+            let ident = cur.expect_ident()?;
+            if cur.peek().token == Token::LParen {
+                let terms = parse_terms(cur)?;
+                builder = builder.head_atom(&ident, terms);
+            } else {
+                // comparison with variable lhs.
+                let op = parse_op(cur)?;
+                let rhs = parse_term(cur)?;
+                builder = builder.builtin(TermSpec::Var(ident), op, rhs);
+            }
+        } else {
+            let lhs = parse_term(cur)?;
+            let op = parse_op(cur)?;
+            let rhs = parse_term(cur)?;
+            builder = builder.builtin(lhs, op, rhs);
+        }
+        if !cur.eat(&Token::Pipe) {
+            break;
+        }
+    }
+    let con = finish(builder, cur)?;
+    // Validate a declared exists-clause against the inferred set.
+    if !declared_exists.is_empty() {
+        if let Constraint::Tgd(ic) = &con {
+            let inferred: Vec<&str> = ic
+                .existential_vars()
+                .iter()
+                .map(|v| ic.var_name(*v))
+                .collect();
+            for d in &declared_exists {
+                if !inferred.contains(&d.as_str()) {
+                    return Err(cur.error(format!(
+                        "`exists {d}` declared but `{d}` also occurs in the body"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(con)
+}
+
+fn finish(builder: IcBuilder<'_>, cur: &Cursor) -> Result<Constraint, ParseError> {
+    builder
+        .finish()
+        .map(Constraint::Tgd)
+        .map_err(|e| cur.error(e.to_string()))
+}
+
+/// Parse a query program: one or more Datalog rules; rules with the same
+/// head predicate form a union. Returns the query named `name` (or the
+/// only query if `name` is `None`).
+pub fn parse_query(schema: &Schema, input: &str) -> Result<Query, ParseError> {
+    let mut cur = Cursor::new(lex(input)?);
+    let mut by_name: BTreeMap<String, Vec<ConjunctiveQuery>> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    while !cur.at_eof() {
+        let (name, cq) = parse_rule(schema, &mut cur)?;
+        if !by_name.contains_key(&name) {
+            order.push(name.clone());
+        }
+        by_name.entry(name).or_default().push(cq);
+    }
+    if order.is_empty() {
+        return Err(cur.error("no query rules found"));
+    }
+    if order.len() > 1 {
+        return Err(cur.error(format!(
+            "multiple query predicates defined ({}); write one query per call",
+            order.join(", ")
+        )));
+    }
+    let disjuncts = by_name.remove(&order[0]).expect("present");
+    Query::union(disjuncts).map_err(|e| cur.error(e.to_string()))
+}
+
+fn parse_rule(
+    schema: &Schema,
+    cur: &mut Cursor,
+) -> Result<(String, ConjunctiveQuery), ParseError> {
+    let name = cur.expect_ident()?;
+    cur.expect(Token::LParen)?;
+    let mut head_vars: Vec<String> = Vec::new();
+    if cur.peek().token != Token::RParen {
+        head_vars.push(cur.expect_ident()?);
+        while cur.eat(&Token::Comma) {
+            head_vars.push(cur.expect_ident()?);
+        }
+    }
+    cur.expect(Token::RParen)?;
+    cur.expect(Token::Implies)?;
+    let mut builder = ConjunctiveQuery::builder(schema, name.clone(), head_vars);
+    loop {
+        if cur.eat_keyword("not") {
+            let rel = cur.expect_ident()?;
+            let terms = parse_terms(cur)?;
+            builder = builder.not_atom(&rel, terms);
+        } else {
+            let ident_or_term = cur.peek().token.clone();
+            match ident_or_term {
+                Token::Ident(id) => {
+                    cur.next();
+                    if cur.peek().token == Token::LParen {
+                        let terms = parse_terms(cur)?;
+                        builder = builder.atom(&id, terms);
+                    } else {
+                        let op = parse_op(cur)?;
+                        let rhs = parse_term(cur)?;
+                        builder = builder.cmp(TermSpec::Var(id), op, rhs);
+                    }
+                }
+                _ => {
+                    let lhs = parse_term(cur)?;
+                    let op = parse_op(cur)?;
+                    let rhs = parse_term(cur)?;
+                    builder = builder.cmp(lhs, op, rhs);
+                }
+            }
+        }
+        if cur.eat(&Token::Comma) {
+            continue;
+        }
+        cur.expect(Token::Dot)?;
+        break;
+    }
+    let cq = builder.finish().map_err(|e| cur.error(e.to_string()))?;
+    Ok((name, cq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::classify::{classify, IcClass};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .relation("p", ["a", "b", "c"])
+            .relation("r", ["x", "y"])
+            .relation("t", ["u"])
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn parse_universal_constraint() {
+        let sc = schema();
+        let con = parse_constraint(&sc, "u1", "p(x, y, z) -> r(x, y)").unwrap();
+        let ic = con.as_ic().unwrap();
+        assert_eq!(classify(ic), IcClass::Universal);
+        assert_eq!(ic.display(&sc).to_string(), "p(x, y, z) -> r(x, y)");
+    }
+
+    #[test]
+    fn parse_referential_with_exists() {
+        let sc = schema();
+        let con = parse_constraint(&sc, "fk", "r(x, y) -> exists w: p(x, y, w)").unwrap();
+        let ic = con.as_ic().unwrap();
+        assert_eq!(classify(ic), IcClass::Referential);
+        // exists clause optional:
+        let con2 = parse_constraint(&sc, "fk", "r(x, y) -> p(x, y, w)").unwrap();
+        assert_eq!(con2.as_ic().unwrap().existential_vars().len(), 1);
+    }
+
+    #[test]
+    fn parse_denial_and_checks() {
+        let sc = schema();
+        let den = parse_constraint(&sc, "d", "t(x), r(x, y) -> false").unwrap();
+        assert!(cqa_constraints::classify::is_denial(den.as_ic().unwrap()));
+        let chk = parse_constraint(&sc, "c", "r(x, y) -> y > 3 | y = 0").unwrap();
+        assert_eq!(chk.as_ic().unwrap().builtins().len(), 2);
+        let fd = parse_constraint(&sc, "fd", "r(x, y), r(x, z) -> y = z").unwrap();
+        assert_eq!(fd.as_ic().unwrap().body().len(), 2);
+    }
+
+    #[test]
+    fn parse_disjunctive_head_and_constants() {
+        let sc = schema();
+        let con =
+            parse_constraint(&sc, "m", "p(x, y, z) -> r(x, 'lit') | t(x) | y <> 5").unwrap();
+        let ic = con.as_ic().unwrap();
+        assert_eq!(ic.head().len(), 2);
+        assert_eq!(ic.builtins().len(), 1);
+    }
+
+    #[test]
+    fn parse_not_null() {
+        let sc = schema();
+        let con = parse_constraint(&sc, "nn", "not null r(y)").unwrap();
+        let nnc = con.as_nnc().unwrap();
+        assert_eq!(nnc.position, 1);
+    }
+
+    #[test]
+    fn constraint_errors() {
+        let sc = schema();
+        assert!(parse_constraint(&sc, "e", "z(x) -> false").is_err()); // unknown rel
+        assert!(parse_constraint(&sc, "e", "r(x) -> false").is_err()); // arity
+        assert!(parse_constraint(&sc, "e", "r(x, y) ->").is_err()); // empty consequent
+        assert!(parse_constraint(&sc, "e", "r(x, null) -> false").is_err()); // null term
+        assert!(parse_constraint(&sc, "e", "not null r(zzz)").is_err()); // bad column
+        assert!(parse_constraint(&sc, "e", "r(x, y) -> t(x) extra").is_err()); // trailing
+        // declared exists var that is actually universal:
+        assert!(parse_constraint(&sc, "e", "r(x, y) -> exists x: p(x, y, w)").is_err());
+    }
+
+    #[test]
+    fn parse_simple_query() {
+        let sc = schema();
+        let q = parse_query(&sc, "q(x) :- r(x, y), not t(y), y <> 'b'.").unwrap();
+        assert_eq!(q.arity(), 1);
+        assert_eq!(q.disjuncts().len(), 1);
+    }
+
+    #[test]
+    fn parse_union_query() {
+        let sc = schema();
+        let q = parse_query(&sc, "q(x) :- r(x, y). q(x) :- t(x).").unwrap();
+        assert_eq!(q.disjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parse_boolean_query() {
+        let sc = schema();
+        let q = parse_query(&sc, "yes() :- t('a').").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn query_errors() {
+        let sc = schema();
+        assert!(parse_query(&sc, "").is_err());
+        assert!(parse_query(&sc, "q(x) :- r(x, y). p(x) :- t(x).").is_err()); // two predicates
+        assert!(parse_query(&sc, "q(z) :- r(x, y).").is_err()); // unsafe head
+        assert!(parse_query(&sc, "q(x) :- r(x, y)").is_err()); // missing dot
+    }
+
+    #[test]
+    fn query_with_constants_and_comparisons() {
+        let sc = schema();
+        let q = parse_query(&sc, "q(x) :- p(x, 'k', z), z >= 10, x != 0.").unwrap();
+        assert_eq!(q.disjuncts()[0].arity(), 1);
+    }
+}

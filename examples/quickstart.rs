@@ -1,0 +1,54 @@
+//! Quickstart: load an inconsistent database, inspect violations,
+//! enumerate repairs, and ask for consistent answers.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cqa::Database;
+
+fn main() -> Result<(), cqa::Error> {
+    // The paper's running Example 19: a key violation in `r` and a
+    // dangling foreign key in `s`.
+    let db = Database::from_script(
+        "CREATE TABLE r (x TEXT PRIMARY KEY, y TEXT);
+         CREATE TABLE s (u TEXT, v TEXT, FOREIGN KEY (v) REFERENCES r(x));
+         INSERT INTO r VALUES ('a', 'b'), ('a', 'c');
+         INSERT INTO s VALUES ('e', 'f'), (NULL, 'a');",
+    )?;
+
+    println!("== the database ==");
+    println!("{}", db.tables());
+
+    println!("== consistency ==");
+    println!("consistent: {}", db.is_consistent());
+    for v in db.violations() {
+        println!("  violation: {v}");
+    }
+
+    println!("\n== repairs (Definition 7) ==");
+    for (i, repair) in db.repairs()?.iter().enumerate() {
+        println!(
+            "  repair {}: {}",
+            i + 1,
+            cqa::relational::display::instance_set(repair)
+        );
+    }
+
+    println!("\n== consistent query answering (Definition 8) ==");
+    // Which values are referenced by s in *every* repair?
+    let q = "referenced(v) :- s(u, v).";
+    println!("  query: {q}");
+    for t in db.consistent_answers(q)? {
+        println!("  consistent answer: {t}");
+    }
+    // Compare with the (unreliable) answers on the inconsistent database:
+    for t in db.answers(q)? {
+        println!("  plain answer:      {t}");
+    }
+
+    // Boolean queries work too:
+    println!(
+        "  is 'a' certainly referenced? {}",
+        db.consistent_answer_boolean("b() :- s(u, 'a').")?
+    );
+    Ok(())
+}

@@ -1,0 +1,382 @@
+#![warn(missing_docs)]
+
+//! # cqa — consistent query answering with null values
+//!
+//! A complete, from-scratch implementation of
+//!
+//! > Loreto Bravo and Leopoldo Bertossi.
+//! > *Semantically Correct Query Answers in the Presence of Null Values.*
+//! > EDBT 2006 workshops / arXiv cs/0604076.
+//!
+//! An inconsistent database still contains mostly-consistent data. This
+//! library answers queries *consistently* — returning exactly the answers
+//! that hold in **every** minimal repair of the database — under a
+//! null-value semantics that matches what commercial DBMSs actually do
+//! with `NULL`, and that repairs referential constraints by inserting
+//! `null` rather than inventing values.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cqa::Database;
+//!
+//! let mut db = Database::from_script(
+//!     "CREATE TABLE r (x TEXT PRIMARY KEY, y TEXT);
+//!      CREATE TABLE s (u TEXT, v TEXT, FOREIGN KEY (v) REFERENCES r(x));
+//!      INSERT INTO r VALUES ('a', 'b'), ('a', 'c');   -- key violation
+//!      INSERT INTO s VALUES ('e', 'f'), (NULL, 'a');  -- dangling FK
+//!     ",
+//! )
+//! .unwrap();
+//! assert!(!db.is_consistent());
+//! assert_eq!(db.repairs().unwrap().len(), 4); // the paper's Example 19
+//!
+//! // 'a' appears as a referenced key in every repair:
+//! let answers = db.consistent_answers("q(v) :- s(u, v).").unwrap();
+//! assert_eq!(answers.len(), 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Layer | Crate | Paper sections |
+//! |-------|-------|----------------|
+//! | values, schemas, instances, Δ | [`relational`] | §2 |
+//! | constraints, `A(ψ)`, `⊨_N` | [`constraints`] | §2–3 |
+//! | disjunctive ASP engine | [`asp`] | §5–6 substrate |
+//! | repairs, Π(D,IC), CQA | [`core`] | §4–6 |
+//! | SQL/Datalog front-end | [`sql`] | — |
+//!
+//! The facade [`Database`] type bundles the common path; drop to the
+//! re-exported crates for full control (repair semantics, program styles,
+//! alternative null semantics, the classic repair baseline, …).
+
+pub use cqa_asp as asp;
+pub use cqa_constraints as constraints;
+pub use cqa_core as core;
+pub use cqa_relational as relational;
+pub use cqa_sql as sql;
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::Database;
+    pub use cqa_constraints::{
+        builders, c, v, CmpOp, Constraint, Ic, IcSet, Nnc, SatMode,
+    };
+    pub use cqa_core::{
+        consistent_answers, repairs, ConjunctiveQuery, ProgramStyle, Query, RepairConfig,
+        RepairSemantics,
+    };
+    pub use cqa_relational::{i, null, s, Instance, Schema, Tuple, Value};
+}
+
+use cqa_constraints::IcSet;
+use cqa_core::query::AnswerSemantics;
+use cqa_core::{CoreError, ProgramStyle, RepairConfig};
+use cqa_relational::{Instance, Schema, Tuple};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum Error {
+    /// Parse error from the SQL/Datalog front-end.
+    Parse(cqa_sql::ParseError),
+    /// Repair/CQA-layer error.
+    Core(CoreError),
+    /// Relational-layer error.
+    Relational(cqa_relational::RelationalError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Relational(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<cqa_sql::ParseError> for Error {
+    fn from(e: cqa_sql::ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<cqa_relational::RelationalError> for Error {
+    fn from(e: cqa_relational::RelationalError) -> Self {
+        Error::Relational(e)
+    }
+}
+
+/// A database with integrity constraints: the high-level entry point.
+#[derive(Debug, Clone)]
+pub struct Database {
+    instance: Instance,
+    constraints: IcSet,
+    config: RepairConfig,
+    program_style: ProgramStyle,
+}
+
+impl Database {
+    /// Build from a SQL script (see [`cqa_sql::parse_script`] for the
+    /// grammar).
+    pub fn from_script(script: &str) -> Result<Self, Error> {
+        let catalog = cqa_sql::parse_script(script)?;
+        Ok(Database {
+            instance: catalog.instance,
+            constraints: catalog.constraints,
+            config: RepairConfig::default(),
+            program_style: ProgramStyle::default(),
+        })
+    }
+
+    /// Build from parts.
+    pub fn new(instance: Instance, constraints: IcSet) -> Self {
+        Database {
+            instance,
+            constraints,
+            config: RepairConfig::default(),
+            program_style: ProgramStyle::default(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.instance.schema()
+    }
+
+    /// The current instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The constraint set.
+    pub fn constraints(&self) -> &IcSet {
+        &self.constraints
+    }
+
+    /// Mutable access to the instance (for programmatic loading).
+    pub fn instance_mut(&mut self) -> &mut Instance {
+        &mut self.instance
+    }
+
+    /// Override the repair-search configuration.
+    pub fn with_config(mut self, config: RepairConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Override the repair-program style.
+    pub fn with_program_style(mut self, style: ProgramStyle) -> Self {
+        self.program_style = style;
+        self
+    }
+
+    /// Add a constraint from text, e.g. `"r(x, y) -> exists z: s(x, z)"`
+    /// or `"not null r(y)"`.
+    pub fn add_constraint(&mut self, name: &str, text: &str) -> Result<(), Error> {
+        let con = cqa_sql::parse_constraint(self.schema(), name, text)?;
+        self.constraints.push(con);
+        Ok(())
+    }
+
+    /// Insert a tuple.
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        tuple: impl Into<Tuple>,
+    ) -> Result<bool, Error> {
+        Ok(self.instance.insert_named(relation, tuple)?)
+    }
+
+    /// Is the database consistent under the paper's `|=_N`?
+    pub fn is_consistent(&self) -> bool {
+        cqa_constraints::is_consistent(&self.instance, &self.constraints)
+    }
+
+    /// Human-readable violation reports.
+    pub fn violations(&self) -> Vec<String> {
+        cqa_constraints::violations(
+            &self.instance,
+            &self.constraints,
+            cqa_constraints::SatMode::NullAware,
+        )
+        .iter()
+        .map(|v| v.display(self.schema(), &self.constraints))
+        .collect()
+    }
+
+    /// All repairs (Definition 7).
+    pub fn repairs(&self) -> Result<Vec<Instance>, Error> {
+        Ok(cqa_core::repairs_with_config(
+            &self.instance,
+            &self.constraints,
+            self.config,
+        )?)
+    }
+
+    /// Repairs via the Definition-9 logic program (Theorem 4 route).
+    pub fn repairs_via_program(&self) -> Result<Vec<Instance>, Error> {
+        Ok(cqa_core::repairs_via_program(
+            &self.instance,
+            &self.constraints,
+            self.program_style,
+        )?)
+    }
+
+    /// The repair program Π(D, IC), rendered.
+    pub fn repair_program_text(&self) -> Result<String, Error> {
+        let p = cqa_core::repair_program(&self.instance, &self.constraints, self.program_style)?;
+        Ok(p.to_string())
+    }
+
+    /// Consistent answers (Definition 8) for a Datalog-style query, e.g.
+    /// `"q(x) :- r(x, y), not s(y), y <> 'b'."`.
+    pub fn consistent_answers(&self, query: &str) -> Result<BTreeSet<Tuple>, Error> {
+        let q = cqa_sql::parse_query(self.schema(), query)?;
+        let answers = cqa_core::consistent_answers(
+            &self.instance,
+            &self.constraints,
+            &q,
+            self.config,
+            AnswerSemantics::IncludeNullAnswers,
+        )?;
+        Ok(answers.tuples)
+    }
+
+    /// Consistent answer for a boolean query: `yes`/`no`.
+    pub fn consistent_answer_boolean(&self, query: &str) -> Result<bool, Error> {
+        let q = cqa_sql::parse_query(self.schema(), query)?;
+        let answers = cqa_core::consistent_answers(
+            &self.instance,
+            &self.constraints,
+            &q,
+            self.config,
+            AnswerSemantics::IncludeNullAnswers,
+        )?;
+        Ok(answers.is_yes())
+    }
+
+    /// Plain (possibly inconsistent) answers on the current instance.
+    pub fn answers(&self, query: &str) -> Result<BTreeSet<Tuple>, Error> {
+        let q = cqa_sql::parse_query(self.schema(), query)?;
+        Ok(q.eval(&self.instance))
+    }
+
+    /// Consistent answers under SQL's three-valued null reading for the
+    /// query itself (joins/comparisons touching null are unknown) — the
+    /// `|=q_N` variant of the paper's Section 7(a).
+    pub fn consistent_answers_sql(&self, query: &str) -> Result<BTreeSet<Tuple>, Error> {
+        let q = cqa_sql::parse_query(self.schema(), query)?;
+        let answers = cqa_core::consistent_answers_full(
+            &self.instance,
+            &self.constraints,
+            &q,
+            self.config,
+            AnswerSemantics::IncludeNullAnswers,
+            cqa_core::QueryNullSemantics::SqlThreeValued,
+        )?;
+        Ok(answers.tuples)
+    }
+
+    /// Repairs together with the decision steps that produced them
+    /// (which constraint fired, what was inserted/deleted).
+    pub fn repairs_with_trace(&self) -> Result<Vec<cqa_core::TracedRepair>, Error> {
+        Ok(cqa_core::repairs_with_trace(
+            &self.instance,
+            &self.constraints,
+            self.config,
+        )?)
+    }
+
+    /// Render the instance as ASCII tables.
+    pub fn tables(&self) -> String {
+        cqa_relational::display::instance_tables(&self.instance)
+    }
+}
+
+/// Re-export of commonly used leaf types at the crate root.
+pub use cqa_core::query::AnswerSemantics as NullAnswerSemantics;
+pub use cqa_relational::{i, null, s, Value as DbValue};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example19_db() -> Database {
+        Database::from_script(
+            "CREATE TABLE r (x TEXT PRIMARY KEY, y TEXT);
+             CREATE TABLE s (u TEXT, v TEXT, FOREIGN KEY (v) REFERENCES r(x));
+             INSERT INTO r VALUES ('a', 'b'), ('a', 'c');
+             INSERT INTO s VALUES ('e', 'f'), (NULL, 'a');",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn facade_end_to_end() {
+        let db = example19_db();
+        assert!(!db.is_consistent());
+        assert_eq!(db.violations().len(), 3); // FD both directions + FK
+        assert_eq!(db.repairs().unwrap().len(), 4);
+        assert_eq!(db.repairs_via_program().unwrap(), db.repairs().unwrap());
+        let answers = db.consistent_answers("q(v) :- s(u, v).").unwrap();
+        assert_eq!(answers.len(), 1);
+        assert!(db.consistent_answer_boolean("b() :- s(u, 'a').").unwrap());
+        assert!(!db.consistent_answer_boolean("b() :- s(u, 'f').").unwrap());
+    }
+
+    #[test]
+    fn facade_mutation_and_constraints() {
+        let mut db = Database::from_script(
+            "CREATE TABLE p (a TEXT, b TEXT);
+             CREATE TABLE q (x TEXT);",
+        )
+        .unwrap();
+        db.insert("p", [s("1"), s("2")]).unwrap();
+        assert!(db.is_consistent());
+        db.add_constraint("incl", "p(x, y) -> q(x)").unwrap();
+        assert!(!db.is_consistent());
+        assert_eq!(db.repairs().unwrap().len(), 2);
+        assert!(db.repair_program_text().unwrap().contains("p_fa"));
+    }
+
+    #[test]
+    fn facade_plain_answers_differ_from_consistent_ones() {
+        let db = example19_db();
+        let plain = db.answers("q(v) :- s(u, v).").unwrap();
+        let consistent = db.consistent_answers("q(v) :- s(u, v).").unwrap();
+        assert_eq!(plain.len(), 2);
+        assert_eq!(consistent.len(), 1);
+        assert!(consistent.is_subset(&plain));
+    }
+
+    #[test]
+    fn traces_and_sql_semantics_via_facade() {
+        let db = example19_db();
+        let traced = db.repairs_with_trace().unwrap();
+        assert_eq!(traced.len(), 4);
+        assert!(traced.iter().all(|t| !t.steps.is_empty()));
+        // SQL-mode CQA runs and returns a subset of as-value CQA.
+        let sql = db.consistent_answers_sql("q(v) :- s(u, v).").unwrap();
+        let plain = db.consistent_answers("q(v) :- s(u, v).").unwrap();
+        assert!(sql.is_subset(&plain));
+    }
+
+    #[test]
+    fn tables_render() {
+        let db = example19_db();
+        let text = db.tables();
+        assert!(text.contains("r\n"));
+        assert!(text.contains("null"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property suite for the ASP substrate: the DPLL + GL-reduct stable-model
+//! enumeration agrees with a brute-force subset oracle on random ground
+//! programs, and the shift transformation preserves stable models on
+//! head-cycle-free programs.
+
+use cqa::asp::{is_hcf, is_stable, shift, stable_models, GroundProgram, GroundRule};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Build a ground program over `n` propositional atoms from rule specs.
+fn build(n: u32, rules: &[(Vec<u32>, Vec<u32>, Vec<u32>)]) -> GroundProgram {
+    let mut gp = GroundProgram::default();
+    for a in 0..n {
+        gp.intern(cqa::asp::GroundAtom {
+            pred: cqa::asp::PredId(a),
+            args: vec![],
+        });
+    }
+    for (head, pos, neg) in rules {
+        let clean = |v: &Vec<u32>| {
+            let mut out: Vec<u32> = v.iter().map(|x| x % n).collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        };
+        let rule = GroundRule {
+            head: clean(head),
+            pos: clean(pos),
+            neg: clean(neg),
+        };
+        // skip tautologies the grounder would drop
+        if rule.head.iter().any(|h| rule.pos.contains(h)) {
+            continue;
+        }
+        gp.push_rule(rule);
+    }
+    gp
+}
+
+/// Brute-force stable models: every subset, classical-model + reduct
+/// minimality checks via the public `is_stable`.
+fn oracle(gp: &GroundProgram) -> Vec<BTreeSet<u32>> {
+    let n = gp.atom_count();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n) {
+        let m: BTreeSet<u32> = (0..n as u32).filter(|a| mask & (1 << a) != 0).collect();
+        let classical = gp.rules.iter().all(|r| {
+            let body = r.pos.iter().all(|p| m.contains(p))
+                && r.neg.iter().all(|x| !m.contains(x));
+            !body || r.head.iter().any(|h| m.contains(h))
+        });
+        if classical && is_stable(gp, &m) {
+            out.push(m);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn rule_strategy(n: u32) -> impl Strategy<Value = (Vec<u32>, Vec<u32>, Vec<u32>)> {
+    (
+        proptest::collection::vec(0..n, 0..3),
+        proptest::collection::vec(0..n, 0..3),
+        proptest::collection::vec(0..n, 0..2),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_equals_oracle(
+        rules in proptest::collection::vec(rule_strategy(6), 1..7),
+    ) {
+        let gp = build(6, &rules);
+        prop_assert_eq!(stable_models(&gp), oracle(&gp));
+    }
+
+    #[test]
+    fn shift_preserves_stable_models_on_hcf(
+        rules in proptest::collection::vec(rule_strategy(6), 1..7),
+    ) {
+        let gp = build(6, &rules);
+        prop_assume!(is_hcf(&gp));
+        let shifted = shift(&gp).unwrap();
+        prop_assert!(shifted.is_normal());
+        prop_assert_eq!(stable_models(&gp), stable_models(&shifted));
+    }
+
+    #[test]
+    fn stable_models_are_minimal_reduct_models(
+        rules in proptest::collection::vec(rule_strategy(5), 1..6),
+    ) {
+        let gp = build(5, &rules);
+        for m in stable_models(&gp) {
+            // No proper subset of a stable model is also stable w.r.t.
+            // the *same* model's reduct (minimality sanity).
+            prop_assert!(is_stable(&gp, &m));
+            for drop in m.iter().copied().collect::<Vec<_>>() {
+                let mut smaller = m.clone();
+                smaller.remove(&drop);
+                // smaller may be a classical model, but never the same
+                // stable model (stability is about the reduct of m).
+                prop_assert_ne!(&smaller, &m);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_program_has_empty_stable_model() {
+    let gp = build(3, &[]);
+    assert_eq!(stable_models(&gp), vec![BTreeSet::new()]);
+}
+
+#[test]
+fn facts_force_atoms() {
+    // a. b ∨ c ← a.
+    let gp = build(3, &[(vec![0], vec![], vec![]), (vec![1, 2], vec![0], vec![])]);
+    let models = stable_models(&gp);
+    assert_eq!(models.len(), 2);
+    assert!(models.iter().all(|m| m.contains(&0) && m.len() == 2));
+}

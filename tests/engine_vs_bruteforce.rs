@@ -1,0 +1,168 @@
+//! Property suite: the decision-search repair engine agrees with the
+//! brute-force oracle that enumerates the entire Proposition-1 candidate
+//! space, on randomly generated small databases and constraint sets.
+//!
+//! This is the strongest correctness evidence for the repair semantics:
+//! the oracle implements Definitions 6–7 literally (every subset of the
+//! atom universe, filtered by `|=_N`, minimised under `≤_D`), with no
+//! shared code with the engine's search.
+
+use cqa::constraints::{builders, v, Constraint, Ic, IcSet};
+use cqa::core::{bruteforce, repairs};
+use cqa::prelude::*;
+use cqa::relational::DatabaseAtom;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .relation("P", ["a"])
+        .relation("R", ["x", "y"])
+        .finish()
+        .unwrap()
+        .into_shared()
+}
+
+/// The constraint pool; subsets of it form the random IC sets.
+fn pool(sc: &Schema) -> Vec<Constraint> {
+    vec![
+        // RIC: P(x) → ∃y R(x, y)
+        Constraint::from(
+            Ic::builder(sc, "ric")
+                .body_atom("P", [v("x")])
+                .head_atom("R", [v("x"), v("y")])
+                .finish()
+                .unwrap(),
+        ),
+        // UIC: R(x,y) → P(x)
+        Constraint::from(
+            Ic::builder(sc, "uic")
+                .body_atom("R", [v("x"), v("y")])
+                .head_atom("P", [v("x")])
+                .finish()
+                .unwrap(),
+        ),
+        // FD / key on R[1]
+        Constraint::from(builders::functional_dependency(sc, "R", &[0], 1).unwrap()),
+        // NNC on R[1] (the referencing side; non-conflicting)
+        Constraint::from(builders::not_null(sc, "R", 0).unwrap()),
+        // denial: P(x) ∧ R(x,x) → false
+        Constraint::from(
+            Ic::builder(sc, "den")
+                .body_atom("P", [v("x")])
+                .body_atom("R", [v("x"), v("x")])
+                .finish()
+                .unwrap(),
+        ),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(s("c0")),
+        Just(s("c1")),
+        Just(Value::Null),
+    ]
+}
+
+fn instance_strategy(sc: Arc<Schema>) -> impl Strategy<Value = Instance> {
+    let p_rows = proptest::collection::btree_set(value_strategy(), 0..3);
+    let r_rows = proptest::collection::btree_set(
+        (value_strategy(), value_strategy()),
+        0..3,
+    );
+    (p_rows, r_rows).prop_map(move |(ps, rs)| {
+        let mut d = Instance::empty(sc.clone());
+        for p in ps {
+            d.insert_named("P", [p]).unwrap();
+        }
+        for (x, y) in rs {
+            d.insert_named("R", [x, y]).unwrap();
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_equals_oracle(
+        d in instance_strategy(schema()),
+        mask in 0u8..32,
+    ) {
+        let sc = schema();
+        let ics: IcSet = pool(&sc)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        let universe = bruteforce::candidate_universe(&d, &ics);
+        prop_assume!(universe.len() <= 14); // keep the oracle tractable
+        let via_engine = repairs(&d, &ics).unwrap();
+        let via_oracle = bruteforce::oracle_repairs(&d, &ics);
+        prop_assert_eq!(via_engine, via_oracle);
+    }
+
+    #[test]
+    fn repairs_satisfy_invariants(
+        d in instance_strategy(schema()),
+        mask in 0u8..32,
+    ) {
+        let sc = schema();
+        let ics: IcSet = pool(&sc)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        let reps = repairs(&d, &ics).unwrap();
+        // Non-empty (Proposition 1(b)).
+        prop_assert!(!reps.is_empty());
+        // Every repair consistent.
+        for r in &reps {
+            prop_assert!(cqa::constraints::is_consistent(r, &ics));
+        }
+        // Pairwise not strictly dominated.
+        for (i, a) in reps.iter().enumerate() {
+            for (j, b) in reps.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!cqa::core::lt_d(&d, a, b).unwrap());
+                }
+            }
+        }
+        // Active-domain containment (Proposition 1(a)).
+        let mut allowed = d.active_domain();
+        allowed.extend(ics.constants());
+        allowed.insert(Value::Null);
+        for r in &reps {
+            for val in r.active_domain() {
+                prop_assert!(allowed.contains(&val));
+            }
+        }
+        // Consistent databases are their own single repair.
+        if cqa::constraints::is_consistent(&d, &ics) {
+            prop_assert_eq!(reps, vec![d.clone()]);
+        }
+    }
+
+    #[test]
+    fn inserted_nulls_only_at_existential_positions(
+        d in instance_strategy(schema()),
+    ) {
+        // With only the RIC present, inserted atoms are R(x, null).
+        let sc = schema();
+        let ics: IcSet = pool(&sc).into_iter().take(1).collect();
+        let reps = repairs(&d, &ics).unwrap();
+        for r in &reps {
+            let delta = cqa::relational::delta(&d, r).unwrap();
+            for atom in &delta.inserted {
+                let DatabaseAtom { rel, tuple } = atom;
+                prop_assert_eq!(*rel, sc.rel_id("R").unwrap());
+                prop_assert!(tuple.get(1).is_null());
+                prop_assert!(!tuple.get(0).is_null());
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property suite for Theorem 4: on RIC-acyclic constraint sets, the
+//! stable models of the Definition-9 repair program (Corrected style)
+//! correspond one-to-one to the repairs found by the direct engine.
+//! CQA via cautious reasoning must likewise agree with CQA via repair
+//! intersection.
+
+use cqa::constraints::{builders, graph, v, Constraint, Ic, IcSet};
+use cqa::core::query::AnswerSemantics;
+use cqa::core::{
+    consistent_answers, consistent_answers_via_program, repairs, repairs_via_program,
+    ConjunctiveQuery, ProgramStyle, Query, RepairConfig,
+};
+use cqa::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .relation("P", ["a"])
+        .relation("R", ["x", "y"])
+        .relation("T", ["t"])
+        .finish()
+        .unwrap()
+        .into_shared()
+}
+
+fn pool(sc: &Schema) -> Vec<Constraint> {
+    vec![
+        // RIC: P(x) → ∃y R(x,y)
+        Constraint::from(
+            Ic::builder(sc, "ric")
+                .body_atom("P", [v("x")])
+                .head_atom("R", [v("x"), v("y")])
+                .finish()
+                .unwrap(),
+        ),
+        // UIC chain: T(x) → P(x)
+        Constraint::from(
+            Ic::builder(sc, "uic")
+                .body_atom("T", [v("x")])
+                .head_atom("P", [v("x")])
+                .finish()
+                .unwrap(),
+        ),
+        // key on R[1]
+        Constraint::from(builders::functional_dependency(sc, "R", &[0], 1).unwrap()),
+        // NNC on P[1]
+        Constraint::from(builders::not_null(sc, "P", 0).unwrap()),
+        // denial: T(x) ∧ R(x, x) → false
+        Constraint::from(
+            Ic::builder(sc, "den")
+                .body_atom("T", [v("x")])
+                .body_atom("R", [v("x"), v("x")])
+                .finish()
+                .unwrap(),
+        ),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![Just(s("c0")), Just(s("c1")), Just(Value::Null)]
+}
+
+fn instance_strategy(sc: Arc<Schema>) -> impl Strategy<Value = Instance> {
+    let p_rows = proptest::collection::btree_set(value_strategy(), 0..3);
+    let r_rows =
+        proptest::collection::btree_set((value_strategy(), value_strategy()), 0..3);
+    let t_rows = proptest::collection::btree_set(value_strategy(), 0..2);
+    (p_rows, r_rows, t_rows).prop_map(move |(ps, rs, ts)| {
+        let mut d = Instance::empty(sc.clone());
+        for p in ps {
+            d.insert_named("P", [p]).unwrap();
+        }
+        for (x, y) in rs {
+            d.insert_named("R", [x, y]).unwrap();
+        }
+        for t in ts {
+            d.insert_named("T", [t]).unwrap();
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theorem4_engine_equals_program(
+        d in instance_strategy(schema()),
+        mask in 0u8..32,
+    ) {
+        let sc = schema();
+        let ics: IcSet = pool(&sc)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        prop_assume!(graph::is_ric_acyclic(&ics));
+        let via_engine = repairs(&d, &ics).unwrap();
+        let via_program = repairs_via_program(&d, &ics, ProgramStyle::Corrected).unwrap();
+        prop_assert_eq!(via_engine, via_program);
+    }
+
+    #[test]
+    fn cqa_direct_equals_cqa_via_program(
+        d in instance_strategy(schema()),
+        mask in 0u8..32,
+    ) {
+        let sc = schema();
+        let ics: IcSet = pool(&sc)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        prop_assume!(graph::is_ric_acyclic(&ics));
+        // Q(x): R(x, y) — which first components are certain?
+        let q: Query = ConjunctiveQuery::builder(&sc, "q", ["x"])
+            .atom("R", [cqa::constraints::v("x"), cqa::constraints::v("y")])
+            .finish()
+            .unwrap()
+            .into();
+        let direct = consistent_answers(
+            &d,
+            &ics,
+            &q,
+            RepairConfig::default(),
+            AnswerSemantics::IncludeNullAnswers,
+        )
+        .unwrap();
+        let via_program = consistent_answers_via_program(
+            &d,
+            &ics,
+            &q,
+            ProgramStyle::Corrected,
+            AnswerSemantics::IncludeNullAnswers,
+        )
+        .unwrap();
+        prop_assert_eq!(direct, via_program);
+    }
+
+    #[test]
+    fn paper_exact_repairs_are_superset_of_corrected(
+        d in instance_strategy(schema()),
+        mask in 0u8..32,
+    ) {
+        // The paper-exact program can add spurious deletion models in the
+        // all-null-witness corner, but never loses a real repair.
+        let sc = schema();
+        let ics: IcSet = pool(&sc)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        prop_assume!(graph::is_ric_acyclic(&ics));
+        let corrected = repairs_via_program(&d, &ics, ProgramStyle::Corrected).unwrap();
+        let paper = repairs_via_program(&d, &ics, ProgramStyle::PaperExact).unwrap();
+        for r in &corrected {
+            prop_assert!(paper.contains(r));
+        }
+    }
+}
