@@ -64,7 +64,12 @@ pub fn program_to_string(program: &Program) -> String {
             let _ = writeln!(out, "{}.", program.pred_name(*pred));
         } else {
             let rendered: Vec<String> = args.iter().map(const_to_string).collect();
-            let _ = writeln!(out, "{}({}).", program.pred_name(*pred), rendered.join(", "));
+            let _ = writeln!(
+                out,
+                "{}({}).",
+                program.pred_name(*pred),
+                rendered.join(", ")
+            );
         }
     }
     for rule in program.rules() {

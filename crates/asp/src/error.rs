@@ -40,7 +40,10 @@ impl fmt::Display for AspError {
                 "predicate `{predicate}` used with arity {used} but declared with {declared}"
             ),
             AspError::UnsafeRule { rule, var } => {
-                write!(f, "unsafe rule (variable `{var}` unbound by positive body): {rule}")
+                write!(
+                    f,
+                    "unsafe rule (variable `{var}` unbound by positive body): {rule}"
+                )
             }
             AspError::NotNormal => write!(f, "operation requires a non-disjunctive program"),
             AspError::NotHcf => write!(f, "shift requires a head-cycle-free program"),

@@ -144,7 +144,12 @@ pub fn ground(program: &Program) -> GroundProgram {
         // Capture instantiations first (interning needs &mut gp).
         let mut instances: Vec<Vec<Value>> = Vec::new();
         instantiate(rule, &pt_by_pred, &mut |bindings| {
-            instances.push(bindings.iter().map(|b| b.clone().expect("safe rule")).collect());
+            instances.push(
+                bindings
+                    .iter()
+                    .map(|b| b.clone().expect("safe rule"))
+                    .collect(),
+            );
         });
         'instances: for bindings in instances {
             let opt: Vec<Option<Value>> = bindings.into_iter().map(Some).collect();
@@ -210,11 +215,7 @@ fn ground_args(terms: &[Term], bindings: &[Option<Value>]) -> Vec<Value> {
 
 /// Enumerate all substitutions satisfying the positive body against `pt`
 /// and all builtins; negative literals are ignored here.
-fn instantiate(
-    rule: &Rule,
-    pt: &[BTreeSet<Vec<Value>>],
-    f: &mut impl FnMut(&[Option<Value>]),
-) {
+fn instantiate(rule: &Rule, pt: &[BTreeSet<Vec<Value>>], f: &mut impl FnMut(&[Option<Value>])) {
     let positives: Vec<&crate::syntax::RuleAtom> = rule
         .body
         .iter()
@@ -306,7 +307,10 @@ mod tests {
         let gp = ground(&p);
         assert_eq!(gp.atom_count(), 2);
         assert_eq!(gp.rules.len(), 2);
-        assert!(gp.rules.iter().all(|r| r.pos.is_empty() && r.head.len() == 1));
+        assert!(gp
+            .rules
+            .iter()
+            .all(|r| r.pos.is_empty() && r.head.len() == 1));
     }
 
     #[test]
@@ -346,7 +350,10 @@ mod tests {
         p.fact("n", [i(5)]).unwrap();
         p.rule(
             [atom("big", [tv("x")])],
-            [pos(atom("n", [tv("x")])), cmp(tv("x"), BuiltinOp::Gt, tc(i(3)))],
+            [
+                pos(atom("n", [tv("x")])),
+                cmp(tv("x"), BuiltinOp::Gt, tc(i(3))),
+            ],
         )
         .unwrap();
         let gp = ground(&p);
@@ -429,12 +436,12 @@ mod tests {
         let mut p = Program::new();
         p.fact("r", [i(1)]).unwrap();
         p.fact("q", [i(1)]).unwrap();
-        p.rule(
-            [],
-            [pos(atom("r", [tv("x")])), pos(atom("q", [tv("x")]))],
-        )
-        .unwrap();
+        p.rule([], [pos(atom("r", [tv("x")])), pos(atom("q", [tv("x")]))])
+            .unwrap();
         let gp = ground(&p);
-        assert!(gp.rules.iter().any(|r| r.head.is_empty() && r.pos.len() == 2));
+        assert!(gp
+            .rules
+            .iter()
+            .any(|r| r.head.is_empty() && r.pos.len() == 2));
     }
 }

@@ -45,7 +45,10 @@ pub fn scc_components(gp: &GroundProgram) -> Vec<u32> {
         if index[start as usize] != u32::MAX {
             continue;
         }
-        let mut frames = vec![Frame { node: start, edge: 0 }];
+        let mut frames = vec![Frame {
+            node: start,
+            edge: 0,
+        }];
         index[start as usize] = next_index;
         low[start as usize] = next_index;
         next_index += 1;

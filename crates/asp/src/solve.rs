@@ -1,12 +1,29 @@
-//! A small CNF engine (DPLL with counter-based propagation) used to
-//! enumerate candidate models of ground programs and to decide the
-//! minimality sub-problem of the stability test.
+//! A small CNF engine used to enumerate candidate models of ground
+//! programs and to decide the minimality sub-problem of the stability
+//! test.
 //!
 //! The encoding of a ground program is built in [`crate::stable`]:
 //! rule clauses plus Clark-style support clauses with auxiliary support
 //! variables, so every enumerated assignment is a *supported* classical
 //! model — a superset of the stable models that avoids the exponential
 //! blow-up of unsupported guesses.
+//!
+//! ## Engine
+//!
+//! Propagation uses **two watched literals**: each clause of length ≥ 2
+//! watches two non-false literals, and only the watch lists of the literal
+//! falsified by an assignment are visited — no per-clause counters, no
+//! O(clauses) rescan, and backtracking needs no per-clause undo work at
+//! all (watch invariants survive unassignment).
+//!
+//! The search loop is an **explicit trail-based loop** (no recursion, so
+//! large ground programs cannot overflow the stack) with chronological
+//! backtracking, deciding variables lowest-index-first and `false` before
+//! `true` — the enumeration order of the previous recursive engine, which
+//! callers rely on. Decision picking starts scanning at the **last
+//! decision's variable + 1** (every smaller variable is already assigned
+//! at that point), so locating the next decision is amortised O(1) per
+//! node instead of a linear rescan.
 
 use std::ops::ControlFlow;
 
@@ -22,7 +39,10 @@ pub struct Lit {
 impl Lit {
     /// Positive literal.
     pub fn pos(var: u32) -> Self {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal.
@@ -86,7 +106,7 @@ impl Cnf {
         mut f: impl FnMut(&[bool]) -> ControlFlow<B>,
     ) -> ControlFlow<B> {
         let mut solver = Solver::new(self);
-        if !solver.propagate_initial() {
+        if !solver.init() {
             return ControlFlow::Continue(());
         }
         solver.search(decide_vars.min(self.num_vars), &mut f)
@@ -108,152 +128,205 @@ impl Cnf {
     }
 }
 
+/// Encoding of a literal as a watch-list slot: `2·var + polarity`.
+fn code(lit: Lit) -> usize {
+    ((lit.var as usize) << 1) | (lit.positive as usize)
+}
+
+/// One open decision of the explicit search stack.
+struct Frame {
+    /// The decision variable.
+    var: u32,
+    /// Trail length before this decision was made.
+    mark: usize,
+    /// `true` once the second phase (`true`) has been entered.
+    flipped: bool,
+}
+
 struct Solver<'a> {
     cnf: &'a Cnf,
     /// Assignment: None = unassigned.
     assign: Vec<Option<bool>>,
     /// Assigned variables in order (for undo).
     trail: Vec<u32>,
-    /// Per-clause: number of satisfied literals.
-    n_sat: Vec<u32>,
-    /// Per-clause: number of unassigned literals.
-    n_undef: Vec<u32>,
-    /// Per-variable occurrence lists: (clause index, polarity).
-    occ: Vec<Vec<(u32, bool)>>,
-    /// Clauses that lost a literal and may have become unit/conflicting.
-    pending: Vec<u32>,
+    /// Propagation head: trail entries below it have been propagated.
+    qhead: usize,
+    /// Per-clause positions of the two watched literals (len ≥ 2 clauses).
+    watch_pos: Vec<[usize; 2]>,
+    /// Watch lists: literal code → clauses currently watching it.
+    watchers: Vec<Vec<u32>>,
 }
 
 impl<'a> Solver<'a> {
     fn new(cnf: &'a Cnf) -> Self {
-        let mut occ = vec![Vec::new(); cnf.num_vars];
-        for (ci, clause) in cnf.clauses.iter().enumerate() {
-            for lit in clause {
-                occ[lit.var as usize].push((ci as u32, lit.positive));
-            }
-        }
         Solver {
             cnf,
             assign: vec![None; cnf.num_vars],
             trail: Vec::new(),
-            n_sat: vec![0; cnf.clauses.len()],
-            n_undef: cnf.clauses.iter().map(|c| c.len() as u32).collect(),
-            occ,
-            pending: Vec::new(),
+            qhead: 0,
+            watch_pos: vec![[0, 1]; cnf.clauses.len()],
+            watchers: vec![Vec::new(); cnf.num_vars * 2],
         }
     }
 
-    /// Assign a variable and update clause counters; returns `false` on an
-    /// immediate conflict (some clause fully falsified). Clauses that lost
-    /// a literal are queued for unit propagation.
-    fn assign(&mut self, var: u32, value: bool) -> bool {
-        debug_assert!(self.assign[var as usize].is_none());
-        self.assign[var as usize] = Some(value);
-        self.trail.push(var);
-        let mut ok = true;
-        for i in 0..self.occ[var as usize].len() {
-            let (ci, polarity) = self.occ[var as usize][i];
-            let c = ci as usize;
-            self.n_undef[c] -= 1;
-            if polarity == value {
-                self.n_sat[c] += 1;
-            } else if self.n_sat[c] == 0 {
-                if self.n_undef[c] == 0 {
-                    ok = false; // falsified clause
-                } else {
-                    self.pending.push(ci);
-                }
-            }
-        }
-        ok
+    fn value(&self, lit: Lit) -> Option<bool> {
+        self.assign[lit.var as usize].map(|v| v == lit.positive)
     }
 
-    fn unassign(&mut self, var: u32) {
-        let value = self.assign[var as usize].take().expect("assigned");
-        for &(ci, polarity) in &self.occ[var as usize] {
-            let ci = ci as usize;
-            self.n_undef[ci] += 1;
-            if polarity == value {
-                self.n_sat[ci] -= 1;
+    /// Make a literal true. `false` on conflict with the current value.
+    fn enqueue(&mut self, lit: Lit) -> bool {
+        match self.value(lit) {
+            Some(v) => v,
+            None => {
+                self.assign[lit.var as usize] = Some(lit.positive);
+                self.trail.push(lit.var);
+                true
             }
         }
     }
 
-    fn undo_to(&mut self, mark: usize) {
-        while self.trail.len() > mark {
-            let var = self.trail.pop().expect("trail non-empty");
-            self.unassign(var);
-        }
-    }
-
-    /// Propagate queued unit clauses to fixpoint; `false` on conflict (the
-    /// pending queue is drained either way).
-    fn propagate(&mut self) -> bool {
-        while let Some(ci) = self.pending.pop() {
-            let c = ci as usize;
-            if self.n_sat[c] > 0 {
-                continue;
-            }
-            match self.n_undef[c] {
-                0 => {
-                    self.pending.clear();
-                    return false;
-                }
+    /// Watch the first two literals of every long clause and propagate
+    /// initial units; `false` if the formula is trivially unsatisfiable.
+    fn init(&mut self) -> bool {
+        for (ci, clause) in self.cnf.clauses.iter().enumerate() {
+            match clause.len() {
+                0 => return false,
                 1 => {
-                    let lit = *self.cnf.clauses[c]
-                        .iter()
-                        .find(|l| self.assign[l.var as usize].is_none())
-                        .expect("one unassigned literal");
-                    if !self.assign(lit.var, lit.positive) {
-                        self.pending.clear();
+                    if !self.enqueue(clause[0]) {
                         return false;
                     }
                 }
-                _ => {}
+                _ => {
+                    self.watchers[code(clause[0])].push(ci as u32);
+                    self.watchers[code(clause[1])].push(ci as u32);
+                }
+            }
+        }
+        self.propagate()
+    }
+
+    /// Two-watched-literal unit propagation to fixpoint; `false` on
+    /// conflict. Only clauses watching a falsified literal are visited.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let var = self.trail[self.qhead];
+            self.qhead += 1;
+            let value = self.assign[var as usize].expect("trail entries are assigned");
+            // The literal of `var` that just became false.
+            let false_code = ((var as usize) << 1) | (!value as usize);
+            let mut i = 0;
+            'clauses: while i < self.watchers[false_code].len() {
+                let ci = self.watchers[false_code][i] as usize;
+                let clause = &self.cnf.clauses[ci];
+                let [p0, p1] = self.watch_pos[ci];
+                let slot = usize::from(code(clause[p0]) != false_code);
+                debug_assert_eq!(code(clause[self.watch_pos[ci][slot]]), false_code);
+                let other = clause[if slot == 0 { p1 } else { p0 }];
+                if self.value(other) == Some(true) {
+                    i += 1;
+                    continue; // clause already satisfied by the other watch
+                }
+                // Look for a replacement watch among the unwatched literals.
+                for (j, &l) in clause.iter().enumerate() {
+                    if j != p0 && j != p1 && self.value(l) != Some(false) {
+                        self.watch_pos[ci][slot] = j;
+                        self.watchers[false_code].swap_remove(i);
+                        self.watchers[code(l)].push(ci as u32);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement: the clause is unit on `other`, or conflicting.
+                if !self.enqueue(other) {
+                    return false;
+                }
+                i += 1;
             }
         }
         true
     }
 
-    fn propagate_initial(&mut self) -> bool {
-        // Empty clauses make the formula unsatisfiable outright.
-        if self.cnf.clauses.iter().any(|c| c.is_empty()) {
-            return false;
+    /// Undo the trail to `mark`. Watch invariants need no repair: a watch
+    /// may only point at a non-false or *currently-false* literal, and
+    /// unassignment only turns false literals into unassigned ones.
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let var = self.trail.pop().expect("trail non-empty");
+            self.assign[var as usize] = None;
         }
-        // Seed the queue with every clause (catches initial units).
-        self.pending = (0..self.cnf.clauses.len() as u32).collect();
+        self.qhead = mark;
+    }
+
+    /// Lowest unassigned decision variable, scanning from `from` — every
+    /// variable below the most recent decision is assigned, so the caller
+    /// passes last-decision + 1 instead of rescanning from zero.
+    fn pick_unassigned(&self, from: u32, decide_vars: usize) -> Option<u32> {
+        (from..decide_vars as u32).find(|&v| self.assign[v as usize].is_none())
+    }
+
+    /// Decide `var = value` and propagate; `false` on conflict.
+    fn decide(&mut self, var: u32, value: bool) -> bool {
+        let ok = self.enqueue(Lit {
+            var,
+            positive: value,
+        });
+        debug_assert!(ok, "decision variables are unassigned");
         self.propagate()
     }
 
-    fn pick_unassigned(&self, decide_vars: usize) -> Option<u32> {
-        (0..decide_vars as u32).find(|&v| self.assign[v as usize].is_none())
+    /// Chronological backtracking: flip the deepest unflipped decision to
+    /// `true` (propagating; conflicts keep backtracking), popping finished
+    /// frames. Returns `false` when the stack is exhausted.
+    fn advance(&mut self, frames: &mut Vec<Frame>) -> bool {
+        while let Some(top) = frames.last_mut() {
+            if top.flipped {
+                let mark = top.mark;
+                self.undo_to(mark);
+                frames.pop();
+                continue;
+            }
+            top.flipped = true;
+            let (var, mark) = (top.var, top.mark);
+            self.undo_to(mark);
+            if self.decide(var, true) {
+                return true;
+            }
+        }
+        false
     }
 
+    /// Iterative model enumeration: lowest variable first, `false` phase
+    /// first — the enumeration order of the old recursive engine.
     fn search<B>(
         &mut self,
         decide_vars: usize,
         f: &mut impl FnMut(&[bool]) -> ControlFlow<B>,
     ) -> ControlFlow<B> {
-        match self.pick_unassigned(decide_vars) {
-            None => {
-                // All decision variables assigned; remaining variables are
-                // forced by propagation in our encodings. Any stragglers
-                // default to false (they are unconstrained either way).
-                let model: Vec<bool> =
-                    self.assign.iter().map(|a| a.unwrap_or(false)).collect();
-                f(&model)
-            }
-            Some(var) => {
-                for value in [false, true] {
-                    let mark = self.trail.len();
-                    if self.assign(var, value) && self.propagate() {
-                        self.search(decide_vars, f)?;
+        let mut frames: Vec<Frame> = Vec::new();
+        loop {
+            let hint = frames.last().map_or(0, |fr| fr.var + 1);
+            match self.pick_unassigned(hint, decide_vars) {
+                None => {
+                    // All decision variables assigned; remaining variables
+                    // are forced by propagation in our encodings. Any
+                    // stragglers default to false (they are unconstrained
+                    // either way).
+                    let model: Vec<bool> = self.assign.iter().map(|a| a.unwrap_or(false)).collect();
+                    f(&model)?;
+                    if !self.advance(&mut frames) {
+                        return ControlFlow::Continue(());
                     }
-                    // Drop any queue left by a failed assign before undoing.
-                    self.pending.clear();
-                    self.undo_to(mark);
                 }
-                ControlFlow::Continue(())
+                Some(var) => {
+                    let mark = self.trail.len();
+                    frames.push(Frame {
+                        var,
+                        mark,
+                        flipped: false,
+                    });
+                    if !self.decide(var, false) && !self.advance(&mut frames) {
+                        return ControlFlow::Continue(());
+                    }
+                }
             }
         }
     }

@@ -128,9 +128,7 @@ fn least_model_equals(reduct: &[&GroundRule], model: &Model) -> bool {
             if rule.head.len() != 1 {
                 continue; // denials don't derive
             }
-            if rule.pos.iter().all(|p| derived.contains(p))
-                && derived.insert(rule.head[0])
-            {
+            if rule.pos.iter().all(|p| derived.contains(p)) && derived.insert(rule.head[0]) {
                 grew = true;
             }
         }
@@ -146,9 +144,7 @@ fn least_model_equals(reduct: &[&GroundRule], model: &Model) -> bool {
 /// atoms of M with "keep" variables.
 fn has_smaller_model(reduct: &[&GroundRule], model: &Model) -> bool {
     let atoms: Vec<AtomId> = model.iter().copied().collect();
-    let var_of = |a: AtomId| -> Option<u32> {
-        atoms.binary_search(&a).ok().map(|i| i as u32)
-    };
+    let var_of = |a: AtomId| -> Option<u32> { atoms.binary_search(&a).ok().map(|i| i as u32) };
     let mut cnf = Cnf::new(atoms.len());
     for rule in reduct {
         // Atoms outside M in the positive body keep the rule satisfied in
@@ -265,8 +261,8 @@ mod tests {
             let m: Model = (0..n as AtomId).filter(|&a| mask & (1 << a) != 0).collect();
             // classical model check
             let classical = gp.rules.iter().all(|r| {
-                let body = r.pos.iter().all(|p| m.contains(p))
-                    && r.neg.iter().all(|x| !m.contains(x));
+                let body =
+                    r.pos.iter().all(|p| m.contains(p)) && r.neg.iter().all(|x| !m.contains(x));
                 !body || r.head.iter().any(|h| m.contains(h))
             });
             if classical && is_stable(gp, &m) {

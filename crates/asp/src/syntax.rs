@@ -291,9 +291,7 @@ impl Program {
                         terms,
                     })
                 }
-                BodyLit::Cmp(l, op, r) => {
-                    Literal::Cmp(*op, resolve_term(l), resolve_term(r))
-                }
+                BodyLit::Cmp(l, op, r) => Literal::Cmp(*op, resolve_term(l), resolve_term(r)),
             };
             body_lits.push(resolved);
         }
@@ -386,11 +384,8 @@ mod tests {
     #[test]
     fn rule_resolution_shares_variables() {
         let mut p = Program::new();
-        p.rule(
-            [atom("q", [tv("x")])],
-            [pos(atom("r", [tv("x"), tv("y")]))],
-        )
-        .unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("r", [tv("x"), tv("y")]))])
+            .unwrap();
         let rule = &p.rules()[0];
         assert_eq!(rule.var_names, vec!["x".to_string(), "y".into()]);
         assert_eq!(rule.head.len(), 1);

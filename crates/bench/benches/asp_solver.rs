@@ -1,58 +1,53 @@
 //! Bench: the ASP substrate — grounding scales near-linearly in the fact
 //! count for fixed rules (the intelligent-grounding claim), and stable-
-//! model enumeration is driven by the number of choice points.
+//! model enumeration (now two-watched-literal driven) is governed by the
+//! number of choice points.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_bench::harness::Harness;
 use cqa_core::ProgramStyle;
 use std::hint::black_box;
 
-fn grounding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("grounding_vs_facts");
-    group.sample_size(10);
+fn grounding() {
+    let mut group = Harness::new("grounding_vs_facts");
     for n in [100usize, 400, 1600] {
         let w = cqa_bench::example19_scaled(n, 2, 2, 41);
         let program =
             cqa_core::repair_program(&w.instance, &w.ics, ProgramStyle::Corrected).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
-            b.iter(|| black_box(cqa_asp::ground(p)))
-        });
+        group.bench(format!("{n}"), || black_box(cqa_asp::ground(&program)));
     }
     group.finish();
 }
 
-fn grounding_chain_depth(c: &mut Criterion) {
+fn grounding_chain_depth() {
     // Recursion depth in the possibly-true fixpoint: UIC chains.
-    let mut group = c.benchmark_group("grounding_vs_chain_depth");
-    group.sample_size(10);
+    let mut group = Harness::new("grounding_vs_chain_depth");
     for depth in [4usize, 8, 16] {
         let w = cqa_bench::chain_workload(depth, 20);
         let program =
             cqa_core::repair_program(&w.instance, &w.ics, ProgramStyle::Corrected).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &program, |b, p| {
-            b.iter(|| black_box(cqa_asp::ground(p)))
-        });
+        group.bench(format!("{depth}"), || black_box(cqa_asp::ground(&program)));
     }
     group.finish();
 }
 
-fn stable_model_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stable_models_vs_choices");
-    group.sample_size(10);
+fn stable_model_enumeration() {
+    let mut group = Harness::new("stable_models_vs_choices");
     for conflicts in [2usize, 4, 6] {
         let w = cqa_bench::fd_workload(10, conflicts, 43);
         let program =
             cqa_core::repair_program(&w.instance, &w.ics, ProgramStyle::Corrected).unwrap();
         let gp = cqa_asp::ground(&program);
-        group.bench_with_input(BenchmarkId::from_parameter(conflicts), &gp, |b, gp| {
-            b.iter(|| {
-                let models = cqa_asp::stable_models(gp);
-                assert_eq!(models.len(), 1 << conflicts);
-                black_box(models)
-            })
+        group.bench(format!("{conflicts}"), || {
+            let models = cqa_asp::stable_models(&gp);
+            assert_eq!(models.len(), 1 << conflicts);
+            black_box(models)
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, grounding, grounding_chain_depth, stable_model_enumeration);
-criterion_main!(benches);
+fn main() {
+    grounding();
+    grounding_chain_depth();
+    stable_model_enumeration();
+}

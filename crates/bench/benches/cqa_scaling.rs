@@ -1,13 +1,16 @@
 //! Bench: consistent query answering — direct (repair intersection) vs
 //! program-based (cautious reasoning over Π(D, IC)), on the data and
-//! conflict axes. The two must return identical answers; the bench
-//! reports who wins where (the paper's Section 5 motivation is that the
-//! program route generalises, not that it is faster).
+//! conflict axes; plus the **instance-size axis** for the repair engine
+//! itself: clean (non-conflicting) tuples grow while the conflict count
+//! stays fixed, so per-node search cost should be conflict-bounded for the
+//! incremental worklist engine and instance-bounded for the seed's
+//! full-rescan loop. The speedup at the largest size is the headline
+//! number of the index/delta PR.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_bench::harness::Harness;
 use cqa_constraints::v;
 use cqa_core::query::AnswerSemantics;
-use cqa_core::{ProgramStyle, RepairConfig};
+use cqa_core::{ProgramStyle, RepairConfig, SearchStrategy};
 use std::hint::black_box;
 
 fn query_for(w: &cqa_bench::Workload) -> cqa_core::Query {
@@ -18,81 +21,115 @@ fn query_for(w: &cqa_bench::Workload) -> cqa_core::Query {
         .into()
 }
 
-fn cqa_engines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cqa_direct_vs_program");
-    group.sample_size(10);
+fn cqa_engines() {
+    let mut group = Harness::new("cqa_direct_vs_program");
     for clean in [10usize, 40, 160] {
         let w = cqa_bench::example19_scaled(clean, 2, 1, 31);
         let q = query_for(&w);
-        group.bench_with_input(BenchmarkId::new("direct", clean), &w, |b, w| {
-            b.iter(|| {
-                black_box(
-                    cqa_core::consistent_answers(
-                        &w.instance,
-                        &w.ics,
-                        &q,
-                        RepairConfig::default(),
-                        AnswerSemantics::IncludeNullAnswers,
-                    )
-                    .unwrap(),
+        group.bench(format!("direct/{clean}"), || {
+            black_box(
+                cqa_core::consistent_answers(
+                    &w.instance,
+                    &w.ics,
+                    &q,
+                    RepairConfig::default(),
+                    AnswerSemantics::IncludeNullAnswers,
                 )
-            })
+                .unwrap(),
+            )
         });
-        group.bench_with_input(BenchmarkId::new("via_program", clean), &w, |b, w| {
-            b.iter(|| {
-                black_box(
-                    cqa_core::consistent_answers_via_program(
-                        &w.instance,
-                        &w.ics,
-                        &q,
-                        ProgramStyle::Corrected,
-                        AnswerSemantics::IncludeNullAnswers,
-                    )
-                    .unwrap(),
+        group.bench(format!("via_program/{clean}"), || {
+            black_box(
+                cqa_core::consistent_answers_via_program(
+                    &w.instance,
+                    &w.ics,
+                    &q,
+                    ProgramStyle::Corrected,
+                    AnswerSemantics::IncludeNullAnswers,
                 )
-            })
+                .unwrap(),
+            )
         });
     }
     group.finish();
 }
 
-fn cqa_conflict_axis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cqa_conflict_axis");
-    group.sample_size(10);
+fn cqa_conflict_axis() {
+    let mut group = Harness::new("cqa_conflict_axis");
     for conflicts in [1usize, 3, 5] {
         let w = cqa_bench::example19_scaled(10, conflicts, 1, 37);
         let q = query_for(&w);
-        group.bench_with_input(BenchmarkId::new("direct", conflicts), &w, |b, w| {
-            b.iter(|| {
-                black_box(
-                    cqa_core::consistent_answers(
-                        &w.instance,
-                        &w.ics,
-                        &q,
-                        RepairConfig::default(),
-                        AnswerSemantics::IncludeNullAnswers,
-                    )
-                    .unwrap(),
+        group.bench(format!("direct/{conflicts}"), || {
+            black_box(
+                cqa_core::consistent_answers(
+                    &w.instance,
+                    &w.ics,
+                    &q,
+                    RepairConfig::default(),
+                    AnswerSemantics::IncludeNullAnswers,
                 )
-            })
+                .unwrap(),
+            )
         });
-        group.bench_with_input(BenchmarkId::new("via_program", conflicts), &w, |b, w| {
-            b.iter(|| {
-                black_box(
-                    cqa_core::consistent_answers_via_program(
-                        &w.instance,
-                        &w.ics,
-                        &q,
-                        ProgramStyle::Corrected,
-                        AnswerSemantics::IncludeNullAnswers,
-                    )
-                    .unwrap(),
+        group.bench(format!("via_program/{conflicts}"), || {
+            black_box(
+                cqa_core::consistent_answers_via_program(
+                    &w.instance,
+                    &w.ics,
+                    &q,
+                    ProgramStyle::Corrected,
+                    AnswerSemantics::IncludeNullAnswers,
                 )
-            })
+                .unwrap(),
+            )
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, cqa_engines, cqa_conflict_axis);
-criterion_main!(benches);
+/// The instance-size axis: conflicts held at 2 key conflicts + 1 dangling
+/// FK while clean tuples grow 16×. The incremental engine's node cost is
+/// bounded by the conflict neighbourhood; the full-rescan baseline pays
+/// O(instance) per node.
+fn repair_instance_size_axis() {
+    let mut group = Harness::new("repair_instance_size_axis");
+    let sizes = [50usize, 200, 800];
+    let mut speedup_at_largest = 0.0f64;
+    for &clean in &sizes {
+        let w = cqa_bench::example19_scaled(clean, 2, 1, 31);
+        let incremental = RepairConfig {
+            strategy: SearchStrategy::Incremental,
+            ..RepairConfig::default()
+        };
+        let rescan = RepairConfig {
+            strategy: SearchStrategy::FullRescan,
+            ..RepairConfig::default()
+        };
+        let a = group
+            .bench(format!("incremental/{clean}"), || {
+                black_box(cqa_core::repairs_with_config(&w.instance, &w.ics, incremental).unwrap())
+            })
+            .median_ns;
+        let b = group
+            .bench(format!("full_rescan/{clean}"), || {
+                black_box(cqa_core::repairs_with_config(&w.instance, &w.ics, rescan).unwrap())
+            })
+            .median_ns;
+        let speedup = b as f64 / a.max(1) as f64;
+        println!("  -> speedup at clean={clean}: {speedup:.1}x");
+        if clean == *sizes.last().unwrap() {
+            speedup_at_largest = speedup;
+        }
+    }
+    println!(
+        "  incremental vs full-rescan at clean={}: {speedup_at_largest:.1}x (target: >= 5x)",
+        sizes.last().unwrap()
+    );
+    group.finish();
+}
+
+fn main() {
+    cqa_engines();
+    cqa_conflict_axis();
+    repair_instance_size_axis();
+}

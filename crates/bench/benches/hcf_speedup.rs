@@ -3,13 +3,12 @@
 //! program uses the polynomial least-model stability test instead of the
 //! coNP minimal-model search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_bench::harness::Harness;
 use cqa_core::ProgramStyle;
 use std::hint::black_box;
 
-fn disjunctive_vs_shifted(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hcf_corollary1");
-    group.sample_size(10);
+fn disjunctive_vs_shifted() {
+    let mut group = Harness::new("hcf_corollary1");
     for overlap in [4usize, 8, 10] {
         let w = cqa_bench::denial_workload(30, overlap, 47);
         let program =
@@ -17,32 +16,29 @@ fn disjunctive_vs_shifted(c: &mut Criterion) {
         let gp = cqa_asp::ground(&program);
         assert!(cqa_asp::is_hcf(&gp));
         let shifted = cqa_asp::shift(&gp).unwrap();
-        group.bench_with_input(BenchmarkId::new("disjunctive", overlap), &gp, |b, gp| {
-            b.iter(|| black_box(cqa_asp::stable_models(gp)))
+        group.bench(format!("disjunctive/{overlap}"), || {
+            black_box(cqa_asp::stable_models(&gp))
         });
-        group.bench_with_input(
-            BenchmarkId::new("shifted_normal", overlap),
-            &shifted,
-            |b, gp| b.iter(|| black_box(cqa_asp::stable_models(gp))),
-        );
+        group.bench(format!("shifted_normal/{overlap}"), || {
+            black_box(cqa_asp::stable_models(&shifted))
+        });
     }
     group.finish();
 }
 
-fn hcf_detection_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hcf_detection");
-    group.sample_size(20);
+fn hcf_detection_cost() {
+    let mut group = Harness::new("hcf_detection");
     for n in [200usize, 800] {
         let w = cqa_bench::example19_scaled(n, 2, 2, 53);
         let program =
             cqa_core::repair_program(&w.instance, &w.ics, ProgramStyle::Corrected).unwrap();
         let gp = cqa_asp::ground(&program);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &gp, |b, gp| {
-            b.iter(|| black_box(cqa_asp::is_hcf(gp)))
-        });
+        group.bench(format!("{n}"), || black_box(cqa_asp::is_hcf(&gp)));
     }
     group.finish();
 }
 
-criterion_group!(benches, disjunctive_vs_shifted, hcf_detection_cost);
-criterion_main!(benches);
+fn main() {
+    disjunctive_vs_shifted();
+    hcf_detection_cost();
+}

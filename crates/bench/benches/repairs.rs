@@ -3,41 +3,37 @@
 //! conflicts (the Theorem 1/3 shape), and the classic-vs-null baseline
 //! of Examples 14/15.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_bench::harness::Harness;
 use cqa_relational::{s, Value};
 use std::hint::black_box;
 
-fn data_axis(c: &mut Criterion) {
+fn data_axis() {
     // Fixed 2 key conflicts + 1 dangling FK; growing clean data.
-    let mut group = c.benchmark_group("repairs_data_axis");
-    group.sample_size(10);
+    let mut group = Harness::new("repairs_data_axis");
     for clean in [20usize, 80, 320] {
         let w = cqa_bench::example19_scaled(clean, 2, 1, 23);
-        group.bench_with_input(BenchmarkId::from_parameter(clean), &w, |b, w| {
-            b.iter(|| black_box(cqa_core::repairs(&w.instance, &w.ics).unwrap()))
+        group.bench(format!("{clean}"), || {
+            black_box(cqa_core::repairs(&w.instance, &w.ics).unwrap())
         });
     }
     group.finish();
 }
 
-fn conflict_axis(c: &mut Criterion) {
+fn conflict_axis() {
     // Fixed clean data; growing conflict count → 2^k repairs.
-    let mut group = c.benchmark_group("repairs_conflict_axis");
-    group.sample_size(10);
+    let mut group = Harness::new("repairs_conflict_axis");
     for conflicts in [2usize, 4, 6, 8] {
         let w = cqa_bench::fd_workload(10, conflicts, 29);
-        group.bench_with_input(BenchmarkId::from_parameter(conflicts), &w, |b, w| {
-            b.iter(|| {
-                let reps = cqa_core::repairs(&w.instance, &w.ics).unwrap();
-                assert_eq!(reps.len(), 1 << conflicts);
-                black_box(reps)
-            })
+        group.bench(format!("{conflicts}"), || {
+            let reps = cqa_core::repairs(&w.instance, &w.ics).unwrap();
+            assert_eq!(reps.len(), 1 << conflicts);
+            black_box(reps)
         });
     }
     group.finish();
 }
 
-fn classic_vs_null(c: &mut Criterion) {
+fn classic_vs_null() {
     // Example 14/15 shape: the null semantics is domain-independent, the
     // classic baseline pays per domain value.
     let sc = cqa_relational::Schema::builder()
@@ -50,32 +46,24 @@ fn classic_vs_null(c: &mut Criterion) {
     d.insert_named("Course", [s("21"), s("C15")]).unwrap();
     d.insert_named("Course", [s("34"), s("C18")]).unwrap();
     d.insert_named("Student", [s("21"), s("Ann")]).unwrap();
-    let ric = cqa_constraints::builders::foreign_key(&sc, "Course", &[0], "Student", &[0])
-        .unwrap();
+    let ric = cqa_constraints::builders::foreign_key(&sc, "Course", &[0], "Student", &[0]).unwrap();
     let ics = cqa_constraints::IcSet::new([cqa_constraints::Constraint::from(ric)]);
 
-    let mut group = c.benchmark_group("classic_vs_null");
-    group.sample_size(20);
-    group.bench_function("null_semantics", |b| {
-        b.iter(|| black_box(cqa_core::repairs(&d, &ics).unwrap()))
+    let mut group = Harness::new("classic_vs_null");
+    group.bench("null_semantics", || {
+        black_box(cqa_core::repairs(&d, &ics).unwrap())
     });
     for k in [4usize, 16, 64] {
         let domain: Vec<Value> = (0..k).map(|j| s(&format!("mu{j}"))).collect();
-        group.bench_with_input(
-            BenchmarkId::new("classic_domain", k),
-            &domain,
-            |b, domain| {
-                b.iter(|| {
-                    black_box(
-                        cqa_core::classic::repairs_with_domain(&d, &ics, domain, 1 << 22)
-                            .unwrap(),
-                    )
-                })
-            },
-        );
+        group.bench(format!("classic_domain/{k}"), || {
+            black_box(cqa_core::classic::repairs_with_domain(&d, &ics, &domain, 1 << 22).unwrap())
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, data_axis, conflict_axis, classic_vs_null);
-criterion_main!(benches);
+fn main() {
+    data_axis();
+    conflict_axis();
+    classic_vs_null();
+}

@@ -1,60 +1,80 @@
 //! Bench: `|=_N` consistency checking scales polynomially in data size
 //! (the tractable side of the paper's complexity picture), across the
-//! three main constraint shapes.
+//! three main constraint shapes — and the index-probed checker vs the
+//! naive nested-loop oracle.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_bench::harness::Harness;
 use std::hint::black_box;
 
-fn satisfaction_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("satisfaction_nullaware");
-    group.sample_size(20);
+fn satisfaction_scaling() {
+    let mut group = Harness::new("satisfaction_nullaware");
     for n in [100usize, 400, 1600] {
         // Consistent FD workload: checking is the quadratic self-join.
         let fd = cqa_bench::fd_workload(n, 0, 3);
-        group.bench_with_input(BenchmarkId::new("fd_clean", n), &fd, |b, w| {
-            b.iter(|| black_box(cqa_constraints::is_consistent(&w.instance, &w.ics)))
+        group.bench(format!("fd_clean/{n}"), || {
+            black_box(cqa_constraints::is_consistent(&fd.instance, &fd.ics))
         });
         // FK workload with 10% dangling references (finds violations).
         let fk = cqa_bench::fk_workload(n, n / 2, n / 10, 3);
-        group.bench_with_input(BenchmarkId::new("fk_dangling", n), &fk, |b, w| {
-            b.iter(|| {
-                black_box(cqa_constraints::violations(
-                    &w.instance,
-                    &w.ics,
-                    cqa_constraints::SatMode::NullAware,
-                ))
-            })
+        group.bench(format!("fk_dangling/{n}"), || {
+            black_box(cqa_constraints::violations(
+                &fk.instance,
+                &fk.ics,
+                cqa_constraints::SatMode::NullAware,
+            ))
         });
     }
     group.finish();
 }
 
-fn semantics_overhead(c: &mut Criterion) {
+fn indexed_vs_naive() {
+    // The tentpole A/B: index-probed joins vs full nested-loop scans on
+    // the same workload (identical output, pinned by the property suite).
+    let mut group = Harness::new("satisfaction_indexed_vs_naive");
+    for n in [100usize, 400, 1600] {
+        let fd = cqa_bench::fd_workload(n, 2, 3);
+        group.bench(format!("indexed/{n}"), || {
+            black_box(cqa_constraints::violations(
+                &fd.instance,
+                &fd.ics,
+                cqa_constraints::SatMode::NullAware,
+            ))
+        });
+        group.bench(format!("naive/{n}"), || {
+            black_box(cqa_constraints::violations_naive(
+                &fd.instance,
+                &fd.ics,
+                cqa_constraints::SatMode::NullAware,
+            ))
+        });
+    }
+    group.finish();
+}
+
+fn semantics_overhead() {
     // NullAware vs Classical: the IsNull escapes and relevant-attribute
     // matching must not cost more than classical checking.
     let w = cqa_bench::fk_workload(800, 400, 40, 5);
-    let mut group = c.benchmark_group("satisfaction_mode_overhead");
-    group.sample_size(20);
-    group.bench_function("null_aware", |b| {
-        b.iter(|| {
-            black_box(cqa_constraints::violations(
-                &w.instance,
-                &w.ics,
-                cqa_constraints::SatMode::NullAware,
-            ))
-        })
+    let mut group = Harness::new("satisfaction_mode_overhead");
+    group.bench("null_aware", || {
+        black_box(cqa_constraints::violations(
+            &w.instance,
+            &w.ics,
+            cqa_constraints::SatMode::NullAware,
+        ))
     });
-    group.bench_function("classical", |b| {
-        b.iter(|| {
-            black_box(cqa_constraints::violations(
-                &w.instance,
-                &w.ics,
-                cqa_constraints::SatMode::Classical,
-            ))
-        })
+    group.bench("classical", || {
+        black_box(cqa_constraints::violations(
+            &w.instance,
+            &w.ics,
+            cqa_constraints::SatMode::Classical,
+        ))
     });
     group.finish();
 }
 
-criterion_group!(benches, satisfaction_scaling, semantics_overhead);
-criterion_main!(benches);
+fn main() {
+    satisfaction_scaling();
+    indexed_vs_naive();
+    semantics_overhead();
+}

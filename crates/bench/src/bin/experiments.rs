@@ -40,7 +40,11 @@ fn verdict(ok: bool) -> &'static str {
 
 fn check(label: &str, expected: &str, got: impl std::fmt::Display) {
     let got = got.to_string();
-    let status = if got == expected { "ok" } else { "** MISMATCH **" };
+    let status = if got == expected {
+        "ok"
+    } else {
+        "** MISMATCH **"
+    };
     println!("| {label} | {expected} | {got} | {status} |");
 }
 
@@ -110,7 +114,10 @@ fn example2_ics(sc: &Schema) -> IcSet {
 }
 
 fn e02() {
-    header("E02", "Examples 2–3: dependency graphs G(IC), G^C(IC), RIC-acyclicity (the paper's two figures)");
+    header(
+        "E02",
+        "Examples 2–3: dependency graphs G(IC), G^C(IC), RIC-acyclicity (the paper's two figures)",
+    );
     let sc = Schema::builder()
         .relation("S", ["s"])
         .relation("Q", ["q"])
@@ -123,11 +130,18 @@ fn e02() {
     print!("{}", graph::dependency_graph(&ics).to_dot(&sc, &ics));
     println!("```");
     println!("figure 2 — G^C(IC) in DOT:\n```dot");
-    print!("{}", graph::contracted_dependency_graph(&ics).to_dot(&sc, &ics));
+    print!(
+        "{}",
+        graph::contracted_dependency_graph(&ics).to_dot(&sc, &ics)
+    );
     println!("```");
     println!("| property | paper | measured | status |");
     println!("|---|---|---|---|");
-    check("components of G^C", "2", graph::contracted_dependency_graph(&ics).components.len());
+    check(
+        "components of G^C",
+        "2",
+        graph::contracted_dependency_graph(&ics).components.len(),
+    );
     check("RIC-acyclic", "true", graph::is_ric_acyclic(&ics));
     let ic4 = Ic::builder(&sc, "ic4")
         .body_atom("T", [v("x"), v("y")])
@@ -140,11 +154,18 @@ fn e02() {
         "1",
         graph::contracted_dependency_graph(&ics).components.len(),
     );
-    check("RIC-acyclic after adding", "false", graph::is_ric_acyclic(&ics));
+    check(
+        "RIC-acyclic after adding",
+        "false",
+        graph::is_ric_acyclic(&ics),
+    );
 }
 
 fn e03() {
-    header("E03", "Example 4: the null-semantics comparison matrix on D = {P(a,b,null)}");
+    header(
+        "E03",
+        "Example 4: the null-semantics comparison matrix on D = {P(a,b,null)}",
+    );
     let sc = Schema::builder()
         .relation("P", ["a", "b", "c"])
         .relation("R", ["x", "y"])
@@ -174,7 +195,10 @@ fn e03() {
 }
 
 fn e04() {
-    header("E04", "Example 5: the Course/Exp foreign key under DB2-style simple match");
+    header(
+        "E04",
+        "Example 5: the Course/Exp foreign key under DB2-style simple match",
+    );
     let sc = Schema::builder()
         .relation("Course", ["Code", "ID", "Term"])
         .relation("Exp", ["ID", "Code", "Times"])
@@ -308,7 +332,10 @@ fn e07() {
 }
 
 fn e08() {
-    header("E08", "Example 9: a null in referenced attributes is no witness");
+    header(
+        "E08",
+        "Example 9: a null in referenced attributes is no witness",
+    );
     let sc = Schema::builder()
         .relation("Course", ["Code", "Term", "ID"])
         .relation("Employee", ["Term", "ID"])
@@ -333,7 +360,10 @@ fn e08() {
     check(
         "|=_N",
         "INCONSISTENT",
-        verdict(is_consistent(&d, &IcSet::new([Constraint::from(uic.clone())]))),
+        verdict(is_consistent(
+            &d,
+            &IcSet::new([Constraint::from(uic.clone())]),
+        )),
     );
     check(
         "Levene–Loizou",
@@ -347,7 +377,10 @@ fn e08() {
 }
 
 fn e09() {
-    header("E09", "Example 10: relevant attributes and the projections D^A");
+    header(
+        "E09",
+        "Example 10: relevant attributes and the projections D^A",
+    );
     let sc = Schema::builder()
         .relation("P", ["A", "B", "C"])
         .relation("R", ["A", "B"])
@@ -368,7 +401,11 @@ fn e09() {
     println!("| constraint | paper A(ψ) | measured | status |");
     println!("|---|---|---|---|");
     check("ψ", "{P[1], P[2], R[1], R[2]}", psi.relevant().display(&sc));
-    check("γ", "{P[1], P[3], R[1], R[2]}", gamma.relevant().display(&sc));
+    check(
+        "γ",
+        "{P[1], P[3], R[1], R[2]}",
+        gamma.relevant().display(&sc),
+    );
     let sc = Arc::new(sc);
     let d = inst(
         &sc,
@@ -507,7 +544,10 @@ fn e12() {
         .finish()
         .unwrap()
         .into_shared();
-    let d = inst(&sc, &[("Q", vec![s("a"), s("b")]), ("P", vec![s("a"), s("c")])]);
+    let d = inst(
+        &sc,
+        &[("Q", vec![s("a"), s("b")]), ("P", vec![s("a"), s("c")])],
+    );
     let psi1 = Ic::builder(&sc, "psi1")
         .body_atom("P", [v("x"), v("y")])
         .head_atom("Q", [v("x"), v("z")])
@@ -603,18 +643,20 @@ fn e14() {
         .finish()
         .unwrap();
     let ics = IcSet::new([Constraint::from(uic), Constraint::from(ric)]);
-    println!("RIC-acyclic: {} (paper: cyclic)", graph::is_ric_acyclic(&ics));
+    println!(
+        "RIC-acyclic: {} (paper: cyclic)",
+        graph::is_ric_acyclic(&ics)
+    );
     println!("paper: exactly 4 repairs (its table on p.13)\nmeasured:");
     let reps = cqa_core::repairs(&d, &ics).unwrap();
     for r in &reps {
         let delta = cqa_relational::delta(&d, r).unwrap();
-        println!(
-            "  {} (Δ size {})",
-            instance_set(r),
-            delta.len()
-        );
+        println!("  {} (Δ size {})", instance_set(r), delta.len());
     }
-    println!("count: {} — decidable despite the cycle (Theorem 2)", reps.len());
+    println!(
+        "count: {} — decidable despite the cycle (Theorem 2)",
+        reps.len()
+    );
 }
 
 fn example19_setup() -> (Arc<Schema>, Instance, IcSet) {
@@ -641,7 +683,10 @@ fn example19_setup() -> (Arc<Schema>, Instance, IcSet) {
 }
 
 fn e15() {
-    header("E15", "Example 19: key + foreign key + NOT NULL — four repairs");
+    header(
+        "E15",
+        "Example 19: key + foreign key + NOT NULL — four repairs",
+    );
     let (_, d, ics) = example19_setup();
     println!("paper: D1..D4 (p.13)\nmeasured:");
     for r in cqa_core::repairs(&d, &ics).unwrap() {
@@ -725,7 +770,10 @@ fn e17() {
         .finish()
         .unwrap()
         .into_shared();
-    let d22 = inst(&sc, &[("P", vec![s("a"), s("b")]), ("P", vec![s("c"), null()])]);
+    let d22 = inst(
+        &sc,
+        &[("P", vec![s("a"), s("b")]), ("P", vec![s("c"), null()])],
+    );
     let uic = Ic::builder(&sc, "uic")
         .body_atom("P", [v("x"), v("y")])
         .head_atom("R", [v("x")])
@@ -764,19 +812,29 @@ fn e18() {
     let via_engine = cqa_core::repairs(&d, &ics).unwrap();
     println!(
         "Theorem 4 (models ↔ repairs): {}",
-        if via_program == via_engine { "holds" } else { "** FAILS **" }
+        if via_program == via_engine {
+            "holds"
+        } else {
+            "** FAILS **"
+        }
     );
 }
 
 fn e18b() {
-    header("E18b", "the Definition-9 erratum: all-null pre-existing witnesses");
+    header(
+        "E18b",
+        "the Definition-9 erratum: all-null pre-existing witnesses",
+    );
     let sc = Schema::builder()
         .relation("S", ["U", "V"])
         .relation("R", ["X", "Y"])
         .finish()
         .unwrap()
         .into_shared();
-    let d = inst(&sc, &[("S", vec![s("u"), s("a")]), ("R", vec![s("a"), null()])]);
+    let d = inst(
+        &sc,
+        &[("S", vec![s("u"), s("a")]), ("R", vec![s("a"), null()])],
+    );
     let mut ics = IcSet::default();
     ics.push(builders::foreign_key(&sc, "S", &[1], "R", &[0]).unwrap());
     println!(
@@ -796,7 +854,10 @@ fn e18b() {
 }
 
 fn e19() {
-    header("E19", "Example 24 + Theorem 5: bilateral predicates, HCF, shift");
+    header(
+        "E19",
+        "Example 24 + Theorem 5: bilateral predicates, HCF, shift",
+    );
     let sc = Schema::builder()
         .relation("T", ["t"])
         .relation("R", ["a", "b"])
@@ -837,7 +898,10 @@ fn e19() {
         "true",
         cqa_asp::stable_models(&gp) == cqa_asp::stable_models(&shifted),
     );
-    let sym_sc = Schema::builder().relation("P", ["a", "b"]).finish().unwrap();
+    let sym_sc = Schema::builder()
+        .relation("P", ["a", "b"])
+        .finish()
+        .unwrap();
     let sym = Ic::builder(&sym_sc, "sym")
         .body_atom("P", [v("x"), v("y")])
         .head_atom("P", [v("y"), v("x")])
@@ -851,7 +915,10 @@ fn e19() {
 }
 
 fn e20() {
-    header("E20", "Theorem 1 shape: repair checking vs instance size and conflicts");
+    header(
+        "E20",
+        "Theorem 1 shape: repair checking vs instance size and conflicts",
+    );
     println!("repair-check = consistency + ≤_D-minimality over the Prop.-1 space;");
     println!("polynomial in clean data, exponential in the candidate universe.\n");
     println!("| clean tuples | key conflicts | universe atoms | check time |");
@@ -861,19 +928,28 @@ fn e20() {
         let reps = cqa_core::repairs(&w.instance, &w.ics).unwrap();
         let universe = cqa_core::bruteforce::candidate_universe(&w.instance, &w.ics);
         if universe.len() > 18 {
-            println!("| {clean} | {conflicts} | {} | (skipped: universe too large) |", universe.len());
+            println!(
+                "| {clean} | {conflicts} | {} | (skipped: universe too large) |",
+                universe.len()
+            );
             continue;
         }
         let start = Instant::now();
         let ok = cqa_core::is_repair(&w.instance, &reps[0], &w.ics).unwrap();
         let elapsed = start.elapsed();
         assert!(ok);
-        println!("| {clean} | {conflicts} | {} | {elapsed:?} |", universe.len());
+        println!(
+            "| {clean} | {conflicts} | {} | {elapsed:?} |",
+            universe.len()
+        );
     }
 }
 
 fn e21() {
-    header("E21", "Theorems 2–3 shape: CQA scaling (data axis vs conflict axis)");
+    header(
+        "E21",
+        "Theorems 2–3 shape: CQA scaling (data axis vs conflict axis)",
+    );
     use cqa_core::query::AnswerSemantics;
     println!("| clean tuples | conflicts | repairs | CQA direct | CQA via program |");
     println!("|---|---|---|---|---|");
@@ -907,16 +983,17 @@ fn e21() {
         let t_program = t1.elapsed();
         assert_eq!(direct, via);
         let n_reps = cqa_core::repairs(&w.instance, &w.ics).unwrap().len();
-        println!(
-            "| {clean} | {conflicts} | {n_reps} | {t_direct:?} | {t_program:?} |"
-        );
+        println!("| {clean} | {conflicts} | {n_reps} | {t_direct:?} | {t_program:?} |");
     }
     println!("\n(the conflict axis drives repair count exponentially — the Π₂ᵖ");
     println!("hardness axis — while the data axis stays polynomial)");
 }
 
 fn e22() {
-    header("E22", "Corollary 1 shape: HCF / shifted-normal vs disjunctive solving");
+    header(
+        "E22",
+        "Corollary 1 shape: HCF / shifted-normal vs disjunctive solving",
+    );
     println!("| overlap (denial violations) | atoms | disjunctive solve | shifted-normal solve | models |");
     println!("|---|---|---|---|---|");
     for overlap in [2usize, 4, 6, 8] {
@@ -962,7 +1039,10 @@ fn e23() {
 }
 
 fn e24() {
-    header("E24", "grounding scaling (the Section-5 substrate; figure: atoms/rules vs |D|)");
+    header(
+        "E24",
+        "grounding scaling (the Section-5 substrate; figure: atoms/rules vs |D|)",
+    );
     println!("| facts | ground atoms | ground rules | grounding time |");
     println!("|---|---|---|---|");
     for n in [50usize, 100, 200, 400] {
@@ -982,8 +1062,13 @@ fn e24() {
 }
 
 fn e25() {
-    header("E25", "ablation: relevance-pruned repair programs ([12] direction)");
-    println!("| relations (constrained+audit) | full program rules | pruned rules | same repairs |");
+    header(
+        "E25",
+        "ablation: relevance-pruned repair programs ([12] direction)",
+    );
+    println!(
+        "| relations (constrained+audit) | full program rules | pruned rules | same repairs |"
+    );
     println!("|---|---|---|---|");
     for extra in [1usize, 4, 8] {
         let mut builder = Schema::builder()
@@ -998,7 +1083,8 @@ fn e25() {
         d.insert_named("R", [s("a"), s("c")]).unwrap();
         d.insert_named("S", [null(), s("a")]).unwrap();
         for j in 0..extra {
-            d.insert_named(&format!("Audit{j}"), [s("w"), s("x")]).unwrap();
+            d.insert_named(&format!("Audit{j}"), [s("w"), s("x")])
+                .unwrap();
         }
         let mut ics = IcSet::default();
         ics.push(builders::functional_dependency(&sc, "R", &[0], 1).unwrap());
@@ -1007,8 +1093,7 @@ fn e25() {
         let pruned =
             cqa_core::repair_program_with(&d, &ics, ProgramStyle::Corrected, true).unwrap();
         let same = cqa_core::repairs_via_program(&d, &ics, ProgramStyle::Corrected).unwrap()
-            == cqa_core::repairs_via_program_with(&d, &ics, ProgramStyle::Corrected, true)
-                .unwrap();
+            == cqa_core::repairs_via_program_with(&d, &ics, ProgramStyle::Corrected, true).unwrap();
         println!(
             "| 2+{extra} | {} | {} | {} |",
             full.rules().len(),

@@ -1,16 +1,21 @@
-//! Workload generators shared by the criterion benches and the
-//! `experiments` binary.
+//! Workload generators shared by the benches and the `experiments`
+//! binary, plus the dependency-free timing harness ([`harness`]).
 //!
 //! Each generator produces `(Instance, IcSet)` pairs whose inconsistency
 //! profile is controlled precisely, so the benches can separate the two
 //! complexity axes the paper's theorems talk about: *data size* (the
 //! polynomial axis for checking) and *number of interacting violations*
 //! (the exponential axis for repair enumeration and Π₂ᵖ-hard CQA).
+//!
+//! Randomness comes from the workspace's own deterministic
+//! [`XorShift`](cqa_relational::testing::XorShift) generator — no external
+//! crates, and identical workloads on every run and platform.
+
+pub mod harness;
 
 use cqa_constraints::{builders, v, Constraint, Ic, IcSet};
+use cqa_relational::testing::XorShift;
 use cqa_relational::{s, Instance, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// A generated workload.
@@ -29,11 +34,17 @@ pub fn fd_workload(clean: usize, violations: usize, seed: u64) -> Workload {
         .finish()
         .expect("static schema")
         .into_shared();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift::new(seed);
     let mut instance = Instance::empty(schema.clone());
     for i in 0..clean {
         instance
-            .insert_named("R", [s(&format!("k{i}")), s(&format!("v{}", rng.gen::<u16>()))])
+            .insert_named(
+                "R",
+                [
+                    s(&format!("k{i}")),
+                    s(&format!("v{}", (rng.next_u64() % 65536))),
+                ],
+            )
             .expect("arity");
     }
     for i in 0..violations {
@@ -60,10 +71,10 @@ pub fn fk_workload(children: usize, parents: usize, dangling: usize, seed: u64) 
         .finish()
         .expect("static schema")
         .into_shared();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift::new(seed);
     let mut instance = Instance::empty(schema.clone());
     for i in 0..parents {
-        let payload = if rng.gen_bool(0.2) {
+        let payload = if rng.chance(1, 5) {
             Value::Null
         } else {
             s(&format!("p{i}"))
@@ -73,14 +84,17 @@ pub fn fk_workload(children: usize, parents: usize, dangling: usize, seed: u64) 
             .expect("arity");
     }
     for i in 0..children {
-        let target = rng.gen_range(0..parents.max(1));
+        let target = rng.below(parents.max(1));
         instance
             .insert_named("child", [s(&format!("c{i}")), s(&format!("id{target}"))])
             .expect("arity");
     }
     for i in 0..dangling {
         instance
-            .insert_named("child", [s(&format!("dangle{i}")), s(&format!("missing{i}"))])
+            .insert_named(
+                "child",
+                [s(&format!("dangle{i}")), s(&format!("missing{i}"))],
+            )
             .expect("arity");
     }
     let mut ics = IcSet::default();
@@ -102,11 +116,17 @@ pub fn example19_scaled(
         .finish()
         .expect("static schema")
         .into_shared();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift::new(seed);
     let mut instance = Instance::empty(schema.clone());
     for i in 0..clean {
         instance
-            .insert_named("R", [s(&format!("r{i}")), s(&format!("y{}", rng.gen::<u16>()))])
+            .insert_named(
+                "R",
+                [
+                    s(&format!("r{i}")),
+                    s(&format!("y{}", (rng.next_u64() % 65536))),
+                ],
+            )
             .expect("arity");
         instance
             .insert_named("S", [s(&format!("s{i}")), s(&format!("r{i}"))])
@@ -141,14 +161,18 @@ pub fn denial_workload(size: usize, overlap: usize, seed: u64) -> Workload {
         .finish()
         .expect("static schema")
         .into_shared();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift::new(seed);
     let mut instance = Instance::empty(schema.clone());
     for i in 0..size {
-        instance.insert_named("P", [s(&format!("p{i}"))]).expect("arity");
-        instance.insert_named("Q", [s(&format!("q{i}"))]).expect("arity");
+        instance
+            .insert_named("P", [s(&format!("p{i}"))])
+            .expect("arity");
+        instance
+            .insert_named("Q", [s(&format!("q{i}"))])
+            .expect("arity");
     }
     for i in 0..overlap {
-        let shared = format!("both{}", rng.gen_range(0..overlap.max(1)).max(i));
+        let shared = format!("both{}", rng.below(overlap.max(1)).max(i));
         instance.insert_named("P", [s(&shared)]).expect("arity");
         instance.insert_named("Q", [s(&shared)]).expect("arity");
     }
@@ -204,10 +228,7 @@ mod tests {
         let w = fd_workload(50, 3, 7);
         assert!(!is_consistent(&w.instance, &w.ics));
         // each conflicting pair yields 2 violations (both orientations)
-        assert_eq!(
-            violations(&w.instance, &w.ics, SatMode::NullAware).len(),
-            6
-        );
+        assert_eq!(violations(&w.instance, &w.ics, SatMode::NullAware).len(), 6);
         let clean = fd_workload(50, 0, 7);
         assert!(is_consistent(&clean.instance, &clean.ics));
     }
@@ -215,10 +236,7 @@ mod tests {
     #[test]
     fn fk_workload_dangling_count() {
         let w = fk_workload(30, 10, 4, 7);
-        assert_eq!(
-            violations(&w.instance, &w.ics, SatMode::NullAware).len(),
-            4
-        );
+        assert_eq!(violations(&w.instance, &w.ics, SatMode::NullAware).len(), 4);
     }
 
     #[test]

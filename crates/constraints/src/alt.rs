@@ -60,63 +60,63 @@ impl AltSemantics {
 
 /// Does `instance` satisfy `ic` under the given alternative semantics?
 pub fn satisfies_alt(instance: &Instance, ic: &Ic, semantics: AltSemantics) -> bool {
-    let result = for_each_body_match(instance, ic, &mut |bindings, atoms| {
-        let ok = match semantics {
-            AltSemantics::Bb04 => {
-                atoms.iter().any(|a| a.has_null())
-                    || phi_escape(ic, bindings)
-                    || ic
-                        .head()
-                        .iter()
-                        .any(|h| head_witness(instance, ic, h, SatMode::NullAware, bindings))
+    let result =
+        for_each_body_match(instance, ic, &mut |bindings, atoms| {
+            let ok =
+                match semantics {
+                    AltSemantics::Bb04 => {
+                        atoms.iter().any(|a| a.has_null())
+                            || phi_escape(ic, bindings)
+                            || ic.head().iter().any(|h| {
+                                head_witness(instance, ic, h, SatMode::NullAware, bindings)
+                            })
+                    }
+                    AltSemantics::SimpleMatch => {
+                        // Null in any relevant (referencing) value → satisfied;
+                        // otherwise an exact witness on relevant attributes.
+                        referencing_values(ic, bindings).iter().any(|v| v.is_null())
+                            || phi_escape(ic, bindings)
+                            || ic.head().iter().any(|h| {
+                                head_witness(instance, ic, h, SatMode::NullAware, bindings)
+                            })
+                    }
+                    AltSemantics::PartialMatch => {
+                        let refs = referencing_values(ic, bindings);
+                        refs.iter().all(|v| v.is_null()) && !refs.is_empty()
+                            || phi_escape(ic, bindings)
+                            || ic
+                                .head()
+                                .iter()
+                                .any(|h| wildcard_witness(instance, ic, h, bindings))
+                    }
+                    AltSemantics::FullMatch => {
+                        let refs = referencing_values(ic, bindings);
+                        let nulls = refs.iter().filter(|v| v.is_null()).count();
+                        if nulls == refs.len() && !refs.is_empty() {
+                            true // all referencing values null
+                        } else if nulls > 0 {
+                            false // mixed: full match forbids partially-null references
+                        } else {
+                            phi_escape(ic, bindings)
+                                || ic.head().iter().any(|h| {
+                                    head_witness(instance, ic, h, SatMode::NullAware, bindings)
+                                })
+                        }
+                    }
+                    AltSemantics::LeveneLoizou => {
+                        phi_escape(ic, bindings)
+                            || ic
+                                .head()
+                                .iter()
+                                .any(|h| leq_information_witness(instance, ic, h, bindings))
+                    }
+                };
+            if ok {
+                ControlFlow::Continue(())
+            } else {
+                ControlFlow::Break(())
             }
-            AltSemantics::SimpleMatch => {
-                // Null in any relevant (referencing) value → satisfied;
-                // otherwise an exact witness on relevant attributes.
-                referencing_values(ic, bindings).iter().any(|v| v.is_null())
-                    || phi_escape(ic, bindings)
-                    || ic
-                        .head()
-                        .iter()
-                        .any(|h| head_witness(instance, ic, h, SatMode::NullAware, bindings))
-            }
-            AltSemantics::PartialMatch => {
-                let refs = referencing_values(ic, bindings);
-                refs.iter().all(|v| v.is_null()) && !refs.is_empty()
-                    || phi_escape(ic, bindings)
-                    || ic
-                        .head()
-                        .iter()
-                        .any(|h| wildcard_witness(instance, ic, h, bindings))
-            }
-            AltSemantics::FullMatch => {
-                let refs = referencing_values(ic, bindings);
-                let nulls = refs.iter().filter(|v| v.is_null()).count();
-                if nulls == refs.len() && !refs.is_empty() {
-                    true // all referencing values null
-                } else if nulls > 0 {
-                    false // mixed: full match forbids partially-null references
-                } else {
-                    phi_escape(ic, bindings)
-                        || ic.head().iter().any(|h| {
-                            head_witness(instance, ic, h, SatMode::NullAware, bindings)
-                        })
-                }
-            }
-            AltSemantics::LeveneLoizou => {
-                phi_escape(ic, bindings)
-                    || ic
-                        .head()
-                        .iter()
-                        .any(|h| leq_information_witness(instance, ic, h, bindings))
-            }
-        };
-        if ok {
-            ControlFlow::Continue(())
-        } else {
-            ControlFlow::Break(())
-        }
-    });
+        });
     matches!(result, ControlFlow::Continue(()))
 }
 
@@ -353,12 +353,14 @@ mod tests {
             .finish()
             .unwrap();
         let mut d = Instance::empty(Arc::new(sc));
-        d.insert_named("Course", [s("CS18"), s("W04"), i(34)]).unwrap();
+        d.insert_named("Course", [s("CS18"), s("W04"), i(34)])
+            .unwrap();
         d.insert_named("Employee", [s("W04"), null()]).unwrap();
         assert!(!satisfies_alt(&d, &ic, AltSemantics::LeveneLoizou));
         // The *referencing* side may hold the null:
         let mut d2 = d.clone();
-        d2.insert_named("Course", [s("CS19"), s("W05"), null()]).unwrap();
+        d2.insert_named("Course", [s("CS19"), s("W05"), null()])
+            .unwrap();
         d2.insert_named("Employee", [s("W05"), i(7)]).unwrap();
         d2.remove(
             d2.schema().rel_id("Course").unwrap(),

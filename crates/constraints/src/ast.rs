@@ -258,7 +258,12 @@ impl fmt::Display for IcDisplay<'_> {
         }
         let mut parts: Vec<String> = ic.head.iter().map(&atom).collect();
         for b in &ic.builtins {
-            parts.push(format!("{} {} {}", term(&b.lhs), b.op.symbol(), term(&b.rhs)));
+            parts.push(format!(
+                "{} {} {}",
+                term(&b.lhs),
+                b.op.symbol(),
+                term(&b.rhs)
+            ));
         }
         if parts.is_empty() {
             write!(f, "false")
@@ -438,10 +443,7 @@ impl IcSet {
         for (i, ic) in self.ics() {
             for atom in ic.head() {
                 for (pos, term) in atom.terms.iter().enumerate() {
-                    let is_ex = term
-                        .as_var()
-                        .map(|v| ic.is_existential(v))
-                        .unwrap_or(false);
+                    let is_ex = term.as_var().map(|v| ic.is_existential(v)).unwrap_or(false);
                     if !is_ex {
                         continue;
                     }
@@ -727,7 +729,10 @@ mod tests {
             .head_atom("R", [v("x"), v("y")])
             .head_atom("P", [v("x"), v("y"), v("y")])
             .finish();
-        assert!(matches!(err, Err(ConstraintError::SharedExistential { .. })));
+        assert!(matches!(
+            err,
+            Err(ConstraintError::SharedExistential { .. })
+        ));
     }
 
     #[test]
@@ -773,7 +778,9 @@ mod tests {
             Err(ConstraintError::UnknownRelation(_))
         ));
         assert!(matches!(
-            Ic::builder(&s, "bad").body_atom("S", [v("x"), v("y")]).finish(),
+            Ic::builder(&s, "bad")
+                .body_atom("S", [v("x"), v("y")])
+                .finish(),
             Err(ConstraintError::ArityMismatch { .. })
         ));
     }
@@ -798,7 +805,14 @@ mod tests {
         assert!(CmpOp::Eq.eval(&null(), &null())); // null as ordinary constant
         assert!(CmpOp::Lt.eval(&i(1), &i(2)));
         assert!(CmpOp::Lt.eval(&null(), &i(0))); // Null < Int in the total order
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Leq,
+            CmpOp::Gt,
+            CmpOp::Geq,
+        ] {
             // negation complements on every pair drawn from a small set
             for a in [i(1), i(2), null()] {
                 for b in [i(1), i(2), null()] {

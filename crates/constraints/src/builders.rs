@@ -51,7 +51,13 @@ pub fn functional_dependency(
     }
     let first: Vec<TermSpec> = (0..arity).map(var).collect();
     let second: Vec<TermSpec> = (0..arity)
-        .map(|i| if determinant.contains(&i) { var(i) } else { var2(i) })
+        .map(|i| {
+            if determinant.contains(&i) {
+                var(i)
+            } else {
+                var2(i)
+            }
+        })
         .collect();
     Ic::builder(schema, format!("fd_{relation}_{dependent}"))
         .body_atom(relation, first)
@@ -235,10 +241,7 @@ pub fn ric_column_map(ic: &Ic) -> Option<(Vec<usize>, Vec<usize>)> {
     for (hp, term) in head.terms.iter().enumerate() {
         match term {
             Term::Var(v) if !ic.is_existential(*v) => {
-                let bp = body
-                    .terms
-                    .iter()
-                    .position(|t| t.as_var() == Some(*v))?;
+                let bp = body.terms.iter().position(|t| t.as_var() == Some(*v))?;
                 child.push(bp);
                 parent.push(hp);
             }

@@ -163,8 +163,7 @@ pub fn contracted_dependency_graph(ics: &IcSet) -> ContractedGraph {
     let g = dependency_graph(ics);
     // Union-find over the UIC edges (undirected connectivity).
     let verts: Vec<RelId> = g.vertices.iter().copied().collect();
-    let index_of: BTreeMap<RelId, usize> =
-        verts.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+    let index_of: BTreeMap<RelId, usize> = verts.iter().enumerate().map(|(i, r)| (*r, i)).collect();
     let mut parent: Vec<usize> = (0..verts.len()).collect();
     fn find(parent: &mut Vec<usize>, x: usize) -> usize {
         if parent[x] != x {

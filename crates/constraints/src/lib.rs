@@ -28,6 +28,10 @@
 //! * [`graph`] — the dependency graph `G(IC)`, the contracted graph
 //!   `G^C(IC)`, RIC-acyclicity (Definition 1), and the bilateral-predicate
 //!   test of Theorem 5.
+//! * [`incremental`] — index-probed joins and the delta API
+//!   ([`violations_touching`], [`violation_active`]): re-check only the
+//!   ground instantiations an atom-level change can affect, so repair
+//!   search cost scales with conflict size rather than instance size.
 
 pub mod alt;
 pub mod ast;
@@ -35,6 +39,7 @@ pub mod builders;
 pub mod classify;
 pub mod error;
 pub mod graph;
+pub mod incremental;
 pub mod relevant;
 pub mod satisfaction;
 
@@ -44,8 +49,9 @@ pub use ast::{
 pub use classify::IcClass;
 pub use error::ConstraintError;
 pub use graph::{contracted_dependency_graph, dependency_graph, DependencyGraph};
+pub use incremental::{violation_active, violations_touching};
 pub use relevant::RelevantAttrs;
 pub use satisfaction::{
-    check_instance, first_violation, insertion_allowed, is_consistent, satisfies_via_projection,
-    violations, SatMode, Violation, ViolationKind,
+    check_instance, first_violation, first_violation_naive, insertion_allowed, is_consistent,
+    satisfies_via_projection, violations, violations_naive, SatMode, Violation, ViolationKind,
 };

@@ -186,10 +186,7 @@ mod tests {
             .head_atom("R", [v("x"), v("y")])
             .finish()
             .unwrap();
-        assert_eq!(
-            ic.relevant().display(&sc),
-            "{P[1], P[2], R[1], R[2]}"
-        );
+        assert_eq!(ic.relevant().display(&sc), "{P[1], P[2], R[1], R[2]}");
         let p = sc.rel_id("P").unwrap();
         assert!(!ic.relevant().is_relevant(p, 2)); // z occurs once
         assert_eq!(ic.relevant().escape_vars().len(), 2); // x, y

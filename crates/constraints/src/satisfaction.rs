@@ -113,7 +113,31 @@ impl Violation {
 
 /// All violations of `ics` in `instance` under `mode`, in deterministic
 /// order (constraint order, then body-join order).
+///
+/// Joins are index-probed ([`crate::incremental`]) but enumerate matches in
+/// exactly the order of the retained naive evaluator
+/// ([`violations_naive`]), which the property suite uses as an oracle.
 pub fn violations(instance: &Instance, ics: &IcSet, mode: SatMode) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let _ = for_each_violation_indexed(instance, ics, mode, |v| {
+        out.push(v);
+        ControlFlow::<()>::Continue(())
+    });
+    out
+}
+
+/// First violation, if any, via index-probed joins.
+pub fn first_violation(instance: &Instance, ics: &IcSet, mode: SatMode) -> Option<Violation> {
+    match for_each_violation_indexed(instance, ics, mode, ControlFlow::Break) {
+        ControlFlow::Break(v) => Some(v),
+        ControlFlow::Continue(()) => None,
+    }
+}
+
+/// All violations by the naive nested-loop evaluator: full relation scans,
+/// no indexes. Retained as the cross-check oracle for the indexed and
+/// incremental paths; use [`violations`] everywhere else.
+pub fn violations_naive(instance: &Instance, ics: &IcSet, mode: SatMode) -> Vec<Violation> {
     let mut out = Vec::new();
     let _ = for_each_violation(instance, ics, mode, |v| {
         out.push(v);
@@ -122,12 +146,57 @@ pub fn violations(instance: &Instance, ics: &IcSet, mode: SatMode) -> Vec<Violat
     out
 }
 
-/// First violation, if any (used by the repair engine's branch loop).
-pub fn first_violation(instance: &Instance, ics: &IcSet, mode: SatMode) -> Option<Violation> {
+/// First violation by the naive full-scan evaluator (oracle; also the
+/// "seed behaviour" baseline of the repair-engine benchmarks).
+pub fn first_violation_naive(instance: &Instance, ics: &IcSet, mode: SatMode) -> Option<Violation> {
     match for_each_violation(instance, ics, mode, ControlFlow::Break) {
         ControlFlow::Break(v) => Some(v),
         ControlFlow::Continue(()) => None,
     }
+}
+
+fn for_each_violation_indexed<B>(
+    instance: &Instance,
+    ics: &IcSet,
+    mode: SatMode,
+    mut f: impl FnMut(Violation) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    for (index, constraint) in ics.constraints().iter().enumerate() {
+        match constraint {
+            crate::ast::Constraint::Tgd(ic) => {
+                crate::incremental::tgd_violations_indexed(
+                    instance,
+                    ic,
+                    mode,
+                    &mut |bindings, atoms| {
+                        f(Violation {
+                            constraint_index: index,
+                            kind: ViolationKind::Tgd {
+                                bindings: bindings.to_vec(),
+                                body_atoms: atoms,
+                            },
+                        })
+                    },
+                )?;
+            }
+            crate::ast::Constraint::NotNull(nnc) => {
+                // Probe the index bucket of `null` at the guarded column
+                // instead of scanning the relation; bucket order equals
+                // scan order.
+                let ix = instance.index_on(nnc.rel, nnc.position);
+                for t in ix.probe(&Value::Null) {
+                    f(Violation {
+                        constraint_index: index,
+                        kind: ViolationKind::NotNull {
+                            atom: DatabaseAtom::new(nnc.rel, t.clone()),
+                            position: nnc.position,
+                        },
+                    })?;
+                }
+            }
+        }
+    }
+    ControlFlow::Continue(())
 }
 
 /// `D |=_N IC` — no violations under the paper's semantics.
@@ -159,17 +228,32 @@ pub fn check_instance(instance: &Instance, ics: &IcSet, mode: SatMode) -> Consis
 /// Would inserting `tuple` into `relation` keep the instance consistent?
 /// Mirrors the DBMS behaviour discussed in Examples 5 and 6: the insertion
 /// is checked against `|=_N`.
+///
+/// Routed through the delta API: the hypothetical instance is a
+/// copy-on-write fork (reference-count bumps, not an O(data) clone), the
+/// *new* violations are found by seeded matching on the inserted atom only
+/// ([`crate::incremental::violations_touching`]), and the full check runs
+/// only when the insertion itself is clean — at which point any remaining
+/// violation predates the insertion.
 pub fn insertion_allowed(
     instance: &Instance,
     ics: &IcSet,
     relation: &str,
     tuple: impl Into<cqa_relational::Tuple>,
 ) -> bool {
-    let mut copy = instance.clone();
-    if copy.insert_named(relation, tuple.into()).is_err() {
+    let tuple = tuple.into();
+    let Ok(rel) = instance.schema().require(relation) else {
+        return false;
+    };
+    let mut fork = instance.clone();
+    if fork.insert(rel, tuple.clone()).is_err() {
         return false;
     }
-    is_consistent(&copy, ics)
+    let delta = cqa_relational::Delta::insertion(cqa_relational::DatabaseAtom::new(rel, tuple));
+    if !crate::incremental::violations_touching(&fork, ics, &delta, SatMode::NullAware).is_empty() {
+        return false;
+    }
+    is_consistent(&fork, ics)
 }
 
 fn for_each_violation<B>(
@@ -305,7 +389,12 @@ fn undo(bindings: &mut [Option<Value>], vars: &[VarId]) {
 }
 
 /// Is the ground constraint (under a full body assignment) satisfied?
-fn ground_satisfied(instance: &Instance, ic: &Ic, mode: SatMode, bindings: &[Option<Value>]) -> bool {
+fn ground_satisfied(
+    instance: &Instance,
+    ic: &Ic,
+    mode: SatMode,
+    bindings: &[Option<Value>],
+) -> bool {
     // 1. IsNull escape (NullAware only): a relevant universal variable
     //    bound to null satisfies the constraint outright.
     if mode == SatMode::NullAware {
@@ -331,8 +420,7 @@ fn ground_satisfied(instance: &Instance, ic: &Ic, mode: SatMode, bindings: &[Opt
 /// Does some disjunct of ϕ evaluate to true under the assignment?
 pub(crate) fn phi_escape(ic: &Ic, bindings: &[Option<Value>]) -> bool {
     ic.builtins().iter().any(|b| {
-        b.op
-            .eval(term_value(&b.lhs, bindings), term_value(&b.rhs, bindings))
+        b.op.eval(term_value(&b.lhs, bindings), term_value(&b.rhs, bindings))
     })
 }
 
@@ -442,7 +530,9 @@ pub fn satisfies_via_projection(instance: &Instance, ic: &Ic) -> bool {
                 }
             }
             for b in ic.builtins() {
-                if b.op.eval(term_value(&b.lhs, bindings), term_value(&b.rhs, bindings)) {
+                if b.op
+                    .eval(term_value(&b.lhs, bindings), term_value(&b.rhs, bindings))
+                {
                     return true;
                 }
             }
@@ -642,7 +732,10 @@ mod tests {
         // But Q(a, null, b) would NOT witness (z must repeat consistently):
         let mut d2 = build(
             &schema,
-            &[("P", vec![s("a"), s("b")]), ("Q", vec![s("a"), null(), s("b")])],
+            &[
+                ("P", vec![s("a"), s("b")]),
+                ("Q", vec![s("a"), null(), s("b")]),
+            ],
         );
         assert!(!is_consistent(&d2, &ics));
         d2.insert_named("Q", [s("a"), s("d"), s("d")]).unwrap();
@@ -728,10 +821,16 @@ mod tests {
 
     #[test]
     fn nnc_violations_found_classically() {
-        let schema = Schema::builder().relation("R", ["x", "y"]).finish().unwrap();
+        let schema = Schema::builder()
+            .relation("R", ["x", "y"])
+            .finish()
+            .unwrap();
         let nnc = Nnc::new(&schema, "nn", "R", 0).unwrap();
         let ics = IcSet::new([Constraint::from(nnc)]);
-        let d = build(&schema, &[("R", vec![null(), s("a")]), ("R", vec![s("b"), null()])]);
+        let d = build(
+            &schema,
+            &[("R", vec![null(), s("a")]), ("R", vec![s("b"), null()])],
+        );
         let viols = violations(&d, &ics, SatMode::NullAware);
         assert_eq!(viols.len(), 1);
         match &viols[0].kind {

@@ -1,16 +1,25 @@
-//! Property suite: the direct `|=_N` evaluator is equivalent to the
-//! literal, projection-based Definition 4 (`D^{A(ψ)} |= ψ^N`) on random
-//! instances and a diverse constraint pool.
+//! Property suite: the index-probed `|=_N` evaluator is equivalent to the
+//! literal, projection-based Definition 4 (`D^{A(ψ)} |= ψ^N`) and to the
+//! retained naive full-scan oracle on random instances and a diverse
+//! constraint pool; and the incremental `violations_touching` account is
+//! complete against the oracle across random mutation sequences.
 //!
-//! The two implementations share no evaluation code (the projection
-//! checker materialises `D^A` and re-implements the join), so agreement
-//! over randomised inputs is strong evidence that the optimised path is
-//! faithful to the definition.
+//! The implementations share no evaluation code (the projection checker
+//! materialises `D^A` and re-implements the join; the naive evaluator
+//! scans, the indexed one probes), so agreement over randomised inputs is
+//! strong evidence that the optimised paths are faithful to the
+//! definition. Randomness is the workspace's own deterministic
+//! [`XorShift`] — no external property-testing crates.
 
-use cqa_constraints::{c, satisfies_via_projection, v, violations, CmpOp, Constraint, Ic, IcSet, SatMode};
-use cqa_relational::{s, Instance, Schema, Value};
-use proptest::prelude::*;
+use cqa_constraints::{
+    c, satisfies_via_projection, v, violation_active, violations, violations_naive,
+    violations_touching, CmpOp, Constraint, Ic, IcSet, SatMode, Violation,
+};
+use cqa_relational::testing::XorShift;
+use cqa_relational::{s, DatabaseAtom, Delta, Instance, Schema, Tuple, Value};
 use std::sync::Arc;
+
+const CASES: u64 = 256;
 
 fn schema() -> Arc<Schema> {
     Schema::builder()
@@ -24,7 +33,7 @@ fn schema() -> Arc<Schema> {
 
 fn constraint_pool(sc: &Schema) -> Vec<Ic> {
     vec![
-        // universal with join: P(x,y) ∧ T(x) → R(x,y,z)… no z unsafe; use head ∃
+        // referential with join: P(x,y) → ∃w R(x,y,w)
         Ic::builder(sc, "c0")
             .body_atom("P", [v("x"), v("y")])
             .head_atom("R", [v("x"), v("y"), v("w")])
@@ -77,100 +86,151 @@ fn constraint_pool(sc: &Schema) -> Vec<Ic> {
     ]
 }
 
-fn value_strategy() -> impl Strategy<Value = Value> + Clone {
-    proptest::sample::select(vec![s("c0"), s("c1"), s("c2"), Value::Null])
+fn value(rng: &mut XorShift, with_null: bool) -> Value {
+    let k = rng.below(if with_null { 4 } else { 3 });
+    match k {
+        3 => Value::Null,
+        j => s(&format!("c{j}")),
+    }
 }
 
-fn value_strategy_no_null() -> impl Strategy<Value = Value> + Clone {
-    proptest::sample::select(vec![s("c0"), s("c1"), s("c2")])
+fn instance(rng: &mut XorShift, sc: &Arc<Schema>, with_null: bool) -> Instance {
+    let mut d = Instance::empty(sc.clone());
+    for _ in 0..rng.below(4) {
+        let t: Tuple = [value(rng, with_null), value(rng, with_null)].into();
+        d.insert_named("P", t).unwrap();
+    }
+    for _ in 0..rng.below(4) {
+        let t: Tuple = [
+            value(rng, with_null),
+            value(rng, with_null),
+            value(rng, with_null),
+        ]
+        .into();
+        d.insert_named("R", t).unwrap();
+    }
+    for _ in 0..rng.below(3) {
+        let t: Tuple = [value(rng, with_null)].into();
+        d.insert_named("T", t).unwrap();
+    }
+    d
 }
 
-fn instance_from(
-    sc: Arc<Schema>,
-    values: impl Strategy<Value = Value> + Clone + 'static,
-) -> impl Strategy<Value = Instance> {
-    let p = proptest::collection::btree_set((values.clone(), values.clone()), 0..4);
-    let r = proptest::collection::btree_set(
-        (values.clone(), values.clone(), values.clone()),
-        0..4,
-    );
-    let t = proptest::collection::btree_set(values, 0..3);
-    (p, r, t).prop_map(move |(ps, rs, ts)| {
-        let mut d = Instance::empty(sc.clone());
-        for (a, b) in ps {
-            d.insert_named("P", [a, b]).unwrap();
-        }
-        for (x, y, z) in rs {
-            d.insert_named("R", [x, y, z]).unwrap();
-        }
-        for t in ts {
-            d.insert_named("T", [t]).unwrap();
-        }
-        d
-    })
-}
-
-fn instance_strategy(sc: Arc<Schema>) -> impl Strategy<Value = Instance> {
-    instance_from(sc, value_strategy())
-}
-
-fn null_free_instance_strategy(sc: Arc<Schema>) -> impl Strategy<Value = Instance> {
-    instance_from(sc, value_strategy_no_null())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn direct_evaluator_equals_projection_definition(
-        d in instance_strategy(schema()),
-        which in 0usize..8,
-    ) {
-        let sc = schema();
-        let ic = constraint_pool(&sc)[which].clone();
+#[test]
+fn direct_evaluator_equals_projection_definition() {
+    let sc = schema();
+    let pool = constraint_pool(&sc);
+    let mut rng = XorShift::new(201);
+    for _ in 0..CASES {
+        let d = instance(&mut rng, &sc, true);
+        let ic = &pool[rng.below(pool.len())];
         let direct = violations(
             &d,
             &IcSet::new([Constraint::from(ic.clone())]),
             SatMode::NullAware,
         )
         .is_empty();
-        let projected = satisfies_via_projection(&d, &ic);
-        prop_assert_eq!(direct, projected, "constraint {}", ic.name());
+        let projected = satisfies_via_projection(&d, ic);
+        assert_eq!(direct, projected, "constraint {}", ic.name());
     }
+}
 
-    #[test]
-    fn classical_and_null_aware_agree_on_null_free_instances(
-        d in null_free_instance_strategy(schema()),
-        which in 0usize..8,
-    ) {
-        // The paper's remark after Definition 4.
-        let sc = schema();
-        let ic = constraint_pool(&sc)[which].clone();
-        let ics = IcSet::new([Constraint::from(ic)]);
+#[test]
+fn classical_and_null_aware_agree_on_null_free_instances() {
+    // The paper's remark after Definition 4.
+    let sc = schema();
+    let pool = constraint_pool(&sc);
+    let mut rng = XorShift::new(202);
+    for _ in 0..CASES {
+        let d = instance(&mut rng, &sc, false);
+        let ics = IcSet::new([Constraint::from(pool[rng.below(pool.len())].clone())]);
         let null_aware = violations(&d, &ics, SatMode::NullAware).len();
         let classical = violations(&d, &ics, SatMode::Classical).len();
-        prop_assert_eq!(null_aware, classical);
+        assert_eq!(null_aware, classical);
     }
+}
 
-    #[test]
-    fn null_aware_violations_subset_of_classical(
-        d in instance_strategy(schema()),
-        which in 0usize..8,
-    ) {
-        // IsNull escapes only ever *remove* violations relative to the
-        // classical reading restricted to relevant attributes… for the
-        // subset claim to be exact we compare counts per ground body.
-        let sc = schema();
-        let ic = constraint_pool(&sc)[which].clone();
-        let ics = IcSet::new([Constraint::from(ic)]);
-        let null_aware = violations(&d, &ics, SatMode::NullAware).len();
-        // Classical witnesses are matched on *all* positions, so classical
-        // can have both more violations (no escapes) and fewer (stricter
-        // witness match is impossible — more matches is impossible).
-        // The robust invariant: a null-free instance gives equal counts
-        // (covered above); here we only require evaluation terminates and
-        // is deterministic.
-        let again = violations(&d, &ics, SatMode::NullAware).len();
-        prop_assert_eq!(null_aware, again);
+/// The indexed evaluator agrees with the naive full-scan oracle —
+/// element-for-element, in the same order — on random instances and
+/// random IC subsets, in both satisfaction modes.
+#[test]
+fn indexed_evaluator_equals_naive_oracle() {
+    let sc = schema();
+    let pool = constraint_pool(&sc);
+    let mut rng = XorShift::new(203);
+    for _ in 0..CASES {
+        let d = instance(&mut rng, &sc, true);
+        // Random non-empty subset of the pool.
+        let mut ics = IcSet::default();
+        for ic in &pool {
+            if rng.chance(1, 2) {
+                ics.push(ic.clone());
+            }
+        }
+        ics.push(pool[rng.below(pool.len())].clone());
+        for mode in [SatMode::NullAware, SatMode::Classical] {
+            let indexed = violations(&d, &ics, mode);
+            let naive = violations_naive(&d, &ics, mode);
+            assert_eq!(indexed, naive, "mode {mode:?}");
+        }
+    }
+}
+
+fn same_violation_set(a: &[Violation], b: &[Violation]) -> bool {
+    a.iter().all(|x| b.contains(x)) && b.iter().all(|x| a.contains(x))
+}
+
+/// Completeness of the incremental account across random mutation
+/// sequences: re-validated old violations plus `violations_touching` of
+/// each single-atom delta reconstruct exactly the oracle's violation set
+/// of the mutated instance.
+#[test]
+fn incremental_account_matches_oracle_across_mutations() {
+    let sc = schema();
+    let pool = constraint_pool(&sc);
+    for seed in 0..96u64 {
+        let mut rng = XorShift::new(seed * 13 + 5);
+        let mut d = instance(&mut rng, &sc, true);
+        let mut ics = IcSet::default();
+        ics.push(pool[rng.below(pool.len())].clone());
+        if rng.chance(1, 2) {
+            ics.push(pool[rng.below(pool.len())].clone());
+        }
+        let mut current: Vec<Violation> = violations(&d, &ics, SatMode::NullAware);
+        for step in 0..24 {
+            // Random single-atom mutation over the pool's relations.
+            let rel = sc.require(["P", "R", "T"][rng.below(3)]).unwrap();
+            let arity = sc.relation(rel).arity();
+            let tuple = Tuple::new((0..arity).map(|_| value(&mut rng, true)));
+            let atom = DatabaseAtom::new(rel, tuple);
+            let delta = if rng.chance(1, 2) {
+                if !d.insert(rel, atom.tuple.clone()).unwrap() {
+                    continue; // no-op mutation
+                }
+                Delta::insertion(atom)
+            } else {
+                if !d.remove(rel, &atom.tuple) {
+                    continue;
+                }
+                Delta::deletion(atom)
+            };
+            // Worklist update: survivors + touching, deduplicated.
+            let mut next: Vec<Violation> = current
+                .iter()
+                .filter(|vl| violation_active(&d, &ics, vl, SatMode::NullAware))
+                .cloned()
+                .collect();
+            for vl in violations_touching(&d, &ics, &delta, SatMode::NullAware) {
+                if !next.contains(&vl) {
+                    next.push(vl);
+                }
+            }
+            let oracle = violations_naive(&d, &ics, SatMode::NullAware);
+            assert!(
+                same_violation_set(&next, &oracle),
+                "seed {seed} step {step}: incremental {next:#?} vs oracle {oracle:#?}"
+            );
+            current = next;
+        }
     }
 }

@@ -130,7 +130,11 @@ mod tests {
         let d = Instance::empty(sc.clone());
         let ic = Ic::builder(&sc, "k")
             .body_atom("P", [v("x")])
-            .builtin(v("x"), cqa_constraints::CmpOp::Neq, cqa_constraints::c(s("z")))
+            .builtin(
+                v("x"),
+                cqa_constraints::CmpOp::Neq,
+                cqa_constraints::c(s("z")),
+            )
             .finish()
             .unwrap();
         let ics = IcSet::new([Constraint::from(ic)]);
@@ -194,7 +198,11 @@ mod tests {
             .unwrap();
         let psi2 = Ic::builder(&sc, "psi2")
             .body_atom("Q", [v("x"), v("y")])
-            .builtin(v("y"), cqa_constraints::CmpOp::Neq, cqa_constraints::c(s("b")))
+            .builtin(
+                v("y"),
+                cqa_constraints::CmpOp::Neq,
+                cqa_constraints::c(s("b")),
+            )
             .finish()
             .unwrap();
         let ics = IcSet::new([Constraint::from(psi1), Constraint::from(psi2)]);

@@ -11,9 +11,7 @@
 //! the growth is observable (experiment E11).
 
 use crate::error::CoreError;
-use cqa_constraints::{
-    first_violation, IcSet, SatMode, Term, Violation, ViolationKind,
-};
+use cqa_constraints::{first_violation, IcSet, SatMode, Term, Violation, ViolationKind};
 use cqa_relational::{delta, DatabaseAtom, Instance, Tuple, Value};
 use std::collections::BTreeMap;
 
@@ -145,9 +143,7 @@ impl Search<'_> {
                         .terms
                         .iter()
                         .enumerate()
-                        .filter(|(_, t)| {
-                            matches!(t, Term::Var(v) if bindings[v.index()].is_none())
-                        })
+                        .filter(|(_, t)| matches!(t, Term::Var(v) if bindings[v.index()].is_none()))
                         .map(|(i, _)| i)
                         .collect();
                     let base: Vec<Value> = head
@@ -155,9 +151,7 @@ impl Search<'_> {
                         .iter()
                         .map(|t| match t {
                             Term::Const(c) => c.clone(),
-                            Term::Var(v) => {
-                                bindings[v.index()].clone().unwrap_or(Value::Null)
-                            }
+                            Term::Var(v) => bindings[v.index()].clone().unwrap_or(Value::Null),
                         })
                         .collect();
                     let mut odometer = vec![0usize; ex_positions.len()];
@@ -170,8 +164,7 @@ impl Search<'_> {
                         // odometer assigns per-position, so filter
                         // inconsistent choices.
                         if consistent_repeats(head, bindings, &vals) {
-                            let fix =
-                                Fix::Insert(DatabaseAtom::new(head.rel, Tuple::new(vals)));
+                            let fix = Fix::Insert(DatabaseAtom::new(head.rel, Tuple::new(vals)));
                             if !out.contains(&fix) {
                                 out.push(fix);
                             }

@@ -1,9 +1,9 @@
 //! Repair enumeration by violation-driven decision search.
 //!
 //! A branch state is the original instance plus a set of *decisions*
-//! (`atom ↦ Inserted | Deleted`). The loop finds the first violation of
-//! the current instance (deterministic order) and branches over its
-//! minimal fixes:
+//! (`atom ↦ Inserted | Deleted`). The loop picks a violation of the
+//! current instance (deterministic order) and branches over its minimal
+//! fixes:
 //!
 //! * form-(1) violation with assignment σ — delete any one matched ground
 //!   body atom, or insert any one consequent atom instantiated with σ at
@@ -20,13 +20,37 @@
 //! Fixpoints are consistent candidates; the result is their
 //! `≤_D`-minimisation. The engine is validated against the brute-force
 //! oracle in the property suite.
+//!
+//! ## Incremental search (the default strategy)
+//!
+//! The naive loop re-scans the *whole instance* for a violation at every
+//! search node — O(data) per node even when only one atom changed. The
+//! default [`SearchStrategy::Incremental`] instead carries a **violation
+//! worklist** down the tree:
+//!
+//! * the root worklist is the full violation set (index-probed scan);
+//! * each branch applies its single-atom decision as a [`Delta`] *in
+//!   place* (copy-on-write makes the eventual candidate snapshot cheap),
+//!   appends the violations touching that delta
+//!   ([`cqa_constraints::violations_touching`]), and recurses;
+//! * on entry a node lazily re-validates worklist entries
+//!   ([`cqa_constraints::violation_active`]) until it finds a live one to
+//!   branch on — entries invalidated by ancestor decisions drop out here;
+//! * on exit the branch delta is reverted.
+//!
+//! Per-node cost is therefore bounded by the conflict neighbourhood of one
+//! change, not by instance size — the operational form of the paper's
+//! observation that repairs differ from `D` only inside the Proposition-1
+//! universe. [`SearchStrategy::FullRescan`] retains the naive per-node
+//! rescan for A/B benchmarking and as a secondary oracle.
 
 use crate::error::CoreError;
 use crate::repair::minimize_candidates;
 use cqa_constraints::{
-    first_violation, Constraint, IcSet, SatMode, Term, Violation, ViolationKind,
+    first_violation_naive, violation_active, violations, violations_touching, Constraint, IcSet,
+    SatMode, Term, Violation, ViolationKind,
 };
-use cqa_relational::{DatabaseAtom, Instance, Tuple, Value};
+use cqa_relational::{DatabaseAtom, Delta, Instance, Tuple, Value};
 use std::collections::BTreeMap;
 
 /// Which repair semantics to apply.
@@ -43,6 +67,18 @@ pub enum RepairSemantics {
     DeletionPreferring,
 }
 
+/// How the search finds the violation to branch on at each node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Delta-driven worklist: per-node cost scales with conflict size.
+    #[default]
+    Incremental,
+    /// Naive full-instance rescan per node (the seed behaviour): retained
+    /// as an A/B baseline for the scaling benchmarks and as a secondary
+    /// oracle in tests.
+    FullRescan,
+}
+
 /// Search configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RepairConfig {
@@ -51,6 +87,8 @@ pub struct RepairConfig {
     /// Maximum number of search nodes (branches are exponential in the
     /// number of interacting violations).
     pub node_budget: usize,
+    /// Violation-finding strategy.
+    pub strategy: SearchStrategy,
 }
 
 impl Default for RepairConfig {
@@ -58,6 +96,7 @@ impl Default for RepairConfig {
         RepairConfig {
             semantics: RepairSemantics::NullBased,
             node_budget: 1 << 22,
+            strategy: SearchStrategy::Incremental,
         }
     }
 }
@@ -134,7 +173,16 @@ pub fn repairs_with_trace(
     };
     let mut decisions = BTreeMap::new();
     let mut trace = Vec::new();
-    search.run(d.clone(), &mut decisions, &mut trace)?;
+    match config.strategy {
+        SearchStrategy::Incremental => {
+            let mut work = d.clone();
+            let worklist = violations(&work, ics, SatMode::NullAware);
+            search.run_incremental(&mut work, worklist, &mut decisions, &mut trace)?;
+        }
+        SearchStrategy::FullRescan => {
+            search.run_rescan(d.clone(), &mut decisions, &mut trace)?;
+        }
+    }
     // Deduplicate instances, keeping the first-found trace.
     let mut unique: Vec<TracedRepair> = Vec::new();
     for (instance, steps) in search.candidates {
@@ -142,8 +190,7 @@ pub fn repairs_with_trace(
             unique.push(TracedRepair { instance, steps });
         }
     }
-    let kept =
-        minimize_candidates(d, unique.iter().map(|u| u.instance.clone()).collect())?;
+    let kept = minimize_candidates(d, unique.iter().map(|u| u.instance.clone()).collect())?;
     Ok(kept
         .into_iter()
         .map(|instance| {
@@ -165,19 +212,110 @@ struct Search<'a> {
 }
 
 impl Search<'_> {
-    fn run(
-        &mut self,
-        current: Instance,
-        decisions: &mut BTreeMap<DatabaseAtom, Decision>,
-        trace: &mut Vec<RepairStep>,
-    ) -> Result<(), CoreError> {
+    fn charge_node(&mut self) -> Result<(), CoreError> {
         self.nodes += 1;
         if self.nodes > self.config.node_budget {
             return Err(CoreError::BudgetExceeded {
                 budget: self.config.node_budget,
             });
         }
-        let Some(violation) = first_violation(&current, self.ics, SatMode::NullAware) else {
+        Ok(())
+    }
+
+    /// Incremental search: the worklist carries every violation that may
+    /// still be live; each node re-validates lazily until it finds one to
+    /// branch on, and each branch extends the worklist with the violations
+    /// touching its single-atom delta. `current` is mutated in place and
+    /// restored before returning.
+    fn run_incremental(
+        &mut self,
+        current: &mut Instance,
+        worklist: Vec<Violation>,
+        decisions: &mut BTreeMap<DatabaseAtom, Decision>,
+        trace: &mut Vec<RepairStep>,
+    ) -> Result<(), CoreError> {
+        self.charge_node()?;
+        let mut pending = worklist.into_iter();
+        let violation = loop {
+            match pending.next() {
+                Some(v) if violation_active(current, self.ics, &v, SatMode::NullAware) => {
+                    break v;
+                }
+                Some(_) => continue, // fixed by an ancestor decision
+                None => {
+                    self.candidates.push((current.clone(), trace.clone()));
+                    return Ok(());
+                }
+            }
+        };
+        let rest: Vec<Violation> = pending.collect();
+        let constraint_name = self.ics.constraints()[violation.constraint_index]
+            .name()
+            .to_string();
+        for fix in self.fixes(&violation) {
+            let (action, atom) = match &fix {
+                Fix::Delete(atom) => {
+                    if decisions.get(atom) == Some(&Decision::Inserted) {
+                        continue; // protected
+                    }
+                    (RepairAction::Delete, atom.clone())
+                }
+                Fix::Insert(atom) => {
+                    if decisions.get(atom) == Some(&Decision::Deleted) {
+                        continue; // already ruled out on this branch
+                    }
+                    debug_assert!(
+                        !current.contains(atom),
+                        "insert fix must not already be present"
+                    );
+                    (RepairAction::Insert, atom.clone())
+                }
+            };
+            let decision = match action {
+                RepairAction::Insert => Decision::Inserted,
+                RepairAction::Delete => Decision::Deleted,
+            };
+            let fresh = !decisions.contains_key(&atom);
+            if fresh {
+                decisions.insert(atom.clone(), decision);
+            }
+            trace.push(RepairStep {
+                constraint: constraint_name.clone(),
+                action,
+                atom: atom.clone(),
+            });
+            let delta = match action {
+                RepairAction::Insert => Delta::insertion(atom.clone()),
+                RepairAction::Delete => Delta::deletion(atom.clone()),
+            };
+            current.apply_delta(&delta);
+            let mut child = rest.clone();
+            for v in violations_touching(current, self.ics, &delta, SatMode::NullAware) {
+                if !child.contains(&v) {
+                    child.push(v);
+                }
+            }
+            let res = self.run_incremental(current, child, decisions, trace);
+            current.revert_delta(&delta);
+            trace.pop();
+            if fresh {
+                decisions.remove(&atom);
+            }
+            res?;
+        }
+        Ok(())
+    }
+
+    /// The seed's naive loop: full violation rescan at every node, fork
+    /// per branch. Kept as the benchmark baseline and secondary oracle.
+    fn run_rescan(
+        &mut self,
+        current: Instance,
+        decisions: &mut BTreeMap<DatabaseAtom, Decision>,
+        trace: &mut Vec<RepairStep>,
+    ) -> Result<(), CoreError> {
+        self.charge_node()?;
+        let Some(violation) = first_violation_naive(&current, self.ics, SatMode::NullAware) else {
             self.candidates.push((current, trace.clone()));
             return Ok(());
         };
@@ -200,7 +338,7 @@ impl Search<'_> {
                         atom: atom.clone(),
                     });
                     let next = current.without_atom(&atom);
-                    self.run(next, decisions, trace)?;
+                    self.run_rescan(next, decisions, trace)?;
                     trace.pop();
                     if fresh {
                         decisions.remove(&atom);
@@ -224,7 +362,7 @@ impl Search<'_> {
                         atom: atom.clone(),
                     });
                     let next = current.with_atom(&atom);
-                    self.run(next, decisions, trace)?;
+                    self.run_rescan(next, decisions, trace)?;
                     trace.pop();
                     if fresh {
                         decisions.remove(&atom);
@@ -376,7 +514,10 @@ mod tests {
             .finish()
             .unwrap()
             .into_shared();
-        let d = inst(&sc, &[("P", vec![s("a"), s("c")]), ("Q", vec![s("a"), s("b")])]);
+        let d = inst(
+            &sc,
+            &[("P", vec![s("a"), s("c")]), ("Q", vec![s("a"), s("b")])],
+        );
         let psi1 = Ic::builder(&sc, "psi1")
             .body_atom("P", [v("x"), v("y")])
             .head_atom("Q", [v("x"), v("z")])
@@ -420,9 +561,7 @@ mod tests {
         let reps = repairs(&d, &ics).unwrap();
         let rendered = sets(&reps);
         assert_eq!(reps.len(), 2, "{rendered:?}");
-        assert!(rendered.contains(
-            &"{P(a, null), P(b, c), R(a, b), R(b, null)}".to_string()
-        ));
+        assert!(rendered.contains(&"{P(a, null), P(b, c), R(a, b), R(b, null)}".to_string()));
         assert!(rendered.contains(&"{P(a, null), R(a, b)}".to_string()));
     }
 
@@ -458,9 +597,7 @@ mod tests {
         let reps = repairs(&d, &ics).unwrap();
         let rendered = sets(&reps);
         assert_eq!(reps.len(), 4, "{rendered:?}");
-        assert!(rendered.contains(
-            &"{P(null, a), P(null, c), P(a, b), T(a), T(c)}".to_string()
-        ));
+        assert!(rendered.contains(&"{P(null, a), P(null, c), P(a, b), T(a), T(c)}".to_string()));
         assert!(rendered.contains(&"{P(null, a), P(a, b), T(a)}".to_string()));
         assert!(rendered.contains(&"{P(null, a), P(null, c), T(c)}".to_string()));
         assert!(rendered.contains(&"{P(null, a)}".to_string()));
@@ -491,12 +628,8 @@ mod tests {
         let reps = repairs(&d, &ics).unwrap();
         let rendered = sets(&reps);
         assert_eq!(reps.len(), 4, "{rendered:?}");
-        assert!(rendered.contains(
-            &"{R(a, b), R(f, null), S(null, a), S(e, f)}".to_string()
-        ));
-        assert!(rendered.contains(
-            &"{R(a, c), R(f, null), S(null, a), S(e, f)}".to_string()
-        ));
+        assert!(rendered.contains(&"{R(a, b), R(f, null), S(null, a), S(e, f)}".to_string()));
+        assert!(rendered.contains(&"{R(a, c), R(f, null), S(null, a), S(e, f)}".to_string()));
         assert!(rendered.contains(&"{R(a, b), S(null, a)}".to_string()));
         assert!(rendered.contains(&"{R(a, c), S(null, a)}".to_string()));
     }
@@ -569,7 +702,10 @@ mod tests {
         let ics = IcSet::new([Constraint::from(ic1), Constraint::from(ic2)]);
         let reps = repairs(&d, &ics).unwrap();
         let rendered = sets(&reps);
-        assert_eq!(rendered, vec!["{}".to_string(), "{S(a), Q(a), R(a)}".to_string()]);
+        assert_eq!(
+            rendered,
+            vec!["{}".to_string(), "{S(a), Q(a), R(a)}".to_string()]
+        );
     }
 
     #[test]
@@ -634,7 +770,9 @@ mod tests {
             for step in &t.steps {
                 match step.action {
                     RepairAction::Insert => {
-                        replay.insert(step.atom.rel, step.atom.tuple.clone()).unwrap();
+                        replay
+                            .insert(step.atom.rel, step.atom.tuple.clone())
+                            .unwrap();
                     }
                     RepairAction::Delete => {
                         replay.remove(step.atom.rel, &step.atom.tuple);
@@ -646,6 +784,57 @@ mod tests {
         let actions: Vec<RepairAction> = traced.iter().map(|t| t.steps[0].action).collect();
         assert!(actions.contains(&RepairAction::Insert));
         assert!(actions.contains(&RepairAction::Delete));
+    }
+
+    #[test]
+    fn incremental_and_rescan_strategies_agree() {
+        // Same repairs from the worklist search and the naive per-node
+        // rescan, across the paper's interacting-constraint shapes.
+        let sc = Schema::builder()
+            .relation("P", ["a", "b"])
+            .relation("T", ["t"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(
+            &sc,
+            &[
+                ("P", vec![s("a"), s("b")]),
+                ("P", vec![null(), s("a")]),
+                ("T", vec![s("c")]),
+            ],
+        );
+        let uic = Ic::builder(&sc, "uic")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("T", [v("x")])
+            .finish()
+            .unwrap();
+        let ric = Ic::builder(&sc, "ric")
+            .body_atom("T", [v("x")])
+            .head_atom("P", [v("y"), v("x")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(uic), Constraint::from(ric)]);
+        let incremental = repairs_with_config(
+            &d,
+            &ics,
+            RepairConfig {
+                strategy: SearchStrategy::Incremental,
+                ..RepairConfig::default()
+            },
+        )
+        .unwrap();
+        let rescan = repairs_with_config(
+            &d,
+            &ics,
+            RepairConfig {
+                strategy: SearchStrategy::FullRescan,
+                ..RepairConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(incremental, rescan);
+        assert_eq!(incremental.len(), 4);
     }
 
     #[test]
@@ -677,7 +866,11 @@ mod tests {
                 vec![("P", vec![s("a")])],
                 vec![("P", vec![s("a")]), ("Q", vec![s("a")])],
                 vec![("P", vec![null()]), ("Q", vec![s("a")])],
-                vec![("P", vec![s("a")]), ("P", vec![null()]), ("Q", vec![null()])],
+                vec![
+                    ("P", vec![s("a")]),
+                    ("P", vec![null()]),
+                    ("Q", vec![null()]),
+                ],
             ] {
                 let d = inst(&sc, &rows);
                 let engine = repairs(&d, &ics).unwrap();

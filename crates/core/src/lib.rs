@@ -41,15 +41,15 @@ pub mod repair;
 pub use cqa::{
     consistent_answers, consistent_answers_full, consistent_answers_via_program, AnswerSet,
 };
-pub use query::{AnswerSemantics, QueryNullSemantics};
 pub use engine::{
-    repairs, repairs_with_config, repairs_with_trace, RepairAction, RepairConfig,
-    RepairSemantics, RepairStep, TracedRepair,
+    repairs, repairs_with_config, repairs_with_trace, RepairAction, RepairConfig, RepairSemantics,
+    RepairStep, SearchStrategy, TracedRepair,
 };
 pub use error::CoreError;
 pub use program::{
     repair_program, repair_program_with, repairs_via_program, repairs_via_program_with,
     ProgramStyle,
 };
+pub use query::{AnswerSemantics, QueryNullSemantics};
 pub use query::{ConjunctiveQuery, Query, QueryBuilder};
 pub use repair::{is_repair, leq_d, lt_d, minimize_candidates};

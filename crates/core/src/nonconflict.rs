@@ -45,8 +45,11 @@ pub fn conflicts(ics: &IcSet) -> Vec<Conflict> {
 /// The constraint set with its conflicting NOT NULL constraints removed —
 /// the `IC′` of the `Rep_d` definition.
 pub fn without_conflicting_nncs(ics: &IcSet) -> IcSet {
-    let drop: std::collections::BTreeSet<usize> =
-        ics.conflicting_pairs().into_iter().map(|(_, n)| n).collect();
+    let drop: std::collections::BTreeSet<usize> = ics
+        .conflicting_pairs()
+        .into_iter()
+        .map(|(_, n)| n)
+        .collect();
     ics.constraints()
         .iter()
         .enumerate()

@@ -33,7 +33,9 @@
 //! formula (4), which is the faithful rendering of Definitions 4 + 9.
 
 use crate::error::CoreError;
-use cqa_asp::{atom, cmp, ground, neg, pos, stable_models, tc, tv, AtomSpec, BodyLit, BuiltinOp, Program};
+use cqa_asp::{
+    atom, cmp, ground, neg, pos, stable_models, tc, tv, AtomSpec, BodyLit, BuiltinOp, Program,
+};
 use cqa_constraints::{classify::classify, Constraint, Ic, IcClass, IcSet, Term};
 use cqa_relational::{Instance, RelId, Schema, Tuple, Value};
 use std::collections::BTreeMap;
@@ -127,7 +129,11 @@ pub fn repair_program_with(
                     [terms("fa")],
                     [
                         pos(terms("ts")),
-                        cmp(tv(vars[nnc.position].clone()), BuiltinOp::Eq, tc(Value::Null)),
+                        cmp(
+                            tv(vars[nnc.position].clone()),
+                            BuiltinOp::Eq,
+                            tc(Value::Null),
+                        ),
                     ],
                 )?;
             }
@@ -522,12 +528,8 @@ mod tests {
             let reps = repairs_via_program(&d, &ics, style).unwrap();
             let rendered = sets(&reps);
             assert_eq!(reps.len(), 4, "{style:?}: {rendered:?}");
-            assert!(rendered.contains(
-                &"{R(a, b), R(f, null), S(null, a), S(e, f)}".to_string()
-            ));
-            assert!(rendered.contains(
-                &"{R(a, c), R(f, null), S(null, a), S(e, f)}".to_string()
-            ));
+            assert!(rendered.contains(&"{R(a, b), R(f, null), S(null, a), S(e, f)}".to_string()));
+            assert!(rendered.contains(&"{R(a, c), R(f, null), S(null, a), S(e, f)}".to_string()));
             assert!(rendered.contains(&"{R(a, b), S(null, a)}".to_string()));
             assert!(rendered.contains(&"{R(a, c), S(null, a)}".to_string()));
         }
@@ -552,7 +554,10 @@ mod tests {
             .finish()
             .unwrap()
             .into_shared();
-        let d = inst(&sc, &[("P", vec![s("a"), s("b")]), ("P", vec![s("c"), null()])]);
+        let d = inst(
+            &sc,
+            &[("P", vec![s("a"), s("b")]), ("P", vec![s("c"), null()])],
+        );
         let uic = cqa_constraints::Ic::builder(&sc, "uic")
             .body_atom("P", [v("x"), v("y")])
             .head_atom("R", [v("x")])
@@ -591,7 +596,10 @@ mod tests {
             .finish()
             .unwrap()
             .into_shared();
-        let d = inst(&sc, &[("S", vec![s("u"), s("a")]), ("R", vec![s("a"), null()])]);
+        let d = inst(
+            &sc,
+            &[("S", vec![s("u"), s("a")]), ("R", vec![s("a"), null()])],
+        );
         let mut ics = IcSet::default();
         ics.push(builders::foreign_key(&sc, "S", &[1], "R", &[0]).unwrap());
         assert!(cqa_constraints::is_consistent(&d, &ics));
@@ -677,12 +685,10 @@ mod tests {
         ics.push(builders::functional_dependency(&sc, "R", &[0], 1).unwrap());
         ics.push(builders::foreign_key(&sc, "S", &[1], "R", &[0]).unwrap());
         let full = repair_program(&d, &ics, ProgramStyle::Corrected).unwrap();
-        let pruned =
-            repair_program_with(&d, &ics, ProgramStyle::Corrected, true).unwrap();
+        let pruned = repair_program_with(&d, &ics, ProgramStyle::Corrected, true).unwrap();
         assert!(pruned.rules().len() < full.rules().len());
         let via_full = repairs_via_program(&d, &ics, ProgramStyle::Corrected).unwrap();
-        let via_pruned =
-            repairs_via_program_with(&d, &ics, ProgramStyle::Corrected, true).unwrap();
+        let via_pruned = repairs_via_program_with(&d, &ics, ProgramStyle::Corrected, true).unwrap();
         assert_eq!(via_full, via_pruned);
         // Audit rows survive in every repair.
         for r in &via_pruned {

@@ -56,9 +56,7 @@ impl QueryNullSemantics {
     fn cmp(self, op: CmpOp, a: &Value, b: &Value) -> bool {
         match self {
             QueryNullSemantics::NullAsValue => op.eval(a, b),
-            QueryNullSemantics::SqlThreeValued => {
-                !a.is_null() && !b.is_null() && op.eval(a, b)
-            }
+            QueryNullSemantics::SqlThreeValued => !a.is_null() && !b.is_null() && op.eval(a, b),
         }
     }
 }
@@ -250,7 +248,9 @@ pub struct Query {
 impl Query {
     /// A single-disjunct query.
     pub fn from_cq(cq: ConjunctiveQuery) -> Self {
-        Query { disjuncts: vec![cq] }
+        Query {
+            disjuncts: vec![cq],
+        }
     }
 
     /// A union; all disjuncts must share the answer arity.

@@ -56,9 +56,7 @@ pub fn leq_d_deltas(d1: &Delta, d2: &Delta) -> bool {
             return false;
         }
         // (b) a non-shared null atom must be covered by a *new* atom of Δ₂.
-        let covered = d2
-            .atoms()
-            .any(|b| !d1.contains(b) && atom.covered_by(b));
+        let covered = d2.atoms().any(|b| !d1.contains(b) && atom.covered_by(b));
         if !covered {
             return false;
         }
@@ -182,9 +180,15 @@ mod tests {
     fn example16_incomparability() {
         // D = {Q(a,b), P(a,c)}; D1 = {}; D2 = {P(a,c), Q(a,null)}.
         let sc = schema();
-        let d = inst(&sc, &[("Q", vec![s("a"), s("b")]), ("P", vec![s("a"), s("c")])]);
+        let d = inst(
+            &sc,
+            &[("Q", vec![s("a"), s("b")]), ("P", vec![s("a"), s("c")])],
+        );
         let d1 = inst(&sc, &[]);
-        let d2 = inst(&sc, &[("P", vec![s("a"), s("c")]), ("Q", vec![s("a"), null()])]);
+        let d2 = inst(
+            &sc,
+            &[("P", vec![s("a"), s("c")]), ("Q", vec![s("a"), null()])],
+        );
         assert!(!leq_d(&d, &d2, &d1).unwrap());
         assert!(!leq_d(&d, &d1, &d2).unwrap());
     }
@@ -227,10 +231,16 @@ mod tests {
         // and <_D is irreflexive.
         let sc = schema();
         let d = inst(&sc, &[("P", vec![s("a"), null()])]);
-        let null_free = inst(&sc, &[("P", vec![s("a"), s("x")]), ("P", vec![s("a"), null()])]);
+        let null_free = inst(
+            &sc,
+            &[("P", vec![s("a"), s("x")]), ("P", vec![s("a"), null()])],
+        );
         assert!(leq_d(&d, &null_free, &null_free).unwrap());
         assert!(!lt_d(&d, &null_free, &null_free).unwrap());
-        let with_null_delta = inst(&sc, &[("Q", vec![s("a"), null()]), ("P", vec![s("a"), null()])]);
+        let with_null_delta = inst(
+            &sc,
+            &[("Q", vec![s("a"), null()]), ("P", vec![s("a"), null()])],
+        );
         assert!(leq_d(&d, &with_null_delta, &with_null_delta).unwrap());
         assert!(!lt_d(&d, &with_null_delta, &with_null_delta).unwrap());
     }

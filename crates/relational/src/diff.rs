@@ -20,6 +20,23 @@ pub struct Delta {
 }
 
 impl Delta {
+    /// The atom-level delta of a single insertion (the repair engine's
+    /// `t_a` decision).
+    pub fn insertion(atom: DatabaseAtom) -> Delta {
+        Delta {
+            removed: BTreeSet::new(),
+            inserted: BTreeSet::from([atom]),
+        }
+    }
+
+    /// The atom-level delta of a single deletion (an `f_a` decision).
+    pub fn deletion(atom: DatabaseAtom) -> Delta {
+        Delta {
+            removed: BTreeSet::from([atom]),
+            inserted: BTreeSet::new(),
+        }
+    }
+
     /// All atoms of the symmetric difference, deletions first.
     pub fn atoms(&self) -> impl Iterator<Item = &DatabaseAtom> {
         self.removed.iter().chain(self.inserted.iter())

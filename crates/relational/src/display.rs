@@ -94,7 +94,8 @@ mod tests {
         let mut d = Instance::empty(schema);
         d.insert_named("Course", [s("CS27"), i(21).to_string().into(), s("W04")])
             .unwrap();
-        d.insert_named("Course", [s("CS50"), null(), s("W05")]).unwrap();
+        d.insert_named("Course", [s("CS50"), null(), s("W05")])
+            .unwrap();
         d
     }
 

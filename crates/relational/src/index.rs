@@ -1,0 +1,246 @@
+//! Secondary hash indexes over relation columns.
+//!
+//! An index maps the value at one column of a relation to the (ordered) set
+//! of tuples holding that value — `R.c → {t ∈ R | t[c] = v}`. Indexes are
+//! built lazily on first request ([`Instance::index_on`]) and maintained
+//! incrementally on every subsequent insert/remove, so constraint checking
+//! can replace full relation scans with O(1) hash probes while mutating
+//! search code (the repair engine) pays only O(#registered indexes of the
+//! touched relation) per change.
+//!
+//! Design notes:
+//!
+//! * **Derived data.** Index state never affects instance *identity*:
+//!   `Instance::eq` compares schemas and tuple sets only. Two instances
+//!   with the same atoms but different registered indexes are equal.
+//! * **Cheap forks.** The store holds `Arc`s to per-column maps and the
+//!   instance holds `Arc`s to per-relation tuple sets, so cloning an
+//!   instance is a handful of reference-count bumps; copy-on-write kicks
+//!   in at the first mutation of a fork (`Arc::make_mut`).
+//! * **Determinism.** Probe results are `BTreeSet<Tuple>`, so iterating a
+//!   probe result is in the same deterministic order as scanning the
+//!   relation — swapping a scan for a probe never changes enumeration
+//!   order of matches.
+//! * **Snapshot semantics.** [`Instance::index_on`] returns an
+//!   `Arc`-backed snapshot. It is detached from future mutations of the
+//!   instance: re-fetch after mutating (probing a stale snapshot yields
+//!   the tuples of the instance *at fetch time*).
+
+use crate::instance::Relation;
+use crate::schema::RelId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, RwLock};
+
+/// A hash index over one column of one relation: value → tuple set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnIndex {
+    map: HashMap<Value, BTreeSet<Tuple>>,
+}
+
+/// An empty, shared tuple set returned for probes that miss.
+fn empty_set() -> &'static BTreeSet<Tuple> {
+    static EMPTY: std::sync::OnceLock<BTreeSet<Tuple>> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(BTreeSet::new)
+}
+
+impl ColumnIndex {
+    /// Build the index for `col` over an existing relation extension.
+    pub(crate) fn build(col: usize, rel: &Relation) -> Self {
+        let mut map: HashMap<Value, BTreeSet<Tuple>> = HashMap::new();
+        for t in rel {
+            map.entry(t.get(col).clone()).or_default().insert(t.clone());
+        }
+        ColumnIndex { map }
+    }
+
+    pub(crate) fn insert(&mut self, col: usize, t: &Tuple) {
+        self.map
+            .entry(t.get(col).clone())
+            .or_default()
+            .insert(t.clone());
+    }
+
+    pub(crate) fn remove(&mut self, col: usize, t: &Tuple) {
+        if let Some(set) = self.map.get_mut(t.get(col)) {
+            set.remove(t);
+            if set.is_empty() {
+                self.map.remove(t.get(col));
+            }
+        }
+    }
+
+    /// The tuples whose indexed column holds `value`, in tuple order.
+    pub fn probe(&self, value: &Value) -> &BTreeSet<Tuple> {
+        self.map.get(value).unwrap_or_else(|| empty_set())
+    }
+
+    /// Number of tuples matching `value` (0 on a miss).
+    pub fn selectivity(&self, value: &Value) -> usize {
+        self.map.get(value).map_or(0, BTreeSet::len)
+    }
+
+    /// Number of distinct values in the indexed column.
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total tuples indexed (for consistency checks in tests).
+    pub fn len(&self) -> usize {
+        self.map.values().map(BTreeSet::len).sum()
+    }
+
+    /// `true` iff no tuples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The registered secondary indexes of one [`crate::Instance`].
+///
+/// Interior mutability (`RwLock`) lets read-only consistency checks build
+/// indexes lazily through `&Instance`; the lock is uncontended in the
+/// single-threaded search paths and keeps `Instance: Send + Sync`.
+#[derive(Debug, Default)]
+pub(crate) struct IndexStore {
+    by_col: RwLock<HashMap<(u32, u32), Arc<ColumnIndex>>>,
+}
+
+impl IndexStore {
+    /// Fetch (building if absent) the index for `(rel, col)`.
+    pub(crate) fn get_or_build(
+        &self,
+        rel: RelId,
+        col: usize,
+        relation: &Relation,
+    ) -> Arc<ColumnIndex> {
+        let key = (rel.0, col as u32);
+        if let Some(ix) = self.by_col.read().expect("index lock").get(&key) {
+            return ix.clone();
+        }
+        let built = Arc::new(ColumnIndex::build(col, relation));
+        let mut w = self.by_col.write().expect("index lock");
+        w.entry(key).or_insert_with(|| built.clone());
+        w[&key].clone()
+    }
+
+    /// Registered column list for a relation (for maintenance and tests).
+    pub(crate) fn registered_cols(&self, rel: RelId) -> Vec<u32> {
+        let mut cols: Vec<u32> = self
+            .by_col
+            .read()
+            .expect("index lock")
+            .keys()
+            .filter(|(r, _)| *r == rel.0)
+            .map(|&(_, c)| c)
+            .collect();
+        cols.sort_unstable();
+        cols
+    }
+
+    /// Maintain all indexes of `rel` after `t` was inserted.
+    pub(crate) fn note_insert(&mut self, rel: RelId, t: &Tuple) {
+        let by_col = self.by_col.get_mut().expect("index lock");
+        for ((r, col), ix) in by_col.iter_mut() {
+            if *r == rel.0 {
+                Arc::make_mut(ix).insert(*col as usize, t);
+            }
+        }
+    }
+
+    /// Maintain all indexes of `rel` after `t` was removed.
+    pub(crate) fn note_remove(&mut self, rel: RelId, t: &Tuple) {
+        let by_col = self.by_col.get_mut().expect("index lock");
+        for ((r, col), ix) in by_col.iter_mut() {
+            if *r == rel.0 {
+                Arc::make_mut(ix).remove(*col as usize, t);
+            }
+        }
+    }
+}
+
+impl Clone for IndexStore {
+    fn clone(&self) -> Self {
+        IndexStore {
+            by_col: RwLock::new(self.by_col.read().expect("index lock").clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{i, null, s, Instance, Schema};
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::builder()
+            .relation("P", ["a", "b"])
+            .finish()
+            .unwrap()
+            .into_shared()
+    }
+
+    #[test]
+    fn probe_finds_matching_tuples_only() {
+        let mut d = Instance::empty(schema());
+        d.insert_named("P", [s("x"), i(1)]).unwrap();
+        d.insert_named("P", [s("x"), i(2)]).unwrap();
+        d.insert_named("P", [s("y"), i(3)]).unwrap();
+        let p = d.schema().rel_id("P").unwrap();
+        let ix = d.index_on(p, 0);
+        assert_eq!(ix.probe(&s("x")).len(), 2);
+        assert_eq!(ix.probe(&s("y")).len(), 1);
+        assert!(ix.probe(&s("z")).is_empty());
+        assert_eq!(ix.distinct_values(), 2);
+        assert_eq!(ix.len(), 3);
+    }
+
+    #[test]
+    fn index_maintained_across_insert_and_remove() {
+        let mut d = Instance::empty(schema());
+        let p = d.schema().rel_id("P").unwrap();
+        let _ = d.index_on(p, 1); // register before any data exists
+        d.insert_named("P", [s("x"), null()]).unwrap();
+        d.insert_named("P", [s("y"), null()]).unwrap();
+        assert_eq!(d.index_on(p, 1).probe(&null()).len(), 2);
+        let t = Tuple::new(vec![s("x"), null()]);
+        d.remove(p, &t);
+        assert_eq!(d.index_on(p, 1).probe(&null()).len(), 1);
+        d.remove(p, &Tuple::new(vec![s("y"), null()]));
+        assert!(d.index_on(p, 1).probe(&null()).is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_detached_from_later_mutations() {
+        let mut d = Instance::empty(schema());
+        d.insert_named("P", [s("x"), i(1)]).unwrap();
+        let p = d.schema().rel_id("P").unwrap();
+        let snapshot = d.index_on(p, 0);
+        d.insert_named("P", [s("x"), i(2)]).unwrap();
+        assert_eq!(snapshot.probe(&s("x")).len(), 1); // fetch-time view
+        assert_eq!(d.index_on(p, 0).probe(&s("x")).len(), 2);
+    }
+
+    #[test]
+    fn forked_instances_maintain_independent_indexes() {
+        let mut d = Instance::empty(schema());
+        d.insert_named("P", [s("x"), i(1)]).unwrap();
+        let p = d.schema().rel_id("P").unwrap();
+        let _ = d.index_on(p, 0);
+        let mut fork = d.clone();
+        fork.insert_named("P", [s("x"), i(2)]).unwrap();
+        assert_eq!(d.index_on(p, 0).probe(&s("x")).len(), 1);
+        assert_eq!(fork.index_on(p, 0).probe(&s("x")).len(), 2);
+    }
+
+    #[test]
+    fn index_state_does_not_affect_equality() {
+        let mut a = Instance::empty(schema());
+        a.insert_named("P", [s("x"), i(1)]).unwrap();
+        let b = a.clone();
+        let p = a.schema().rel_id("P").unwrap();
+        let _ = a.index_on(p, 0);
+        assert_eq!(a, b);
+    }
+}

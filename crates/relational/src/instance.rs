@@ -1,7 +1,9 @@
 //! Database instances: finite sets of ground atoms over a schema.
 
 use crate::atom::DatabaseAtom;
+use crate::diff::Delta;
 use crate::error::RelationalError;
+use crate::index::{ColumnIndex, IndexStore};
 use crate::schema::{RelId, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -16,20 +18,41 @@ pub type Relation = BTreeSet<Tuple>;
 
 /// A database instance `D` over a fixed [`Schema`].
 ///
-/// Instances are ordinary values: cloning is O(data) but tuples are
-/// reference-counted, so search algorithms that fork instances stay cheap.
-/// All iteration is in deterministic (B-tree) order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Instances are ordinary values. Relation extensions are shared behind
+/// `Arc`s with copy-on-write mutation, so *forking* an instance (the repair
+/// engine's branch step) is a handful of reference-count bumps and a fork
+/// pays only for the relations it actually touches. All iteration is in
+/// deterministic (B-tree) order.
+///
+/// Secondary hash indexes ([`crate::index`]) are registered lazily via
+/// [`Instance::index_on`] and maintained on every insert/remove. Index
+/// state is derived data: it participates in neither equality nor ordering.
+#[derive(Debug, Clone)]
 pub struct Instance {
     schema: Arc<Schema>,
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
+    indexes: IndexStore,
 }
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.relations == other.relations
+    }
+}
+
+impl Eq for Instance {}
 
 impl Instance {
     /// An empty instance over `schema`.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        let relations = vec![Relation::new(); schema.len()];
-        Instance { schema, relations }
+        let relations = (0..schema.len())
+            .map(|_| Arc::new(Relation::new()))
+            .collect();
+        Instance {
+            schema,
+            relations,
+            indexes: IndexStore::default(),
+        }
     }
 
     /// Build an instance from atoms.
@@ -59,7 +82,11 @@ impl Instance {
                 actual: tuple.arity(),
             });
         }
-        Ok(self.relations[rel.index()].insert(tuple))
+        let added = Arc::make_mut(&mut self.relations[rel.index()]).insert(tuple.clone());
+        if added {
+            self.indexes.note_insert(rel, &tuple);
+        }
+        Ok(added)
     }
 
     /// Insert by relation name.
@@ -74,7 +101,11 @@ impl Instance {
 
     /// Remove a tuple; `true` if it was present.
     pub fn remove(&mut self, rel: RelId, tuple: &Tuple) -> bool {
-        self.relations[rel.index()].remove(tuple)
+        let removed = Arc::make_mut(&mut self.relations[rel.index()]).remove(tuple);
+        if removed {
+            self.indexes.note_remove(rel, tuple);
+        }
+        removed
     }
 
     /// Membership test for an atom.
@@ -87,6 +118,41 @@ impl Instance {
         &self.relations[rel.index()]
     }
 
+    /// The secondary hash index over `col` of `rel`, building it on first
+    /// request and maintaining it on later mutations.
+    ///
+    /// The returned handle is an `Arc` snapshot detached from future
+    /// mutations of `self`: re-fetch after mutating. See [`crate::index`].
+    pub fn index_on(&self, rel: RelId, col: usize) -> Arc<ColumnIndex> {
+        self.indexes
+            .get_or_build(rel, col, &self.relations[rel.index()])
+    }
+
+    /// The registered index columns of `rel` (diagnostics and tests).
+    pub fn indexed_columns(&self, rel: RelId) -> Vec<u32> {
+        self.indexes.registered_cols(rel)
+    }
+
+    /// Apply an atom-level [`Delta`]: remove `delta.removed`, insert
+    /// `delta.inserted`. Atoms already absent/present are skipped (set
+    /// semantics). Indexes are maintained.
+    pub fn apply_delta(&mut self, delta: &Delta) {
+        self.apply(
+            delta.inserted.iter().cloned(),
+            delta.removed.iter().cloned(),
+        );
+    }
+
+    /// Undo [`Instance::apply_delta`]: re-insert `delta.removed`, remove
+    /// `delta.inserted`. Only exact (apply, revert) pairs round-trip: the
+    /// caller must not interleave other mutations of the same atoms.
+    pub fn revert_delta(&mut self, delta: &Delta) {
+        self.apply(
+            delta.removed.iter().cloned(),
+            delta.inserted.iter().cloned(),
+        );
+    }
+
     /// The extension of a relation, by name.
     pub fn relation_named(&self, name: &str) -> Result<&Relation, RelationalError> {
         Ok(self.relation(self.schema.require(name)?))
@@ -94,12 +160,12 @@ impl Instance {
 
     /// Total number of tuples across all relations.
     pub fn len(&self) -> usize {
-        self.relations.iter().map(BTreeSet::len).sum()
+        self.relations.iter().map(|r| r.len()).sum()
     }
 
     /// `true` iff the instance holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.relations.iter().all(BTreeSet::is_empty)
+        self.relations.iter().all(|r| r.is_empty())
     }
 
     /// Iterate over every atom, relation by relation, in deterministic order.
@@ -115,8 +181,8 @@ impl Instance {
     /// explicitly, so callers that need it add it themselves).
     pub fn active_domain(&self) -> BTreeSet<Value> {
         let mut dom = BTreeSet::new();
-        for rel in &self.relations {
-            for t in rel {
+        for rel in self.relations.iter() {
+            for t in rel.iter() {
                 for v in t.values() {
                     dom.insert(v.clone());
                 }
@@ -128,14 +194,18 @@ impl Instance {
     /// Functional update: a copy with `atom` added.
     pub fn with_atom(&self, atom: &DatabaseAtom) -> Instance {
         let mut next = self.clone();
-        next.relations[atom.rel.index()].insert(atom.tuple.clone());
+        if Arc::make_mut(&mut next.relations[atom.rel.index()]).insert(atom.tuple.clone()) {
+            next.indexes.note_insert(atom.rel, &atom.tuple);
+        }
         next
     }
 
     /// Functional update: a copy with `atom` removed.
     pub fn without_atom(&self, atom: &DatabaseAtom) -> Instance {
         let mut next = self.clone();
-        next.relations[atom.rel.index()].remove(&atom.tuple);
+        if Arc::make_mut(&mut next.relations[atom.rel.index()]).remove(&atom.tuple) {
+            next.indexes.note_remove(atom.rel, &atom.tuple);
+        }
         next
     }
 
@@ -146,10 +216,10 @@ impl Instance {
         delete: impl IntoIterator<Item = DatabaseAtom>,
     ) {
         for a in delete {
-            self.relations[a.rel.index()].remove(&a.tuple);
+            self.remove(a.rel, &a.tuple);
         }
         for a in insert {
-            self.relations[a.rel.index()].insert(a.tuple);
+            let _ = self.insert(a.rel, a.tuple);
         }
     }
 

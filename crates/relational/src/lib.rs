@@ -27,6 +27,7 @@ pub mod atom;
 pub mod diff;
 pub mod display;
 pub mod error;
+pub mod index;
 pub mod instance;
 pub mod schema;
 pub mod testing;
@@ -36,6 +37,7 @@ pub mod value;
 pub use atom::DatabaseAtom;
 pub use diff::{delta, Delta};
 pub use error::RelationalError;
+pub use index::ColumnIndex;
 pub use instance::{Instance, Relation};
 pub use schema::{RelId, RelationSchema, Schema, SchemaBuilder};
 pub use tuple::Tuple;

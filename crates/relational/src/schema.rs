@@ -233,7 +233,10 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        let err = Schema::builder().relation("P", ["a", "a"]).finish().unwrap_err();
+        let err = Schema::builder()
+            .relation("P", ["a", "a"])
+            .finish()
+            .unwrap_err();
         assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
     }
 

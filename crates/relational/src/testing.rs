@@ -92,7 +92,8 @@ pub fn random_instance(
     for (rel, decl) in schema.iter() {
         for _ in 0..tuples_per_relation {
             let tuple: Tuple = (0..decl.arity()).map(|_| domain.draw(&mut rng)).collect();
-            inst.insert(rel, tuple).expect("generated arity matches schema");
+            inst.insert(rel, tuple)
+                .expect("generated arity matches schema");
         }
     }
     inst

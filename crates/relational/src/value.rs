@@ -17,7 +17,6 @@ use std::sync::Arc;
 /// Whether a comparison involving `null` is *semantically meaningful* is
 /// decided by the constraint layer (via `IsNull` escapes), never here.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// The single SQL-style null constant.
     Null,
@@ -138,16 +137,6 @@ mod tests {
         assert_eq!(Value::str("x").as_str(), Some("x"));
         assert_eq!(Value::Null.as_int(), None);
         assert_eq!(Value::Int(1).as_str(), None);
-    }
-
-    #[cfg(feature = "serde")]
-    #[test]
-    fn serde_derives_compile() {
-        // Smoke-test that the optional serde derives exist (serialization
-        // itself is exercised by downstream users; no JSON dependency
-        // here).
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<Value>();
     }
 
     #[test]

@@ -1,20 +1,24 @@
 //! Property suite for the relational substrate: value ordering, tuple
-//! covering, and symmetric-difference algebra.
+//! covering, symmetric-difference algebra, and index maintenance — driven
+//! by the workspace's own deterministic [`XorShift`] generator (no
+//! external property-testing crates in this no-network workspace).
 
+use cqa_relational::testing::{random_instance, DomainSpec, XorShift};
 use cqa_relational::{delta, DatabaseAtom, Instance, RelId, Schema, Tuple, Value};
-use proptest::prelude::*;
 use std::sync::Arc;
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
-        "[a-c]{0,2}".prop_map(Value::str),
-    ]
+const CASES: u64 = 256;
+
+fn value(rng: &mut XorShift) -> Value {
+    match rng.below(3) {
+        0 => Value::Null,
+        1 => Value::Int(rng.below(9) as i64 - 4),
+        _ => Value::str(format!("{}", (b'a' + rng.below(3) as u8) as char)),
+    }
 }
 
-fn tuple_strategy(arity: usize) -> impl Strategy<Value = Tuple> {
-    proptest::collection::vec(value_strategy(), arity).prop_map(Tuple::new)
+fn tuple(rng: &mut XorShift, arity: usize) -> Tuple {
+    Tuple::new((0..arity).map(|_| value(rng)))
 }
 
 fn schema() -> Arc<Schema> {
@@ -26,103 +30,189 @@ fn schema() -> Arc<Schema> {
         .into_shared()
 }
 
-fn instance_strategy(sc: Arc<Schema>) -> impl Strategy<Value = Instance> {
-    let p = proptest::collection::btree_set(tuple_strategy(2), 0..5);
-    let q = proptest::collection::btree_set(tuple_strategy(1), 0..5);
-    (p, q).prop_map(move |(ps, qs)| {
-        let mut d = Instance::empty(sc.clone());
-        for t in ps {
-            d.insert(RelId(0), t).unwrap();
-        }
-        for t in qs {
-            d.insert(RelId(1), t).unwrap();
-        }
-        d
-    })
+fn instance(rng: &mut XorShift, sc: &Arc<Schema>) -> Instance {
+    let mut d = Instance::empty(sc.clone());
+    for _ in 0..rng.below(5) {
+        d.insert(RelId(0), tuple(rng, 2)).unwrap();
+    }
+    for _ in 0..rng.below(5) {
+        d.insert(RelId(1), tuple(rng, 1)).unwrap();
+    }
+    d
 }
 
-proptest! {
-    #[test]
-    fn value_order_is_total_and_antisymmetric(
-        a in value_strategy(),
-        b in value_strategy(),
-        c in value_strategy(),
-    ) {
-        // total
-        prop_assert!(a <= b || b <= a);
-        // antisymmetric
+#[test]
+fn value_order_is_total_and_antisymmetric() {
+    let mut rng = XorShift::new(101);
+    for _ in 0..CASES {
+        let (a, b, c) = (value(&mut rng), value(&mut rng), value(&mut rng));
+        assert!(a <= b || b <= a, "total: {a:?} {b:?}");
         if a <= b && b <= a {
-            prop_assert_eq!(&a, &b);
+            assert_eq!(a, b);
         }
-        // transitive
         if a <= b && b <= c {
-            prop_assert!(a <= c);
+            assert!(a <= c, "transitive: {a:?} {b:?} {c:?}");
         }
     }
+}
 
-    #[test]
-    fn covered_by_is_reflexive_and_respects_nulls(
-        t in tuple_strategy(3),
-        u in tuple_strategy(3),
-    ) {
+#[test]
+fn covered_by_is_reflexive_and_respects_nulls() {
+    let mut rng = XorShift::new(102);
+    for _ in 0..CASES {
+        let t = tuple(&mut rng, 3);
+        let u = tuple(&mut rng, 3);
         let at = DatabaseAtom::new(RelId(0), t.clone());
         let au = DatabaseAtom::new(RelId(0), u.clone());
-        // reflexive
-        prop_assert!(at.covered_by(&at));
-        // a null-free atom is covered only by itself
+        assert!(at.covered_by(&at));
         if !t.has_null() && at.covered_by(&au) {
-            prop_assert_eq!(&t, &u);
+            assert_eq!(t, u);
         }
-        // covering agrees on non-null positions
         if at.covered_by(&au) {
             for (i, val) in t.values().iter().enumerate() {
                 if !val.is_null() {
-                    prop_assert_eq!(val, u.get(i));
+                    assert_eq!(val, u.get(i));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn leq_information_is_a_partial_order(
-        t in tuple_strategy(2),
-        u in tuple_strategy(2),
-        w in tuple_strategy(2),
-    ) {
-        prop_assert!(t.leq_information(&t));
+#[test]
+fn leq_information_is_a_partial_order() {
+    let mut rng = XorShift::new(103);
+    for _ in 0..CASES {
+        let t = tuple(&mut rng, 2);
+        let u = tuple(&mut rng, 2);
+        let w = tuple(&mut rng, 2);
+        assert!(t.leq_information(&t));
         if t.leq_information(&u) && u.leq_information(&t) {
-            prop_assert_eq!(&t, &u);
+            assert_eq!(t, u);
         }
         if t.leq_information(&u) && u.leq_information(&w) {
-            prop_assert!(t.leq_information(&w));
+            assert!(t.leq_information(&w));
         }
     }
+}
 
-    #[test]
-    fn delta_algebra(
-        d1 in instance_strategy(schema()),
-        d2 in instance_strategy(schema()),
-    ) {
+#[test]
+fn delta_algebra() {
+    let sc = schema();
+    let mut rng = XorShift::new(104);
+    for _ in 0..CASES {
+        let d1 = instance(&mut rng, &sc);
+        let d2 = instance(&mut rng, &sc);
         let dl = delta(&d1, &d2).unwrap();
         // Δ(D,D) = ∅
-        prop_assert!(delta(&d1, &d1).unwrap().is_empty());
+        assert!(delta(&d1, &d1).unwrap().is_empty());
         // symmetry as sets
         let rl = delta(&d2, &d1).unwrap();
-        prop_assert_eq!(dl.removed.clone(), rl.inserted.clone());
-        prop_assert_eq!(dl.inserted.clone(), rl.removed.clone());
-        // applying the delta to d1 yields d2
+        assert_eq!(dl.removed, rl.inserted);
+        assert_eq!(dl.inserted, rl.removed);
+        // applying the delta to d1 yields d2 — both via `apply` and via the
+        // index-maintaining `apply_delta`/`revert_delta` pair
         let mut applied = d1.clone();
         applied.apply(dl.inserted.iter().cloned(), dl.removed.iter().cloned());
-        prop_assert_eq!(applied, d2.clone());
+        assert_eq!(applied, d2);
+        let mut roundtrip = d1.clone();
+        roundtrip.apply_delta(&dl);
+        assert_eq!(roundtrip, d2);
+        roundtrip.revert_delta(&dl);
+        assert_eq!(roundtrip, d1);
         // delta is empty iff equal
-        prop_assert_eq!(dl.is_empty(), d1 == d2);
+        assert_eq!(dl.is_empty(), d1 == d2);
     }
+}
 
-    #[test]
-    fn projection_composes(t in tuple_strategy(4)) {
-        // projecting twice = projecting the composition
+#[test]
+fn projection_composes() {
+    let mut rng = XorShift::new(105);
+    for _ in 0..CASES {
+        let t = tuple(&mut rng, 4);
         let first = t.project(&[0, 2, 3]);
         let second = first.project(&[1, 2]);
-        prop_assert_eq!(second, t.project(&[2, 3]));
+        assert_eq!(second, t.project(&[2, 3]));
+    }
+}
+
+/// Index state stays consistent with the relation contents across random
+/// insert/remove sequences, with indexes registered at random points —
+/// the index-maintenance half of the tentpole's property obligations.
+#[test]
+fn index_state_consistent_across_mutation_sequences() {
+    let sc = schema();
+    let spec = DomainSpec {
+        constants: 3,
+        null_percent: 20,
+    };
+    for seed in 0..64u64 {
+        let mut rng = XorShift::new(seed * 7 + 1);
+        let mut d = random_instance(&sc, seed, 4, &spec);
+        // Register some indexes up front, leave others for mid-sequence.
+        let p = RelId(0);
+        let q = RelId(1);
+        let _ = d.index_on(p, 0);
+        for step in 0..40 {
+            // Random mutation.
+            let rel = if rng.chance(1, 2) { p } else { q };
+            let arity = sc.relation(rel).arity();
+            let t = tuple(&mut rng, arity);
+            if rng.chance(1, 2) {
+                let _ = d.insert(rel, t).unwrap();
+            } else {
+                // Remove either the drawn tuple or an existing one.
+                let existing = d.relation(rel).iter().next().cloned();
+                match (rng.chance(1, 2), existing) {
+                    (true, Some(e)) => {
+                        d.remove(rel, &e);
+                    }
+                    _ => {
+                        d.remove(rel, &t);
+                    }
+                }
+            }
+            if step == 20 {
+                let _ = d.index_on(p, 1); // late registration
+            }
+            // Every registered index must agree with a fresh scan.
+            for rel in sc.rel_ids() {
+                for col in d.indexed_columns(rel) {
+                    let ix = d.index_on(rel, col as usize);
+                    assert_eq!(ix.len(), d.relation(rel).len(), "seed {seed} step {step}");
+                    for t in d.relation(rel) {
+                        assert!(
+                            ix.probe(t.get(col as usize)).contains(t),
+                            "seed {seed} step {step}: {t} missing from index {rel}[{col}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forked instances (the repair engine's branch step) never see each
+/// other's mutations, in either relation contents or index state.
+#[test]
+fn forks_are_isolated() {
+    let sc = schema();
+    let spec = DomainSpec::default();
+    for seed in 0..32u64 {
+        let mut rng = XorShift::new(seed + 900);
+        let base = random_instance(&sc, seed, 5, &spec);
+        let _ = base.index_on(RelId(0), 0);
+        let snapshot = base.clone();
+        let mut fork = base.clone();
+        for _ in 0..10 {
+            let t = tuple(&mut rng, 2);
+            if rng.chance(1, 2) {
+                fork.insert(RelId(0), t).unwrap();
+            } else {
+                fork.remove(RelId(0), &t);
+            }
+        }
+        assert_eq!(base, snapshot, "seed {seed}: fork mutated its parent");
+        let ix = base.index_on(RelId(0), 0);
+        assert_eq!(ix.len(), base.relation(RelId(0)).len());
     }
 }

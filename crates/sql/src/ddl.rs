@@ -94,10 +94,7 @@ pub fn parse_script(input: &str) -> Result<Catalog, ParseError> {
     let mut column_types: BTreeMap<String, Vec<ColType>> = BTreeMap::new();
     for stmt in &stmts {
         if let Stmt::Create(ct) = stmt {
-            builder = builder.relation(
-                ct.name.clone(),
-                ct.columns.iter().map(|(n, _)| n.clone()),
-            );
+            builder = builder.relation(ct.name.clone(), ct.columns.iter().map(|(n, _)| n.clone()));
             column_types.insert(
                 ct.name.clone(),
                 ct.columns.iter().map(|(_, t)| *t).collect(),
@@ -149,20 +146,15 @@ pub fn parse_script(input: &str) -> Result<Catalog, ParseError> {
                     let parent_positions: Vec<usize> = parent_cols
                         .iter()
                         .map(|c| {
-                            schema.relation(parent_rel).position_of(c).ok_or_else(|| {
-                                err0(format!("unknown column `{c}` of `{parent}`"))
-                            })
+                            schema
+                                .relation(parent_rel)
+                                .position_of(c)
+                                .ok_or_else(|| err0(format!("unknown column `{c}` of `{parent}`")))
                         })
                         .collect::<Result<_, _>>()?;
                     constraints.push(
-                        builders::foreign_key(
-                            &schema,
-                            &ct.name,
-                            &child,
-                            parent,
-                            &parent_positions,
-                        )
-                        .map_err(|e| err0(e.to_string()))?,
+                        builders::foreign_key(&schema, &ct.name, &child, parent, &parent_positions)
+                            .map_err(|e| err0(e.to_string()))?,
                     );
                 }
                 for (col, op, value) in &ct.checks {
@@ -472,10 +464,9 @@ mod tests {
         assert!(parse_script("CREATE TABLE r (x BLOB);").is_err());
         assert!(parse_script("INSERT INTO missing VALUES (1);").is_err());
         assert!(parse_script("CREATE TABLE r (x INT, PRIMARY KEY (zzz));").is_err());
-        assert!(parse_script(
-            "CREATE TABLE r (x INT PRIMARY KEY, y INT, PRIMARY KEY (y));"
-        )
-        .is_err());
+        assert!(
+            parse_script("CREATE TABLE r (x INT PRIMARY KEY, y INT, PRIMARY KEY (y));").is_err()
+        );
         assert!(parse_script("CONSTRAINT c: p(x) -> false").is_err()); // no `;`
         assert!(parse_script("DROP TABLE r;").is_err());
         assert!(parse_script("CREATE TABLE r (x INT, CHECK (x > NULL));").is_err());

@@ -124,7 +124,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 col += 2;
                 push!(Token::Arrow, l, c);
             }
-            '-' if chars.get(i + 1).map(|d| d.is_ascii_digit()).unwrap_or(false) => {
+            '-' if chars
+                .get(i + 1)
+                .map(|d| d.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
                 let start = i;
                 i += 1;
                 col += 1;
@@ -219,9 +223,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                             col += 1;
                             break;
                         }
-                        Some('\n') => {
-                            return Err(ParseError::new(l, c, "unterminated string"))
-                        }
+                        Some('\n') => return Err(ParseError::new(l, c, "unterminated string")),
                         Some(other) => {
                             text.push(*other);
                             i += 1;
@@ -244,15 +246,17 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             a if a.is_ascii_alphabetic() || a == '_' => {
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     advance(&mut i, &mut col);
                 }
                 push!(Token::Ident(chars[start..i].iter().collect()), l, c);
             }
             other => {
-                return Err(ParseError::new(l, c, format!("unexpected character `{other}`")))
+                return Err(ParseError::new(
+                    l,
+                    c,
+                    format!("unexpected character `{other}`"),
+                ))
             }
         }
     }
@@ -434,7 +438,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("a -- comment to end of line\nb"),
-            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
         );
     }
 

@@ -113,8 +113,7 @@ pub fn parse_constraint_tokens(
             .relation(rel_id)
             .position_of(&col)
             .ok_or_else(|| cur.error(format!("unknown column `{col}` of `{rel}`")))?;
-        let nnc = Nnc::new(schema, name, &rel, position)
-            .map_err(|e| cur.error(e.to_string()))?;
+        let nnc = Nnc::new(schema, name, &rel, position).map_err(|e| cur.error(e.to_string()))?;
         return Ok(Constraint::NotNull(nnc));
     }
 
@@ -229,10 +228,7 @@ pub fn parse_query(schema: &Schema, input: &str) -> Result<Query, ParseError> {
     Query::union(disjuncts).map_err(|e| cur.error(e.to_string()))
 }
 
-fn parse_rule(
-    schema: &Schema,
-    cur: &mut Cursor,
-) -> Result<(String, ConjunctiveQuery), ParseError> {
+fn parse_rule(schema: &Schema, cur: &mut Cursor) -> Result<(String, ConjunctiveQuery), ParseError> {
     let name = cur.expect_ident()?;
     cur.expect(Token::LParen)?;
     let mut head_vars: Vec<String> = Vec::new();
@@ -330,8 +326,7 @@ mod tests {
     #[test]
     fn parse_disjunctive_head_and_constants() {
         let sc = schema();
-        let con =
-            parse_constraint(&sc, "m", "p(x, y, z) -> r(x, 'lit') | t(x) | y <> 5").unwrap();
+        let con = parse_constraint(&sc, "m", "p(x, y, z) -> r(x, 'lit') | t(x) | y <> 5").unwrap();
         let ic = con.as_ic().unwrap();
         assert_eq!(ic.head().len(), 2);
         assert_eq!(ic.builtins().len(), 1);
@@ -354,7 +349,7 @@ mod tests {
         assert!(parse_constraint(&sc, "e", "r(x, null) -> false").is_err()); // null term
         assert!(parse_constraint(&sc, "e", "not null r(zzz)").is_err()); // bad column
         assert!(parse_constraint(&sc, "e", "r(x, y) -> t(x) extra").is_err()); // trailing
-        // declared exists var that is actually universal:
+                                                                               // declared exists var that is actually universal:
         assert!(parse_constraint(&sc, "e", "r(x, y) -> exists x: p(x, y, w)").is_err());
     }
 

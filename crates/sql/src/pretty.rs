@@ -34,13 +34,23 @@ pub fn catalog_to_script(catalog: &Catalog) -> String {
                     format!("({})", vals.join(", "))
                 })
                 .collect();
-            let _ = writeln!(out, "INSERT INTO {} VALUES {};", decl.name(), rows.join(", "));
+            let _ = writeln!(
+                out,
+                "INSERT INTO {} VALUES {};",
+                decl.name(),
+                rows.join(", ")
+            );
         }
     }
     for con in catalog.constraints.constraints() {
         match con {
             cqa_constraints::Constraint::Tgd(ic) => {
-                let _ = writeln!(out, "CONSTRAINT {}: {};", ic.name(), ic.display(&catalog.schema));
+                let _ = writeln!(
+                    out,
+                    "CONSTRAINT {}: {};",
+                    ic.name(),
+                    ic.display(&catalog.schema)
+                );
             }
             cqa_constraints::Constraint::NotNull(nnc) => {
                 let rel = catalog.schema.relation(nnc.rel);

@@ -58,16 +58,19 @@ fn main() -> Result<(), cqa::Error> {
 
     let repairs = db.repairs()?;
     println!("\n{} repairs; e.g.:", repairs.len());
-    println!(
-        "  {}",
-        cqa::relational::display::instance_set(&repairs[0])
-    );
+    println!("  {}", cqa::relational::display::instance_set(&repairs[0]));
 
     println!("\n== consistent answers survive the mess ==");
     for (label, q) in [
-        ("households with a certain district link", "q(h) :- household(h, d, m), district(d, r)."),
+        (
+            "households with a certain district link",
+            "q(h) :- household(h, d, m), district(d, r).",
+        ),
         ("districts certainly present", "q(d) :- district(d, r)."),
-        ("household sizes known for sure", "q(h, m) :- household(h, d, m), m > 0."),
+        (
+            "household sizes known for sure",
+            "q(h, m) :- household(h, d, m), m > 0.",
+        ),
     ] {
         println!("{label}:");
         println!("  query: {q}");

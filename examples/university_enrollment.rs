@@ -39,12 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Inserting (CS41, 18, null) is rejected — 18/CS41 has no Exp row:
     println!(
         "insert Course(CS41, 18, null) allowed: {}",
-        cqa::constraints::insertion_allowed(
-            &d,
-            &ics,
-            "Course",
-            [s("CS41"), s("18"), null()]
-        )
+        cqa::constraints::insertion_allowed(&d, &ics, "Course", [s("CS41"), s("18"), null()])
     );
 
     // Examples 14/15: Course(ID, Code) → ∃Name Student(ID, Name).

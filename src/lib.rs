@@ -59,9 +59,7 @@ pub use cqa_sql as sql;
 /// The common imports.
 pub mod prelude {
     pub use crate::Database;
-    pub use cqa_constraints::{
-        builders, c, v, CmpOp, Constraint, Ic, IcSet, Nnc, SatMode,
-    };
+    pub use cqa_constraints::{builders, c, v, CmpOp, Constraint, Ic, IcSet, Nnc, SatMode};
     pub use cqa_core::{
         consistent_answers, repairs, ConjunctiveQuery, ProgramStyle, Query, RepairConfig,
         RepairSemantics,
@@ -190,11 +188,7 @@ impl Database {
     }
 
     /// Insert a tuple.
-    pub fn insert(
-        &mut self,
-        relation: &str,
-        tuple: impl Into<Tuple>,
-    ) -> Result<bool, Error> {
+    pub fn insert(&mut self, relation: &str, tuple: impl Into<Tuple>) -> Result<bool, Error> {
         Ok(self.instance.insert_named(relation, tuple)?)
     }
 

@@ -1,10 +1,11 @@
-//! Property suite for the ASP substrate: the DPLL + GL-reduct stable-model
-//! enumeration agrees with a brute-force subset oracle on random ground
-//! programs, and the shift transformation preserves stable models on
-//! head-cycle-free programs.
+//! Property suite for the ASP substrate: the watched-literal + GL-reduct
+//! stable-model enumeration agrees with a brute-force subset oracle on
+//! random ground programs, and the shift transformation preserves stable
+//! models on head-cycle-free programs. Randomness is the workspace's
+//! deterministic [`XorShift`].
 
 use cqa::asp::{is_hcf, is_stable, shift, stable_models, GroundProgram, GroundRule};
-use proptest::prelude::*;
+use cqa::relational::testing::XorShift;
 use std::collections::BTreeSet;
 
 /// Build a ground program over `n` propositional atoms from rule specs.
@@ -45,8 +46,7 @@ fn oracle(gp: &GroundProgram) -> Vec<BTreeSet<u32>> {
     for mask in 0u32..(1 << n) {
         let m: BTreeSet<u32> = (0..n as u32).filter(|a| mask & (1 << a) != 0).collect();
         let classical = gp.rules.iter().all(|r| {
-            let body = r.pos.iter().all(|p| m.contains(p))
-                && r.neg.iter().all(|x| !m.contains(x));
+            let body = r.pos.iter().all(|p| m.contains(p)) && r.neg.iter().all(|x| !m.contains(x));
             !body || r.head.iter().any(|h| m.contains(h))
         });
         if classical && is_stable(gp, &m) {
@@ -57,51 +57,72 @@ fn oracle(gp: &GroundProgram) -> Vec<BTreeSet<u32>> {
     out
 }
 
-fn rule_strategy(n: u32) -> impl Strategy<Value = (Vec<u32>, Vec<u32>, Vec<u32>)> {
-    (
-        proptest::collection::vec(0..n, 0..3),
-        proptest::collection::vec(0..n, 0..3),
-        proptest::collection::vec(0..n, 0..2),
-    )
+fn random_rule(rng: &mut XorShift, n: u32) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let draw = |rng: &mut XorShift, max_len: usize| -> Vec<u32> {
+        (0..rng.below(max_len))
+            .map(|_| rng.below(n as usize) as u32)
+            .collect()
+    };
+    (draw(rng, 3), draw(rng, 3), draw(rng, 2))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_rules(
+    rng: &mut XorShift,
+    n: u32,
+    max_rules: usize,
+) -> Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> {
+    (0..1 + rng.below(max_rules))
+        .map(|_| random_rule(rng, n))
+        .collect()
+}
 
-    #[test]
-    fn solver_equals_oracle(
-        rules in proptest::collection::vec(rule_strategy(6), 1..7),
-    ) {
+#[test]
+fn solver_equals_oracle() {
+    let mut rng = XorShift::new(501);
+    for _ in 0..128 {
+        let rules = random_rules(&mut rng, 6, 6);
         let gp = build(6, &rules);
-        prop_assert_eq!(stable_models(&gp), oracle(&gp));
+        assert_eq!(stable_models(&gp), oracle(&gp), "rules {rules:?}");
     }
+}
 
-    #[test]
-    fn shift_preserves_stable_models_on_hcf(
-        rules in proptest::collection::vec(rule_strategy(6), 1..7),
-    ) {
+#[test]
+fn shift_preserves_stable_models_on_hcf() {
+    let mut rng = XorShift::new(502);
+    let mut checked = 0;
+    while checked < 128 {
+        let rules = random_rules(&mut rng, 6, 6);
         let gp = build(6, &rules);
-        prop_assume!(is_hcf(&gp));
+        if !is_hcf(&gp) {
+            continue;
+        }
+        checked += 1;
         let shifted = shift(&gp).unwrap();
-        prop_assert!(shifted.is_normal());
-        prop_assert_eq!(stable_models(&gp), stable_models(&shifted));
+        assert!(shifted.is_normal());
+        assert_eq!(
+            stable_models(&gp),
+            stable_models(&shifted),
+            "rules {rules:?}"
+        );
     }
+}
 
-    #[test]
-    fn stable_models_are_minimal_reduct_models(
-        rules in proptest::collection::vec(rule_strategy(5), 1..6),
-    ) {
+#[test]
+fn stable_models_are_minimal_reduct_models() {
+    let mut rng = XorShift::new(503);
+    for _ in 0..128 {
+        let rules = random_rules(&mut rng, 5, 5);
         let gp = build(5, &rules);
         for m in stable_models(&gp) {
             // No proper subset of a stable model is also stable w.r.t.
             // the *same* model's reduct (minimality sanity).
-            prop_assert!(is_stable(&gp, &m));
+            assert!(is_stable(&gp, &m));
             for drop in m.iter().copied().collect::<Vec<_>>() {
                 let mut smaller = m.clone();
                 smaller.remove(&drop);
                 // smaller may be a classical model, but never the same
                 // stable model (stability is about the reduct of m).
-                prop_assert_ne!(&smaller, &m);
+                assert_ne!(&smaller, &m);
             }
         }
     }
@@ -116,7 +137,10 @@ fn empty_program_has_empty_stable_model() {
 #[test]
 fn facts_force_atoms() {
     // a. b ∨ c ← a.
-    let gp = build(3, &[(vec![0], vec![], vec![]), (vec![1, 2], vec![0], vec![])]);
+    let gp = build(
+        3,
+        &[(vec![0], vec![], vec![]), (vec![1, 2], vec![0], vec![])],
+    );
     let models = stable_models(&gp);
     assert_eq!(models.len(), 2);
     assert!(models.iter().all(|m| m.contains(&0) && m.len() == 2));

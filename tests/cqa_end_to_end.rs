@@ -6,8 +6,8 @@
 use cqa::constraints::{builders, v, IcSet};
 use cqa::core::query::{AnswerSemantics, QueryNullSemantics};
 use cqa::core::{
-    consistent_answers, consistent_answers_full, consistent_answers_via_program,
-    ConjunctiveQuery, ProgramStyle, Query, RepairConfig, RepairSemantics,
+    consistent_answers, consistent_answers_full, consistent_answers_via_program, ConjunctiveQuery,
+    ProgramStyle, Query, RepairConfig, RepairSemantics,
 };
 use cqa::prelude::*;
 use std::collections::BTreeSet;
@@ -81,7 +81,10 @@ fn join_queries() {
     // emp 2 → cs → ada holds in every repair; emp 1's dept flips; emp 3's
     // dept row (ghost, null) has head null — a join partner, but the
     // deletion repair removes emp 3 entirely.
-    assert_eq!(answers, BTreeSet::from([Tuple::new(vec![s("2"), s("ada")])]));
+    assert_eq!(
+        answers,
+        BTreeSet::from([Tuple::new(vec![s("2"), s("ada")])])
+    );
 }
 
 // negation needs the head var to avoid ranging over emp ids; rewrite:

@@ -5,13 +5,15 @@
 //! This is the strongest correctness evidence for the repair semantics:
 //! the oracle implements Definitions 6–7 literally (every subset of the
 //! atom universe, filtered by `|=_N`, minimised under `≤_D`), with no
-//! shared code with the engine's search.
+//! shared code with the engine's search. Both search strategies — the
+//! incremental worklist and the naive full-rescan — are held to the same
+//! oracle. Randomness is the workspace's deterministic [`XorShift`].
 
 use cqa::constraints::{builders, v, Constraint, Ic, IcSet};
-use cqa::core::{bruteforce, repairs};
+use cqa::core::{bruteforce, repairs, repairs_with_config, RepairConfig, SearchStrategy};
 use cqa::prelude::*;
+use cqa::relational::testing::XorShift;
 use cqa::relational::DatabaseAtom;
-use proptest::prelude::*;
 use std::sync::Arc;
 
 fn schema() -> Arc<Schema> {
@@ -57,78 +59,83 @@ fn pool(sc: &Schema) -> Vec<Constraint> {
     ]
 }
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(s("c0")),
-        Just(s("c1")),
-        Just(Value::Null),
-    ]
-}
-
-fn instance_strategy(sc: Arc<Schema>) -> impl Strategy<Value = Instance> {
-    let p_rows = proptest::collection::btree_set(value_strategy(), 0..3);
-    let r_rows = proptest::collection::btree_set(
-        (value_strategy(), value_strategy()),
-        0..3,
-    );
-    (p_rows, r_rows).prop_map(move |(ps, rs)| {
-        let mut d = Instance::empty(sc.clone());
-        for p in ps {
-            d.insert_named("P", [p]).unwrap();
-        }
-        for (x, y) in rs {
-            d.insert_named("R", [x, y]).unwrap();
-        }
-        d
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn engine_equals_oracle(
-        d in instance_strategy(schema()),
-        mask in 0u8..32,
-    ) {
-        let sc = schema();
-        let ics: IcSet = pool(&sc)
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, c)| c)
-            .collect();
-        let universe = bruteforce::candidate_universe(&d, &ics);
-        prop_assume!(universe.len() <= 14); // keep the oracle tractable
-        let via_engine = repairs(&d, &ics).unwrap();
-        let via_oracle = bruteforce::oracle_repairs(&d, &ics);
-        prop_assert_eq!(via_engine, via_oracle);
+fn value(rng: &mut XorShift) -> Value {
+    match rng.below(3) {
+        0 => s("c0"),
+        1 => s("c1"),
+        _ => Value::Null,
     }
+}
 
-    #[test]
-    fn repairs_satisfy_invariants(
-        d in instance_strategy(schema()),
-        mask in 0u8..32,
-    ) {
-        let sc = schema();
-        let ics: IcSet = pool(&sc)
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, c)| c)
-            .collect();
+fn instance(rng: &mut XorShift, sc: &Arc<Schema>) -> Instance {
+    let mut d = Instance::empty(sc.clone());
+    for _ in 0..rng.below(3) {
+        d.insert_named("P", [value(rng)]).unwrap();
+    }
+    for _ in 0..rng.below(3) {
+        d.insert_named("R", [value(rng), value(rng)]).unwrap();
+    }
+    d
+}
+
+fn subset(rng: &mut XorShift, sc: &Schema) -> IcSet {
+    let mask = rng.below(32) as u8;
+    pool(sc)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, c)| c)
+        .collect()
+}
+
+#[test]
+fn engine_equals_oracle() {
+    let sc = schema();
+    let mut rng = XorShift::new(301);
+    let mut checked = 0;
+    while checked < 48 {
+        let d = instance(&mut rng, &sc);
+        let ics = subset(&mut rng, &sc);
+        let universe = bruteforce::candidate_universe(&d, &ics);
+        if universe.len() > 14 {
+            continue; // keep the oracle tractable
+        }
+        checked += 1;
+        let via_oracle = bruteforce::oracle_repairs(&d, &ics);
+        for strategy in [SearchStrategy::Incremental, SearchStrategy::FullRescan] {
+            let via_engine = repairs_with_config(
+                &d,
+                &ics,
+                RepairConfig {
+                    strategy,
+                    ..RepairConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(via_engine, via_oracle, "strategy {strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn repairs_satisfy_invariants() {
+    let sc = schema();
+    let mut rng = XorShift::new(302);
+    for _ in 0..48 {
+        let d = instance(&mut rng, &sc);
+        let ics = subset(&mut rng, &sc);
         let reps = repairs(&d, &ics).unwrap();
         // Non-empty (Proposition 1(b)).
-        prop_assert!(!reps.is_empty());
+        assert!(!reps.is_empty());
         // Every repair consistent.
         for r in &reps {
-            prop_assert!(cqa::constraints::is_consistent(r, &ics));
+            assert!(cqa::constraints::is_consistent(r, &ics));
         }
         // Pairwise not strictly dominated.
         for (i, a) in reps.iter().enumerate() {
             for (j, b) in reps.iter().enumerate() {
                 if i != j {
-                    prop_assert!(!cqa::core::lt_d(&d, a, b).unwrap());
+                    assert!(!cqa::core::lt_d(&d, a, b).unwrap());
                 }
             }
         }
@@ -138,30 +145,32 @@ proptest! {
         allowed.insert(Value::Null);
         for r in &reps {
             for val in r.active_domain() {
-                prop_assert!(allowed.contains(&val));
+                assert!(allowed.contains(&val));
             }
         }
         // Consistent databases are their own single repair.
         if cqa::constraints::is_consistent(&d, &ics) {
-            prop_assert_eq!(reps, vec![d.clone()]);
+            assert_eq!(reps, vec![d.clone()]);
         }
     }
+}
 
-    #[test]
-    fn inserted_nulls_only_at_existential_positions(
-        d in instance_strategy(schema()),
-    ) {
-        // With only the RIC present, inserted atoms are R(x, null).
-        let sc = schema();
+#[test]
+fn inserted_nulls_only_at_existential_positions() {
+    // With only the RIC present, inserted atoms are R(x, null).
+    let sc = schema();
+    let mut rng = XorShift::new(303);
+    for _ in 0..48 {
+        let d = instance(&mut rng, &sc);
         let ics: IcSet = pool(&sc).into_iter().take(1).collect();
         let reps = repairs(&d, &ics).unwrap();
         for r in &reps {
             let delta = cqa::relational::delta(&d, r).unwrap();
             for atom in &delta.inserted {
                 let DatabaseAtom { rel, tuple } = atom;
-                prop_assert_eq!(*rel, sc.rel_id("R").unwrap());
-                prop_assert!(tuple.get(1).is_null());
-                prop_assert!(!tuple.get(0).is_null());
+                assert_eq!(*rel, sc.rel_id("R").unwrap());
+                assert!(tuple.get(1).is_null());
+                assert!(!tuple.get(0).is_null());
             }
         }
     }

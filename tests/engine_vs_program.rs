@@ -2,7 +2,7 @@
 //! stable models of the Definition-9 repair program (Corrected style)
 //! correspond one-to-one to the repairs found by the direct engine.
 //! CQA via cautious reasoning must likewise agree with CQA via repair
-//! intersection.
+//! intersection. Randomness is the workspace's deterministic [`XorShift`].
 
 use cqa::constraints::{builders, graph, v, Constraint, Ic, IcSet};
 use cqa::core::query::AnswerSemantics;
@@ -11,7 +11,7 @@ use cqa::core::{
     ConjunctiveQuery, ProgramStyle, Query, RepairConfig,
 };
 use cqa::prelude::*;
-use proptest::prelude::*;
+use cqa::relational::testing::XorShift;
 use std::sync::Arc;
 
 fn schema() -> Arc<Schema> {
@@ -57,64 +57,64 @@ fn pool(sc: &Schema) -> Vec<Constraint> {
     ]
 }
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![Just(s("c0")), Just(s("c1")), Just(Value::Null)]
+fn value(rng: &mut XorShift) -> Value {
+    match rng.below(3) {
+        0 => s("c0"),
+        1 => s("c1"),
+        _ => Value::Null,
+    }
 }
 
-fn instance_strategy(sc: Arc<Schema>) -> impl Strategy<Value = Instance> {
-    let p_rows = proptest::collection::btree_set(value_strategy(), 0..3);
-    let r_rows =
-        proptest::collection::btree_set((value_strategy(), value_strategy()), 0..3);
-    let t_rows = proptest::collection::btree_set(value_strategy(), 0..2);
-    (p_rows, r_rows, t_rows).prop_map(move |(ps, rs, ts)| {
-        let mut d = Instance::empty(sc.clone());
-        for p in ps {
-            d.insert_named("P", [p]).unwrap();
-        }
-        for (x, y) in rs {
-            d.insert_named("R", [x, y]).unwrap();
-        }
-        for t in ts {
-            d.insert_named("T", [t]).unwrap();
-        }
-        d
-    })
+fn instance(rng: &mut XorShift, sc: &Arc<Schema>) -> Instance {
+    let mut d = Instance::empty(sc.clone());
+    for _ in 0..rng.below(3) {
+        d.insert_named("P", [value(rng)]).unwrap();
+    }
+    for _ in 0..rng.below(3) {
+        d.insert_named("R", [value(rng), value(rng)]).unwrap();
+    }
+    for _ in 0..rng.below(2) {
+        d.insert_named("T", [value(rng)]).unwrap();
+    }
+    d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn theorem4_engine_equals_program(
-        d in instance_strategy(schema()),
-        mask in 0u8..32,
-    ) {
-        let sc = schema();
-        let ics: IcSet = pool(&sc)
+/// Random RIC-acyclic subset of the pool (resampling until acyclic).
+fn acyclic_subset(rng: &mut XorShift, sc: &Schema) -> IcSet {
+    loop {
+        let mask = rng.below(32) as u8;
+        let ics: IcSet = pool(sc)
             .into_iter()
             .enumerate()
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, c)| c)
             .collect();
-        prop_assume!(graph::is_ric_acyclic(&ics));
+        if graph::is_ric_acyclic(&ics) {
+            return ics;
+        }
+    }
+}
+
+#[test]
+fn theorem4_engine_equals_program() {
+    let sc = schema();
+    let mut rng = XorShift::new(401);
+    for _ in 0..48 {
+        let d = instance(&mut rng, &sc);
+        let ics = acyclic_subset(&mut rng, &sc);
         let via_engine = repairs(&d, &ics).unwrap();
         let via_program = repairs_via_program(&d, &ics, ProgramStyle::Corrected).unwrap();
-        prop_assert_eq!(via_engine, via_program);
+        assert_eq!(via_engine, via_program);
     }
+}
 
-    #[test]
-    fn cqa_direct_equals_cqa_via_program(
-        d in instance_strategy(schema()),
-        mask in 0u8..32,
-    ) {
-        let sc = schema();
-        let ics: IcSet = pool(&sc)
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, c)| c)
-            .collect();
-        prop_assume!(graph::is_ric_acyclic(&ics));
+#[test]
+fn cqa_direct_equals_cqa_via_program() {
+    let sc = schema();
+    let mut rng = XorShift::new(402);
+    for _ in 0..48 {
+        let d = instance(&mut rng, &sc);
+        let ics = acyclic_subset(&mut rng, &sc);
         // Q(x): R(x, y) — which first components are certain?
         let q: Query = ConjunctiveQuery::builder(&sc, "q", ["x"])
             .atom("R", [cqa::constraints::v("x"), cqa::constraints::v("y")])
@@ -137,28 +137,23 @@ proptest! {
             AnswerSemantics::IncludeNullAnswers,
         )
         .unwrap();
-        prop_assert_eq!(direct, via_program);
+        assert_eq!(direct, via_program);
     }
+}
 
-    #[test]
-    fn paper_exact_repairs_are_superset_of_corrected(
-        d in instance_strategy(schema()),
-        mask in 0u8..32,
-    ) {
-        // The paper-exact program can add spurious deletion models in the
-        // all-null-witness corner, but never loses a real repair.
-        let sc = schema();
-        let ics: IcSet = pool(&sc)
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, c)| c)
-            .collect();
-        prop_assume!(graph::is_ric_acyclic(&ics));
+#[test]
+fn paper_exact_repairs_are_superset_of_corrected() {
+    // The paper-exact program can add spurious deletion models in the
+    // all-null-witness corner, but never loses a real repair.
+    let sc = schema();
+    let mut rng = XorShift::new(403);
+    for _ in 0..48 {
+        let d = instance(&mut rng, &sc);
+        let ics = acyclic_subset(&mut rng, &sc);
         let corrected = repairs_via_program(&d, &ics, ProgramStyle::Corrected).unwrap();
         let paper = repairs_via_program(&d, &ics, ProgramStyle::PaperExact).unwrap();
         for r in &corrected {
-            prop_assert!(paper.contains(r));
+            assert!(paper.contains(r));
         }
     }
 }

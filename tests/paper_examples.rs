@@ -8,7 +8,7 @@
 use cqa::constraints::alt::{satisfies_alt, AltSemantics};
 use cqa::constraints::classify::{classify, IcClass};
 use cqa::constraints::{
-    builders, graph, insertion_allowed, is_consistent, satisfies_via_projection, v, c,
+    builders, c, graph, insertion_allowed, is_consistent, satisfies_via_projection, v,
 };
 use cqa::core::classic;
 use cqa::prelude::*;
@@ -144,7 +144,7 @@ fn example04_semantics_matrix() {
     assert!(!satisfies_alt(&d, &psi1, AltSemantics::PartialMatch));
     assert!(!satisfies_alt(&d, &psi1, AltSemantics::FullMatch));
     assert!(satisfies_via_projection(&d, &psi1)); // |=_N agrees with simple
-    // ψ2: only BB04 accepts (the null is not in a relevant attribute).
+                                                  // ψ2: only BB04 accepts (the null is not in a relevant attribute).
     assert!(satisfies_alt(&d, &psi2, AltSemantics::Bb04));
     assert!(!satisfies_alt(&d, &psi2, AltSemantics::SimpleMatch));
     assert!(!satisfies_via_projection(&d, &psi2));
@@ -177,7 +177,12 @@ fn example05_course_exp_foreign_key() {
     assert!(is_consistent(&d, &ics));
     // Inserting (CS41, 18, null) is rejected: both referencing attributes
     // non-null, no matching Exp row.
-    assert!(!insertion_allowed(&d, &ics, "Course", [s("CS41"), s("18"), null()]));
+    assert!(!insertion_allowed(
+        &d,
+        &ics,
+        "Course",
+        [s("CS41"), s("18"), null()]
+    ));
     // Partial and full match would NOT accept the original database:
     assert!(!satisfies_alt(&d, &fk, AltSemantics::PartialMatch));
     assert!(!satisfies_alt(&d, &fk, AltSemantics::FullMatch));
@@ -461,7 +466,10 @@ fn example16_two_repairs() {
         .finish()
         .unwrap()
         .into_shared();
-    let d = inst(&sc, &[("Q", vec![s("a"), s("b")]), ("P", vec![s("a"), s("c")])]);
+    let d = inst(
+        &sc,
+        &[("Q", vec![s("a"), s("b")]), ("P", vec![s("a"), s("c")])],
+    );
     let psi1 = Ic::builder(&sc, "psi1")
         .body_atom("P", [v("x"), v("y")])
         .head_atom("Q", [v("x"), v("z")])
@@ -474,10 +482,7 @@ fn example16_two_repairs() {
         .unwrap();
     let ics = IcSet::new([Constraint::from(psi1), Constraint::from(psi2)]);
     let reps = repairs(&d, &ics).unwrap();
-    assert_eq!(
-        sets(&reps),
-        expect(&["{}", "{Q(a, null), P(a, c)}"])
-    );
+    assert_eq!(sets(&reps), expect(&["{}", "{Q(a, null), P(a, c)}"]));
     assert!(!cqa::core::leq_d(&d, &reps[0], &reps[1]).unwrap());
     assert!(!cqa::core::leq_d(&d, &reps[1], &reps[0]).unwrap());
 }
@@ -688,7 +693,10 @@ fn example22_partition_expansion() {
         .finish()
         .unwrap()
         .into_shared();
-    let d = inst(&sc, &[("P", vec![s("a"), s("b")]), ("P", vec![s("c"), null()])]);
+    let d = inst(
+        &sc,
+        &[("P", vec![s("a"), s("b")]), ("P", vec![s("c"), null()])],
+    );
     let uic = Ic::builder(&sc, "uic")
         .body_atom("P", [v("x"), v("y")])
         .head_atom("R", [v("x")])
@@ -756,7 +764,9 @@ fn example24_bilateral_and_hcf() {
         .head_atom("P", [v("y"), v("x")])
         .finish()
         .unwrap();
-    assert!(!graph::theorem5_hcf_condition(&IcSet::new([Constraint::from(sym)])));
+    assert!(!graph::theorem5_hcf_condition(&IcSet::new([
+        Constraint::from(sym)
+    ])));
 }
 
 /// Proposition 1: repairs stay within adom(D) ∪ const(IC) ∪ {null}, and

@@ -28,7 +28,10 @@ fn example19_full_pipeline() {
     // consistent answers
     assert_eq!(db.consistent_answers("q(v) :- s(u, v).").unwrap().len(), 1);
     assert_eq!(db.consistent_answers("q(x) :- r(x, y).").unwrap().len(), 1);
-    assert!(db.consistent_answers("q(x, y) :- r(x, y).").unwrap().is_empty());
+    assert!(db
+        .consistent_answers("q(x, y) :- r(x, y).")
+        .unwrap()
+        .is_empty());
     assert!(db.consistent_answer_boolean("b() :- r('a', y).").unwrap());
     assert!(!db.consistent_answer_boolean("b() :- r('a', 'b').").unwrap());
 }
@@ -42,7 +45,8 @@ fn example6_check_constraint_sql() {
     )
     .unwrap();
     assert!(db.is_consistent());
-    db.insert("emp", [cqa::i(32), cqa::null(), cqa::i(50)]).unwrap();
+    db.insert("emp", [cqa::i(32), cqa::null(), cqa::i(50)])
+        .unwrap();
     assert!(!db.is_consistent());
     // The repair deletes the bad row.
     let reps = db.repairs().unwrap();
@@ -77,10 +81,7 @@ fn custom_constraints_and_union_queries() {
 /// Inserting into the parsed instance then re-checking (mutation path).
 #[test]
 fn mutation_path() {
-    let mut db = Database::from_script(
-        "CREATE TABLE t (a TEXT NOT NULL);",
-    )
-    .unwrap();
+    let mut db = Database::from_script("CREATE TABLE t (a TEXT NOT NULL);").unwrap();
     assert!(db.is_consistent());
     db.insert("t", [cqa::null()]).unwrap();
     assert!(!db.is_consistent());
