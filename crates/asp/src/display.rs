@@ -15,7 +15,7 @@ fn term_to_string(rule: &Rule, t: &Term) -> String {
 
 fn const_to_string(v: &Value) -> String {
     match v {
-        Value::Str(s) => s.to_string(),
+        Value::Sym(s) => s.as_str().to_string(),
         other => other.to_string(),
     }
 }

@@ -144,12 +144,7 @@ pub fn ground(program: &Program) -> GroundProgram {
         // Capture instantiations first (interning needs &mut gp).
         let mut instances: Vec<Vec<Value>> = Vec::new();
         instantiate(rule, &pt_by_pred, &mut |bindings| {
-            instances.push(
-                bindings
-                    .iter()
-                    .map(|b| b.clone().expect("safe rule"))
-                    .collect(),
-            );
+            instances.push(bindings.iter().map(|b| (*b).expect("safe rule")).collect());
         });
         'instances: for bindings in instances {
             let opt: Vec<Option<Value>> = bindings.into_iter().map(Some).collect();
@@ -205,10 +200,8 @@ fn ground_args(terms: &[Term], bindings: &[Option<Value>]) -> Vec<Value> {
     terms
         .iter()
         .map(|t| match t {
-            Term::Const(c) => c.clone(),
-            Term::Var(v) => bindings[*v as usize]
-                .clone()
-                .expect("variable bound by safety"),
+            Term::Const(c) => *c,
+            Term::Var(v) => bindings[*v as usize].expect("variable bound by safety"),
         })
         .collect()
 }
@@ -268,7 +261,7 @@ fn instantiate(rule: &Rule, pt: &[BTreeSet<Vec<Value>>], f: &mut impl FnMut(&[Op
                             }
                         }
                         None => {
-                            bindings[*v as usize] = Some(val.clone());
+                            bindings[*v as usize] = Some(*val);
                             newly.push(*v);
                         }
                     },

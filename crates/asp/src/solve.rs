@@ -18,12 +18,29 @@
 //!
 //! The search loop is an **explicit trail-based loop** (no recursion, so
 //! large ground programs cannot overflow the stack) with chronological
-//! backtracking, deciding variables lowest-index-first and `false` before
-//! `true` — the enumeration order of the previous recursive engine, which
-//! callers rely on. Decision picking starts scanning at the **last
-//! decision's variable + 1** (every smaller variable is already assigned
-//! at that point), so locating the next decision is amortised O(1) per
-//! node instead of a linear rescan.
+//! backtracking, deciding `false` before `true`.
+//!
+//! Decision *picking* is **activity-guided** (VSIDS-lite): every variable
+//! carries a counter bumped when a clause it occurs in becomes
+//! conflicting, and all counters decay by halving every
+//! [`DECAY_INTERVAL`] conflicts. At each decay the decision order is
+//! rebuilt — highest activity first, index order as the tie-break — so
+//! the search keeps branching on the variables that are actually causing
+//! conflicts, a stepping stone toward full CDCL. Until the first decay
+//! the order is plain index order, i.e. exactly the old engine's
+//! lowest-index-first behaviour.
+//!
+//! Picking stays amortised O(1) per node: each decision frame remembers
+//! its position in the order (stamped with the order's epoch), and the
+//! next pick resumes scanning right after it — every earlier position is
+//! already assigned. A decay invalidates the stamps and the next pick
+//! rescans once from the front.
+//!
+//! The enumeration is complete and duplicate-free for *any* decision
+//! order (both phases of every decision are explored), and stays fully
+//! deterministic: activities depend only on the formula and the search
+//! path. Callers that need a canonical model order sort afterwards, as
+//! `stable_models` does.
 
 use std::ops::ControlFlow;
 
@@ -133,6 +150,9 @@ fn code(lit: Lit) -> usize {
     ((lit.var as usize) << 1) | (lit.positive as usize)
 }
 
+/// Conflicts between activity decays (halvings + decision-order rebuild).
+const DECAY_INTERVAL: u32 = 128;
+
 /// One open decision of the explicit search stack.
 struct Frame {
     /// The decision variable.
@@ -141,6 +161,11 @@ struct Frame {
     mark: usize,
     /// `true` once the second phase (`true`) has been entered.
     flipped: bool,
+    /// Position of `var` in the decision order, stamped with the order
+    /// epoch it was valid for — the next pick resumes after it.
+    order_pos: usize,
+    /// Epoch of `order_pos` (stale after a decay rebuilds the order).
+    order_epoch: u32,
 }
 
 struct Solver<'a> {
@@ -155,6 +180,15 @@ struct Solver<'a> {
     watch_pos: Vec<[usize; 2]>,
     /// Watch lists: literal code → clauses currently watching it.
     watchers: Vec<Vec<u32>>,
+    /// VSIDS-lite: per-variable conflict activity (bumped when a clause
+    /// containing the variable conflicts; halved every
+    /// [`DECAY_INTERVAL`] conflicts).
+    activity: Vec<u64>,
+    /// Conflicts since the last decay.
+    conflicts_since_decay: u32,
+    /// Pending decay: set by `propagate`, applied by `search` before the
+    /// next pick (propagation doesn't know the decide range).
+    decay_due: bool,
 }
 
 impl<'a> Solver<'a> {
@@ -166,6 +200,23 @@ impl<'a> Solver<'a> {
             qhead: 0,
             watch_pos: vec![[0, 1]; cnf.clauses.len()],
             watchers: vec![Vec::new(); cnf.num_vars * 2],
+            activity: vec![0; cnf.num_vars],
+            conflicts_since_decay: 0,
+            decay_due: false,
+        }
+    }
+
+    /// Record a conflict on clause `ci`: bump the activity of every
+    /// variable in it and schedule a decay each [`DECAY_INTERVAL`]
+    /// conflicts.
+    fn note_conflict(&mut self, ci: usize) {
+        for lit in &self.cnf.clauses[ci] {
+            self.activity[lit.var as usize] += 1;
+        }
+        self.conflicts_since_decay += 1;
+        if self.conflicts_since_decay >= DECAY_INTERVAL {
+            self.conflicts_since_decay = 0;
+            self.decay_due = true;
         }
     }
 
@@ -237,6 +288,7 @@ impl<'a> Solver<'a> {
                 }
                 // No replacement: the clause is unit on `other`, or conflicting.
                 if !self.enqueue(other) {
+                    self.note_conflict(ci);
                     return false;
                 }
                 i += 1;
@@ -256,11 +308,14 @@ impl<'a> Solver<'a> {
         self.qhead = mark;
     }
 
-    /// Lowest unassigned decision variable, scanning from `from` — every
-    /// variable below the most recent decision is assigned, so the caller
-    /// passes last-decision + 1 instead of rescanning from zero.
-    fn pick_unassigned(&self, from: u32, decide_vars: usize) -> Option<u32> {
-        (from..decide_vars as u32).find(|&v| self.assign[v as usize].is_none())
+    /// Next decision: the first unassigned variable of `order`, scanning
+    /// from `from` — every order position before the most recent decision
+    /// is assigned (within one epoch), so the caller passes that
+    /// decision's position + 1 instead of rescanning from the front.
+    fn pick_unassigned(&self, order: &[u32], from: usize) -> Option<(usize, u32)> {
+        (from..order.len())
+            .map(|pos| (pos, order[pos]))
+            .find(|&(_, v)| self.assign[v as usize].is_none())
     }
 
     /// Decide `var = value` and propagate; `false` on conflict.
@@ -294,17 +349,36 @@ impl<'a> Solver<'a> {
         false
     }
 
-    /// Iterative model enumeration: lowest variable first, `false` phase
-    /// first — the enumeration order of the old recursive engine.
+    /// Iterative model enumeration, `false` phase first, decision order
+    /// by conflict activity (index order until the first decay).
     fn search<B>(
         &mut self,
         decide_vars: usize,
         f: &mut impl FnMut(&[bool]) -> ControlFlow<B>,
     ) -> ControlFlow<B> {
         let mut frames: Vec<Frame> = Vec::new();
+        // Decision order over the decide range; rebuilt at every decay.
+        let mut order: Vec<u32> = (0..decide_vars as u32).collect();
+        let mut epoch: u32 = 0;
         loop {
-            let hint = frames.last().map_or(0, |fr| fr.var + 1);
-            match self.pick_unassigned(hint, decide_vars) {
+            if self.decay_due {
+                self.decay_due = false;
+                for a in &mut self.activity {
+                    *a >>= 1;
+                }
+                // Highest activity first; index order breaks ties, so a
+                // conflict-free stretch keeps the old lowest-index order.
+                order.sort_by_key(|&v| (std::cmp::Reverse(self.activity[v as usize]), v));
+                epoch += 1; // frame hints from older epochs are stale
+            }
+            let hint = frames.last().map_or(0, |fr| {
+                if fr.order_epoch == epoch {
+                    fr.order_pos + 1
+                } else {
+                    0
+                }
+            });
+            match self.pick_unassigned(&order, hint) {
                 None => {
                     // All decision variables assigned; remaining variables
                     // are forced by propagation in our encodings. Any
@@ -316,12 +390,14 @@ impl<'a> Solver<'a> {
                         return ControlFlow::Continue(());
                     }
                 }
-                Some(var) => {
+                Some((pos, var)) => {
                     let mark = self.trail.len();
                     frames.push(Frame {
                         var,
                         mark,
                         flipped: false,
+                        order_pos: pos,
+                        order_epoch: epoch,
                     });
                     if !self.decide(var, false) && !self.advance(&mut frames) {
                         return ControlFlow::Continue(());

@@ -263,7 +263,7 @@ impl Program {
                     });
                     Term::Var(id)
                 }
-                TermSpec::Const(v) => Term::Const(v.clone()),
+                TermSpec::Const(v) => Term::Const(*v),
             }
         };
         let head_specs: Vec<AtomSpec> = head.into_iter().collect();

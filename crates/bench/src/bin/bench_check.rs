@@ -1,0 +1,123 @@
+//! Bench regression gate: compare a freshly recorded `BENCH_JSON` file
+//! against the committed baseline and fail (exit 1) if a guarded series
+//! regressed beyond tolerance.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_check <current.json> <baseline.json> [tolerance]
+//! ```
+//!
+//! Both files are the JSON-lines format written by
+//! [`cqa_bench::harness::Harness::finish`]. The guarded series is the
+//! headline number of the interning/composite-index PR:
+//! `repair_instance_size_axis` / `incremental/800`. `tolerance` is the
+//! allowed slowdown factor (default 1.25 — “fail if >25% slower than the
+//! committed baseline”). The parser is a purpose-built extractor for the
+//! harness's own fixed output shape, not a general JSON reader — this
+//! workspace is dependency-free by construction.
+
+use std::process::ExitCode;
+
+/// Series guarded against regression: (group, name).
+const GUARDED: &[(&str, &str)] = &[("repair_instance_size_axis", "incremental/800")];
+
+/// Median (ns) of `name` within `group` in a harness JSON-lines dump.
+fn median_ns(json: &str, group: &str, name: &str) -> Option<u128> {
+    let group_tag = format!("{{\"group\":\"{group}\",");
+    let line = json.lines().find(|l| l.starts_with(&group_tag))?;
+    let name_tag = format!("{{\"name\":\"{name}\",\"median_ns\":");
+    let at = line.find(&name_tag)? + name_tag.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<(), String> {
+    let current = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("cannot read {current_path}: {e}"))?;
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    for (group, name) in GUARDED {
+        let cur = median_ns(&current, group, name)
+            .ok_or_else(|| format!("{current_path}: no record of {group}/{name}"))?;
+        let base = median_ns(&baseline, group, name)
+            .ok_or_else(|| format!("{baseline_path}: no record of {group}/{name}"))?;
+        let ratio = cur as f64 / base as f64;
+        println!(
+            "{group}/{name}: current {:.3} ms vs baseline {:.3} ms ({ratio:.2}x, tolerance {tolerance:.2}x)",
+            cur as f64 / 1e6,
+            base as f64 / 1e6,
+        );
+        if ratio > tolerance {
+            return Err(format!(
+                "{group}/{name} regressed: {ratio:.2}x the committed baseline (> {tolerance:.2}x)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (current, baseline) = match (args.get(1), args.get(2)) {
+        (Some(c), Some(b)) => (c.clone(), b.clone()),
+        _ => {
+            eprintln!("usage: bench_check <current.json> <baseline.json> [tolerance]");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance: f64 = match args.get(3) {
+        Some(t) => match t.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("bad tolerance `{t}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => 1.25,
+    };
+    match run(&current, &baseline, tolerance) {
+        Ok(()) => {
+            println!("bench gate OK");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("bench gate FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"group\":\"other\",\"results\":[{\"name\":\"incremental/800\",\"median_ns\":1,\"mean_ns\":1,\"min_ns\":1,\"samples\":7,\"iters\":1}]}\n",
+        "{\"group\":\"repair_instance_size_axis\",\"results\":[",
+        "{\"name\":\"incremental/80\",\"median_ns\":11,\"mean_ns\":11,\"min_ns\":11,\"samples\":7,\"iters\":1},",
+        "{\"name\":\"incremental/800\",\"median_ns\":2962000,\"mean_ns\":3000000,\"min_ns\":2900000,\"samples\":7,\"iters\":6}",
+        "]}\n"
+    );
+
+    #[test]
+    fn extracts_the_right_series() {
+        assert_eq!(
+            median_ns(SAMPLE, "repair_instance_size_axis", "incremental/800"),
+            Some(2_962_000)
+        );
+        // Exact-name match: the /80 record does not shadow /800.
+        assert_eq!(
+            median_ns(SAMPLE, "repair_instance_size_axis", "incremental/80"),
+            Some(11)
+        );
+        assert_eq!(median_ns(SAMPLE, "no_such_group", "incremental/800"), None);
+        assert_eq!(
+            median_ns(SAMPLE, "repair_instance_size_axis", "missing"),
+            None
+        );
+    }
+}

@@ -126,7 +126,7 @@ fn referencing_values(ic: &Ic, bindings: &[Option<Value>]) -> Vec<Value> {
     ic.relevant()
         .escape_vars()
         .iter()
-        .filter_map(|v| bindings[v.index()].clone())
+        .filter_map(|v| bindings[v.index()])
         .collect()
 }
 

@@ -236,7 +236,7 @@ impl fmt::Display for IcDisplay<'_> {
             match t {
                 Term::Var(v) => ic.var_name(*v).to_string(),
                 Term::Const(c) => match c {
-                    Value::Str(s) => format!("'{s}'"),
+                    Value::Sym(s) => format!("'{s}'"),
                     other => other.to_string(),
                 },
             }
@@ -418,14 +418,14 @@ impl IcSet {
             for atom in ic.body().iter().chain(ic.head()) {
                 for t in &atom.terms {
                     if let Term::Const(c) = t {
-                        out.insert(c.clone());
+                        out.insert(*c);
                     }
                 }
             }
             for b in ic.builtins() {
                 for t in [&b.lhs, &b.rhs] {
                     if let Term::Const(c) = t {
-                        out.insert(c.clone());
+                        out.insert(*c);
                     }
                 }
             }

@@ -6,12 +6,17 @@
 //!
 //! * **Index-driven joins.** Body matching probes the secondary hash
 //!   indexes of [`cqa_relational::index`] instead of scanning: at every
-//!   join depth, the candidate set for an atom is the index bucket of its
-//!   most selective determined column (a constant or an already-bound join
-//!   variable). Buckets are `BTreeSet<Tuple>`, so swapping a scan for a
-//!   probe never changes match enumeration order — the indexed full check
-//!   ([`violations`]) reports exactly the naive order, which the property
-//!   suite pins down.
+//!   join depth, the candidate set for an atom is the bucket of its
+//!   determined columns (constants and already-bound join variables) — one
+//!   determined column probes its [`ColumnIndex`], several probe the
+//!   *composite* index of the exact column set ([`CompositeIndex`]), so a
+//!   multi-attribute FD/key/IC probe is a single packed-key lookup with no
+//!   residual filtering on determined positions. Buckets are
+//!   `BTreeSet<Tuple>`, so swapping a scan for a probe never changes match
+//!   enumeration order — the indexed full check ([`violations`]) reports
+//!   exactly the naive order, which the property suite pins down. With
+//!   interned values ([`cqa_relational::symbol`]), every probe hashes and
+//!   compares integers, independent of string content.
 //! * **Seeded (delta) matching.** [`violations_touching`] re-checks only
 //!   the ground instantiations that can involve a changed atom: inserted
 //!   tuples are pinned into each compatible body position, removed tuples
@@ -35,7 +40,9 @@
 
 use crate::ast::{Constraint, Ic, IcAtom, IcSet, Term, VarId};
 use crate::satisfaction::{phi_escape, SatMode, Violation, ViolationKind};
-use cqa_relational::{ColumnIndex, DatabaseAtom, Delta, Instance, Tuple, Value};
+use cqa_relational::{
+    ColsKey, ColumnIndex, CompositeIndex, DatabaseAtom, Delta, Instance, Tuple, Value,
+};
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 use std::sync::Arc;
@@ -44,8 +51,11 @@ use std::sync::Arc;
 enum Candidates {
     /// No column is determined: scan the whole relation.
     Scan,
-    /// Probe the hash index of one determined column.
+    /// One determined column: probe its hash index.
     Probe(Arc<ColumnIndex>, Value),
+    /// Several determined columns: probe the composite index of the
+    /// exact column set — no residual filtering on determined positions.
+    ProbeCols(Arc<CompositeIndex>, ColsKey),
 }
 
 impl Candidates {
@@ -55,27 +65,32 @@ impl Candidates {
         bindings: &[Option<Value>],
         checked: impl Fn(usize) -> bool,
     ) -> Candidates {
-        let mut best: Option<(usize, Arc<ColumnIndex>, Value)> = None;
+        // Determined columns (a constant or an already-bound variable),
+        // collected in ascending position order — the canonical order of
+        // a composite index.
+        let mut cols: Vec<usize> = Vec::with_capacity(atom.terms.len());
+        let mut values: Vec<Value> = Vec::with_capacity(atom.terms.len());
         for (pos, term) in atom.terms.iter().enumerate() {
             if !checked(pos) {
                 continue;
             }
             let value = match term {
-                Term::Const(c) => c.clone(),
-                Term::Var(v) => match &bindings[v.index()] {
-                    Some(bound) => bound.clone(),
+                Term::Const(c) => *c,
+                Term::Var(v) => match bindings[v.index()] {
+                    Some(bound) => bound,
                     None => continue,
                 },
             };
-            let ix = instance.index_on(atom.rel, pos);
-            let sel = ix.selectivity(&value);
-            if best.as_ref().is_none_or(|(s, _, _)| sel < *s) {
-                best = Some((sel, ix, value));
-            }
+            cols.push(pos);
+            values.push(value);
         }
-        match best {
-            Some((_, ix, value)) => Candidates::Probe(ix, value),
-            None => Candidates::Scan,
+        match cols.len() {
+            0 => Candidates::Scan,
+            1 => Candidates::Probe(instance.index_on(atom.rel, cols[0]), values[0]),
+            _ => Candidates::ProbeCols(
+                instance.index_on_cols(atom.rel, &cols),
+                ColsKey::new(&values),
+            ),
         }
     }
 
@@ -97,6 +112,11 @@ impl Candidates {
                     f(t)?;
                 }
             }
+            Candidates::ProbeCols(ix, key) => {
+                for t in ix.probe(key) {
+                    f(t)?;
+                }
+            }
         }
         ControlFlow::Continue(())
     }
@@ -113,7 +133,7 @@ fn try_match(atom: &IcAtom, tuple: &Tuple, bindings: &mut [Option<Value>]) -> Op
             Term::Var(v) => match &bindings[v.index()] {
                 Some(bound) => bound == val,
                 None => {
-                    bindings[v.index()] = Some(val.clone());
+                    bindings[v.index()] = Some(*val);
                     newly.push(*v);
                     true
                 }
@@ -207,9 +227,10 @@ impl Join<'_> {
 
 /// Does some tuple witness `atom` under the assignment, matching only
 /// `checked` positions? Index-probed version of the naive
-/// `head_witness`: probe the most selective determined *checked* column,
-/// then verify the remaining checked positions (existential variables must
-/// repeat consistently within the atom).
+/// `head_witness`: probe on the determined *checked* columns (one column
+/// → its hash index, several → the exact composite index), then verify
+/// the remaining checked positions (existential variables must repeat
+/// consistently within the atom).
 fn head_witness_indexed(
     instance: &Instance,
     ic: &Ic,
@@ -378,7 +399,7 @@ fn head_seed_bindings(
             Term::Var(v) if ic.universal_vars().contains(v) => match &bindings[v.index()] {
                 Some(bound) if bound != val => return None,
                 Some(_) => {}
-                None => bindings[v.index()] = Some(val.clone()),
+                None => bindings[v.index()] = Some(*val),
             },
             // Existential: constrains nothing about the body assignment
             // (only the witness itself had to repeat it consistently).

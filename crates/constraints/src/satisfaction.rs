@@ -367,7 +367,7 @@ fn join_body<B>(
                         }
                     }
                     None => {
-                        bindings[v.index()] = Some(val.clone());
+                        bindings[v.index()] = Some(*val);
                         newly_bound.push(*v);
                     }
                 },
@@ -591,7 +591,7 @@ pub fn satisfies_via_projection(instance: &Instance, ic: &Ic) -> bool {
                             }
                         }
                         None => {
-                            bindings[v.index()] = Some(val.clone());
+                            bindings[v.index()] = Some(*val);
                             newly.push(*v);
                         }
                     },

@@ -83,6 +83,22 @@ fn constraint_pool(sc: &Schema) -> Vec<Ic> {
             .head_atom("T", [v("y")])
             .finish()
             .unwrap(),
+        // multi-attribute FD (composite determinant (x,y)):
+        // R(x,y,z) ∧ R(x,y,z2) → z = z2 — the seeded second atom has two
+        // determined columns and goes through the composite index.
+        Ic::builder(sc, "c8")
+            .body_atom("R", [v("x"), v("y"), v("z")])
+            .body_atom("R", [v("x"), v("y"), v("z2")])
+            .builtin(v("z"), CmpOp::Eq, v("z2"))
+            .finish()
+            .unwrap(),
+        // composite referential: R(x,y,z) → P(x,y) — the head witness
+        // check is determined on both relevant positions at once.
+        Ic::builder(sc, "c9")
+            .body_atom("R", [v("x"), v("y"), v("z")])
+            .head_atom("P", [v("x"), v("y")])
+            .finish()
+            .unwrap(),
     ]
 }
 

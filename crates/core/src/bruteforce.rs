@@ -29,7 +29,7 @@ pub fn candidate_universe(d: &Instance, ics: &IcSet) -> Vec<DatabaseAtom> {
         let arity = decl.arity();
         let mut indices = vec![0usize; arity];
         loop {
-            let tuple: Tuple = indices.iter().map(|&i| domain[i].clone()).collect();
+            let tuple: Tuple = indices.iter().map(|&i| domain[i]).collect();
             let atom = DatabaseAtom::new(rel, tuple);
             if !existing.contains(&atom) {
                 atoms.push(atom);

@@ -150,15 +150,15 @@ impl Search<'_> {
                         .terms
                         .iter()
                         .map(|t| match t {
-                            Term::Const(c) => c.clone(),
-                            Term::Var(v) => bindings[v.index()].clone().unwrap_or(Value::Null),
+                            Term::Const(c) => *c,
+                            Term::Var(v) => bindings[v.index()].unwrap_or(Value::Null),
                         })
                         .collect();
                     let mut odometer = vec![0usize; ex_positions.len()];
                     loop {
                         let mut vals = base.clone();
                         for (slot, &pos) in ex_positions.iter().enumerate() {
-                            vals[pos] = self.domain[odometer[slot]].clone();
+                            vals[pos] = self.domain[odometer[slot]];
                         }
                         // Repeated existential variables must agree; the
                         // odometer assigns per-position, so filter

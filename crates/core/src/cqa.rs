@@ -114,7 +114,7 @@ pub fn consistent_answers_via_program(
         let term = |t: &QTerm| -> cqa_asp::TermSpec {
             match t {
                 QTerm::Var(v) => tv(cq.var_names[*v as usize].clone()),
-                QTerm::Const(c) => tc(c.clone()),
+                QTerm::Const(c) => tc(*c),
             }
         };
         let mut body: Vec<BodyLit> = Vec::new();

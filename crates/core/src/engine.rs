@@ -30,8 +30,10 @@
 //!
 //! * the root worklist is the full violation set (index-probed scan);
 //! * each branch applies its single-atom decision as a [`Delta`] *in
-//!   place* (copy-on-write makes the eventual candidate snapshot cheap),
-//!   appends the violations touching that delta
+//!   place* (fixpoints record their decision delta instead of snapshotting,
+//!   so the relation `Arc`s stay unshared and every in-place change is
+//!   O(log n), never a copy-on-write of the instance), appends the
+//!   violations touching that delta
 //!   ([`cqa_constraints::violations_touching`]), and recurses;
 //! * on entry a node lazily re-validates worklist entries
 //!   ([`cqa_constraints::violation_active`]) until it finds a live one to
@@ -43,15 +45,22 @@
 //! observation that repairs differ from `D` only inside the Proposition-1
 //! universe. [`SearchStrategy::FullRescan`] retains the naive per-node
 //! rescan for A/B benchmarking and as a secondary oracle.
+//!
+//! The post-search pipeline is delta-based too: every fixpoint records its
+//! decision delta (which *is* Δ(D, candidate), since decisions never flip),
+//! so candidate de-duplication and `≤_D`-minimisation
+//! ([`crate::repair::minimal_delta_indices`]) compare symmetric
+//! differences in O(Δ) per pair instead of recomputing Δ against — or
+//! comparing — full instances.
 
 use crate::error::CoreError;
-use crate::repair::minimize_candidates;
+use crate::repair::minimal_delta_indices;
 use cqa_constraints::{
     first_violation_naive, violation_active, violations, violations_touching, Constraint, IcSet,
     SatMode, Term, Violation, ViolationKind,
 };
 use cqa_relational::{DatabaseAtom, Delta, Instance, Tuple, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which repair semantics to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -183,32 +192,66 @@ pub fn repairs_with_trace(
             search.run_rescan(d.clone(), &mut decisions, &mut trace)?;
         }
     }
-    // Deduplicate instances, keeping the first-found trace.
-    let mut unique: Vec<TracedRepair> = Vec::new();
-    for (instance, steps) in search.candidates {
-        if !unique.iter().any(|u| u.instance == instance) {
-            unique.push(TracedRepair { instance, steps });
+    // Deduplicate by decision delta — against one base, equal deltas mean
+    // equal instances — keeping the first-found trace. The search tracked
+    // each candidate's delta, so neither deduplication nor minimisation
+    // ever recomputes Δ(D, candidate) against the full instance: both are
+    // O(Δ) per comparison. Only the `≤_D`-minimal survivors are
+    // materialised (base + Δ) — non-minimal candidates never touch the
+    // instance, and the search itself never snapshots one.
+    let mut unique: Vec<(Delta, Vec<RepairStep>)> = Vec::new();
+    let mut seen: BTreeSet<Delta> = BTreeSet::new();
+    for (delta, steps) in search.candidates {
+        if seen.insert(delta.clone()) {
+            unique.push((delta, steps));
         }
     }
-    let kept = minimize_candidates(d, unique.iter().map(|u| u.instance.clone()).collect())?;
-    Ok(kept
+    let deltas: Vec<Delta> = unique.iter().map(|(dl, _)| dl.clone()).collect();
+    let mut kept: Vec<TracedRepair> = minimal_delta_indices(&deltas)
         .into_iter()
-        .map(|instance| {
-            let steps = unique
-                .iter()
-                .find(|u| u.instance == instance)
-                .map(|u| u.steps.clone())
-                .unwrap_or_default();
-            TracedRepair { instance, steps }
+        .map(|i| {
+            let mut instance = d.clone();
+            instance.apply_delta(&unique[i].0);
+            TracedRepair {
+                instance,
+                steps: unique[i].1.clone(),
+            }
         })
-        .collect())
+        .collect();
+    // Deterministic order: by atom list (the order the pre-delta
+    // minimiser produced), each key computed once.
+    kept.sort_by_cached_key(|r| r.instance.atoms().collect::<Vec<_>>());
+    Ok(kept)
+}
+
+/// The symmetric difference a decision set denotes: decisions never flip
+/// and inserts/deletes are only ever applied to absent/present atoms, so
+/// the decision map *is* Δ(D, current) at every fixpoint.
+fn delta_of(decisions: &BTreeMap<DatabaseAtom, Decision>) -> Delta {
+    let mut delta = Delta::default();
+    for (atom, decision) in decisions {
+        match decision {
+            Decision::Inserted => {
+                delta.inserted.insert(atom.clone());
+            }
+            Decision::Deleted => {
+                delta.removed.insert(atom.clone());
+            }
+        }
+    }
+    delta
 }
 
 struct Search<'a> {
     ics: &'a IcSet,
     config: RepairConfig,
     nodes: usize,
-    candidates: Vec<(Instance, Vec<RepairStep>)>,
+    /// Consistent fixpoints: each candidate's decision delta (which *is*
+    /// Δ(D, candidate), since decisions never flip) and the decision trace
+    /// that produced it. Candidates are *not* snapshotted — cloning at a
+    /// fixpoint would share the relation/index `Arc`s and turn the
+    /// parent's next in-place delta into an O(instance) copy-on-write.
+    candidates: Vec<(Delta, Vec<RepairStep>)>,
 }
 
 impl Search<'_> {
@@ -243,7 +286,7 @@ impl Search<'_> {
                 }
                 Some(_) => continue, // fixed by an ancestor decision
                 None => {
-                    self.candidates.push((current.clone(), trace.clone()));
+                    self.candidates.push((delta_of(decisions), trace.clone()));
                     return Ok(());
                 }
             }
@@ -316,7 +359,7 @@ impl Search<'_> {
     ) -> Result<(), CoreError> {
         self.charge_node()?;
         let Some(violation) = first_violation_naive(&current, self.ics, SatMode::NullAware) else {
-            self.candidates.push((current, trace.clone()));
+            self.candidates.push((delta_of(decisions), trace.clone()));
             return Ok(());
         };
         let constraint_name = self.ics.constraints()[violation.constraint_index]
@@ -399,8 +442,8 @@ impl Search<'_> {
                         .terms
                         .iter()
                         .map(|t| match t {
-                            Term::Const(c) => c.clone(),
-                            Term::Var(v) => bindings[v.index()].clone().unwrap_or(Value::Null),
+                            Term::Const(c) => *c,
+                            Term::Var(v) => bindings[v.index()].unwrap_or(Value::Null),
                         })
                         .collect();
                     let atom = DatabaseAtom::new(head.rel, tuple);

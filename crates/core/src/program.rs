@@ -181,7 +181,7 @@ pub fn repair_program_with(
 fn spec(ic: &Ic, t: &Term) -> cqa_asp::TermSpec {
     match t {
         Term::Var(v) => tv(ic.var_name(*v)),
-        Term::Const(c) => tc(c.clone()),
+        Term::Const(c) => tc(*c),
     }
 }
 

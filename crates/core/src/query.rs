@@ -166,7 +166,7 @@ impl ConjunctiveQuery {
             let answer: Tuple = self
                 .head
                 .iter()
-                .map(|v| bindings[*v as usize].clone().expect("safe head var"))
+                .map(|v| bindings[*v as usize].expect("safe head var"))
                 .collect();
             out.insert(answer);
             return;
@@ -191,7 +191,7 @@ impl ConjunctiveQuery {
                             }
                         }
                         None => {
-                            bindings[*vid as usize] = Some(val.clone());
+                            bindings[*vid as usize] = Some(*val);
                             newly.push(*vid);
                         }
                     },

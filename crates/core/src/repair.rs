@@ -26,7 +26,7 @@
 
 use crate::error::CoreError;
 use cqa_constraints::{is_consistent, IcSet};
-use cqa_relational::{delta, DatabaseAtom, Delta, Instance};
+use cqa_relational::{delta, Delta, Instance};
 use std::collections::BTreeSet;
 
 /// `D′ ≤_D D″` over the common original instance `base`.
@@ -115,24 +115,12 @@ pub fn is_repair(base: &Instance, candidate: &Instance, ics: &IcSet) -> Result<b
     Ok(!better)
 }
 
-/// Reduce a candidate pool to its `≤_D`-minimal, de-duplicated members.
-pub fn minimize_candidates(
-    base: &Instance,
-    candidates: Vec<Instance>,
-) -> Result<Vec<Instance>, CoreError> {
-    // Deduplicate by atom set.
-    let mut unique: Vec<Instance> = Vec::new();
-    let mut seen: BTreeSet<Vec<DatabaseAtom>> = BTreeSet::new();
-    for c in candidates {
-        let key: Vec<DatabaseAtom> = c.atoms().collect();
-        if seen.insert(key) {
-            unique.push(c);
-        }
-    }
-    let deltas: Vec<Delta> = unique
-        .iter()
-        .map(|c| delta(base, c))
-        .collect::<Result<_, _>>()?;
+/// The indices of the `≤_D`-minimal members of a delta pool — the
+/// candidates not strictly dominated by any other. O(k² · Δ²): every
+/// comparison walks two symmetric differences only, never an instance.
+/// Callers that know each candidate's decision delta (the incremental
+/// repair search does) skip recomputing Δ(D, candidate) entirely.
+pub fn minimal_delta_indices(deltas: &[Delta]) -> Vec<usize> {
     let mut keep = Vec::new();
     'outer: for (i, di) in deltas.iter().enumerate() {
         for (j, dj) in deltas.iter().enumerate() {
@@ -140,8 +128,36 @@ pub fn minimize_candidates(
                 continue 'outer; // strictly dominated
             }
         }
-        keep.push(unique[i].clone());
+        keep.push(i);
     }
+    keep
+}
+
+/// Reduce a candidate pool to its `≤_D`-minimal, de-duplicated members.
+///
+/// Recomputes Δ(D, candidate) per candidate (O(candidates × instance));
+/// search code that already tracks decision deltas should de-duplicate by
+/// [`Delta`] and call [`minimal_delta_indices`] directly instead.
+pub fn minimize_candidates(
+    base: &Instance,
+    candidates: Vec<Instance>,
+) -> Result<Vec<Instance>, CoreError> {
+    // Deduplicate by symmetric difference: against one base, equal deltas
+    // mean equal instances.
+    let mut unique: Vec<Instance> = Vec::new();
+    let mut deltas: Vec<Delta> = Vec::new();
+    let mut seen: BTreeSet<Delta> = BTreeSet::new();
+    for c in candidates {
+        let d = delta(base, &c)?;
+        if seen.insert(d.clone()) {
+            unique.push(c);
+            deltas.push(d);
+        }
+    }
+    let mut keep: Vec<Instance> = minimal_delta_indices(&deltas)
+        .into_iter()
+        .map(|i| unique[i].clone())
+        .collect();
     // Deterministic order: by atom list.
     keep.sort_by(|a, b| {
         a.atoms()
@@ -155,7 +171,7 @@ pub fn minimize_candidates(
 mod tests {
     use super::*;
     use cqa_constraints::{v, Constraint, Ic, IcSet};
-    use cqa_relational::{null, s, Instance, Schema};
+    use cqa_relational::{null, s, DatabaseAtom, Instance, Schema};
     use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {

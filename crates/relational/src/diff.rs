@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 /// The paper's repair machinery (Definitions 6–7) works on Δ as a plain set
 /// of atoms; [`Delta::atoms`] provides that view, while `removed`/`inserted`
 /// keep the direction for reporting and for applying repairs.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct Delta {
     /// Atoms of `D` missing from `D′` (deletions).
     pub removed: BTreeSet<DatabaseAtom>,

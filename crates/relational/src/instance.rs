@@ -3,7 +3,7 @@
 use crate::atom::DatabaseAtom;
 use crate::diff::Delta;
 use crate::error::RelationalError;
-use crate::index::{ColumnIndex, IndexStore};
+use crate::index::{ColumnIndex, CompositeIndex, IndexStore};
 use crate::schema::{RelId, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -133,6 +133,44 @@ impl Instance {
         self.indexes.registered_cols(rel)
     }
 
+    /// The composite (column-set) hash index over `cols` of `rel`,
+    /// building it on first request and maintaining it on later
+    /// mutations. `cols` is canonicalised (sorted ascending, de-duplicated)
+    /// before lookup, so `&[1, 0]` and `&[0, 1]` name the same index; the
+    /// returned handle's [`CompositeIndex::cols`] gives the canonical
+    /// order probe values must be supplied in.
+    ///
+    /// Same snapshot semantics as [`Instance::index_on`]: the handle is
+    /// detached from future mutations of `self`.
+    ///
+    /// Panics if `cols` is empty or mentions a column out of range for
+    /// `rel` — column sets are always driven by validated constraints.
+    pub fn index_on_cols(&self, rel: RelId, cols: &[usize]) -> Arc<CompositeIndex> {
+        assert!(!cols.is_empty(), "composite index needs at least 1 column");
+        let arity = self.schema.relation(rel).arity();
+        let mut canonical: Vec<u32> = cols
+            .iter()
+            .map(|&c| {
+                assert!(c < arity, "column {c} out of range for arity {arity}");
+                c as u32
+            })
+            .collect();
+        // The hot caller (probe planning) supplies strictly ascending
+        // columns by construction; only canonicalise when it must.
+        if !canonical.windows(2).all(|w| w[0] < w[1]) {
+            canonical.sort_unstable();
+            canonical.dedup();
+        }
+        self.indexes
+            .get_or_build_cols(rel, &canonical, &self.relations[rel.index()])
+    }
+
+    /// The registered composite column sets of `rel` (diagnostics and
+    /// tests).
+    pub fn indexed_column_sets(&self, rel: RelId) -> Vec<Vec<u32>> {
+        self.indexes.registered_col_sets(rel)
+    }
+
     /// Apply an atom-level [`Delta`]: remove `delta.removed`, insert
     /// `delta.inserted`. Atoms already absent/present are skipped (set
     /// semantics). Indexes are maintained.
@@ -184,7 +222,7 @@ impl Instance {
         for rel in self.relations.iter() {
             for t in rel.iter() {
                 for v in t.values() {
-                    dom.insert(v.clone());
+                    dom.insert(*v);
                 }
             }
         }

@@ -17,6 +17,9 @@
 //!   the paper); there are no labelled nulls. The unique-names assumption is
 //!   *not* applied to `null` by higher layers except where the paper demands
 //!   treating it "as any other constant" (Definition 4).
+//! * String constants are globally interned ([`symbol`]): `Value` is `Copy`
+//!   and value equality/hashing — the operations the index probes and join
+//!   pins live on — are integer comparisons, independent of string length.
 //! * Relations are **sets** of tuples (the paper sets aside SQL's bag
 //!   semantics, Example 7).
 //! * Ordered containers (`BTreeSet`/`BTreeMap`) are used throughout so that
@@ -30,6 +33,7 @@ pub mod error;
 pub mod index;
 pub mod instance;
 pub mod schema;
+pub mod symbol;
 pub mod testing;
 pub mod tuple;
 pub mod value;
@@ -37,9 +41,10 @@ pub mod value;
 pub use atom::DatabaseAtom;
 pub use diff::{delta, Delta};
 pub use error::RelationalError;
-pub use index::ColumnIndex;
+pub use index::{ColsKey, ColumnIndex, CompositeIndex};
 pub use instance::{Instance, Relation};
 pub use schema::{RelId, RelationSchema, Schema, SchemaBuilder};
+pub use symbol::Symbol;
 pub use tuple::Tuple;
 pub use value::Value;
 

@@ -1,0 +1,233 @@
+//! Global string interning: `Symbol` ids behind a sharded, append-only
+//! table.
+//!
+//! Every string constant of the domain is interned exactly once for the
+//! lifetime of the process and identified by a dense `u32` id. This is
+//! what makes the workspace's hot paths integer-only:
+//!
+//! * **Equality and hashing are id operations.** `Symbol: Copy + Eq +
+//!   Hash` compares and hashes the `u32`, never the characters — an index
+//!   probe on an interned value costs the same whether the constant is 3
+//!   or 3000 bytes long (pinned by the `value_probe` bench group).
+//! * **Ordering stays lexicographic.** The repair machinery iterates
+//!   `BTreeSet`s everywhere and the whole test suite pins enumeration
+//!   order to string order, so `Ord` resolves and compares the underlying
+//!   text — with an id fast path for the (dominant) equal case. Total
+//!   order consistency with `Eq` holds because the interner never assigns
+//!   two ids to one string.
+//!
+//! Layout: lookups go through `SHARD_COUNT` independently locked
+//! `str → Symbol` maps (the write path is only taken the *first* time a
+//! string is seen); resolution goes through a lock-free chunked table of
+//! `&'static str` entries published with release stores, so `Symbol::
+//! as_str` in comparison loops never touches a lock. Interned strings are
+//! intentionally leaked: the table is global, append-only and lives for
+//! the whole process, exactly like the symbol tables of the
+//! dictionary-encoded CQA evaluators this design follows.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+
+/// An interned string constant: a dense id into the global symbol table.
+///
+/// `Eq`/`Hash` are id comparisons; `Ord` is lexicographic on the resolved
+/// text (equal ids short-circuit to `Equal` without resolving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Intern `text`, returning its unique id (allocating one on first
+    /// sight, O(1) lock-free-read afterwards).
+    pub fn intern(text: &str) -> Symbol {
+        interner().intern(text)
+    }
+
+    /// The interned text. `'static`: the table is append-only and
+    /// process-lived.
+    pub fn as_str(self) -> &'static str {
+        interner().resolve(self)
+    }
+
+    /// The raw id (diagnostics; dense from 0 in interning order).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Number of lookup shards (a power of two; the shard of a string is the
+/// low bits of its hash).
+const SHARD_COUNT: usize = 16;
+/// Entries per resolution chunk.
+const CHUNK_SIZE: usize = 1 << 12;
+/// Maximum number of chunks (caps the table at ~16.7M symbols).
+const MAX_CHUNKS: usize = 1 << 12;
+
+/// Entries hold thin pointers to leaked `String`s (a fat `*mut str`
+/// cannot be stored atomically).
+type Chunk = [AtomicPtr<String>; CHUNK_SIZE];
+
+struct Interner {
+    /// `str → Symbol` lookup, sharded by string hash. Only interning of a
+    /// *new* string takes a write lock.
+    shards: [RwLock<HashMap<&'static str, Symbol>>; SHARD_COUNT],
+    /// Append lock: serialises id allocation and chunk creation.
+    append: Mutex<u32>,
+    /// Resolution table: chunked array of leaked string pointers,
+    /// published with release stores and read with acquire loads — no
+    /// lock on the resolve path.
+    chunks: Box<[AtomicPtr<Chunk>]>,
+}
+
+fn interner() -> &'static Interner {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        append: Mutex::new(0),
+        chunks: (0..MAX_CHUNKS)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect(),
+    })
+}
+
+/// Deterministic shard choice (`DefaultHasher` is keyless SipHash).
+fn shard_of(text: &str) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    text.hash(&mut h);
+    (h.finish() as usize) & (SHARD_COUNT - 1)
+}
+
+impl Interner {
+    fn intern(&self, text: &str) -> Symbol {
+        let shard = &self.shards[shard_of(text)];
+        if let Some(&sym) = shard.read().expect("interner shard").get(text) {
+            return sym;
+        }
+        let mut map = shard.write().expect("interner shard");
+        if let Some(&sym) = map.get(text) {
+            return sym; // raced: someone else interned it first
+        }
+        let leaked: &'static mut String = Box::leak(Box::new(text.to_owned()));
+        let mut next = self.append.lock().expect("interner append");
+        let id = *next;
+        let (chunk_ix, slot) = (id as usize / CHUNK_SIZE, id as usize % CHUNK_SIZE);
+        assert!(chunk_ix < MAX_CHUNKS, "symbol table full");
+        let mut chunk = self.chunks[chunk_ix].load(Ordering::Acquire);
+        if chunk.is_null() {
+            let fresh: Box<Chunk> =
+                Box::new(std::array::from_fn(
+                    |_| AtomicPtr::new(std::ptr::null_mut()),
+                ));
+            chunk = Box::into_raw(fresh);
+            self.chunks[chunk_ix].store(chunk, Ordering::Release);
+        }
+        // Publish the entry before the id becomes observable.
+        unsafe { &(*chunk)[slot] }.store(leaked as *mut String, Ordering::Release);
+        *next = id.checked_add(1).expect("symbol ids exhausted");
+        drop(next);
+        map.insert(leaked.as_str(), Symbol(id));
+        Symbol(id)
+    }
+
+    fn resolve(&self, sym: Symbol) -> &'static str {
+        let (chunk_ix, slot) = (sym.0 as usize / CHUNK_SIZE, sym.0 as usize % CHUNK_SIZE);
+        let chunk = self.chunks[chunk_ix].load(Ordering::Acquire);
+        assert!(!chunk.is_null(), "resolve of unknown symbol");
+        let entry = unsafe { &(*chunk)[slot] }.load(Ordering::Acquire);
+        assert!(!entry.is_null(), "resolve of unknown symbol");
+        unsafe { (*entry).as_str() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("idempotent-check");
+        let b = Symbol::intern("idempotent-check");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "idempotent-check");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let a = Symbol::intern("distinct-a");
+        let b = Symbol::intern("distinct-b");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn order_is_lexicographic_not_id_order() {
+        // Intern in reverse lexicographic order: ids go up while the
+        // lexicographic order goes the other way.
+        let z = Symbol::intern("zzz-order-check");
+        let a = Symbol::intern("aaa-order-check");
+        assert!(a < z);
+        assert!(z > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn empty_and_long_strings_roundtrip() {
+        let empty = Symbol::intern("");
+        assert_eq!(empty.as_str(), "");
+        let long = "x".repeat(10_000);
+        let sym = Symbol::intern(&long);
+        assert_eq!(sym.as_str(), long);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| Symbol::intern(&format!("concurrent-{}", (i + t) % 100)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for syms in &results {
+            for s in syms {
+                assert!(s.as_str().starts_with("concurrent-"));
+            }
+        }
+        // Same string always resolves to the same id across threads.
+        let again = Symbol::intern("concurrent-0");
+        for syms in &results {
+            for s in syms {
+                if s.as_str() == "concurrent-0" {
+                    assert_eq!(*s, again);
+                }
+            }
+        }
+    }
+}

@@ -60,7 +60,7 @@ impl Tuple {
     /// Panics if a position is out of range — projections are always driven
     /// by a validated attribute set.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+        Tuple(positions.iter().map(|&p| self.0[p]).collect())
     }
 
     /// A copy with position `i` replaced by `v`.

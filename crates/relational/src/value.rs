@@ -1,36 +1,66 @@
 //! Domain values, including the distinguished `null` constant.
 
+use crate::symbol::Symbol;
 use std::fmt;
-use std::sync::Arc;
 
 /// A value of the database domain `U`.
 ///
 /// The paper's domain is a possibly infinite set of constants with
-/// `null ∈ U`. We support 64-bit integers and interned strings; `null` is a
-/// first-class variant rather than an `Option` wrapper so that tuples can
-/// hold it positionally, exactly as SQL does.
+/// `null ∈ U`. We support 64-bit integers and globally interned strings
+/// ([`Symbol`]); `null` is a first-class variant rather than an `Option`
+/// wrapper so that tuples can hold it positionally, exactly as SQL does.
 ///
-/// `Value` implements a *total* order (`Null < Int < Str`, integers
-/// numerically, strings lexicographically). This order is what "treating
-/// `null` as any other constant" (Definition 4 of the paper) means
-/// operationally: equality and comparison are ordinary value comparisons.
-/// Whether a comparison involving `null` is *semantically meaningful* is
-/// decided by the constraint layer (via `IsNull` escapes), never here.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// `Value` is `Copy`: the string payload lives in the process-wide symbol
+/// table, so moving values through the repair search, delta bookkeeping
+/// and index probes copies 16 bytes and *equality/hashing never touch
+/// string content* — an index probe costs the same for 3-byte and
+/// 3000-byte constants.
+///
+/// `Value` implements a *total* order (`Null < Int < Sym`, integers
+/// numerically, strings lexicographically — resolved through the symbol
+/// table with an id fast path). This order is what "treating `null` as any
+/// other constant" (Definition 4 of the paper) means operationally:
+/// equality and comparison are ordinary value comparisons. Whether a
+/// comparison involving `null` is *semantically meaningful* is decided by
+/// the constraint layer (via `IsNull` escapes), never here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Value {
     /// The single SQL-style null constant.
     Null,
     /// A 64-bit integer constant.
     Int(i64),
-    /// A string constant. `Arc<str>` keeps tuple cloning cheap during
-    /// repair-space search.
-    Str(Arc<str>),
+    /// An interned string constant. Equality and hashing compare the
+    /// symbol id, never the characters.
+    Sym(Symbol),
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(_), Sym(_)) => Ordering::Less,
+            (Sym(_), Int(_)) => Ordering::Greater,
+            // Symbol::cmp short-circuits equal ids before resolving.
+            (Sym(a), Sym(b)) => a.cmp(b),
+        }
+    }
 }
 
 impl Value {
-    /// Build a string value.
+    /// Build (interning) a string value.
     pub fn str(v: impl AsRef<str>) -> Self {
-        Value::Str(Arc::from(v.as_ref()))
+        Value::Sym(Symbol::intern(v.as_ref()))
     }
 
     /// `true` iff this value is the null constant.
@@ -44,7 +74,7 @@ impl Value {
         match self {
             Value::Null => "null",
             Value::Int(_) => "int",
-            Value::Str(_) => "str",
+            Value::Sym(_) => "str",
         }
     }
 
@@ -56,10 +86,19 @@ impl Value {
         }
     }
 
-    /// String view, if the value is a string.
-    pub fn as_str(&self) -> Option<&str> {
+    /// String view, if the value is an interned string. The `'static`
+    /// lifetime comes from the append-only global symbol table.
+    pub fn as_str(&self) -> Option<&'static str> {
         match self {
-            Value::Str(v) => Some(v),
+            Value::Sym(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The symbol id, if the value is an interned string.
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Sym(v) => Some(*v),
             _ => None,
         }
     }
@@ -70,7 +109,7 @@ impl fmt::Display for Value {
         match self {
             Value::Null => write!(f, "null"),
             Value::Int(v) => write!(f, "{v}"),
-            Value::Str(v) => write!(f, "{v}"),
+            Value::Sym(v) => write!(f, "{v}"),
         }
     }
 }
@@ -89,7 +128,13 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(Arc::from(v.as_str()))
+        Value::str(v)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(v: Symbol) -> Self {
+        Value::Sym(v)
     }
 }
 
@@ -115,6 +160,17 @@ mod tests {
     }
 
     #[test]
+    fn symbol_order_is_lexicographic_independent_of_interning_order() {
+        // Intern in an order unrelated to the lexicographic one: ordering
+        // must follow the text, not the ids.
+        let late = Value::str("value-order-aaa");
+        let early = Value::str("value-order-zzz");
+        assert!(late < early);
+        assert!(Value::str("b") > Value::str("a"));
+        assert!(Value::str("a") < Value::str("ab"));
+    }
+
+    #[test]
     fn null_equals_null_as_ordinary_constant() {
         // Definition 4 evaluates ψ^N classically with null as an ordinary
         // constant; Example 12 relies on null = null holding there.
@@ -137,6 +193,14 @@ mod tests {
         assert_eq!(Value::str("x").as_str(), Some("x"));
         assert_eq!(Value::Null.as_int(), None);
         assert_eq!(Value::Int(1).as_str(), None);
+        assert_eq!(Value::str("x").as_symbol(), Some(Symbol::intern("x")));
+    }
+
+    #[test]
+    fn values_are_copy() {
+        let v = Value::str("copy-me");
+        let w = v; // Copy, not move
+        assert_eq!(v, w);
     }
 
     #[test]

@@ -191,6 +191,132 @@ fn index_state_consistent_across_mutation_sequences() {
     }
 }
 
+/// Interned value equality, ordering and hashing agree with the obvious
+/// owned-string oracle — across duplicated, prefix-sharing and
+/// length-varied strings, in every interning order.
+#[test]
+fn interned_values_match_string_oracle() {
+    use std::cmp::Ordering;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// The naive representation the interner replaced.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    enum Oracle {
+        Null,
+        Int(i64),
+        Str(String),
+    }
+
+    fn oracle_of(v: &Value) -> Oracle {
+        match v {
+            Value::Null => Oracle::Null,
+            Value::Int(i) => Oracle::Int(*i),
+            Value::Sym(sym) => Oracle::Str(sym.as_str().to_string()),
+        }
+    }
+
+    let mut rng = XorShift::new(701);
+    let mut pool: Vec<Value> = vec![Value::Null, Value::Int(0), Value::Int(-3)];
+    for _ in 0..200 {
+        // Mix short names, shared prefixes and long payloads.
+        let text = match rng.below(4) {
+            0 => format!("k{}", rng.below(12)),
+            1 => format!("shared-prefix-{}", rng.below(12)),
+            2 => "long-".repeat(1 + rng.below(40)),
+            _ => format!("{}", rng.next_u64()),
+        };
+        pool.push(Value::str(text));
+        if rng.chance(1, 4) {
+            pool.push(Value::Int(rng.below(100) as i64 - 50));
+        }
+    }
+    for _ in 0..4096 {
+        let a = pool[rng.below(pool.len())];
+        let b = pool[rng.below(pool.len())];
+        let (oa, ob) = (oracle_of(&a), oracle_of(&b));
+        assert_eq!(a == b, oa == ob, "{a} vs {b}");
+        assert_eq!(a.cmp(&b), oa.cmp(&ob), "{a} vs {b}");
+        // Hash is consistent with equality (ids are canonical).
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            assert_eq!(ha.finish(), hb.finish(), "{a}");
+        }
+        if a.cmp(&b) == Ordering::Equal {
+            assert_eq!(a, b, "Ord consistent with Eq: {a} vs {b}");
+        }
+    }
+}
+
+/// Composite-index probes return exactly the naive filter result — for
+/// every key present and for random absent keys — across random mutation
+/// sequences with column sets registered before and during the sequence,
+/// including a full-width set that exercises the spilled key encoding.
+#[test]
+fn composite_probes_match_naive_filter_across_mutations() {
+    let sc = Schema::builder()
+        .relation("W", ["a", "b", "c", "d", "e"])
+        .finish()
+        .unwrap()
+        .into_shared();
+    let w = RelId(0);
+    let col_sets: [&[usize]; 4] = [&[0, 1], &[1, 3], &[2, 3, 4], &[0, 1, 2, 3, 4]];
+    for seed in 0..48u64 {
+        let mut rng = XorShift::new(seed * 11 + 3);
+        let mut d = Instance::empty(sc.clone());
+        let _ = d.index_on_cols(w, col_sets[0]);
+        let _ = d.index_on_cols(w, col_sets[3]); // 5 cols: spilled keys
+        for step in 0..30 {
+            let t = tuple(&mut rng, 5);
+            if rng.chance(2, 3) {
+                d.insert(w, t).unwrap();
+            } else {
+                let existing = d.relation(w).iter().next().cloned();
+                match (rng.chance(1, 2), existing) {
+                    (true, Some(e)) => {
+                        d.remove(w, &e);
+                    }
+                    _ => {
+                        d.remove(w, &t);
+                    }
+                }
+            }
+            if step == 15 {
+                let _ = d.index_on_cols(w, col_sets[1]);
+                let _ = d.index_on_cols(w, col_sets[2]);
+            }
+            for cols in d.indexed_column_sets(w) {
+                let cols_usize: Vec<usize> = cols.iter().map(|&c| c as usize).collect();
+                let ix = d.index_on_cols(w, &cols_usize);
+                assert_eq!(ix.len(), d.relation(w).len(), "seed {seed} step {step}");
+                // Present keys: probe result equals the naive filter.
+                for t in d.relation(w) {
+                    let key: Vec<Value> = cols.iter().map(|&c| *t.get(c as usize)).collect();
+                    let probed: Vec<&Tuple> = ix.probe_values(&key).iter().collect();
+                    let naive: Vec<&Tuple> = d
+                        .relation(w)
+                        .iter()
+                        .filter(|u| cols.iter().zip(&key).all(|(&c, k)| u.get(c as usize) == k))
+                        .collect();
+                    assert_eq!(probed, naive, "seed {seed} step {step} cols {cols:?}");
+                }
+                // Random (mostly absent) keys agree too.
+                let key: Vec<Value> = cols.iter().map(|_| value(&mut rng)).collect();
+                let probed: Vec<&Tuple> = ix.probe_values(&key).iter().collect();
+                let naive: Vec<&Tuple> = d
+                    .relation(w)
+                    .iter()
+                    .filter(|u| cols.iter().zip(&key).all(|(&c, k)| u.get(c as usize) == k))
+                    .collect();
+                assert_eq!(probed, naive, "seed {seed} step {step} cols {cols:?}");
+            }
+        }
+    }
+}
+
 /// Forked instances (the repair engine's branch step) never see each
 /// other's mutations, in either relation contents or index state.
 #[test]

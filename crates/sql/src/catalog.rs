@@ -26,6 +26,11 @@ impl ColType {
 }
 
 /// A parsed database: schema, contents, constraints and column types.
+///
+/// Every string constant the parsers minted is interned
+/// ([`cqa_relational::Symbol`]), so instances built from SQL scripts get
+/// integer-compare values on the repair/CQA hot paths like every other
+/// construction route.
 #[derive(Debug, Clone)]
 pub struct Catalog {
     /// The schema.

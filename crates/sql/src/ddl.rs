@@ -160,7 +160,7 @@ pub fn parse_script(input: &str) -> Result<Catalog, ParseError> {
                 for (col, op, value) in &ct.checks {
                     let pos = positions(std::slice::from_ref(col))?[0];
                     constraints.push(
-                        builders::check_column(&schema, &ct.name, pos, *op, value.clone())
+                        builders::check_column(&schema, &ct.name, pos, *op, *value)
                             .map_err(|e| err0(e.to_string()))?,
                     );
                 }
@@ -192,7 +192,7 @@ pub fn parse_script(input: &str) -> Result<Catalog, ParseError> {
                             (val, ty),
                             (Value::Null, _)
                                 | (Value::Int(_), ColType::Int)
-                                | (Value::Str(_), ColType::Text)
+                                | (Value::Sym(_), ColType::Text)
                         );
                         if !ok {
                             return Err(ParseError::new(

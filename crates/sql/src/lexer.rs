@@ -11,6 +11,8 @@ pub enum Token {
     /// Integer literal.
     Int(i64),
     /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    /// Raw text at this stage: the DDL/logic parsers intern it into the
+    /// global symbol table when they mint a `Value` constant.
     Str(String),
     /// `(`
     LParen,

@@ -71,7 +71,7 @@ fn literal(v: &Value) -> String {
     match v {
         Value::Null => "NULL".to_string(),
         Value::Int(i) => i.to_string(),
-        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Sym(s) => format!("'{}'", s.as_str().replace('\'', "''")),
     }
 }
 

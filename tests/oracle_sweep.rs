@@ -84,7 +84,7 @@ fn exhaustive_small_sweep() {
     for mask in 0u8..32 {
         for val in [s("c0"), null()] {
             let mut d = Instance::empty(sc.clone());
-            d.insert_named("P", [val.clone()]).unwrap();
+            d.insert_named("P", [val]).unwrap();
             let ics: IcSet = pool(&sc)
                 .into_iter()
                 .enumerate()
