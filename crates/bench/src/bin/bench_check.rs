@@ -9,18 +9,34 @@
 //! ```
 //!
 //! Both files are the JSON-lines format written by
-//! [`cqa_bench::harness::Harness::finish`]. The guarded series is the
-//! headline number of the interning/composite-index PR:
-//! `repair_instance_size_axis` / `incremental/800`. `tolerance` is the
-//! allowed slowdown factor (default 1.25 — “fail if >25% slower than the
-//! committed baseline”). The parser is a purpose-built extractor for the
-//! harness's own fixed output shape, not a general JSON reader — this
-//! workspace is dependency-free by construction.
+//! [`cqa_bench::harness::Harness::finish`]. The guarded series are the
+//! headline numbers of the index/interning PRs
+//! (`repair_instance_size_axis` / `incremental/800`) and of the parallel
+//! search PR (`repair_parallel` / `threads/4` at clean=800). `tolerance`
+//! is the allowed slowdown factor (default 1.25 — “fail if >25% slower
+//! than the committed baseline”). When both `repair_parallel` thread
+//! endpoints are present in the *current* file, the threads=4-vs-1
+//! speedup is reported alongside the gate for CI-log visibility (it is
+//! informational: wall-clock scaling is a property of the host's core
+//! count, not of the code under test). The parser is a purpose-built
+//! extractor for the harness's own fixed output shape, not a general JSON
+//! reader — this workspace is dependency-free by construction.
 
 use std::process::ExitCode;
 
 /// Series guarded against regression: (group, name).
-const GUARDED: &[(&str, &str)] = &[("repair_instance_size_axis", "incremental/800")];
+const GUARDED: &[(&str, &str)] = &[
+    ("repair_instance_size_axis", "incremental/800"),
+    ("repair_parallel", "threads/4"),
+];
+
+/// Within-run cap on `threads/4 ÷ threads/1`. Host-independent, so it can
+/// be a hard gate — but it must hold on a *single-core* host too, where
+/// the pool degrades to sequential plus bounded scheduler overhead
+/// (measured ~1.15x); 1.5x leaves noise headroom there while still
+/// catching the real failure modes (lost stealing, lock contention,
+/// busy-spin), which overshoot it immediately.
+const PARALLEL_RATIO_TOLERANCE: f64 = 1.5;
 
 /// Median (ns) of `name` within `group` in a harness JSON-lines dump.
 fn median_ns(json: &str, group: &str, name: &str) -> Option<u128> {
@@ -54,6 +70,29 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<(), St
         if ratio > tolerance {
             return Err(format!(
                 "{group}/{name} regressed: {ratio:.2}x the committed baseline (> {tolerance:.2}x)"
+            ));
+        }
+    }
+    // Within-run parallel-scaling gate. Absolute ns comparisons against a
+    // committed baseline are only meaningful on similar hardware, but the
+    // *ratio* of threads=4 to threads=1 inside one run is host-independent:
+    // a scheduler regression (lock contention, lost stealing, busy-spin)
+    // shows up as threads=4 falling behind threads=1 on any host. On
+    // multi-core hosts the ratio sits well under 1 and the printed speedup
+    // is the headline number.
+    if let (Some(t1), Some(t4)) = (
+        median_ns(&current, "repair_parallel", "threads/1"),
+        median_ns(&current, "repair_parallel", "threads/4"),
+    ) {
+        let ratio = t4 as f64 / t1.max(1) as f64;
+        println!(
+            "repair_parallel threads=4 vs threads=1: {:.2}x speedup on this host",
+            t1 as f64 / t4.max(1) as f64
+        );
+        if ratio > PARALLEL_RATIO_TOLERANCE {
+            return Err(format!(
+                "repair_parallel threads/4 is {ratio:.2}x threads/1 in the same run \
+                 (> {PARALLEL_RATIO_TOLERANCE:.2}x): parallel scheduler regression"
             ));
         }
     }

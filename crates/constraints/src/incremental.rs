@@ -47,6 +47,23 @@ use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 use std::sync::Arc;
 
+// The incremental-checking state must be cheap to fork and safe to move
+// across threads: the parallel repair search hands each worker its own
+// instance fork and ships worklists of [`Violation`]s between workers as
+// work-stealing task payloads. [`Candidates`] holds `Arc` index snapshots
+// (fork = refcount bump) and interned `Copy` values, so both properties
+// are structural; these witnesses turn any accidental `!Send` (an `Rc`, a
+// raw pointer) into a compile error.
+const _: () = {
+    use cqa_relational::testing::{assert_send, assert_sync};
+    assert_send::<Candidates>();
+    assert_sync::<Candidates>();
+    assert_send::<Violation>();
+    assert_sync::<Violation>();
+    assert_send::<IcSet>();
+    assert_sync::<IcSet>();
+};
+
 /// How to enumerate candidate tuples for one atom under current bindings.
 enum Candidates {
     /// No column is determined: scan the whole relation.

@@ -52,15 +52,53 @@
 //! ([`crate::repair::minimal_delta_indices`]) compare symmetric
 //! differences in O(Δ) per pair instead of recomputing Δ against — or
 //! comparing — full instances.
+//!
+//! ## Parallel search architecture
+//!
+//! Branches of the decision search are independent given the decision
+//! prefix that reaches them, so [`SearchStrategy::Parallel`] runs the same
+//! incremental worklist search across a work-stealing pool
+//! ([`crate::parallel`], std-only):
+//!
+//! * **Tasks, not stacks.** A search node is a self-contained task: its
+//!   branch path (the sequence of fix indices from the root, the key that
+//!   pins output order), its decision map, trace, and the inherited
+//!   violation worklist plus the not-yet-expanded delta of the decision
+//!   that created it. Expanding a node pushes one task per viable fix onto
+//!   the worker's own deque (LIFO end, preserving depth-first locality);
+//!   idle workers steal from the opposite (FIFO) end, taking the shallow,
+//!   large-subtree tasks.
+//! * **One fork per worker.** Each worker owns a CoW fork of the base
+//!   instance (relation extensions and index snapshots are `Arc`-shared
+//!   until first touch) and *reconciles* it between tasks by applying the
+//!   set difference of the outgoing and incoming cumulative decision
+//!   deltas — O(Δ) instance work per task, never a rebuild.
+//! * **Deterministic join.** Fixpoints publish `(path, Δ, trace)` into a
+//!   shared collector. After the pool drains, candidates are sorted by
+//!   path — lexicographic path order *is* sequential depth-first discovery
+//!   order — so de-duplication, `≤_D`-minimisation and materialisation see
+//!   the exact candidate sequence the single-threaded strategies produce,
+//!   and the final repair list is byte-identical at every thread count
+//!   (the property suite and the 50-run scheduling stress test pin this).
+//! * **Parallel materialisation.** Surviving repairs are materialised
+//!   (base + Δ) and sort-keyed across the same worker count, then merged
+//!   in pinned order.
+//!
+//! The root violation scan — the one remaining O(instance) step — is
+//! cached across `repairs*` calls keyed by [`Instance::version`] and the
+//! constraint set, so repeated enumeration over an unchanged instance
+//! starts from the conflict set directly ([`worklist_cache_stats`]).
 
 use crate::error::CoreError;
-use crate::repair::minimal_delta_indices;
+use crate::repair::minimal_delta_indices_chunked;
 use cqa_constraints::{
     first_violation_naive, violation_active, violations, violations_touching, Constraint, IcSet,
     SatMode, Term, Violation, ViolationKind,
 };
 use cqa_relational::{DatabaseAtom, Delta, Instance, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Which repair semantics to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +124,15 @@ pub enum SearchStrategy {
     /// as an A/B baseline for the scaling benchmarks and as a secondary
     /// oracle in tests.
     FullRescan,
+    /// The incremental worklist search distributed over a work-stealing
+    /// pool of `threads` workers (see the module docs' "Parallel search
+    /// architecture"). Output — repairs, traces, errors — is byte-identical
+    /// to [`SearchStrategy::Incremental`] at every thread count; `threads`
+    /// is clamped to at least 1.
+    Parallel {
+        /// Worker-thread count.
+        threads: usize,
+    },
 }
 
 /// Search configuration.
@@ -111,7 +158,7 @@ impl Default for RepairConfig {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Decision {
+pub(crate) enum Decision {
     Inserted,
     Deleted,
 }
@@ -174,60 +221,161 @@ pub fn repairs_with_trace(
     if config.semantics == RepairSemantics::NullBased && !ics.is_non_conflicting() {
         return Err(CoreError::ConflictingConstraints(ics.conflicting_pairs()));
     }
-    let mut search = Search {
-        ics,
-        config,
-        nodes: 0,
-        candidates: Vec::new(),
+    let (candidates, threads) = match config.strategy {
+        SearchStrategy::Parallel { threads } => {
+            let threads = threads.max(1);
+            (crate::parallel::search(d, ics, config, threads)?, threads)
+        }
+        sequential => {
+            let mut search = Search {
+                ics,
+                config,
+                nodes: 0,
+                candidates: Vec::new(),
+            };
+            let mut decisions = BTreeMap::new();
+            let mut trace = Vec::new();
+            match sequential {
+                SearchStrategy::Incremental => {
+                    let mut work = d.clone();
+                    let worklist = root_worklist(&work, ics);
+                    search.run_incremental(&mut work, worklist, &mut decisions, &mut trace)?;
+                }
+                SearchStrategy::FullRescan => {
+                    search.run_rescan(d.clone(), &mut decisions, &mut trace)?;
+                }
+                SearchStrategy::Parallel { .. } => unreachable!("handled above"),
+            }
+            (search.candidates, 1)
+        }
     };
-    let mut decisions = BTreeMap::new();
-    let mut trace = Vec::new();
-    match config.strategy {
-        SearchStrategy::Incremental => {
-            let mut work = d.clone();
-            let worklist = violations(&work, ics, SatMode::NullAware);
-            search.run_incremental(&mut work, worklist, &mut decisions, &mut trace)?;
-        }
-        SearchStrategy::FullRescan => {
-            search.run_rescan(d.clone(), &mut decisions, &mut trace)?;
-        }
-    }
-    // Deduplicate by decision delta — against one base, equal deltas mean
-    // equal instances — keeping the first-found trace. The search tracked
-    // each candidate's delta, so neither deduplication nor minimisation
-    // ever recomputes Δ(D, candidate) against the full instance: both are
-    // O(Δ) per comparison. Only the `≤_D`-minimal survivors are
-    // materialised (base + Δ) — non-minimal candidates never touch the
-    // instance, and the search itself never snapshots one.
+    Ok(finish_candidates(d, candidates, threads))
+}
+
+/// The shared post-search pipeline: deduplicate fixpoint candidates,
+/// `≤_D`-minimise, materialise the survivors and pin the output order.
+///
+/// `candidates` must arrive in sequential depth-first discovery order (the
+/// parallel scheduler sorts by branch path before calling, which is the
+/// same order), so the trace kept for a duplicated delta — the first-found
+/// one — is identical across all strategies.
+///
+/// Deduplication is by decision delta — against one base, equal deltas
+/// mean equal instances. The search tracked each candidate's delta, so
+/// neither deduplication nor minimisation ever recomputes Δ(D, candidate)
+/// against the full instance: both are O(Δ) per comparison. Only the
+/// `≤_D`-minimal survivors are materialised (base + Δ), fanned out over
+/// `threads` workers when the parallel strategy is active — non-minimal
+/// candidates never touch the instance, and the search itself never
+/// snapshots one.
+fn finish_candidates(
+    d: &Instance,
+    candidates: Vec<(Delta, Vec<RepairStep>)>,
+    threads: usize,
+) -> Vec<TracedRepair> {
     let mut unique: Vec<(Delta, Vec<RepairStep>)> = Vec::new();
     let mut seen: BTreeSet<Delta> = BTreeSet::new();
-    for (delta, steps) in search.candidates {
+    for (delta, steps) in candidates {
         if seen.insert(delta.clone()) {
             unique.push((delta, steps));
         }
     }
     let deltas: Vec<Delta> = unique.iter().map(|(dl, _)| dl.clone()).collect();
-    let mut kept: Vec<TracedRepair> = minimal_delta_indices(&deltas)
-        .into_iter()
-        .map(|i| {
-            let mut instance = d.clone();
-            instance.apply_delta(&unique[i].0);
-            TracedRepair {
-                instance,
-                steps: unique[i].1.clone(),
-            }
-        })
-        .collect();
-    // Deterministic order: by atom list (the order the pre-delta
-    // minimiser produced), each key computed once.
-    kept.sort_by_cached_key(|r| r.instance.atoms().collect::<Vec<_>>());
-    Ok(kept)
+    let keep = minimal_delta_indices_chunked(&deltas, threads);
+    let mut keyed = materialise(d, &unique, &keep, threads);
+    // Deterministic order: by atom list. Distinct repairs have distinct
+    // atom lists (equal-delta candidates were deduplicated), so the order
+    // is total regardless of how the keyed pairs were produced.
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.into_iter().map(|(_, repair)| repair).collect()
+}
+
+/// Materialise the kept candidates (base + Δ) together with their sort
+/// keys, chunked across `threads` scoped workers when it pays: with
+/// hundreds of surviving repairs over a large base, the copy-on-write
+/// `apply_delta` per survivor is the dominant serial tail of the parallel
+/// strategy.
+fn materialise(
+    d: &Instance,
+    unique: &[(Delta, Vec<RepairStep>)],
+    keep: &[usize],
+    threads: usize,
+) -> Vec<(Vec<DatabaseAtom>, TracedRepair)> {
+    crate::parallel::chunked_map(keep.len(), threads, |k| {
+        let i = keep[k];
+        let mut instance = d.clone();
+        instance.apply_delta(&unique[i].0);
+        let key: Vec<DatabaseAtom> = instance.atoms().collect();
+        let repair = TracedRepair {
+            instance,
+            steps: unique[i].1.clone(),
+        };
+        (key, repair)
+    })
+}
+
+/// Capacity of the root-worklist cache (entries, LRU eviction).
+const WORKLIST_CACHE_CAP: usize = 8;
+
+/// Cache of root full-violation scans keyed by content version and
+/// constraint set: `(Instance::version, IcSet, worklist)`.
+static WORKLIST_CACHE: Mutex<Vec<(u64, IcSet, Vec<Violation>)>> = Mutex::new(Vec::new());
+static WORKLIST_HITS: AtomicU64 = AtomicU64::new(0);
+static WORKLIST_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// The full violation set of `d` — the root worklist of the incremental
+/// and parallel searches — served from a small process-wide LRU cache.
+///
+/// The O(instance) scan is the one per-call cost of `repairs*` that does
+/// not shrink with the conflict count, so repeated enumeration over an
+/// unchanged instance (the CQA path evaluates several queries against one
+/// database) should pay it once. Keying on [`Instance::version`] makes
+/// invalidation exact: any content mutation reassigns the stamp, and
+/// clones share stamps only while content-identical, so a hit proves the
+/// cached scan is of equal content under an equal constraint set.
+pub(crate) fn root_worklist(d: &Instance, ics: &IcSet) -> Vec<Violation> {
+    let version = d.version();
+    {
+        let mut cache = WORKLIST_CACHE.lock().expect("worklist cache lock");
+        if let Some(pos) = cache
+            .iter()
+            .position(|(v, set, _)| *v == version && set == ics)
+        {
+            let entry = cache.remove(pos);
+            let worklist = entry.2.clone();
+            cache.push(entry); // most-recently-used at the back
+            WORKLIST_HITS.fetch_add(1, Ordering::Relaxed);
+            return worklist;
+        }
+    }
+    WORKLIST_MISSES.fetch_add(1, Ordering::Relaxed);
+    let worklist = violations(d, ics, SatMode::NullAware);
+    let mut cache = WORKLIST_CACHE.lock().expect("worklist cache lock");
+    // The lock was dropped during the scan: a concurrent caller may have
+    // raced the same key in. Re-check so duplicates never waste LRU slots.
+    if !cache.iter().any(|(v, set, _)| *v == version && set == ics) {
+        if cache.len() >= WORKLIST_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((version, ics.clone(), worklist.clone()));
+    }
+    worklist
+}
+
+/// Lifetime hit/miss counters of the root-worklist cache, for tests and
+/// diagnostics. Process-wide: meaningful as before/after deltas, not as
+/// absolute values.
+pub fn worklist_cache_stats() -> (u64, u64) {
+    (
+        WORKLIST_HITS.load(Ordering::Relaxed),
+        WORKLIST_MISSES.load(Ordering::Relaxed),
+    )
 }
 
 /// The symmetric difference a decision set denotes: decisions never flip
 /// and inserts/deletes are only ever applied to absent/present atoms, so
 /// the decision map *is* Δ(D, current) at every fixpoint.
-fn delta_of(decisions: &BTreeMap<DatabaseAtom, Decision>) -> Delta {
+pub(crate) fn delta_of(decisions: &BTreeMap<DatabaseAtom, Decision>) -> Delta {
     let mut delta = Delta::default();
     for (atom, decision) in decisions {
         match decision {
@@ -419,61 +567,71 @@ impl Search<'_> {
     /// The minimal fixes for a violation, in deterministic order:
     /// deletions (body order), then insertions (head order).
     fn fixes(&self, violation: &Violation) -> Vec<Fix> {
-        let mut out: Vec<Fix> = Vec::new();
-        match &violation.kind {
-            ViolationKind::NotNull { atom, .. } => {
-                out.push(Fix::Delete(atom.clone()));
-            }
-            ViolationKind::Tgd {
-                bindings,
-                body_atoms,
-            } => {
-                for atom in body_atoms {
-                    let fix = Fix::Delete(atom.clone());
-                    if !out.contains(&fix) {
-                        out.push(fix);
-                    }
-                }
-                let ic = self.ics.constraints()[violation.constraint_index]
-                    .as_ic()
-                    .expect("Tgd violation indexes a form-(1) constraint");
-                for head in ic.head() {
-                    let tuple: Tuple = head
-                        .terms
-                        .iter()
-                        .map(|t| match t {
-                            Term::Const(c) => *c,
-                            Term::Var(v) => bindings[v.index()].unwrap_or(Value::Null),
-                        })
-                        .collect();
-                    let atom = DatabaseAtom::new(head.rel, tuple);
-                    if self.config.semantics == RepairSemantics::DeletionPreferring
-                        && self.insert_violates_nnc(&atom)
-                    {
-                        continue;
-                    }
-                    let fix = Fix::Insert(atom);
-                    if !out.contains(&fix) {
-                        out.push(fix);
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    fn insert_violates_nnc(&self, atom: &DatabaseAtom) -> bool {
-        self.ics.constraints().iter().any(|c| match c {
-            Constraint::NotNull(nnc) => {
-                nnc.rel == atom.rel && atom.tuple.get(nnc.position).is_null()
-            }
-            Constraint::Tgd(_) => false,
-        })
+        fixes_for(self.ics, self.config.semantics, violation)
     }
 }
 
+/// The minimal fixes for a violation, in deterministic order: deletions
+/// (body order), then insertions (head order). Shared by the sequential
+/// drivers and the parallel branch scheduler — the fix *index* within this
+/// list is the branch-path component that pins parallel output order.
+pub(crate) fn fixes_for(
+    ics: &IcSet,
+    semantics: RepairSemantics,
+    violation: &Violation,
+) -> Vec<Fix> {
+    let mut out: Vec<Fix> = Vec::new();
+    match &violation.kind {
+        ViolationKind::NotNull { atom, .. } => {
+            out.push(Fix::Delete(atom.clone()));
+        }
+        ViolationKind::Tgd {
+            bindings,
+            body_atoms,
+        } => {
+            for atom in body_atoms {
+                let fix = Fix::Delete(atom.clone());
+                if !out.contains(&fix) {
+                    out.push(fix);
+                }
+            }
+            let ic = ics.constraints()[violation.constraint_index]
+                .as_ic()
+                .expect("Tgd violation indexes a form-(1) constraint");
+            for head in ic.head() {
+                let tuple: Tuple = head
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => *c,
+                        Term::Var(v) => bindings[v.index()].unwrap_or(Value::Null),
+                    })
+                    .collect();
+                let atom = DatabaseAtom::new(head.rel, tuple);
+                if semantics == RepairSemantics::DeletionPreferring
+                    && insert_violates_nnc(ics, &atom)
+                {
+                    continue;
+                }
+                let fix = Fix::Insert(atom);
+                if !out.contains(&fix) {
+                    out.push(fix);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn insert_violates_nnc(ics: &IcSet, atom: &DatabaseAtom) -> bool {
+    ics.constraints().iter().any(|c| match c {
+        Constraint::NotNull(nnc) => nnc.rel == atom.rel && atom.tuple.get(nnc.position).is_null(),
+        Constraint::Tgd(_) => false,
+    })
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Fix {
+pub(crate) enum Fix {
     Delete(DatabaseAtom),
     Insert(DatabaseAtom),
 }
@@ -717,6 +875,19 @@ mod tests {
         .unwrap();
         // Rep_d: only the deletion repair {P(b), Q(b,c)}.
         assert_eq!(sets(&reps), vec!["{P(b), Q(b, c)}".to_string()]);
+        // The deletion-preferring semantics go through the parallel
+        // scheduler unchanged (conflicting sets are accepted there too).
+        let parallel = repairs_with_config(
+            &d,
+            &ics,
+            RepairConfig {
+                semantics: RepairSemantics::DeletionPreferring,
+                strategy: SearchStrategy::Parallel { threads: 2 },
+                ..RepairConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(parallel, reps);
     }
 
     #[test]
@@ -878,6 +1049,107 @@ mod tests {
         .unwrap();
         assert_eq!(incremental, rescan);
         assert_eq!(incremental.len(), 4);
+        for threads in [1usize, 2, 4] {
+            let parallel = repairs_with_config(
+                &d,
+                &ics,
+                RepairConfig {
+                    strategy: SearchStrategy::Parallel { threads },
+                    ..RepairConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(parallel, incremental, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_traces_match_sequential() {
+        // Traces, not just instances: the first-found trace kept on
+        // deduplication must survive the path-sorted parallel join.
+        let sc = Schema::builder()
+            .relation("Course", ["ID", "Code"])
+            .relation("Student", ["ID", "Name"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(
+            &sc,
+            &[
+                ("Course", vec![s("34"), s("C18")]),
+                ("Course", vec![s("77"), s("C3")]),
+                ("Student", vec![s("21"), s("Ann")]),
+            ],
+        );
+        let ric = Ic::builder(&sc, "enrolled")
+            .body_atom("Course", [v("id"), v("code")])
+            .head_atom("Student", [v("id"), v("name")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ric)]);
+        let sequential = repairs_with_trace(&d, &ics, RepairConfig::default()).unwrap();
+        for threads in [1usize, 3] {
+            let parallel = repairs_with_trace(
+                &d,
+                &ics,
+                RepairConfig {
+                    strategy: SearchStrategy::Parallel { threads },
+                    ..RepairConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_budget_exceeded_reported() {
+        let sc = Schema::builder()
+            .relation("P", ["a"])
+            .relation("Q", ["x"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        for i in 0..6 {
+            d.insert_named("P", [s(&format!("v{i}"))]).unwrap();
+        }
+        let ic = Ic::builder(&sc, "incl")
+            .body_atom("P", [v("x")])
+            .head_atom("Q", [v("x")])
+            .finish()
+            .unwrap();
+        let ics = IcSet::new([Constraint::from(ic)]);
+        let err = repairs_with_config(
+            &d,
+            &ics,
+            RepairConfig {
+                node_budget: 3,
+                strategy: SearchStrategy::Parallel { threads: 4 },
+                ..RepairConfig::default()
+            },
+        );
+        assert!(matches!(err, Err(CoreError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn parallel_zero_threads_clamps_to_one() {
+        let sc = Schema::builder()
+            .relation("P", ["a", "b"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let d = inst(&sc, &[("P", vec![s("a"), null()])]);
+        let reps = repairs_with_config(
+            &d,
+            &IcSet::default(),
+            RepairConfig {
+                strategy: SearchStrategy::Parallel { threads: 0 },
+                ..RepairConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(reps, vec![d]);
     }
 
     #[test]

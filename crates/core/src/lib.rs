@@ -34,6 +34,7 @@ pub mod cqa;
 pub mod engine;
 pub mod error;
 pub mod nonconflict;
+pub mod parallel;
 pub mod program;
 pub mod query;
 pub mod repair;
@@ -42,8 +43,8 @@ pub use cqa::{
     consistent_answers, consistent_answers_full, consistent_answers_via_program, AnswerSet,
 };
 pub use engine::{
-    repairs, repairs_with_config, repairs_with_trace, RepairAction, RepairConfig, RepairSemantics,
-    RepairStep, SearchStrategy, TracedRepair,
+    repairs, repairs_with_config, repairs_with_trace, worklist_cache_stats, RepairAction,
+    RepairConfig, RepairSemantics, RepairStep, SearchStrategy, TracedRepair,
 };
 pub use error::CoreError;
 pub use program::{
@@ -52,4 +53,7 @@ pub use program::{
 };
 pub use query::{AnswerSemantics, QueryNullSemantics};
 pub use query::{ConjunctiveQuery, Query, QueryBuilder};
-pub use repair::{is_repair, leq_d, lt_d, minimize_candidates};
+pub use repair::{
+    is_repair, leq_d, lt_d, minimal_delta_indices, minimal_delta_indices_chunked,
+    minimize_candidates,
+};

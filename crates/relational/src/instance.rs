@@ -8,7 +8,15 @@ use crate::schema::{RelId, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Global source of content-version stamps (see [`Instance::version`]).
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The extension of one relation: a *set* of tuples.
 ///
@@ -32,6 +40,11 @@ pub struct Instance {
     schema: Arc<Schema>,
     relations: Vec<Arc<Relation>>,
     indexes: IndexStore,
+    /// Content-version stamp: reassigned (from a global counter) on every
+    /// content mutation, copied on clone. Equal stamps imply equal atom
+    /// sets — a clone shares its original's stamp until either mutates,
+    /// and no two mutation events ever receive the same stamp.
+    version: u64,
 }
 
 impl PartialEq for Instance {
@@ -52,7 +65,17 @@ impl Instance {
             schema,
             relations,
             indexes: IndexStore::default(),
+            version: fresh_version(),
         }
+    }
+
+    /// The content-version stamp. Two instances with equal stamps hold
+    /// equal atom sets (the converse does not hold: equal content rebuilt
+    /// independently gets distinct stamps). Derived caches — e.g. the
+    /// repair engine's root-violation worklist — key on this to detect
+    /// mutation between calls.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Build an instance from atoms.
@@ -85,6 +108,7 @@ impl Instance {
         let added = Arc::make_mut(&mut self.relations[rel.index()]).insert(tuple.clone());
         if added {
             self.indexes.note_insert(rel, &tuple);
+            self.version = fresh_version();
         }
         Ok(added)
     }
@@ -104,6 +128,7 @@ impl Instance {
         let removed = Arc::make_mut(&mut self.relations[rel.index()]).remove(tuple);
         if removed {
             self.indexes.note_remove(rel, tuple);
+            self.version = fresh_version();
         }
         removed
     }
@@ -234,6 +259,7 @@ impl Instance {
         let mut next = self.clone();
         if Arc::make_mut(&mut next.relations[atom.rel.index()]).insert(atom.tuple.clone()) {
             next.indexes.note_insert(atom.rel, &atom.tuple);
+            next.version = fresh_version();
         }
         next
     }
@@ -243,6 +269,7 @@ impl Instance {
         let mut next = self.clone();
         if Arc::make_mut(&mut next.relations[atom.rel.index()]).remove(&atom.tuple) {
             next.indexes.note_remove(atom.rel, &atom.tuple);
+            next.version = fresh_version();
         }
         next
     }
@@ -352,6 +379,37 @@ mod tests {
         d.insert_named("R", [i(3)]).unwrap();
         let rebuilt = Instance::from_atoms(d.schema().clone(), d.atoms()).unwrap();
         assert_eq!(rebuilt, d);
+    }
+
+    #[test]
+    fn version_stamps_track_content_mutation() {
+        let mut d = Instance::empty(schema());
+        let v0 = d.version();
+        let fork = d.clone();
+        assert_eq!(fork.version(), v0); // clones share the stamp…
+        d.insert_named("R", [i(1)]).unwrap();
+        assert_ne!(d.version(), v0); // …until a mutation
+        assert_eq!(fork.version(), v0);
+        let v1 = d.version();
+        assert!(!d.insert_named("R", [i(1)]).unwrap());
+        assert_eq!(d.version(), v1); // content no-ops keep the stamp
+        let r = d.schema().rel_id("R").unwrap();
+        assert!(!d.remove(r, &Tuple::new(vec![i(9)])));
+        assert_eq!(d.version(), v1);
+        d.remove(r, &Tuple::new(vec![i(1)]));
+        assert_ne!(d.version(), v1);
+        // Functional updates stamp the copy, not the original.
+        let a = DatabaseAtom::new(r, Tuple::new(vec![i(2)]));
+        let v2 = d.version();
+        let with = d.with_atom(&a);
+        assert_eq!(d.version(), v2);
+        assert_ne!(with.version(), v2);
+        assert_ne!(with.without_atom(&a).version(), with.version());
+        // Distinct instances never share a stamp, even when content-equal.
+        assert_ne!(
+            Instance::empty(schema()).version(),
+            Instance::empty(schema()).version()
+        );
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Determinism under scheduling: the parallel strategy's output must be a
+//! pure function of `(instance, constraints, config)` — never of thread
+//! interleaving. The work-stealing scheduler is free to explore branches
+//! in any order, so this test hammers the same seeded workload many times
+//! at several thread counts and requires a single distinct output hash,
+//! cross-checked against the sequential reference.
+
+use cqa::core::{repairs_with_trace, RepairConfig, SearchStrategy};
+use cqa::relational::display::instance_set;
+use cqa::relational::testing::env_threads;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+/// A stable fingerprint of a full traced-repair sequence: rendered
+/// instances in order, plus every decision step.
+fn output_hash(repairs: &[cqa::core::TracedRepair]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for traced in repairs {
+        instance_set(&traced.instance).hash(&mut h);
+        for step in &traced.steps {
+            step.constraint.hash(&mut h);
+            format!("{:?}", step.action).hash(&mut h);
+            step.atom
+                .display(traced.instance.schema())
+                .to_string()
+                .hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[test]
+fn fifty_runs_at_four_threads_one_hash() {
+    // 4 key conflicts + 1 dangling FK: 2^5 = 32 repairs, a tree deep
+    // enough that every run steals across workers differently.
+    let w = cqa_bench::example19_scaled(20, 4, 1, 59);
+    let reference = repairs_with_trace(&w.instance, &w.ics, RepairConfig::default()).unwrap();
+    assert_eq!(reference.len(), 32);
+    let expected = output_hash(&reference);
+    let threads = env_threads(4);
+    let mut hashes: BTreeSet<u64> = BTreeSet::new();
+    for run in 0..50 {
+        let got = repairs_with_trace(
+            &w.instance,
+            &w.ics,
+            RepairConfig {
+                strategy: SearchStrategy::Parallel { threads },
+                ..RepairConfig::default()
+            },
+        )
+        .unwrap();
+        hashes.insert(output_hash(&got));
+        assert_eq!(
+            hashes.len(),
+            1,
+            "run {run} at {threads} threads produced a second distinct output"
+        );
+    }
+    assert_eq!(hashes, BTreeSet::from([expected]));
+}
+
+#[test]
+fn thread_counts_do_not_change_the_output() {
+    let w = cqa_bench::example19_scaled(15, 3, 1, 61);
+    let reference = repairs_with_trace(&w.instance, &w.ics, RepairConfig::default()).unwrap();
+    let expected = output_hash(&reference);
+    for threads in [1usize, 2, 3, 4, 8] {
+        for _ in 0..5 {
+            let got = repairs_with_trace(
+                &w.instance,
+                &w.ics,
+                RepairConfig {
+                    strategy: SearchStrategy::Parallel { threads },
+                    ..RepairConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(output_hash(&got), expected, "threads={threads}");
+        }
+    }
+}
