@@ -22,6 +22,11 @@ pub enum AspError {
         /// The unsafe variable.
         var: String,
     },
+    /// A fact delta referenced a predicate the program never declared.
+    UnknownPredicate {
+        /// Predicate name.
+        predicate: String,
+    },
     /// The operation requires a non-disjunctive (normal) program.
     NotNormal,
     /// The shift transformation requires a head-cycle-free program.
@@ -44,6 +49,9 @@ impl fmt::Display for AspError {
                     f,
                     "unsafe rule (variable `{var}` unbound by positive body): {rule}"
                 )
+            }
+            AspError::UnknownPredicate { predicate } => {
+                write!(f, "unknown predicate `{predicate}` in fact delta")
             }
             AspError::NotNormal => write!(f, "operation requires a non-disjunctive program"),
             AspError::NotHcf => write!(f, "shift requires a head-cycle-free program"),

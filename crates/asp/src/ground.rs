@@ -8,10 +8,61 @@
 //! literals whose atoms are definitely false (`∉ PT`), and emits ground
 //! rules over dense atom ids. Tautological instances (a head atom also in
 //! the positive body) are dropped.
+//!
+//! [`ground`] performs both phases from scratch in one call — it is the
+//! simple reference grounder and the oracle the incremental path is tested
+//! against.
+//!
+//! ## Incremental grounding architecture
+//!
+//! [`GroundingState`] is the *persistent*, delta-driven counterpart: it
+//! grounds once and then accepts fact deltas, regrounding only the rules
+//! touching the delta (mirroring `violations_touching` in the constraint
+//! layer). The moving parts:
+//!
+//! * **Rule occurrence indexes.** Every predicate maps to the list of
+//!   (rule, body-literal) positions where it occurs positively and
+//!   negatively. A delta atom visits exactly the rules that mention its
+//!   predicate — never the whole program.
+//! * **Seminaive delta substitution.** A worklist carries newly derived
+//!   possibly-true atoms. Popping an atom pins it into each positive
+//!   occurrence and joins the *remaining* body literals against the full
+//!   `PT` set — the standard seminaive discipline, with the binding set
+//!   `instances[rule]` absorbing duplicate derivations. New head atoms
+//!   entering `PT` go back on the worklist, so one fact delta propagates
+//!   in cost proportional to its derivation cone.
+//! * **Refcounted resolved-rule store.** The emitted [`GroundProgram`] is
+//!   maintained *in place*: every satisfying binding resolves to a ground
+//!   rule which is inserted with a reference count (distinct bindings can
+//!   resolve to the same rule). When an atom newly enters `PT`, negative
+//!   literals that previously resolved to "definitely false → dropped"
+//!   become live: the affected bindings are re-enumerated through the
+//!   negative occurrence index, their stale resolution is retracted
+//!   (refcount-exact, so a rule shared with an unaffected binding
+//!   survives) and the patched resolution emitted. `ground_program()` is
+//!   therefore O(1) — there is no materialisation step to re-run.
+//! * **State invalidation.** `PT` only grows under fact *insertion*, so
+//!   insertions are fully incremental. Fact *removal* may shrink `PT`;
+//!   [`GroundingState::remove_facts`] rebuilds from the retained
+//!   non-ground program (correct, cache-refillable) rather than
+//!   implementing delete-rederive. [`GroundingState::add_rule`] extends a
+//!   live state with a new rule (the CQA layer appends query rules to a
+//!   cached Π(D, IC) grounding), instantiating just that rule and
+//!   propagating whatever its heads add to `PT`.
+//!
+//! The invariant tying it together: after every public call, the stored
+//! [`GroundProgram`] equals — as a *set* of atom-level rules
+//! ([`GroundProgram::resolved_rules`]) — what [`ground`] would produce on
+//! the current program. Atom ids and rule order may differ (ids are
+//! assigned in discovery order, which differs between the two paths); the
+//! stable-model semantics and every downstream answer are unaffected, and
+//! the oracle sweep in `tests/engine_vs_program.rs` pins the equality
+//! over random delta sequences.
 
-use crate::syntax::{Literal, PredId, Program, Rule, Term};
+use crate::error::AspError;
+use crate::syntax::{AtomSpec, BodyLit, Literal, PredId, Program, Rule, RuleAtom, Term};
 use cqa_relational::Value;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Dense ground-atom identifier.
 pub type AtomId = u32;
@@ -286,6 +337,599 @@ fn instantiate(rule: &Rule, pt: &[BTreeSet<Vec<Value>>], f: &mut impl FnMut(&[Op
     }
 }
 
+/// Atom-level (id-free) view of one ground rule: `(head, pos, neg)`,
+/// each sorted. Two grounders agree exactly when their
+/// [`GroundProgram::resolved_rules`] sets are equal.
+pub type ResolvedRule = (Vec<GroundAtom>, Vec<GroundAtom>, Vec<GroundAtom>);
+
+impl GroundProgram {
+    /// The rule set resolved to atom level, for cross-grounder comparison
+    /// (atom ids are assigned in discovery order, so id-level rule sets of
+    /// two equivalent groundings generally differ).
+    pub fn resolved_rules(&self) -> BTreeSet<ResolvedRule> {
+        let resolve = |ids: &[AtomId]| {
+            let mut v: Vec<GroundAtom> = ids.iter().map(|&i| self.atom(i).clone()).collect();
+            v.sort();
+            v
+        };
+        self.rules
+            .iter()
+            .map(|r| (resolve(&r.head), resolve(&r.pos), resolve(&r.neg)))
+            .collect()
+    }
+}
+
+/// Body-literal positions of one rule, split by polarity (indices into
+/// `rule.body`).
+#[derive(Debug, Clone)]
+struct RuleInfo {
+    positives: Vec<usize>,
+    negatives: Vec<usize>,
+}
+
+/// What seeds a binding enumeration: nothing (full join), or one body
+/// literal pinned to a concrete row.
+enum Pin<'a> {
+    All,
+    /// Pin the `i`-th *positive* literal (index into `RuleInfo::positives`).
+    Pos(usize, &'a [Value]),
+    /// Pin the `i`-th *negative* literal (index into `RuleInfo::negatives`).
+    Neg(usize, &'a [Value]),
+}
+
+/// A persistent, incrementally-updatable grounding of a program. See the
+/// module docs ("Incremental grounding architecture") for the moving
+/// parts; [`ground`] is the from-scratch reference it must agree with.
+#[derive(Debug, Clone)]
+pub struct GroundingState {
+    program: Program,
+    info: Vec<RuleInfo>,
+    /// pred → [(rule, index into that rule's positives)].
+    pos_occ: Vec<Vec<(usize, usize)>>,
+    /// pred → [(rule, index into that rule's negatives)].
+    neg_occ: Vec<Vec<(usize, usize)>>,
+    /// Possibly-true rows per predicate (the seminaive fixpoint).
+    pt: Vec<BTreeSet<Vec<Value>>>,
+    /// Satisfying bindings (positive body + builtins over `pt`) per rule.
+    instances: Vec<BTreeSet<Vec<Value>>>,
+    /// The emitted ground program, maintained in place.
+    gp: GroundProgram,
+    /// Emitted rule → (index in `gp.rules`, reference count).
+    emitted: BTreeMap<GroundRule, (usize, u32)>,
+}
+
+impl GroundingState {
+    /// Ground `program` from scratch into a persistent state.
+    pub fn new(program: &Program) -> Self {
+        let preds = program.pred_count();
+        let mut st = GroundingState {
+            program: program.clone(),
+            info: Vec::new(),
+            pos_occ: vec![Vec::new(); preds],
+            neg_occ: vec![Vec::new(); preds],
+            pt: vec![BTreeSet::new(); preds],
+            instances: vec![BTreeSet::new(); program.rules().len()],
+            gp: GroundProgram::default(),
+            emitted: BTreeMap::new(),
+        };
+        for ri in 0..st.program.rules().len() {
+            st.register_rule(ri);
+        }
+        let mut work: VecDeque<(PredId, Vec<Value>)> = VecDeque::new();
+        let facts: Vec<(PredId, Vec<Value>)> = st.program.facts().to_vec();
+        for (pred, args) in facts {
+            st.admit_fact(pred, args, &mut work);
+        }
+        // Rules with no positive body literals instantiate once, with the
+        // empty binding (safety: such rules are variable-free).
+        for ri in 0..st.program.rules().len() {
+            if st.info[ri].positives.is_empty() {
+                let mut found: Vec<Vec<Value>> = Vec::new();
+                collect_bindings(
+                    &st.program.rules()[ri],
+                    &st.info[ri],
+                    &st.pt,
+                    Pin::All,
+                    &mut found,
+                );
+                for binding in found {
+                    st.admit_binding(ri, binding, &mut work);
+                }
+            }
+        }
+        st.propagate(&mut work);
+        st
+    }
+
+    /// The current ground program. O(1): the program is maintained in
+    /// place by every delta, never re-materialised.
+    pub fn ground_program(&self) -> &GroundProgram {
+        &self.gp
+    }
+
+    /// The (non-ground) program this state grounds, including every fact
+    /// delta applied so far.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Add ground facts, regrounding incrementally: only rules whose body
+    /// mentions a predicate reachable from the delta are touched. On
+    /// error nothing is applied — the whole batch is validated before any
+    /// state is touched, so the `gp == ground(program)` invariant of the
+    /// module docs survives a failed call.
+    pub fn add_facts(
+        &mut self,
+        facts: impl IntoIterator<Item = (PredId, Vec<Value>)>,
+    ) -> Result<(), AspError> {
+        let facts: Vec<(PredId, Vec<Value>)> = facts.into_iter().collect();
+        for (pred, args) in &facts {
+            if pred.index() >= self.program.pred_count() {
+                return Err(AspError::UnknownPredicate {
+                    predicate: format!("#{}", pred.0),
+                });
+            }
+            let declared = self.program.pred_arity(*pred);
+            if declared != args.len() {
+                return Err(AspError::ArityConflict {
+                    predicate: self.program.pred_name(*pred).to_string(),
+                    declared,
+                    used: args.len(),
+                });
+            }
+        }
+        let mut work: VecDeque<(PredId, Vec<Value>)> = VecDeque::new();
+        for (pred, args) in facts {
+            let name = self.program.pred_name(pred).to_string();
+            self.program
+                .fact(name, args.clone())
+                .expect("batch validated above");
+            self.admit_fact(pred, args, &mut work);
+        }
+        self.propagate(&mut work);
+        Ok(())
+    }
+
+    /// Named convenience for [`GroundingState::add_facts`]. The predicate
+    /// must already be declared.
+    pub fn add_fact_named(
+        &mut self,
+        pred: &str,
+        args: impl IntoIterator<Item = Value>,
+    ) -> Result<(), AspError> {
+        let id = self
+            .program
+            .pred_id(pred)
+            .ok_or_else(|| AspError::UnknownPredicate {
+                predicate: pred.to_string(),
+            })?;
+        self.add_facts([(id, args.into_iter().collect())])
+    }
+
+    /// Remove facts (first occurrence each, multiset semantics). The
+    /// possibly-true set can shrink under removal, so this path rebuilds
+    /// from the retained program — correct, not incremental (see module
+    /// docs on state invalidation).
+    pub fn remove_facts(&mut self, facts: impl IntoIterator<Item = (PredId, Vec<Value>)>) {
+        for (pred, args) in facts {
+            self.program.remove_fact(pred, &args);
+        }
+        *self = GroundingState::new(&self.program);
+    }
+
+    /// Append a rule to the live grounding: the rule is instantiated
+    /// against the current possibly-true set and anything its heads add
+    /// propagates seminaively. This is how the CQA layer extends a cached
+    /// Π(D, IC) grounding with per-query rules.
+    pub fn add_rule(
+        &mut self,
+        head: impl IntoIterator<Item = AtomSpec>,
+        body: impl IntoIterator<Item = BodyLit>,
+    ) -> Result<(), AspError> {
+        let result = self.program.rule(head, body);
+        // `Program::rule` declares the rule's predicates before its
+        // safety check, so even a rejected rule can grow the predicate
+        // table: size the per-predicate indexes to the program *before*
+        // propagating the error, or a later delta on one of those
+        // predicates would index out of bounds.
+        while self.pt.len() < self.program.pred_count() {
+            self.pos_occ.push(Vec::new());
+            self.neg_occ.push(Vec::new());
+            self.pt.push(BTreeSet::new());
+        }
+        result?;
+        let ri = self.program.rules().len() - 1;
+        self.instances.push(BTreeSet::new());
+        self.register_rule(ri);
+        let mut found: Vec<Vec<Value>> = Vec::new();
+        collect_bindings(
+            &self.program.rules()[ri],
+            &self.info[ri],
+            &self.pt,
+            Pin::All,
+            &mut found,
+        );
+        let mut work: VecDeque<(PredId, Vec<Value>)> = VecDeque::new();
+        for binding in found {
+            self.admit_binding(ri, binding, &mut work);
+        }
+        self.propagate(&mut work);
+        Ok(())
+    }
+
+    /// Record `ri`'s literal split and occurrence-index entries.
+    fn register_rule(&mut self, ri: usize) {
+        let rule = &self.program.rules()[ri];
+        let mut info = RuleInfo {
+            positives: Vec::new(),
+            negatives: Vec::new(),
+        };
+        for (bi, lit) in rule.body.iter().enumerate() {
+            match lit {
+                Literal::Pos(a) => {
+                    self.pos_occ[a.pred.index()].push((ri, info.positives.len()));
+                    info.positives.push(bi);
+                }
+                Literal::Neg(a) => {
+                    self.neg_occ[a.pred.index()].push((ri, info.negatives.len()));
+                    info.negatives.push(bi);
+                }
+                Literal::Cmp(..) => {}
+            }
+        }
+        debug_assert_eq!(self.info.len(), ri);
+        self.info.push(info);
+    }
+
+    /// A new fact: emit its unit rule and admit its atom into `PT`.
+    fn admit_fact(
+        &mut self,
+        pred: PredId,
+        args: Vec<Value>,
+        work: &mut VecDeque<(PredId, Vec<Value>)>,
+    ) {
+        let id = self.gp.intern(GroundAtom {
+            pred,
+            args: args.clone(),
+        });
+        self.emit(GroundRule {
+            head: vec![id],
+            pos: vec![],
+            neg: vec![],
+        });
+        self.admit_atom(pred, args, work);
+    }
+
+    /// An atom newly possibly-true: insert into `PT`, patch the negative
+    /// occurrences that assumed it definitely false, and queue it for the
+    /// positive-occurrence joins.
+    fn admit_atom(
+        &mut self,
+        pred: PredId,
+        args: Vec<Value>,
+        work: &mut VecDeque<(PredId, Vec<Value>)>,
+    ) {
+        if !self.pt[pred.index()].insert(args.clone()) {
+            return;
+        }
+        self.patch_negatives(pred, &args);
+        work.push_back((pred, args));
+    }
+
+    /// Drain the seminaive worklist: each popped atom is pinned into every
+    /// positive occurrence of its predicate and the remaining body joined
+    /// against the full `PT` set.
+    fn propagate(&mut self, work: &mut VecDeque<(PredId, Vec<Value>)>) {
+        while let Some((pred, args)) = work.pop_front() {
+            let occs = self.pos_occ[pred.index()].clone();
+            for (ri, pi) in occs {
+                let mut found: Vec<Vec<Value>> = Vec::new();
+                collect_bindings(
+                    &self.program.rules()[ri],
+                    &self.info[ri],
+                    &self.pt,
+                    Pin::Pos(pi, &args),
+                    &mut found,
+                );
+                for binding in found {
+                    self.admit_binding(ri, binding, work);
+                }
+            }
+        }
+    }
+
+    /// A satisfying binding of rule `ri`'s positive body + builtins: emit
+    /// its resolution and admit its head atoms.
+    fn admit_binding(
+        &mut self,
+        ri: usize,
+        binding: Vec<Value>,
+        work: &mut VecDeque<(PredId, Vec<Value>)>,
+    ) {
+        if !self.instances[ri].insert(binding.clone()) {
+            return;
+        }
+        if let Some(rule) = resolve_instance(
+            &self.program.rules()[ri],
+            &self.pt,
+            &mut self.gp,
+            &binding,
+            None,
+        ) {
+            self.emit(rule);
+        }
+        let opt: Vec<Option<Value>> = binding.into_iter().map(Some).collect();
+        let heads: Vec<(PredId, Vec<Value>)> = self.program.rules()[ri]
+            .head
+            .iter()
+            .map(|h| (h.pred, ground_args(&h.terms, &opt)))
+            .collect();
+        for (pred, args) in heads {
+            self.admit_atom(pred, args, work);
+        }
+    }
+
+    /// `atom` just entered `PT`: every existing binding whose *negative*
+    /// literal grounds to it carried a stale resolution (the literal was
+    /// dropped as definitely false). Re-enumerate those bindings through
+    /// the negative occurrence index, retract the stale rule and emit the
+    /// patched one. Exactness relies on the refcount store: a stale rule
+    /// shared with an unaffected binding merely loses one reference.
+    fn patch_negatives(&mut self, pred: PredId, args: &[Value]) {
+        if self.neg_occ[pred.index()].is_empty() {
+            return;
+        }
+        let occs = self.neg_occ[pred.index()].clone();
+        // De-duplicated: a binding whose rule mentions the atom in several
+        // negative literals must be patched once, not once per literal.
+        let mut affected: BTreeSet<(usize, Vec<Value>)> = BTreeSet::new();
+        for (ri, ni) in occs {
+            let mut found: Vec<Vec<Value>> = Vec::new();
+            collect_bindings(
+                &self.program.rules()[ri],
+                &self.info[ri],
+                &self.pt,
+                Pin::Neg(ni, args),
+                &mut found,
+            );
+            for binding in found {
+                if self.instances[ri].contains(&binding) {
+                    affected.insert((ri, binding));
+                }
+            }
+        }
+        let ga = GroundAtom {
+            pred,
+            args: args.to_vec(),
+        };
+        for (ri, binding) in affected {
+            let stale = resolve_instance(
+                &self.program.rules()[ri],
+                &self.pt,
+                &mut self.gp,
+                &binding,
+                Some(&ga),
+            );
+            let fresh = resolve_instance(
+                &self.program.rules()[ri],
+                &self.pt,
+                &mut self.gp,
+                &binding,
+                None,
+            );
+            if stale == fresh {
+                continue;
+            }
+            if let Some(rule) = stale {
+                self.retract(&rule);
+            }
+            if let Some(rule) = fresh {
+                self.emit(rule);
+            }
+        }
+    }
+
+    /// Reference-counted rule emission into the in-place ground program.
+    fn emit(&mut self, rule: GroundRule) {
+        match self.emitted.get_mut(&rule) {
+            Some((_, rc)) => *rc += 1,
+            None => {
+                let idx = self.gp.rules.len();
+                self.gp.push_rule(rule.clone());
+                self.emitted.insert(rule, (idx, 1));
+            }
+        }
+    }
+
+    /// Drop one reference; the last reference removes the rule from the
+    /// ground program (swap-remove, fixing the moved rule's index).
+    fn retract(&mut self, rule: &GroundRule) {
+        let Some((idx, rc)) = self.emitted.get_mut(rule) else {
+            debug_assert!(false, "retract of a rule that was never emitted");
+            return;
+        };
+        if *rc > 1 {
+            *rc -= 1;
+            return;
+        }
+        let idx = *idx;
+        self.emitted.remove(rule);
+        self.gp.rules.swap_remove(idx);
+        if idx < self.gp.rules.len() {
+            let moved = self.gp.rules[idx].clone();
+            if let Some((mi, _)) = self.emitted.get_mut(&moved) {
+                *mi = idx;
+            }
+        }
+    }
+}
+
+/// Resolve one satisfying binding of `rule` into a ground rule over `gp`'s
+/// atom ids: heads and positives interned, negative literals kept only
+/// when possibly true (`∈ pt`, with `except` treated as absent — that is
+/// how a patch reconstructs the pre-delta resolution), tautologies
+/// (`head ∩ pos ≠ ∅`) dropped. Mirrors [`ground`]'s phase 2 exactly.
+fn resolve_instance(
+    rule: &Rule,
+    pt: &[BTreeSet<Vec<Value>>],
+    gp: &mut GroundProgram,
+    binding: &[Value],
+    except: Option<&GroundAtom>,
+) -> Option<GroundRule> {
+    let opt: Vec<Option<Value>> = binding.iter().cloned().map(Some).collect();
+    let mut head = Vec::with_capacity(rule.head.len());
+    for h in &rule.head {
+        let args = ground_args(&h.terms, &opt);
+        head.push(gp.intern(GroundAtom { pred: h.pred, args }));
+    }
+    let mut pos_ids = Vec::new();
+    let mut neg_ids = Vec::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) => {
+                let args = ground_args(&a.terms, &opt);
+                pos_ids.push(gp.intern(GroundAtom { pred: a.pred, args }));
+            }
+            Literal::Neg(a) => {
+                let args = ground_args(&a.terms, &opt);
+                let masked = except.is_some_and(|e| e.pred == a.pred && e.args == args);
+                if !masked && pt[a.pred.index()].contains(&args) {
+                    neg_ids.push(gp.intern(GroundAtom { pred: a.pred, args }));
+                }
+            }
+            Literal::Cmp(..) => {}
+        }
+    }
+    for h in &head {
+        if pos_ids.contains(h) {
+            return None;
+        }
+    }
+    head.sort_unstable();
+    head.dedup();
+    pos_ids.sort_unstable();
+    pos_ids.dedup();
+    neg_ids.sort_unstable();
+    neg_ids.dedup();
+    Some(GroundRule {
+        head,
+        pos: pos_ids,
+        neg: neg_ids,
+    })
+}
+
+/// Enumerate the full bindings of `rule` satisfying its positive body and
+/// builtins over `pt`, with `pin` optionally fixing one body literal to a
+/// concrete row, collecting the bound value vectors.
+fn collect_bindings(
+    rule: &Rule,
+    info: &RuleInfo,
+    pt: &[BTreeSet<Vec<Value>>],
+    pin: Pin<'_>,
+    out: &mut Vec<Vec<Value>>,
+) {
+    let mut bindings: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+    let skip = match pin {
+        Pin::All => usize::MAX,
+        Pin::Pos(pi, row) => {
+            let Literal::Pos(atom) = &rule.body[info.positives[pi]] else {
+                unreachable!("positives index a positive literal");
+            };
+            if match_row(atom, row, &mut bindings).is_none() {
+                return;
+            }
+            pi
+        }
+        Pin::Neg(ni, row) => {
+            let Literal::Neg(atom) = &rule.body[info.negatives[ni]] else {
+                unreachable!("negatives index a negative literal");
+            };
+            if match_row(atom, row, &mut bindings).is_none() {
+                return;
+            }
+            usize::MAX
+        }
+    };
+    join(rule, info, pt, 0, skip, &mut bindings, out);
+
+    fn join(
+        rule: &Rule,
+        info: &RuleInfo,
+        pt: &[BTreeSet<Vec<Value>>],
+        depth: usize,
+        skip: usize,
+        bindings: &mut Vec<Option<Value>>,
+        out: &mut Vec<Vec<Value>>,
+    ) {
+        if depth == info.positives.len() {
+            for lit in &rule.body {
+                if let Literal::Cmp(op, l, r) = lit {
+                    let lv = match l {
+                        Term::Const(c) => c,
+                        Term::Var(v) => bindings[*v as usize].as_ref().expect("bound by safety"),
+                    };
+                    let rv = match r {
+                        Term::Const(c) => c,
+                        Term::Var(v) => bindings[*v as usize].as_ref().expect("bound by safety"),
+                    };
+                    if !op.eval(lv, rv) {
+                        return;
+                    }
+                }
+            }
+            out.push(
+                bindings
+                    .iter()
+                    .map(|b| (*b).expect("safe rule binds all variables"))
+                    .collect(),
+            );
+            return;
+        }
+        if depth == skip {
+            join(rule, info, pt, depth + 1, skip, bindings, out);
+            return;
+        }
+        let Literal::Pos(atom) = &rule.body[info.positives[depth]] else {
+            unreachable!("positives index a positive literal");
+        };
+        let rows: &BTreeSet<Vec<Value>> = &pt[atom.pred.index()];
+        for row in rows {
+            if let Some(newly) = match_row(atom, row, bindings) {
+                join(rule, info, pt, depth + 1, skip, bindings, out);
+                for v in newly {
+                    bindings[v as usize] = None;
+                }
+            }
+        }
+    }
+}
+
+/// Match `atom`'s terms against a concrete row, extending `bindings`.
+/// Returns the newly bound variables, or `None` with bindings restored.
+fn match_row(atom: &RuleAtom, row: &[Value], bindings: &mut [Option<Value>]) -> Option<Vec<u32>> {
+    let mut newly: Vec<u32> = Vec::new();
+    for (val, term) in row.iter().zip(&atom.terms) {
+        let ok = match term {
+            Term::Const(c) => val == c,
+            Term::Var(v) => match &bindings[*v as usize] {
+                Some(b) => b == val,
+                None => {
+                    bindings[*v as usize] = Some(*val);
+                    newly.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in &newly {
+                bindings[*v as usize] = None;
+            }
+            return None;
+        }
+    }
+    Some(newly)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,5 +1080,263 @@ mod tests {
             .rules
             .iter()
             .any(|r| r.head.is_empty() && r.pos.len() == 2));
+    }
+
+    /// The programs the from-scratch tests above exercise, as builders.
+    fn sample_programs() -> Vec<Program> {
+        let mut out = Vec::new();
+        {
+            // Transitive closure.
+            let mut p = Program::new();
+            p.fact("edge", [i(1), i(2)]).unwrap();
+            p.fact("edge", [i(2), i(3)]).unwrap();
+            p.rule(
+                [atom("path", [tv("x"), tv("y")])],
+                [pos(atom("edge", [tv("x"), tv("y")]))],
+            )
+            .unwrap();
+            p.rule(
+                [atom("path", [tv("x"), tv("z")])],
+                [
+                    pos(atom("edge", [tv("x"), tv("y")])),
+                    pos(atom("path", [tv("y"), tv("z")])),
+                ],
+            )
+            .unwrap();
+            out.push(p);
+        }
+        {
+            // Negation whose atom is derivable — the patch path.
+            let mut p = Program::new();
+            p.fact("n", [i(1)]).unwrap();
+            p.fact("m", [i(1)]).unwrap();
+            p.rule(
+                [atom("q", [tv("x")])],
+                [pos(atom("n", [tv("x")])), neg(atom("m", [tv("x")]))],
+            )
+            .unwrap();
+            out.push(p);
+        }
+        {
+            // Disjunctive heads + chained derivation + builtin.
+            let mut p = Program::new();
+            p.fact("r", [i(1)]).unwrap();
+            p.fact("r", [i(5)]).unwrap();
+            p.rule(
+                [atom("a", [tv("x")]), atom("b", [tv("x")])],
+                [
+                    pos(atom("r", [tv("x")])),
+                    cmp(tv("x"), BuiltinOp::Gt, tc(i(2))),
+                ],
+            )
+            .unwrap();
+            p.rule([atom("c", [tv("x")])], [pos(atom("b", [tv("x")]))])
+                .unwrap();
+            out.push(p);
+        }
+        {
+            // Bodyless disjunction + denial + tautology candidate.
+            let mut p = Program::new();
+            p.pred("a", 0).unwrap();
+            p.pred("b", 0).unwrap();
+            p.rule([atom("a", []), atom("b", [])], []).unwrap();
+            p.rule([], [pos(atom("a", [])), pos(atom("b", []))])
+                .unwrap();
+            p.fact("r", [i(1)]).unwrap();
+            p.rule([atom("r", [tv("x")])], [pos(atom("r", [tv("x")]))])
+                .unwrap();
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn state_matches_scratch_grounder() {
+        for p in sample_programs() {
+            let scratch = ground(&p);
+            let state = GroundingState::new(&p);
+            assert_eq!(
+                state.ground_program().resolved_rules(),
+                scratch.resolved_rules(),
+                "program: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_fact_delta_matches_scratch() {
+        // Add facts one at a time to a live state; after every delta the
+        // state must equal a from-scratch grounding of the grown program.
+        let mut base = Program::new();
+        base.pred("edge", 2).unwrap();
+        base.pred("bad", 1).unwrap();
+        base.rule(
+            [atom("path", [tv("x"), tv("y")])],
+            [pos(atom("edge", [tv("x"), tv("y")]))],
+        )
+        .unwrap();
+        base.rule(
+            [atom("path", [tv("x"), tv("z")])],
+            [
+                pos(atom("edge", [tv("x"), tv("y")])),
+                pos(atom("path", [tv("y"), tv("z")])),
+            ],
+        )
+        .unwrap();
+        base.rule(
+            [atom("good", [tv("x"), tv("y")])],
+            [
+                pos(atom("path", [tv("x"), tv("y")])),
+                neg(atom("bad", [tv("x")])),
+            ],
+        )
+        .unwrap();
+        let mut state = GroundingState::new(&base);
+        let deltas: Vec<(&str, Vec<Value>)> = vec![
+            ("edge", vec![i(1), i(2)]),
+            ("edge", vec![i(2), i(3)]),
+            // `bad(1)` flips `not bad(1)` from dropped to kept in every
+            // good(1, _) instance — the negative patch path.
+            ("bad", vec![i(1)]),
+            ("edge", vec![i(3), i(1)]),
+        ];
+        for (pred, args) in deltas {
+            state.add_fact_named(pred, args.clone()).unwrap();
+            let scratch = ground(state.program());
+            assert_eq!(
+                state.ground_program().resolved_rules(),
+                scratch.resolved_rules(),
+                "after adding {pred}({args:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn fact_removal_rebuilds_exactly() {
+        let mut p = Program::new();
+        p.fact("n", [i(1)]).unwrap();
+        p.fact("n", [i(2)]).unwrap();
+        p.fact("m", [i(1)]).unwrap();
+        p.rule(
+            [atom("q", [tv("x")])],
+            [pos(atom("n", [tv("x")])), neg(atom("m", [tv("x")]))],
+        )
+        .unwrap();
+        let mut state = GroundingState::new(&p);
+        let m = p.pred_id("m").unwrap();
+        state.remove_facts([(m, vec![i(1)])]);
+        let scratch = ground(state.program());
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            scratch.resolved_rules()
+        );
+        // And the removed fact really is gone.
+        assert!(!state
+            .program()
+            .facts()
+            .iter()
+            .any(|(pid, args)| *pid == m && args == &vec![i(1)]));
+    }
+
+    #[test]
+    fn add_rule_extends_live_grounding() {
+        let mut p = Program::new();
+        p.fact("r", [i(1)]).unwrap();
+        p.fact("r", [i(2)]).unwrap();
+        let mut state = GroundingState::new(&p);
+        state
+            .add_rule(
+                [atom("q", [tv("x")])],
+                [
+                    pos(atom("r", [tv("x")])),
+                    cmp(tv("x"), BuiltinOp::Gt, tc(i(1))),
+                ],
+            )
+            .unwrap();
+        state
+            .add_rule([atom("s", [tv("x")])], [pos(atom("q", [tv("x")]))])
+            .unwrap();
+        let scratch = ground(state.program());
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            scratch.resolved_rules()
+        );
+        let s_pred = state.program().pred_id("s").unwrap();
+        assert!(state
+            .ground_program()
+            .atoms()
+            .any(|(_, a)| a.pred == s_pred && a.args == vec![i(2)]));
+    }
+
+    #[test]
+    fn failed_add_rule_keeps_state_usable() {
+        // `Program::rule` declares predicates before rejecting an unsafe
+        // rule; the state's per-predicate tables must track them so later
+        // deltas on those predicates error or succeed — never panic.
+        let mut p = Program::new();
+        p.fact("e", [i(1)]).unwrap();
+        let mut state = GroundingState::new(&p);
+        let err = state.add_rule([atom("q", [tv("y")])], [pos(atom("e", [tv("x")]))]);
+        assert!(matches!(err, Err(AspError::UnsafeRule { .. })));
+        state.add_fact_named("q", [i(7)]).unwrap();
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+    }
+
+    #[test]
+    fn failed_fact_batch_leaves_state_untouched() {
+        // A batch with a bad arity mid-way must apply nothing: the state
+        // stays equal to a from-scratch grounding of its (unchanged)
+        // program.
+        let mut p = Program::new();
+        p.fact("e", [i(1)]).unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("e", [tv("x")]))])
+            .unwrap();
+        let mut state = GroundingState::new(&p);
+        let e = p.pred_id("e").unwrap();
+        let err = state.add_facts([(e, vec![i(2)]), (e, vec![i(2), i(3)])]);
+        assert!(matches!(err, Err(AspError::ArityConflict { .. })));
+        assert_eq!(state.program().facts().len(), 1, "nothing applied");
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+        // And the state is still usable: the valid fact goes in cleanly.
+        state.add_facts([(e, vec![i(2)])]).unwrap();
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+    }
+
+    #[test]
+    fn patch_keeps_shared_rule_alive() {
+        // Two bindings of a denial resolve to the same ground rule while
+        // their negative atoms are definitely false; when one of the two
+        // negative atoms becomes possibly true, the shared resolution must
+        // survive for the unaffected binding (the refcount-exactness the
+        // incremental patch relies on).
+        let mut p = Program::new();
+        p.fact("n", [i(1)]).unwrap();
+        p.fact("n", [i(2)]).unwrap();
+        p.pred("m", 1).unwrap();
+        p.rule(
+            [],
+            [
+                pos(atom("n", [tv("x")])),
+                pos(atom("n", [tv("y")])),
+                neg(atom("m", [tv("y")])),
+            ],
+        )
+        .unwrap();
+        let mut state = GroundingState::new(&p);
+        state.add_fact_named("m", [i(2)]).unwrap();
+        let scratch = ground(state.program());
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            scratch.resolved_rules()
+        );
     }
 }

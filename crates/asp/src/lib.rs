@@ -39,7 +39,7 @@ pub mod stable;
 pub mod syntax;
 
 pub use error::AspError;
-pub use ground::{ground, AtomId, GroundAtom, GroundProgram, GroundRule};
+pub use ground::{ground, AtomId, GroundAtom, GroundProgram, GroundRule, GroundingState};
 pub use hcf::{is_hcf, shift};
 pub use stable::{brave_consequences, cautious_consequences, is_stable, stable_models};
 pub use syntax::{

@@ -238,6 +238,23 @@ impl Program {
         &self.facts
     }
 
+    /// Remove the first fact equal to `(pred, args)` (multiset removal).
+    /// Returns whether a fact was removed. The predicate declaration is
+    /// retained.
+    pub fn remove_fact(&mut self, pred: PredId, args: &[Value]) -> bool {
+        match self
+            .facts
+            .iter()
+            .position(|(p, a)| *p == pred && a.as_slice() == args)
+        {
+            Some(at) => {
+                self.facts.remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The rules.
     pub fn rules(&self) -> &[Rule] {
         &self.rules

@@ -1,0 +1,76 @@
+//! Bench: the logic-program CQA route on the clean-size axis — the cost
+//! profile of PR 4's seminaive incremental grounder.
+//!
+//! Three series per instance size (Example-19 shape, conflicts fixed at
+//! 2 key conflicts + 1 dangling FK while clean tuples grow 16×):
+//!
+//! * `ground_scratch/N` — building a fresh [`GroundingState`] for
+//!   Π(D, IC): the possibly-true fixpoint plus full rule instantiation,
+//!   O(instance) per call. What every program-route call paid before the
+//!   incremental grounder existed.
+//! * `reground_delta/N` — applying a **single-fact delta** to a live
+//!   state: seminaive propagation touches only the rules in the delta's
+//!   derivation cone, so the cost should be conflict-bounded, not
+//!   instance-bounded. The state clone handed to each iteration is set up
+//!   *outside* the timed region. `reground_delta/800` is regression-gated
+//!   against the committed `BENCH_4.json`, and `bench_check` additionally
+//!   enforces the host-independent within-run ratio
+//!   `reground_delta/800 ≤ 0.25 × ground_scratch/800` (the headline
+//!   "≥ 4× faster after a delta" claim).
+//! * `solve/N` — stable-model enumeration over the (cached) ground
+//!   program with the CDCL learning solver: the downstream consumer whose
+//!   input the grounder feeds.
+
+use cqa_asp::{stable_models, GroundingState};
+use cqa_bench::harness::Harness;
+use cqa_core::ProgramStyle;
+use cqa_relational::s;
+use std::hint::black_box;
+
+fn program_route() {
+    let mut group = Harness::new("program_route");
+    let sizes = [50usize, 200, 800];
+    let mut ratio_at_largest = f64::NAN;
+    for &clean in &sizes {
+        let w = cqa_bench::example19_scaled(clean, 2, 1, 31);
+        let program =
+            cqa_core::repair_program(&w.instance, &w.ics, ProgramStyle::Corrected).unwrap();
+        let scratch = group
+            .bench(format!("ground_scratch/{clean}"), || {
+                black_box(GroundingState::new(&program).ground_program().rules.len())
+            })
+            .median_ns;
+        let base = GroundingState::new(&program);
+        let reground = group
+            .bench_with_setup(
+                format!("reground_delta/{clean}"),
+                || base.clone(),
+                |mut state| {
+                    state.add_fact_named("R", [s("dx"), s("dy")]).unwrap();
+                    black_box(state.ground_program().rules.len())
+                },
+            )
+            .median_ns;
+        let ratio = reground as f64 / scratch.max(1) as f64;
+        println!(
+            "  -> reground-after-Δ vs scratch at clean={clean}: {:.1}x faster ({ratio:.3}x the cost)",
+            scratch as f64 / reground.max(1) as f64
+        );
+        if clean == *sizes.last().unwrap() {
+            ratio_at_largest = ratio;
+        }
+        let gp = base.ground_program();
+        group.bench(format!("solve/{clean}"), || {
+            black_box(stable_models(gp).len())
+        });
+    }
+    println!(
+        "  reground/scratch ratio at clean={}: {ratio_at_largest:.3} (target: <= 0.25)",
+        sizes.last().unwrap()
+    );
+    group.finish();
+}
+
+fn main() {
+    program_route();
+}

@@ -112,8 +112,50 @@ fn tuple_equality() {
     group.finish();
 }
 
+/// `Ord` on symbols: the id fast path versus the lexicographic slow path.
+///
+/// Documents exactly when string content is still touched (ROADMAP
+/// "Interner-aware ordering"): comparing a symbol with *itself* (equal
+/// ids — the dominant case in `BTreeSet` probes of values that are
+/// already present) short-circuits to `Equal` without resolving, so the
+/// `ord_eq_ids/*` series must be flat across string lengths. Comparing
+/// *distinct* symbols resolves both strings and walks their shared prefix
+/// (enumeration order is pinned to lexicographic order workspace-wide),
+/// so `ord_neq_ids/*` grows with the prefix length — the residual cost an
+/// id-ordered B-tree would remove if enumeration order were ever relaxed.
+fn symbol_ordering() {
+    let mut group = Harness::new("symbol_ord");
+    for len in LENGTHS {
+        let values: Vec<Value> = (0..ROWS).map(|i| Value::str(key(len, i))).collect();
+        let same = values.clone();
+        group.bench(format!("ord_eq_ids/strlen_{len}"), || {
+            let mut eq = 0usize;
+            for (a, b) in values.iter().zip(&same) {
+                if black_box(a).cmp(black_box(b)) == std::cmp::Ordering::Equal {
+                    eq += 1;
+                }
+            }
+            black_box(eq)
+        });
+        // Distinct ids with a shared `len`-byte prefix: every comparison
+        // takes the slow path and walks the common prefix.
+        let shifted: Vec<Value> = (0..ROWS).map(|i| Value::str(key(len, i + 1))).collect();
+        group.bench(format!("ord_neq_ids/strlen_{len}"), || {
+            let mut less = 0usize;
+            for (a, b) in values.iter().zip(&shifted) {
+                if black_box(a).cmp(black_box(b)) == std::cmp::Ordering::Less {
+                    less += 1;
+                }
+            }
+            black_box(less)
+        });
+    }
+    group.finish();
+}
+
 fn main() {
     single_column_probes();
     composite_probes();
     tuple_equality();
+    symbol_ordering();
 }

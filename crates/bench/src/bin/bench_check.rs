@@ -28,6 +28,7 @@ use std::process::ExitCode;
 const GUARDED: &[(&str, &str)] = &[
     ("repair_instance_size_axis", "incremental/800"),
     ("repair_parallel", "threads/4"),
+    ("program_route", "reground_delta/800"),
 ];
 
 /// Within-run cap on `threads/4 ÷ threads/1`. Host-independent, so it can
@@ -37,6 +38,16 @@ const GUARDED: &[(&str, &str)] = &[
 /// catching the real failure modes (lost stealing, lock contention,
 /// busy-spin), which overshoot it immediately.
 const PARALLEL_RATIO_TOLERANCE: f64 = 1.5;
+
+/// Within-run cap on `reground_delta/800 ÷ ground_scratch/800` in the
+/// `program_route` group. Host-independent (both series run on the same
+/// machine in the same process), so it is a hard gate: the incremental
+/// grounder must make regrounding after a single-fact delta at clean=800
+/// at least 4× cheaper than grounding from scratch — the PR-4 acceptance
+/// criterion. Measured ~0.03x on the recording host; 0.25 leaves an 8×
+/// margin while still catching a grounder that silently falls back to
+/// full rematerialisation.
+const REGROUND_RATIO_TOLERANCE: f64 = 0.25;
 
 /// Median (ns) of `name` within `group` in a harness JSON-lines dump.
 fn median_ns(json: &str, group: &str, name: &str) -> Option<u128> {
@@ -93,6 +104,24 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<(), St
             return Err(format!(
                 "repair_parallel threads/4 is {ratio:.2}x threads/1 in the same run \
                  (> {PARALLEL_RATIO_TOLERANCE:.2}x): parallel scheduler regression"
+            ));
+        }
+    }
+    // Within-run incremental-grounding gate: reground-after-Δ must stay a
+    // small fraction of ground-from-scratch at the largest size.
+    if let (Some(scratch), Some(reground)) = (
+        median_ns(&current, "program_route", "ground_scratch/800"),
+        median_ns(&current, "program_route", "reground_delta/800"),
+    ) {
+        let ratio = reground as f64 / scratch.max(1) as f64;
+        println!(
+            "program_route reground-after-Δ vs scratch at clean=800: {:.1}x faster ({ratio:.3}x)",
+            scratch as f64 / reground.max(1) as f64
+        );
+        if ratio > REGROUND_RATIO_TOLERANCE {
+            return Err(format!(
+                "program_route reground_delta/800 is {ratio:.3}x ground_scratch/800 in the same \
+                 run (> {REGROUND_RATIO_TOLERANCE:.2}x): incremental grounding regression"
             ));
         }
     }

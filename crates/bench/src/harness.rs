@@ -45,6 +45,17 @@ pub struct Harness {
     results: Vec<BenchResult>,
 }
 
+/// Iteration count and sample count for a payload whose single run took
+/// `once_ns`: aim at ~20 ms per sample, at least one iteration, fewer
+/// samples for very slow payloads.
+fn calibrate(once_ns: u128) -> (u64, usize) {
+    let once_ns = once_ns.max(1);
+    const TARGET_SAMPLE_NS: u128 = 20_000_000;
+    let iters: u64 = (TARGET_SAMPLE_NS / once_ns).clamp(1, 1_000_000) as u64;
+    let samples: usize = if once_ns > 200_000_000 { 2 } else { 7 };
+    (iters, samples)
+}
+
 /// Format nanoseconds human-readably.
 fn fmt_ns(ns: u128) -> String {
     if ns >= 1_000_000_000 {
@@ -70,16 +81,14 @@ impl Harness {
     }
 
     /// Time `f`, auto-calibrating iterations to roughly 20 ms per sample
-    /// (minimum one iteration; slow payloads get fewer samples).
+    /// (minimum one iteration; slow payloads get fewer samples). The
+    /// sample loop times whole iteration batches with one clock read —
+    /// the lowest-overhead form, right for self-contained payloads.
     pub fn bench<T>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> T) -> &BenchResult {
-        let name = name.into();
         // Calibration run (also warms caches and lazy indexes).
         let t0 = Instant::now();
         black_box(f());
-        let once_ns = t0.elapsed().as_nanos().max(1);
-        const TARGET_SAMPLE_NS: u128 = 20_000_000;
-        let iters: u64 = (TARGET_SAMPLE_NS / once_ns).clamp(1, 1_000_000) as u64;
-        let samples: usize = if once_ns > 200_000_000 { 2 } else { 7 };
+        let (iters, samples) = calibrate(t0.elapsed().as_nanos());
 
         let mut per_iter: Vec<u128> = Vec::with_capacity(samples);
         for _ in 0..samples {
@@ -89,6 +98,48 @@ impl Harness {
             }
             per_iter.push(t.elapsed().as_nanos() / iters as u128);
         }
+        self.record(name.into(), per_iter, samples, iters)
+    }
+
+    /// Like [`Harness::bench`], but each iteration first runs `setup`
+    /// *outside* the timed region and hands its value to `f` — for
+    /// payloads that consume state (e.g. applying a delta to a cloned
+    /// grounding) whose preparation cost must not pollute the series.
+    /// Pays two clock reads per iteration instead of per batch.
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: impl Into<String>,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) -> &BenchResult {
+        // Calibration run (also warms caches).
+        let s0 = setup();
+        let t0 = Instant::now();
+        black_box(f(s0));
+        let (iters, samples) = calibrate(t0.elapsed().as_nanos());
+
+        let mut per_iter: Vec<u128> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut timed: u128 = 0;
+            for _ in 0..iters {
+                let s = setup();
+                let t = Instant::now();
+                black_box(f(s));
+                timed += t.elapsed().as_nanos();
+            }
+            per_iter.push(timed / iters as u128);
+        }
+        self.record(name.into(), per_iter, samples, iters)
+    }
+
+    /// Shared statistics + reporting tail of the `bench*` methods.
+    fn record(
+        &mut self,
+        name: String,
+        mut per_iter: Vec<u128>,
+        samples: usize,
+        iters: u64,
+    ) -> &BenchResult {
         per_iter.sort_unstable();
         let median_ns = per_iter[per_iter.len() / 2];
         let mean_ns = per_iter.iter().sum::<u128>() / per_iter.len() as u128;

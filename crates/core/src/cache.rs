@@ -1,0 +1,276 @@
+//! Derived-result caches, scoped per handle.
+//!
+//! Two caches make repeated calls over an unchanged (or mildly changed)
+//! database cheap:
+//!
+//! * [`WorklistCache`] — root violation scans for the repair engine. The
+//!   O(instance) full scan is the one per-call cost of `repairs*` that
+//!   does not shrink with the conflict count; keyed on
+//!   [`Instance::version`] + constraint set, invalidation is exact.
+//! * [`GroundingCache`] — persistent [`GroundingState`]s for the repair
+//!   program Π(D, IC), keyed by constraint set, program style and pruning
+//!   flag, stamped with the instance version. A version mismatch does not
+//!   discard the entry: the cache diffs the stored base instance against
+//!   the caller's and, when the change is insert-only, *regrounds
+//!   incrementally* through [`GroundingState::add_facts`] — the program
+//!   route's analogue of `violations_touching`. Deletions rebuild (the
+//!   possibly-true set is not monotone under removal).
+//!
+//! Both caches are small LRUs behind a [`CqaCaches`] bundle. The
+//! process-wide [`global`] bundle is the default every free function uses
+//! — existing call sites keep their behaviour — while the `Database`
+//! facade owns a bundle per database, so many tenants in one process
+//! cannot evict each other's scans (ROADMAP "Worklist-cache scope"; the
+//! per-tenant test pins this).
+
+use crate::error::CoreError;
+use crate::program::{repair_program_with, ProgramStyle};
+use cqa_asp::GroundingState;
+use cqa_constraints::{violations, IcSet, SatMode, Violation};
+use cqa_relational::{delta, Instance};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Capacity of each cache (entries, LRU eviction).
+const CACHE_CAP: usize = 8;
+
+/// LRU cache of root full-violation scans keyed by
+/// `(Instance::version, IcSet)`.
+#[derive(Debug, Default)]
+pub struct WorklistCache {
+    entries: Mutex<Vec<(u64, IcSet, Vec<Violation>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WorklistCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        WorklistCache::default()
+    }
+
+    /// The full violation set of `d` — the root worklist of the
+    /// incremental and parallel searches — served from the cache when the
+    /// version + constraint set match. Keying on [`Instance::version`]
+    /// makes invalidation exact: any content mutation reassigns the stamp,
+    /// and clones share stamps only while content-identical.
+    pub(crate) fn root_worklist(&self, d: &Instance, ics: &IcSet) -> Vec<Violation> {
+        let version = d.version();
+        {
+            let mut cache = self.entries.lock().expect("worklist cache lock");
+            if let Some(pos) = cache
+                .iter()
+                .position(|(v, set, _)| *v == version && set == ics)
+            {
+                let entry = cache.remove(pos);
+                let worklist = entry.2.clone();
+                cache.push(entry); // most-recently-used at the back
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return worklist;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let worklist = violations(d, ics, SatMode::NullAware);
+        let mut cache = self.entries.lock().expect("worklist cache lock");
+        // The lock was dropped during the scan: a concurrent caller may
+        // have raced the same key in. Re-check so duplicates never waste
+        // LRU slots.
+        if !cache.iter().any(|(v, set, _)| *v == version && set == ics) {
+            if cache.len() >= CACHE_CAP {
+                cache.remove(0);
+            }
+            cache.push((version, ics.clone(), worklist.clone()));
+        }
+        worklist
+    }
+
+    /// Lifetime `(hits, misses)` of this handle. Meaningful as
+    /// before/after deltas.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Key of one cached grounding: constraint set, program style, pruning.
+type GroundingKey = (IcSet, ProgramStyle, bool);
+
+/// One cached grounding: the instance it was built from (for diffing) and
+/// the live state. `Arc`-shared so a cache hit hands out a reference, not
+/// a deep copy — read-only callers (`repairs_via_program*`) never pay for
+/// the state's size, and the per-query extension path clones explicitly.
+#[derive(Debug, Clone)]
+struct GroundingEntry {
+    base: Instance,
+    state: Arc<GroundingState>,
+}
+
+/// LRU cache of persistent Π(D, IC) groundings. See the module docs for
+/// the hit / incremental-reground / rebuild trichotomy.
+#[derive(Debug, Default)]
+pub struct GroundingCache {
+    entries: Mutex<Vec<(GroundingKey, GroundingEntry)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    regrounds: AtomicU64,
+}
+
+impl GroundingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        GroundingCache::default()
+    }
+
+    /// A grounding of Π(`d`, `ics`) in the given style, shared out of the
+    /// cache (read-only callers use the `Arc` directly; the per-query
+    /// extension path clones the state before mutating). Same version →
+    /// hit; insert-only drift → incremental reground; anything else →
+    /// rebuild.
+    pub(crate) fn state_for(
+        &self,
+        d: &Instance,
+        ics: &IcSet,
+        style: ProgramStyle,
+        prune: bool,
+    ) -> Result<Arc<GroundingState>, CoreError> {
+        // Borrowed key comparison — the owned IcSet clone is only paid on
+        // the insert path, never on a hit (same discipline as the
+        // worklist cache).
+        let matches = |(k_ics, k_style, k_prune): &GroundingKey| {
+            k_ics == ics && *k_style == style && *k_prune == prune
+        };
+        // Fast path under the lock: an exact-version hit costs an Arc
+        // bump.
+        let stale: Option<GroundingEntry> = {
+            let mut cache = self.entries.lock().expect("grounding cache lock");
+            match cache.iter().position(|(k, _)| matches(k)) {
+                Some(pos) => {
+                    let (k, entry) = cache.remove(pos);
+                    if entry.base.version() == d.version() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        let state = entry.state.clone();
+                        cache.push((k, entry)); // most-recently-used at the back
+                        return Ok(state);
+                    }
+                    Some(entry)
+                }
+                None => None,
+            }
+        };
+        // Slow path: the grounding work — rebuild or incremental reground
+        // — runs with the lock released (same discipline as the worklist
+        // cache's scan), so an unrelated key is never blocked behind an
+        // O(instance) grounding. The stale entry travels outside the
+        // cache meanwhile; a racing thread on the same key at worst
+        // duplicates work, never corrupts.
+        let evolved = match stale {
+            Some(mut entry) => evolve(&mut entry, d)?.then_some(entry),
+            None => None,
+        };
+        let entry = match evolved {
+            Some(entry) => {
+                self.regrounds.fetch_add(1, Ordering::Relaxed);
+                entry
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                GroundingEntry {
+                    base: d.clone(),
+                    state: Arc::new(build(d, ics, style, prune)?),
+                }
+            }
+        };
+        let state = entry.state.clone();
+        let mut cache = self.entries.lock().expect("grounding cache lock");
+        if let Some(pos) = cache.iter().position(|(k, _)| matches(k)) {
+            cache.remove(pos); // racer's entry: ours is current for `d`
+        }
+        if cache.len() >= CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(((ics.clone(), style, prune), entry));
+        Ok(state)
+    }
+
+    /// Lifetime `(hits, incremental regrounds, misses)` of this handle.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.regrounds.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Ground Π(`d`, `ics`) from scratch into a fresh state.
+fn build(
+    d: &Instance,
+    ics: &IcSet,
+    style: ProgramStyle,
+    prune: bool,
+) -> Result<GroundingState, CoreError> {
+    let program = repair_program_with(d, ics, style, prune)?;
+    Ok(GroundingState::new(&program))
+}
+
+/// Try to evolve a cached grounding onto `d` incrementally (in place;
+/// `Arc::make_mut` deep-copies only if a previous caller still holds the
+/// state). `false` when the drift involves deletions or a schema change
+/// (caller rebuilds).
+fn evolve(entry: &mut GroundingEntry, d: &Instance) -> Result<bool, CoreError> {
+    let Ok(diff) = delta(&entry.base, d) else {
+        return Ok(false); // schema mismatch
+    };
+    if !diff.removed.is_empty() {
+        return Ok(false);
+    }
+    let schema = d.schema();
+    let facts: Vec<(cqa_asp::PredId, Vec<cqa_relational::Value>)> = diff
+        .inserted
+        .iter()
+        .map(|atom| {
+            let name = schema.relation(atom.rel).name();
+            let pred = entry
+                .state
+                .program()
+                .pred_id(name)
+                .expect("repair programs declare every base predicate");
+            (pred, atom.tuple.values().to_vec())
+        })
+        .collect();
+    Arc::make_mut(&mut entry.state).add_facts(facts)?;
+    entry.base = d.clone();
+    Ok(true)
+}
+
+/// The two caches bundled: what a `Database` facade owns, and what the
+/// process-wide default provides to the free functions.
+#[derive(Debug, Default)]
+pub struct CqaCaches {
+    /// Root violation scans for the repair engine.
+    pub worklist: WorklistCache,
+    /// Persistent repair-program groundings.
+    pub grounding: GroundingCache,
+}
+
+impl CqaCaches {
+    /// A fresh, empty bundle (one per tenant).
+    pub fn new() -> Self {
+        CqaCaches::default()
+    }
+}
+
+/// The process-wide default bundle, used by every free function that is
+/// not handed an explicit one.
+pub fn global() -> &'static CqaCaches {
+    static GLOBAL: OnceLock<CqaCaches> = OnceLock::new();
+    GLOBAL.get_or_init(CqaCaches::new)
+}
+
+/// Lifetime `(hits, incremental regrounds, misses)` of the process-wide
+/// default grounding cache. Meaningful as before/after deltas.
+pub fn grounding_cache_stats() -> (u64, u64, u64) {
+    global().grounding.stats()
+}

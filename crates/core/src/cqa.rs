@@ -10,14 +10,16 @@
 //!   the stable models (the paper's Section 5 pipeline; Theorem 4 makes
 //!   the two coincide for RIC-acyclic sets).
 
-use crate::engine::{repairs_with_config, RepairConfig};
+use crate::cache::CqaCaches;
+use crate::engine::{repairs_with_config_in, RepairConfig, SearchStrategy};
 use crate::error::CoreError;
-use crate::program::{annotated, repair_program, ProgramStyle};
+use crate::program::{annotated, ProgramStyle};
 use crate::query::{AnswerSemantics, QTerm, Query};
-use cqa_asp::{atom, cmp, ground, neg, pos, tc, tv, BodyLit, BuiltinOp};
+use cqa_asp::{atom, cmp, neg, pos, tc, tv, BodyLit, BuiltinOp};
 use cqa_constraints::IcSet;
 use cqa_relational::{Instance, Tuple};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The result of a CQA call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,19 +78,87 @@ pub fn consistent_answers_full(
     semantics: AnswerSemantics,
     query_semantics: crate::query::QueryNullSemantics,
 ) -> Result<AnswerSet, CoreError> {
-    let repairs = repairs_with_config(d, ics, config)?;
-    let mut iter = repairs.iter();
-    let mut acc: BTreeSet<Tuple> = match iter.next() {
-        Some(first) => query.eval_with(first, query_semantics),
-        None => BTreeSet::new(), // unreachable: repairs always exist
+    consistent_answers_full_in(
+        d,
+        ics,
+        query,
+        config,
+        semantics,
+        query_semantics,
+        crate::cache::global(),
+    )
+}
+
+/// [`consistent_answers_full`] against an explicit cache bundle. Under
+/// [`SearchStrategy::Parallel`] the per-repair query evaluation and
+/// intersection fan out over the same worker count as the repair search
+/// (chunked evaluation, then an ordered intersection of the chunk
+/// results); a cross-chunk flag stops all workers once any partial
+/// intersection is empty. Output is identical to the serial loop.
+pub fn consistent_answers_full_in(
+    d: &Instance,
+    ics: &IcSet,
+    query: &Query,
+    config: RepairConfig,
+    semantics: AnswerSemantics,
+    query_semantics: crate::query::QueryNullSemantics,
+    caches: &CqaCaches,
+) -> Result<AnswerSet, CoreError> {
+    let repairs = repairs_with_config_in(d, ics, config, caches)?;
+    let threads = match config.strategy {
+        SearchStrategy::Parallel { threads } => threads.max(1),
+        _ => 1,
     };
-    for repair in iter {
-        let answers = query.eval_with(repair, query_semantics);
-        acc.retain(|t| answers.contains(t));
-        if acc.is_empty() {
-            break;
+    let mut acc: BTreeSet<Tuple> = if threads > 1 && repairs.len() > 1 {
+        let empty = AtomicBool::new(false);
+        let chunks = crate::parallel::map_chunks(repairs.len(), threads, |range| {
+            let mut local: Option<BTreeSet<Tuple>> = None;
+            for repair in &repairs[range] {
+                if empty.load(Ordering::Relaxed) {
+                    break;
+                }
+                let answers = query.eval_with(repair, query_semantics);
+                local = Some(match local {
+                    None => answers,
+                    Some(mut seen) => {
+                        seen.retain(|t| answers.contains(t));
+                        seen
+                    }
+                });
+                if local.as_ref().is_some_and(BTreeSet::is_empty) {
+                    empty.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            local
+        });
+        if empty.load(Ordering::Relaxed) {
+            // Some subset of repairs already intersects to nothing, so the
+            // full intersection is empty — identical to the serial result.
+            BTreeSet::new()
+        } else {
+            let mut parts = chunks.into_iter().flatten();
+            let mut acc = parts.next().unwrap_or_default();
+            for part in parts {
+                acc.retain(|t| part.contains(t));
+            }
+            acc
         }
-    }
+    } else {
+        let mut iter = repairs.iter();
+        let mut acc: BTreeSet<Tuple> = match iter.next() {
+            Some(first) => query.eval_with(first, query_semantics),
+            None => BTreeSet::new(), // unreachable: repairs always exist
+        };
+        for repair in iter {
+            let answers = query.eval_with(repair, query_semantics);
+            acc.retain(|t| answers.contains(t));
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    };
     if semantics == AnswerSemantics::ExcludeNullAnswers {
         acc.retain(|t| !t.has_null());
     }
@@ -100,6 +170,7 @@ pub fn consistent_answers_full(
 
 /// Consistent answers via the repair program: cautious reasoning over
 /// Π(D, IC) extended with query rules evaluated on the `t**` relations.
+/// Uses the process-wide default cache bundle.
 pub fn consistent_answers_via_program(
     d: &Instance,
     ics: &IcSet,
@@ -107,7 +178,27 @@ pub fn consistent_answers_via_program(
     style: ProgramStyle,
     semantics: AnswerSemantics,
 ) -> Result<AnswerSet, CoreError> {
-    let mut program = repair_program(d, ics, style)?;
+    consistent_answers_via_program_in(d, ics, query, style, semantics, crate::cache::global())
+}
+
+/// [`consistent_answers_via_program`] against an explicit cache bundle.
+/// The grounding of Π(D, IC) comes out of the cache (grounded once per
+/// instance version, regrounded incrementally on insert-only drift) and
+/// only the per-query rules are instantiated on top of the clone.
+pub fn consistent_answers_via_program_in(
+    d: &Instance,
+    ics: &IcSet,
+    query: &Query,
+    style: ProgramStyle,
+    semantics: AnswerSemantics,
+    caches: &CqaCaches,
+) -> Result<AnswerSet, CoreError> {
+    // Deep-clone the shared grounding: the query rules below mutate it.
+    let mut state = caches
+        .grounding
+        .state_for(d, ics, style, false)?
+        .as_ref()
+        .clone();
     let schema = d.schema();
     let ans_pred = "ans__q";
     for cq in query.disjuncts() {
@@ -138,11 +229,11 @@ pub fn consistent_answers_via_program(
             .iter()
             .map(|v| tv(cq.var_names[*v as usize].clone()))
             .collect();
-        program.rule([atom(ans_pred, head_terms)], body)?;
+        state.add_rule([atom(ans_pred, head_terms)], body)?;
     }
-    let gp = ground(&program);
-    let cautious = cqa_asp::cautious_consequences(&gp).ok_or(CoreError::NoStableModels)?;
-    let Some(ans_id) = program.pred_id(ans_pred) else {
+    let gp = state.ground_program();
+    let cautious = cqa_asp::cautious_consequences(gp).ok_or(CoreError::NoStableModels)?;
+    let Some(ans_id) = state.program().pred_id(ans_pred) else {
         // Query predicate never derivable: no answers.
         return Ok(AnswerSet {
             tuples: BTreeSet::new(),

@@ -87,18 +87,21 @@
 //! The root violation scan — the one remaining O(instance) step — is
 //! cached across `repairs*` calls keyed by [`Instance::version`] and the
 //! constraint set, so repeated enumeration over an unchanged instance
-//! starts from the conflict set directly ([`worklist_cache_stats`]).
+//! starts from the conflict set directly. The cache lives in a
+//! [`crate::cache::CqaCaches`] bundle: the free functions use the
+//! process-wide default ([`worklist_cache_stats`]), while the `Database`
+//! facade passes its per-tenant bundle through the `*_in` variants so
+//! co-resident databases cannot evict each other's scans.
 
+use crate::cache::CqaCaches;
 use crate::error::CoreError;
 use crate::repair::minimal_delta_indices_chunked;
 use cqa_constraints::{
-    first_violation_naive, violation_active, violations, violations_touching, Constraint, IcSet,
-    SatMode, Term, Violation, ViolationKind,
+    first_violation_naive, violation_active, violations_touching, Constraint, IcSet, SatMode, Term,
+    Violation, ViolationKind,
 };
 use cqa_relational::{DatabaseAtom, Delta, Instance, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Which repair semantics to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -199,24 +202,46 @@ pub fn repairs(d: &Instance, ics: &IcSet) -> Result<Vec<Instance>, CoreError> {
     repairs_with_config(d, ics, RepairConfig::default())
 }
 
-/// All repairs of `d` wrt `ics`.
+/// All repairs of `d` wrt `ics`, using the process-wide default caches.
 pub fn repairs_with_config(
     d: &Instance,
     ics: &IcSet,
     config: RepairConfig,
 ) -> Result<Vec<Instance>, CoreError> {
-    Ok(repairs_with_trace(d, ics, config)?
+    repairs_with_config_in(d, ics, config, crate::cache::global())
+}
+
+/// [`repairs_with_config`] against an explicit cache bundle (the facade
+/// passes its per-database one).
+pub fn repairs_with_config_in(
+    d: &Instance,
+    ics: &IcSet,
+    config: RepairConfig,
+    caches: &CqaCaches,
+) -> Result<Vec<Instance>, CoreError> {
+    Ok(repairs_with_trace_in(d, ics, config, caches)?
         .into_iter()
         .map(|t| t.instance)
         .collect())
 }
 
 /// All repairs with the decision sequences that produced them
-/// (provenance; the paper's Section 7(b)/(c) hooks).
+/// (provenance; the paper's Section 7(b)/(c) hooks). Process-wide default
+/// caches.
 pub fn repairs_with_trace(
     d: &Instance,
     ics: &IcSet,
     config: RepairConfig,
+) -> Result<Vec<TracedRepair>, CoreError> {
+    repairs_with_trace_in(d, ics, config, crate::cache::global())
+}
+
+/// [`repairs_with_trace`] against an explicit cache bundle.
+pub fn repairs_with_trace_in(
+    d: &Instance,
+    ics: &IcSet,
+    config: RepairConfig,
+    caches: &CqaCaches,
 ) -> Result<Vec<TracedRepair>, CoreError> {
     if config.semantics == RepairSemantics::NullBased && !ics.is_non_conflicting() {
         return Err(CoreError::ConflictingConstraints(ics.conflicting_pairs()));
@@ -224,7 +249,10 @@ pub fn repairs_with_trace(
     let (candidates, threads) = match config.strategy {
         SearchStrategy::Parallel { threads } => {
             let threads = threads.max(1);
-            (crate::parallel::search(d, ics, config, threads)?, threads)
+            (
+                crate::parallel::search(d, ics, config, threads, caches)?,
+                threads,
+            )
         }
         sequential => {
             let mut search = Search {
@@ -238,7 +266,7 @@ pub fn repairs_with_trace(
             match sequential {
                 SearchStrategy::Incremental => {
                     let mut work = d.clone();
-                    let worklist = root_worklist(&work, ics);
+                    let worklist = caches.worklist.root_worklist(&work, ics);
                     search.run_incremental(&mut work, worklist, &mut decisions, &mut trace)?;
                 }
                 SearchStrategy::FullRescan => {
@@ -314,62 +342,12 @@ fn materialise(
     })
 }
 
-/// Capacity of the root-worklist cache (entries, LRU eviction).
-const WORKLIST_CACHE_CAP: usize = 8;
-
-/// Cache of root full-violation scans keyed by content version and
-/// constraint set: `(Instance::version, IcSet, worklist)`.
-static WORKLIST_CACHE: Mutex<Vec<(u64, IcSet, Vec<Violation>)>> = Mutex::new(Vec::new());
-static WORKLIST_HITS: AtomicU64 = AtomicU64::new(0);
-static WORKLIST_MISSES: AtomicU64 = AtomicU64::new(0);
-
-/// The full violation set of `d` — the root worklist of the incremental
-/// and parallel searches — served from a small process-wide LRU cache.
-///
-/// The O(instance) scan is the one per-call cost of `repairs*` that does
-/// not shrink with the conflict count, so repeated enumeration over an
-/// unchanged instance (the CQA path evaluates several queries against one
-/// database) should pay it once. Keying on [`Instance::version`] makes
-/// invalidation exact: any content mutation reassigns the stamp, and
-/// clones share stamps only while content-identical, so a hit proves the
-/// cached scan is of equal content under an equal constraint set.
-pub(crate) fn root_worklist(d: &Instance, ics: &IcSet) -> Vec<Violation> {
-    let version = d.version();
-    {
-        let mut cache = WORKLIST_CACHE.lock().expect("worklist cache lock");
-        if let Some(pos) = cache
-            .iter()
-            .position(|(v, set, _)| *v == version && set == ics)
-        {
-            let entry = cache.remove(pos);
-            let worklist = entry.2.clone();
-            cache.push(entry); // most-recently-used at the back
-            WORKLIST_HITS.fetch_add(1, Ordering::Relaxed);
-            return worklist;
-        }
-    }
-    WORKLIST_MISSES.fetch_add(1, Ordering::Relaxed);
-    let worklist = violations(d, ics, SatMode::NullAware);
-    let mut cache = WORKLIST_CACHE.lock().expect("worklist cache lock");
-    // The lock was dropped during the scan: a concurrent caller may have
-    // raced the same key in. Re-check so duplicates never waste LRU slots.
-    if !cache.iter().any(|(v, set, _)| *v == version && set == ics) {
-        if cache.len() >= WORKLIST_CACHE_CAP {
-            cache.remove(0);
-        }
-        cache.push((version, ics.clone(), worklist.clone()));
-    }
-    worklist
-}
-
-/// Lifetime hit/miss counters of the root-worklist cache, for tests and
-/// diagnostics. Process-wide: meaningful as before/after deltas, not as
-/// absolute values.
+/// Lifetime hit/miss counters of the *process-wide default* root-worklist
+/// cache, for tests and diagnostics. Meaningful as before/after deltas,
+/// not as absolute values. Per-database bundles report through
+/// [`crate::cache::WorklistCache::stats`] instead.
 pub fn worklist_cache_stats() -> (u64, u64) {
-    (
-        WORKLIST_HITS.load(Ordering::Relaxed),
-        WORKLIST_MISSES.load(Ordering::Relaxed),
-    )
+    crate::cache::global().worklist.stats()
 }
 
 /// The symmetric difference a decision set denotes: decisions never flip

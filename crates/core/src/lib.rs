@@ -29,6 +29,7 @@
 //!   deletion-preferring `Rep_d` semantics of Example 20.
 
 pub mod bruteforce;
+pub mod cache;
 pub mod classic;
 pub mod cqa;
 pub mod engine;
@@ -39,17 +40,20 @@ pub mod program;
 pub mod query;
 pub mod repair;
 
+pub use cache::{grounding_cache_stats, CqaCaches, GroundingCache, WorklistCache};
 pub use cqa::{
-    consistent_answers, consistent_answers_full, consistent_answers_via_program, AnswerSet,
+    consistent_answers, consistent_answers_full, consistent_answers_full_in,
+    consistent_answers_via_program, consistent_answers_via_program_in, AnswerSet,
 };
 pub use engine::{
-    repairs, repairs_with_config, repairs_with_trace, worklist_cache_stats, RepairAction,
-    RepairConfig, RepairSemantics, RepairStep, SearchStrategy, TracedRepair,
+    repairs, repairs_with_config, repairs_with_config_in, repairs_with_trace,
+    repairs_with_trace_in, worklist_cache_stats, RepairAction, RepairConfig, RepairSemantics,
+    RepairStep, SearchStrategy, TracedRepair,
 };
 pub use error::CoreError;
 pub use program::{
-    repair_program, repair_program_with, repairs_via_program, repairs_via_program_with,
-    ProgramStyle,
+    repair_program, repair_program_with, repairs_via_program, repairs_via_program_in,
+    repairs_via_program_with, ProgramStyle,
 };
 pub use query::{AnswerSemantics, QueryNullSemantics};
 pub use query::{ConjunctiveQuery, Query, QueryBuilder};

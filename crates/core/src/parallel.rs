@@ -31,9 +31,8 @@
 //! which every worker checks between tasks; the drained pool then reports
 //! [`CoreError::BudgetExceeded`] like the sequential drivers.
 
-use crate::engine::{
-    delta_of, fixes_for, root_worklist, Decision, Fix, RepairAction, RepairConfig, RepairStep,
-};
+use crate::cache::CqaCaches;
+use crate::engine::{delta_of, fixes_for, Decision, Fix, RepairAction, RepairConfig, RepairStep};
 use crate::error::CoreError;
 use cqa_constraints::{violation_active, violations_touching, IcSet, SatMode, Violation};
 use cqa_relational::{DatabaseAtom, Delta, Instance};
@@ -93,6 +92,37 @@ where
     })
 }
 
+/// Map `f` over the up-to-`threads` contiguous chunks of `0..len`,
+/// results in chunk order (deterministic chunk boundaries, so downstream
+/// folds see the same partition at every thread count). Serial — no
+/// threads spawned — when one worker suffices. The CQA layer fans its
+/// per-repair query evaluation out through this.
+pub(crate) fn map_chunks<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let workers = threads.max(1).min(len.max(1));
+    if workers <= 1 {
+        return vec![f(0..len)];
+    }
+    let chunk = len.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(len);
+                scope.spawn(move || f(start..end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map_chunks worker panicked"))
+            .collect()
+    })
+}
+
 /// State shared by the worker pool.
 struct Shared<'a> {
     ics: &'a IcSet,
@@ -117,6 +147,7 @@ pub(crate) fn search(
     ics: &IcSet,
     config: RepairConfig,
     threads: usize,
+    caches: &CqaCaches,
 ) -> Result<Vec<(Delta, Vec<RepairStep>)>, CoreError> {
     let threads = threads.max(1);
     // Fork point: on a cache miss the root scan registers the indexes its
@@ -126,7 +157,7 @@ pub(crate) fn search(
     // worker forks below share `base`'s index snapshots Arc-wise instead
     // of each rebuilding them from scratch.
     let base = d.clone();
-    let worklist = root_worklist(&base, ics);
+    let worklist = caches.worklist.root_worklist(&base, ics);
     for violation in &worklist {
         let _ = violation_active(&base, ics, violation, SatMode::NullAware);
     }

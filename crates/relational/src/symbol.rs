@@ -16,6 +16,23 @@
 //!   order consistency with `Eq` holds because the interner never assigns
 //!   two ids to one string.
 //!
+//!   When does a comparison still touch string content? The ordering
+//!   table (pinned by the `symbol_ord` micro-benchmark):
+//!
+//!   | case                | cost                                    |
+//!   |---------------------|-----------------------------------------|
+//!   | equal ids           | one `u32` compare — no resolve, flat    |
+//!   | distinct ids        | two lock-free resolves + prefix walk    |
+//!
+//!   Equal ids dominate B-tree *probes* (searching for a value that is
+//!   present ends on the equal fast path), so membership-heavy paths pay
+//!   almost nothing; B-tree *descent* and range iteration compare
+//!   distinct ids and still walk shared prefixes. If enumeration order
+//!   were ever relaxed, id-ordered B-trees would drop those last string
+//!   touches from the search inner loops (ROADMAP "Interner-aware
+//!   ordering") — until then, lexicographic order is part of the
+//!   workspace's observable semantics and this is a deliberate cost.
+//!
 //! Layout: lookups go through `SHARD_COUNT` independently locked
 //! `str → Symbol` maps (the write path is only taken the *first* time a
 //! string is seen); resolution goes through a lock-free chunked table of

@@ -69,7 +69,7 @@ pub mod prelude {
 
 use cqa_constraints::IcSet;
 use cqa_core::query::AnswerSemantics;
-use cqa_core::{CoreError, ProgramStyle, RepairConfig};
+use cqa_core::{CoreError, CqaCaches, ProgramStyle, RepairConfig};
 use cqa_relational::{Instance, Schema, Tuple};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -116,12 +116,18 @@ impl From<cqa_relational::RelationalError> for Error {
 }
 
 /// A database with integrity constraints: the high-level entry point.
+///
+/// Each `Database` owns its [`CqaCaches`] bundle (root-violation
+/// worklists, repair-program groundings): many databases in one process
+/// cannot evict each other's derived results. Clones share the bundle —
+/// they are views of the same tenant.
 #[derive(Debug, Clone)]
 pub struct Database {
     instance: Instance,
     constraints: IcSet,
     config: RepairConfig,
     program_style: ProgramStyle,
+    caches: Arc<CqaCaches>,
 }
 
 impl Database {
@@ -134,6 +140,7 @@ impl Database {
             constraints: catalog.constraints,
             config: RepairConfig::default(),
             program_style: ProgramStyle::default(),
+            caches: Arc::new(CqaCaches::new()),
         })
     }
 
@@ -144,7 +151,14 @@ impl Database {
             constraints,
             config: RepairConfig::default(),
             program_style: ProgramStyle::default(),
+            caches: Arc::new(CqaCaches::new()),
         }
+    }
+
+    /// This database's cache bundle (worklist + grounding stats live
+    /// here).
+    pub fn caches(&self) -> &CqaCaches {
+        &self.caches
     }
 
     /// The schema.
@@ -211,19 +225,21 @@ impl Database {
 
     /// All repairs (Definition 7).
     pub fn repairs(&self) -> Result<Vec<Instance>, Error> {
-        Ok(cqa_core::repairs_with_config(
+        Ok(cqa_core::repairs_with_config_in(
             &self.instance,
             &self.constraints,
             self.config,
+            &self.caches,
         )?)
     }
 
     /// Repairs via the Definition-9 logic program (Theorem 4 route).
     pub fn repairs_via_program(&self) -> Result<Vec<Instance>, Error> {
-        Ok(cqa_core::repairs_via_program(
+        Ok(cqa_core::repairs_via_program_in(
             &self.instance,
             &self.constraints,
             self.program_style,
+            &self.caches,
         )?)
     }
 
@@ -237,12 +253,14 @@ impl Database {
     /// `"q(x) :- r(x, y), not s(y), y <> 'b'."`.
     pub fn consistent_answers(&self, query: &str) -> Result<BTreeSet<Tuple>, Error> {
         let q = cqa_sql::parse_query(self.schema(), query)?;
-        let answers = cqa_core::consistent_answers(
+        let answers = cqa_core::consistent_answers_full_in(
             &self.instance,
             &self.constraints,
             &q,
             self.config,
             AnswerSemantics::IncludeNullAnswers,
+            cqa_core::QueryNullSemantics::NullAsValue,
+            &self.caches,
         )?;
         Ok(answers.tuples)
     }
@@ -250,12 +268,14 @@ impl Database {
     /// Consistent answer for a boolean query: `yes`/`no`.
     pub fn consistent_answer_boolean(&self, query: &str) -> Result<bool, Error> {
         let q = cqa_sql::parse_query(self.schema(), query)?;
-        let answers = cqa_core::consistent_answers(
+        let answers = cqa_core::consistent_answers_full_in(
             &self.instance,
             &self.constraints,
             &q,
             self.config,
             AnswerSemantics::IncludeNullAnswers,
+            cqa_core::QueryNullSemantics::NullAsValue,
+            &self.caches,
         )?;
         Ok(answers.is_yes())
     }
@@ -271,13 +291,14 @@ impl Database {
     /// `|=q_N` variant of the paper's Section 7(a).
     pub fn consistent_answers_sql(&self, query: &str) -> Result<BTreeSet<Tuple>, Error> {
         let q = cqa_sql::parse_query(self.schema(), query)?;
-        let answers = cqa_core::consistent_answers_full(
+        let answers = cqa_core::consistent_answers_full_in(
             &self.instance,
             &self.constraints,
             &q,
             self.config,
             AnswerSemantics::IncludeNullAnswers,
             cqa_core::QueryNullSemantics::SqlThreeValued,
+            &self.caches,
         )?;
         Ok(answers.tuples)
     }
@@ -285,10 +306,11 @@ impl Database {
     /// Repairs together with the decision steps that produced them
     /// (which constraint fired, what was inserted/deleted).
     pub fn repairs_with_trace(&self) -> Result<Vec<cqa_core::TracedRepair>, Error> {
-        Ok(cqa_core::repairs_with_trace(
+        Ok(cqa_core::repairs_with_trace_in(
             &self.instance,
             &self.constraints,
             self.config,
+            &self.caches,
         )?)
     }
 

@@ -1,0 +1,95 @@
+//! Per-`Database` cache handles: every facade instance owns its own
+//! [`CqaCaches`] bundle, so one tenant's scans and groundings can never be
+//! evicted by another tenant's churn (ROADMAP "Worklist-cache scope").
+//! The free functions keep using the process-wide default bundle — that
+//! behaviour is pinned separately in `worklist_cache.rs`.
+//!
+//! Only per-handle counters are read here, so the tests are immune to the
+//! global counters moving under parallel test threads.
+
+use cqa::Database;
+
+fn tenant(tag: &str) -> Database {
+    // One key conflict + one dangling FK: 4 repairs, Example-19 shape.
+    Database::from_script(&format!(
+        "CREATE TABLE r (x TEXT PRIMARY KEY, y TEXT);
+         CREATE TABLE s (u TEXT, v TEXT, FOREIGN KEY (v) REFERENCES r(x));
+         INSERT INTO r VALUES ('a{tag}', 'b'), ('a{tag}', 'c');
+         INSERT INTO s VALUES (NULL, 'a{tag}');",
+    ))
+    .unwrap()
+}
+
+#[test]
+fn worklist_cache_is_per_tenant() {
+    let db = tenant("main");
+    let first = db.repairs().unwrap();
+    assert_eq!(db.caches().worklist.stats(), (0, 1), "first call scans");
+    let second = db.repairs().unwrap();
+    assert_eq!(second, first);
+    assert_eq!(db.caches().worklist.stats(), (1, 1), "repeat call hits");
+
+    // Hammer 20 other tenants — more than the 8-entry LRU capacity. With
+    // the old process-wide cache this evicted `db`'s entry; per-tenant
+    // handles must be untouched.
+    for i in 0..20 {
+        let other = tenant(&format!("t{i}"));
+        let _ = other.repairs().unwrap();
+        assert_eq!(other.caches().worklist.stats(), (0, 1));
+    }
+    let third = db.repairs().unwrap();
+    assert_eq!(third, first);
+    assert_eq!(
+        db.caches().worklist.stats(),
+        (2, 1),
+        "no cross-tenant eviction: still a hit after 20 other tenants"
+    );
+
+    // Clones are views of the same tenant: they share the bundle.
+    let fork = db.clone();
+    let _ = fork.repairs().unwrap();
+    assert_eq!(db.caches().worklist.stats(), (3, 1));
+}
+
+#[test]
+fn grounding_cache_hits_and_regrounds_incrementally() {
+    let mut db = tenant("ground");
+    let first = db.repairs_via_program().unwrap();
+    assert_eq!(
+        db.caches().grounding.stats(),
+        (0, 0, 1),
+        "first call grounds from scratch"
+    );
+    let second = db.repairs_via_program().unwrap();
+    assert_eq!(second, first);
+    assert_eq!(
+        db.caches().grounding.stats(),
+        (1, 0, 1),
+        "repeat call reuses the grounding"
+    );
+
+    // CQA through the program route rides the same cached grounding (the
+    // query rules are added to a clone).
+    let answers = db.consistent_answers("q(v) :- s(u, v).").unwrap();
+    assert_eq!(answers.len(), 1);
+
+    // Insert-only drift: the cache diffs the instances and regrounds
+    // incrementally instead of rebuilding.
+    db.insert("s", [cqa::s("extra"), cqa::s("aground")])
+        .unwrap();
+    let third = db.repairs_via_program().unwrap();
+    let (h, regrounds, m) = db.caches().grounding.stats();
+    assert_eq!(
+        (h, regrounds, m),
+        (1, 1, 1),
+        "insert-only drift must take the incremental reground path"
+    );
+    // And the reground result is the real thing: same as the engine.
+    assert_eq!(third, db.repairs().unwrap());
+
+    // A fresh tenant over the same script grounds independently.
+    let other = tenant("ground");
+    let _ = other.repairs_via_program().unwrap();
+    assert_eq!(other.caches().grounding.stats(), (0, 0, 1));
+    assert_eq!(db.caches().grounding.stats().2, 1, "untouched by the twin");
+}

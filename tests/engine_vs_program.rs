@@ -2,28 +2,40 @@
 //! stable models of the Definition-9 repair program (Corrected style)
 //! correspond one-to-one to the repairs found by the direct engine.
 //! CQA via cautious reasoning must likewise agree with CQA via repair
-//! intersection. Randomness is the workspace's deterministic [`XorShift`].
+//! intersection — including when the direct route fans repair search and
+//! answer intersection over the parallel pool (`CQA_TEST_THREADS`).
+//!
+//! The suite also pins the **incremental grounder**: regrounding a live
+//! [`GroundingState`] after random fact-delta sequences must produce a
+//! ground program equal — as a set of atom-level rules — to grounding the
+//! grown program from scratch. Randomness is the workspace's
+//! deterministic [`XorShift`].
 
+use cqa::asp::{ground, GroundingState};
 use cqa::constraints::{builders, graph, v, Constraint, Ic, IcSet};
 use cqa::core::query::AnswerSemantics;
 use cqa::core::{
-    consistent_answers, consistent_answers_via_program, repairs, repairs_via_program,
-    ConjunctiveQuery, ProgramStyle, Query, RepairConfig,
+    consistent_answers, consistent_answers_full, consistent_answers_via_program, repair_program,
+    repairs, repairs_via_program, ConjunctiveQuery, ProgramStyle, Query, RepairConfig,
+    SearchStrategy,
 };
 use cqa::prelude::*;
-use cqa::relational::testing::XorShift;
+use cqa::relational::testing::{env_threads, XorShift};
 use std::sync::Arc;
 
 fn schema() -> Arc<Schema> {
     Schema::builder()
         .relation("P", ["a"])
         .relation("R", ["x", "y"])
-        .relation("T", ["t"])
+        .relation("T", ["t", "u", "w"])
         .finish()
         .unwrap()
         .into_shared()
 }
 
+/// The 6-constraint pool: RIC, UIC, single-column FD, composite-determinant
+/// FD, NNC and a denial — every Definition-9-expressible shape the repair
+/// program must agree with the engine on.
 fn pool(sc: &Schema) -> Vec<Constraint> {
     vec![
         // RIC: P(x) → ∃y R(x,y)
@@ -34,22 +46,24 @@ fn pool(sc: &Schema) -> Vec<Constraint> {
                 .finish()
                 .unwrap(),
         ),
-        // UIC chain: T(x) → P(x)
+        // UIC chain: T(x,y,z) → P(x)
         Constraint::from(
             Ic::builder(sc, "uic")
-                .body_atom("T", [v("x")])
+                .body_atom("T", [v("x"), v("y"), v("z")])
                 .head_atom("P", [v("x")])
                 .finish()
                 .unwrap(),
         ),
         // key on R[1]
         Constraint::from(builders::functional_dependency(sc, "R", &[0], 1).unwrap()),
+        // composite-determinant FD: T[1,2] → T[3]
+        Constraint::from(builders::functional_dependency(sc, "T", &[0, 1], 2).unwrap()),
         // NNC on P[1]
         Constraint::from(builders::not_null(sc, "P", 0).unwrap()),
-        // denial: T(x) ∧ R(x, x) → false
+        // denial: T(x, y, _) ∧ R(x, x) → false
         Constraint::from(
             Ic::builder(sc, "den")
-                .body_atom("T", [v("x")])
+                .body_atom("T", [v("x"), v("y"), v("z")])
                 .body_atom("R", [v("x"), v("x")])
                 .finish()
                 .unwrap(),
@@ -74,7 +88,8 @@ fn instance(rng: &mut XorShift, sc: &Arc<Schema>) -> Instance {
         d.insert_named("R", [value(rng), value(rng)]).unwrap();
     }
     for _ in 0..rng.below(2) {
-        d.insert_named("T", [value(rng)]).unwrap();
+        d.insert_named("T", [value(rng), value(rng), value(rng)])
+            .unwrap();
     }
     d
 }
@@ -82,7 +97,7 @@ fn instance(rng: &mut XorShift, sc: &Arc<Schema>) -> Instance {
 /// Random RIC-acyclic subset of the pool (resampling until acyclic).
 fn acyclic_subset(rng: &mut XorShift, sc: &Schema) -> IcSet {
     loop {
-        let mask = rng.below(32) as u8;
+        let mask = rng.below(64) as u8;
         let ics: IcSet = pool(sc)
             .into_iter()
             .enumerate()
@@ -112,6 +127,16 @@ fn theorem4_engine_equals_program() {
 fn cqa_direct_equals_cqa_via_program() {
     let sc = schema();
     let mut rng = XorShift::new(402);
+    // The direct route runs serially and across the parallel pool — the
+    // CI matrix pins CQA_TEST_THREADS ∈ {1, 4} — and every configuration
+    // must agree with cautious reasoning over the repair program.
+    let strategies = [
+        SearchStrategy::Incremental,
+        SearchStrategy::Parallel { threads: 1 },
+        SearchStrategy::Parallel {
+            threads: env_threads(4),
+        },
+    ];
     for _ in 0..48 {
         let d = instance(&mut rng, &sc);
         let ics = acyclic_subset(&mut rng, &sc);
@@ -121,14 +146,6 @@ fn cqa_direct_equals_cqa_via_program() {
             .finish()
             .unwrap()
             .into();
-        let direct = consistent_answers(
-            &d,
-            &ics,
-            &q,
-            RepairConfig::default(),
-            AnswerSemantics::IncludeNullAnswers,
-        )
-        .unwrap();
         let via_program = consistent_answers_via_program(
             &d,
             &ics,
@@ -137,7 +154,65 @@ fn cqa_direct_equals_cqa_via_program() {
             AnswerSemantics::IncludeNullAnswers,
         )
         .unwrap();
-        assert_eq!(direct, via_program);
+        for strategy in strategies {
+            let direct = consistent_answers(
+                &d,
+                &ics,
+                &q,
+                RepairConfig {
+                    strategy,
+                    ..RepairConfig::default()
+                },
+                AnswerSemantics::IncludeNullAnswers,
+            )
+            .unwrap();
+            assert_eq!(direct, via_program, "strategy {strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn parallel_intersection_matches_serial_across_semantics() {
+    // The chunked parallel answer intersection must be byte-identical to
+    // the serial loop under both answer-filtering modes and both query
+    // null semantics.
+    let sc = schema();
+    let mut rng = XorShift::new(405);
+    let threads = env_threads(4);
+    for _ in 0..24 {
+        let d = instance(&mut rng, &sc);
+        let ics = acyclic_subset(&mut rng, &sc);
+        let q: Query = ConjunctiveQuery::builder(&sc, "q", ["x", "y"])
+            .atom("R", [cqa::constraints::v("x"), cqa::constraints::v("y")])
+            .finish()
+            .unwrap()
+            .into();
+        for semantics in [
+            AnswerSemantics::IncludeNullAnswers,
+            AnswerSemantics::ExcludeNullAnswers,
+        ] {
+            for qsem in [
+                cqa::core::QueryNullSemantics::NullAsValue,
+                cqa::core::QueryNullSemantics::SqlThreeValued,
+            ] {
+                let serial =
+                    consistent_answers_full(&d, &ics, &q, RepairConfig::default(), semantics, qsem)
+                        .unwrap();
+                let parallel = consistent_answers_full(
+                    &d,
+                    &ics,
+                    &q,
+                    RepairConfig {
+                        strategy: SearchStrategy::Parallel { threads },
+                        ..RepairConfig::default()
+                    },
+                    semantics,
+                    qsem,
+                )
+                .unwrap();
+                assert_eq!(serial, parallel, "{semantics:?} {qsem:?}");
+            }
+        }
     }
 }
 
@@ -154,6 +229,64 @@ fn paper_exact_repairs_are_superset_of_corrected() {
         let paper = repairs_via_program(&d, &ics, ProgramStyle::PaperExact).unwrap();
         for r in &corrected {
             assert!(paper.contains(r));
+        }
+    }
+}
+
+/// A fresh atom for the delta stream: unique constants so insertions are
+/// genuinely new, plus occasional null/shared values to hit the guard and
+/// patch paths.
+fn delta_atom(rng: &mut XorShift, round: usize, step: usize) -> (&'static str, Vec<Value>) {
+    let fresh = |tag: &str| s(&format!("{tag}{round}_{step}"));
+    match rng.below(4) {
+        0 => (
+            "P",
+            vec![if rng.chance(1, 4) { null() } else { fresh("p") }],
+        ),
+        1 => ("R", vec![fresh("r"), value(rng)]),
+        2 => ("T", vec![fresh("t"), value(rng), value(rng)]),
+        _ => ("R", vec![value(rng), value(rng)]),
+    }
+}
+
+#[test]
+fn incremental_reground_equals_scratch_over_delta_sequences() {
+    // The oracle sweep of the incremental grounder: random instances ×
+    // random RIC-acyclic constraint subsets × random fact-delta sequences
+    // (insertions, with occasional removals exercising the rebuild path).
+    // After every delta the live state's ground program must equal — as a
+    // set of atom-level rules — a from-scratch grounding of its program.
+    let sc = schema();
+    let mut rng = XorShift::new(404);
+    for round in 0..24 {
+        let d = instance(&mut rng, &sc);
+        let ics = acyclic_subset(&mut rng, &sc);
+        for style in [ProgramStyle::Corrected, ProgramStyle::PaperExact] {
+            let program = repair_program(&d, &ics, style).unwrap();
+            let mut state = GroundingState::new(&program);
+            assert_eq!(
+                state.ground_program().resolved_rules(),
+                ground(state.program()).resolved_rules(),
+                "fresh state, round {round}, {style:?}"
+            );
+            for step in 0..6 {
+                if rng.chance(1, 5) {
+                    // Remove a random existing fact (rebuild path).
+                    let facts = state.program().facts().to_vec();
+                    if let Some((pred, args)) = facts.get(rng.below(facts.len().max(1))).cloned() {
+                        state.remove_facts([(pred, args)]);
+                    }
+                } else {
+                    let (pred, args) = delta_atom(&mut rng, round, step);
+                    state.add_fact_named(pred, args).unwrap();
+                }
+                let scratch = ground(state.program());
+                assert_eq!(
+                    state.ground_program().resolved_rules(),
+                    scratch.resolved_rules(),
+                    "round {round}, step {step}, {style:?}"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,207 @@
+//! Solver suite for conflict-driven clause learning.
+//!
+//! Two contracts of the CDCL rewrite in `cqa-asp::solve`:
+//!
+//! 1. **Learned clauses are implied.** Every 1UIP clause the solver learns
+//!    must be a logical consequence of the input formula plus the blocking
+//!    clauses of the models reported *before* it was learned (blocking
+//!    clauses are part of the enumeration state, so a clause learned from
+//!    one is implied only modulo the already-reported models). Checked by
+//!    refutation: formula ∧ blockings ∧ ¬C must be unsatisfiable,
+//!    decided by the retained basic DPLL engine — the same oracle the
+//!    stability tests lean on.
+//! 2. **Enumeration order is preserved.** With blocking-clause
+//!    enumeration, the model sequence — set *and* order — must equal the
+//!    pre-refactor chronological solver's (`for_each_model_basic`), and
+//!    `stable_models` over the random ground-program corpus of
+//!    `asp_properties.rs` must keep matching the brute-force subset
+//!    oracle byte-for-byte.
+
+use cqa::asp::solve::{Cnf, Lit};
+use cqa::asp::{is_stable, stable_models, GroundProgram, GroundRule};
+use cqa::relational::testing::XorShift;
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+fn random_cnf(rng: &mut XorShift, vars: usize, clauses: usize) -> Cnf {
+    let mut cnf = Cnf::new(vars);
+    for _ in 0..clauses {
+        let len = 1 + rng.below(3);
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| {
+                let v = rng.below(vars) as u32;
+                if rng.chance(1, 2) {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            })
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+/// Everything the instrumented run emits, in emission order.
+enum Event {
+    Model(Vec<bool>),
+    Learnt(Vec<Lit>),
+}
+
+fn instrumented_events(cnf: &Cnf, decide: usize) -> Vec<Event> {
+    use std::cell::RefCell;
+    let events: RefCell<Vec<Event>> = RefCell::new(Vec::new());
+    let _ = cnf.for_each_model_instrumented(
+        decide,
+        |m| {
+            events.borrow_mut().push(Event::Model(m.to_vec()));
+            ControlFlow::<()>::Continue(())
+        },
+        |c| events.borrow_mut().push(Event::Learnt(c.to_vec())),
+    );
+    events.into_inner()
+}
+
+/// The blocking clause the solver would add for `model` (negation of the
+/// decide-range assignment; the level-0 filtering the solver applies only
+/// strengthens the clause, so the unfiltered version is a sound stand-in
+/// on the implication side).
+fn blocking_clause(model: &[bool], decide: usize) -> Vec<Lit> {
+    (0..decide as u32)
+        .map(|v| Lit {
+            var: v,
+            positive: !model[v as usize],
+        })
+        .collect()
+}
+
+#[test]
+fn learned_clauses_are_implied() {
+    let mut rng = XorShift::new(601);
+    let mut checked = 0usize;
+    for round in 0..200 {
+        let vars = 3 + round % 5;
+        let cnf = random_cnf(&mut rng, vars, 3 + round % 9);
+        let mut blockings: Vec<Vec<Lit>> = Vec::new();
+        for event in instrumented_events(&cnf, vars) {
+            match event {
+                Event::Model(m) => blockings.push(blocking_clause(&m, vars)),
+                Event::Learnt(clause) => {
+                    // Refute: formula ∧ blockings-so-far ∧ ¬clause.
+                    let mut refute = cnf.clone();
+                    for b in &blockings {
+                        refute.add_clause(b.iter().copied());
+                    }
+                    for lit in &clause {
+                        refute.add_clause([Lit {
+                            var: lit.var,
+                            positive: !lit.positive,
+                        }]);
+                    }
+                    let mut sat = false;
+                    let _ = refute.for_each_model_basic(vars, |_| {
+                        sat = true;
+                        ControlFlow::Break(())
+                    });
+                    assert!(
+                        !sat,
+                        "round {round}: learned clause {clause:?} is not implied ({cnf:?})"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "the corpus must force the solver to learn");
+}
+
+#[test]
+fn blocking_enumeration_matches_pre_refactor_sequence() {
+    let mut rng = XorShift::new(602);
+    for round in 0..300 {
+        let vars = 2 + round % 7;
+        let cnf = random_cnf(&mut rng, vars, 2 + round % 11);
+        for decide in [vars, 1 + vars / 2] {
+            let mut new_models = Vec::new();
+            let _ = cnf.for_each_model(decide, |m| {
+                new_models.push(m.to_vec());
+                ControlFlow::<()>::Continue(())
+            });
+            let mut old_models = Vec::new();
+            let _ = cnf.for_each_model_basic(decide, |m| {
+                old_models.push(m.to_vec());
+                ControlFlow::<()>::Continue(())
+            });
+            assert_eq!(
+                new_models, old_models,
+                "round {round} decide {decide}: {cnf:?}"
+            );
+        }
+    }
+}
+
+// --- stable-model corpus (the asp_properties.rs generator) -------------
+
+fn build(n: u32, rules: &[(Vec<u32>, Vec<u32>, Vec<u32>)]) -> GroundProgram {
+    let mut gp = GroundProgram::default();
+    for a in 0..n {
+        gp.intern(cqa::asp::GroundAtom {
+            pred: cqa::asp::PredId(a),
+            args: vec![],
+        });
+    }
+    for (head, pos, neg) in rules {
+        let clean = |v: &Vec<u32>| {
+            let mut out: Vec<u32> = v.iter().map(|x| x % n).collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        };
+        let rule = GroundRule {
+            head: clean(head),
+            pos: clean(pos),
+            neg: clean(neg),
+        };
+        if rule.head.iter().any(|h| rule.pos.contains(h)) {
+            continue;
+        }
+        gp.push_rule(rule);
+    }
+    gp
+}
+
+fn subset_oracle(gp: &GroundProgram) -> Vec<BTreeSet<u32>> {
+    let n = gp.atom_count();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n) {
+        let m: BTreeSet<u32> = (0..n as u32).filter(|a| mask & (1 << a) != 0).collect();
+        let classical = gp.rules.iter().all(|r| {
+            let body = r.pos.iter().all(|p| m.contains(p)) && r.neg.iter().all(|x| !m.contains(x));
+            !body || r.head.iter().any(|h| m.contains(h))
+        });
+        if classical && is_stable(gp, &m) {
+            out.push(m);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn stable_enumeration_unchanged_on_asp_properties_corpus() {
+    let mut rng = XorShift::new(501); // the asp_properties.rs seed
+    for _ in 0..128 {
+        let rules: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = (0..1 + rng.below(6))
+            .map(|_| {
+                let mut draw = |max_len: usize| -> Vec<u32> {
+                    (0..rng.below(max_len))
+                        .map(|_| rng.below(6) as u32)
+                        .collect()
+                };
+                (draw(3), draw(3), draw(2))
+            })
+            .collect();
+        let gp = build(6, &rules);
+        assert_eq!(stable_models(&gp), subset_oracle(&gp), "rules {rules:?}");
+    }
+}
