@@ -41,23 +41,61 @@
 //!   (refcount-exact, so a rule shared with an unaffected binding
 //!   survives) and the patched resolution emitted. `ground_program()` is
 //!   therefore O(1) — there is no materialisation step to re-run.
-//! * **State invalidation.** `PT` only grows under fact *insertion*, so
-//!   insertions are fully incremental. Fact *removal* may shrink `PT`;
-//!   [`GroundingState::remove_facts`] rebuilds from the retained
-//!   non-ground program (correct, cache-refillable) rather than
-//!   implementing delete-rederive. [`GroundingState::add_rule`] extends a
-//!   live state with a new rule (the CQA layer appends query rules to a
-//!   cached Π(D, IC) grounding), instantiating just that rule and
-//!   propagating whatever its heads add to `PT`.
+//! * **Support refcounts.** Alongside `PT` the state tracks, per atom,
+//!   how many *derivations* currently justify it: one per occurrence as a
+//!   program fact (tracked separately in a fact refcount) plus one per
+//!   live binding that grounds a head to it. Insertion bumps them,
+//!   deletion retracts them — they are what makes the two-pass deletion
+//!   below exact.
+//! * **Rule extension.** [`GroundingState::add_rule`] extends a live
+//!   state with a new rule (the CQA layer appends query rules to a cached
+//!   Π(D, IC) grounding), instantiating just that rule and propagating
+//!   whatever its heads add to `PT`.
 //!
-//! The invariant tying it together: after every public call, the stored
-//! [`GroundProgram`] equals — as a *set* of atom-level rules
+//! ## Deletion architecture (DRed)
+//!
+//! `PT` is not monotone under fact removal, so deletions cannot reuse the
+//! insertion worklist. [`GroundingState::remove_facts`] instead runs the
+//! classic *delete–rederive* two-pass (DRed, Gupta–Mumick–Subrahmanian;
+//! the same maintained-consequence-set discipline the repair-free CQA
+//! line leans on):
+//!
+//! 1. **Over-delete.** A worklist seeds with the removed facts' atoms
+//!    (their unit rules retracted, fact refcounts decremented). Popping
+//!    an atom that is no longer fact-supported deletes it: surviving
+//!    bindings whose *negative* literals ground to it are re-resolved
+//!    through the negative occurrence index — the exact inverse of the
+//!    insertion patch, flipping the literal back to "definitely false →
+//!    dropped" — then the atom leaves `PT` and every binding using it
+//!    *positively* (found by pinning it into the positive occurrence
+//!    indexes, just like insertion) is dropped: its resolved rule is
+//!    retracted refcount-exactly and each of its head atoms loses one
+//!    support and joins the worklist. This deliberately over-approximates:
+//!    an atom is torn down even when alternative derivations remain,
+//!    which is what makes the pass sound for *cyclic* derivations (two
+//!    atoms supporting only each other both reach the worklist and both
+//!    fall, where a pure refcount cut-off would keep the dead loop
+//!    alive). Atoms still backed by a program fact are skipped — fact
+//!    support is ground and can never be part of a derivation cycle.
+//! 2. **Rederive.** Every over-deleted atom whose support count is still
+//!    positive has a surviving derivation (a fact occurrence or a live
+//!    binding untouched by pass 1 — supports are exact here *because*
+//!    pass 1 removed every binding in the deleted cone). Those survivors
+//!    are re-admitted through the ordinary insertion machinery —
+//!    `admit_atom` re-patches their negative occurrences and the
+//!    seminaive worklist rebuilds any downstream bindings pass 1 tore
+//!    down — so the cost is bounded by the delta's derivation cone, not
+//!    the instance.
+//!
+//! The invariant tying it together: after every public call — any
+//! interleaving of `add_facts`, `remove_facts` and `add_rule` — the
+//! stored [`GroundProgram`] equals — as a *set* of atom-level rules
 //! ([`GroundProgram::resolved_rules`]) — what [`ground`] would produce on
 //! the current program. Atom ids and rule order may differ (ids are
 //! assigned in discovery order, which differs between the two paths); the
 //! stable-model semantics and every downstream answer are unaffected, and
 //! the oracle sweep in `tests/engine_vs_program.rs` pins the equality
-//! over random delta sequences.
+//! over random mixed insert/delete sequences.
 
 use crate::error::AspError;
 use crate::syntax::{AtomSpec, BodyLit, Literal, PredId, Program, Rule, RuleAtom, Term};
@@ -392,10 +430,32 @@ pub struct GroundingState {
     pt: Vec<BTreeSet<Vec<Value>>>,
     /// Satisfying bindings (positive body + builtins over `pt`) per rule.
     instances: Vec<BTreeSet<Vec<Value>>>,
+    /// Per-atom derivation count: fact occurrences plus live bindings
+    /// grounding a head to the atom (absent = zero). Drives DRed pass 2.
+    support: Vec<BTreeMap<Vec<Value>, u32>>,
+    /// Per-atom *fact* occurrence count (a sub-count of `support`): atoms
+    /// still backed by a fact are never over-deleted in DRed pass 1.
+    fact_rc: Vec<BTreeMap<Vec<Value>, u32>>,
     /// The emitted ground program, maintained in place.
     gp: GroundProgram,
     /// Emitted rule → (index in `gp.rules`, reference count).
     emitted: BTreeMap<GroundRule, (usize, u32)>,
+}
+
+/// Bump a refcount map entry (absent = zero).
+fn bump(map: &mut BTreeMap<Vec<Value>, u32>, args: &[Value]) {
+    *map.entry(args.to_vec()).or_insert(0) += 1;
+}
+
+/// Drop one reference from a refcount map entry, removing it at zero.
+fn unbump(map: &mut BTreeMap<Vec<Value>, u32>, args: &[Value]) {
+    match map.get_mut(args) {
+        Some(rc) if *rc > 1 => *rc -= 1,
+        Some(_) => {
+            map.remove(args);
+        }
+        None => debug_assert!(false, "refcount underflow"),
+    }
 }
 
 impl GroundingState {
@@ -409,6 +469,8 @@ impl GroundingState {
             neg_occ: vec![Vec::new(); preds],
             pt: vec![BTreeSet::new(); preds],
             instances: vec![BTreeSet::new(); program.rules().len()],
+            support: vec![BTreeMap::new(); preds],
+            fact_rc: vec![BTreeMap::new(); preds],
             gp: GroundProgram::default(),
             emitted: BTreeMap::new(),
         };
@@ -506,15 +568,131 @@ impl GroundingState {
         self.add_facts([(id, args.into_iter().collect())])
     }
 
-    /// Remove facts (first occurrence each, multiset semantics). The
-    /// possibly-true set can shrink under removal, so this path rebuilds
-    /// from the retained program — correct, not incremental (see module
-    /// docs on state invalidation).
+    /// Remove facts (first occurrence each, multiset semantics),
+    /// regrounding incrementally by delete–rederive: over-delete the
+    /// removed atoms' derivation cones through the positive occurrence
+    /// indexes, then re-admit every torn-down atom that still has a
+    /// surviving derivation (see module docs, "Deletion architecture
+    /// (DRed)"). Facts not present in the program are ignored. Cost is
+    /// bounded by the delta's derivation cone, not the instance.
     pub fn remove_facts(&mut self, facts: impl IntoIterator<Item = (PredId, Vec<Value>)>) {
+        // Remove the whole batch from the program first: pass 1's
+        // fact-support checks must see the post-removal multiset.
+        let mut dq: VecDeque<(PredId, Vec<Value>)> = VecDeque::new();
         for (pred, args) in facts {
-            self.program.remove_fact(pred, &args);
+            if !self.program.remove_fact(pred, &args) {
+                continue; // absent fact: nothing to retract
+            }
+            let id = self.gp.intern(GroundAtom {
+                pred,
+                args: args.clone(),
+            });
+            self.retract(&GroundRule {
+                head: vec![id],
+                pos: vec![],
+                neg: vec![],
+            });
+            unbump(&mut self.fact_rc[pred.index()], &args);
+            unbump(&mut self.support[pred.index()], &args);
+            dq.push_back((pred, args));
         }
-        *self = GroundingState::new(&self.program);
+        // Pass 1: over-delete. Every queued atom falls unless a fact
+        // occurrence survives; bindings using it positively are dropped
+        // and their heads join the queue.
+        let mut deleted: BTreeSet<(PredId, Vec<Value>)> = BTreeSet::new();
+        while let Some((pred, args)) = dq.pop_front() {
+            if !self.pt[pred.index()].contains(&args)
+                || self.fact_rc[pred.index()].contains_key(&args)
+            {
+                continue; // already deleted, or fact-supported (ground)
+            }
+            self.delete_atom(pred, args, &mut dq, &mut deleted);
+        }
+        // Pass 2: rederive. Supports are exact after pass 1 (every
+        // binding in the deleted cone was dropped), so a positive count
+        // is a surviving derivation: re-admit and propagate seminaively.
+        let mut work: VecDeque<(PredId, Vec<Value>)> = VecDeque::new();
+        for (pred, args) in &deleted {
+            if self.support[pred.index()].contains_key(args) {
+                self.admit_atom(*pred, args.clone(), &mut work);
+            }
+        }
+        self.propagate(&mut work);
+    }
+
+    /// Over-delete one atom (DRed pass 1): un-patch the surviving
+    /// bindings whose negative literals ground to it, remove it from
+    /// `PT`, and drop every binding that used it positively — each
+    /// dropped binding retracts its resolved rule and sends its head
+    /// atoms to the deletion queue.
+    fn delete_atom(
+        &mut self,
+        pred: PredId,
+        args: Vec<Value>,
+        dq: &mut VecDeque<(PredId, Vec<Value>)>,
+        deleted: &mut BTreeSet<(PredId, Vec<Value>)>,
+    ) {
+        // Both the un-patch and the affected-binding enumeration join
+        // against `PT` *with the atom still present*: a binding that uses
+        // the atom in several positions (or both polarities) is only
+        // reachable while it is.
+        self.repatch_negatives(pred, &args, false);
+        let occs = self.pos_occ[pred.index()].clone();
+        let mut affected: BTreeSet<(usize, Vec<Value>)> = BTreeSet::new();
+        for (ri, pi) in occs {
+            let mut found: Vec<Vec<Value>> = Vec::new();
+            collect_bindings(
+                &self.program.rules()[ri],
+                &self.info[ri],
+                &self.pt,
+                Pin::Pos(pi, &args),
+                &mut found,
+            );
+            for binding in found {
+                if self.instances[ri].contains(&binding) {
+                    affected.insert((ri, binding));
+                }
+            }
+        }
+        self.pt[pred.index()].remove(&args);
+        deleted.insert((pred, args));
+        for (ri, binding) in affected {
+            self.drop_binding(ri, binding, dq);
+        }
+    }
+
+    /// Drop one live binding: retract its resolved rule (refcount-exact —
+    /// computed under the current `PT`, which the un-patch discipline
+    /// keeps in sync with what was emitted) and decrement each distinct
+    /// head atom's support, queueing the heads for over-deletion.
+    fn drop_binding(
+        &mut self,
+        ri: usize,
+        binding: Vec<Value>,
+        dq: &mut VecDeque<(PredId, Vec<Value>)>,
+    ) {
+        if !self.instances[ri].remove(&binding) {
+            return;
+        }
+        if let Some(rule) = resolve_instance(
+            &self.program.rules()[ri],
+            &self.pt,
+            &mut self.gp,
+            &binding,
+            None,
+        ) {
+            self.retract(&rule);
+        }
+        let opt: Vec<Option<Value>> = binding.into_iter().map(Some).collect();
+        let heads: BTreeSet<(PredId, Vec<Value>)> = self.program.rules()[ri]
+            .head
+            .iter()
+            .map(|h| (h.pred, ground_args(&h.terms, &opt)))
+            .collect();
+        for (pred, args) in heads {
+            unbump(&mut self.support[pred.index()], &args);
+            dq.push_back((pred, args));
+        }
     }
 
     /// Append a rule to the live grounding: the rule is instantiated
@@ -536,6 +714,8 @@ impl GroundingState {
             self.pos_occ.push(Vec::new());
             self.neg_occ.push(Vec::new());
             self.pt.push(BTreeSet::new());
+            self.support.push(BTreeMap::new());
+            self.fact_rc.push(BTreeMap::new());
         }
         result?;
         let ri = self.program.rules().len() - 1;
@@ -581,7 +761,9 @@ impl GroundingState {
         self.info.push(info);
     }
 
-    /// A new fact: emit its unit rule and admit its atom into `PT`.
+    /// A new fact: emit its unit rule, count its derivation and admit its
+    /// atom into `PT`. Every occurrence of a duplicated fact counts — the
+    /// refcounts are multiset-exact so removal retracts precisely one.
     fn admit_fact(
         &mut self,
         pred: PredId,
@@ -597,6 +779,8 @@ impl GroundingState {
             pos: vec![],
             neg: vec![],
         });
+        bump(&mut self.fact_rc[pred.index()], &args);
+        bump(&mut self.support[pred.index()], &args);
         self.admit_atom(pred, args, work);
     }
 
@@ -612,7 +796,7 @@ impl GroundingState {
         if !self.pt[pred.index()].insert(args.clone()) {
             return;
         }
-        self.patch_negatives(pred, &args);
+        self.repatch_negatives(pred, &args, true);
         work.push_back((pred, args));
     }
 
@@ -664,18 +848,29 @@ impl GroundingState {
             .iter()
             .map(|h| (h.pred, ground_args(&h.terms, &opt)))
             .collect();
+        // One support per *distinct* ground head atom per binding — the
+        // exact amount `drop_binding` retracts.
+        let mut seen: BTreeSet<(PredId, Vec<Value>)> = BTreeSet::new();
         for (pred, args) in heads {
+            if seen.insert((pred, args.clone())) {
+                bump(&mut self.support[pred.index()], &args);
+            }
             self.admit_atom(pred, args, work);
         }
     }
 
-    /// `atom` just entered `PT`: every existing binding whose *negative*
-    /// literal grounds to it carried a stale resolution (the literal was
-    /// dropped as definitely false). Re-enumerate those bindings through
-    /// the negative occurrence index, retract the stale rule and emit the
-    /// patched one. Exactness relies on the refcount store: a stale rule
-    /// shared with an unaffected binding merely loses one reference.
-    fn patch_negatives(&mut self, pred: PredId, args: &[Value]) {
+    /// `atom` is crossing the `PT` boundary: every live binding whose
+    /// *negative* literal grounds to it carries a resolution that is
+    /// about to go stale. `entering = true` (the atom was just inserted):
+    /// literals previously dropped as definitely false become live —
+    /// retract the pre-delta resolution, emit the patched one.
+    /// `entering = false` (the atom is about to be removed): the exact
+    /// inverse — the literal flips back to "definitely false → dropped".
+    /// Both directions re-enumerate the affected bindings through the
+    /// negative occurrence index *while the atom is in `PT`*, and both
+    /// rely on the refcount store for exactness: a stale rule shared with
+    /// an unaffected binding merely loses one reference.
+    fn repatch_negatives(&mut self, pred: PredId, args: &[Value], entering: bool) {
         if self.neg_occ[pred.index()].is_empty() {
             return;
         }
@@ -703,20 +898,25 @@ impl GroundingState {
             args: args.to_vec(),
         };
         for (ri, binding) in affected {
-            let stale = resolve_instance(
+            let without = resolve_instance(
                 &self.program.rules()[ri],
                 &self.pt,
                 &mut self.gp,
                 &binding,
                 Some(&ga),
             );
-            let fresh = resolve_instance(
+            let with = resolve_instance(
                 &self.program.rules()[ri],
                 &self.pt,
                 &mut self.gp,
                 &binding,
                 None,
             );
+            let (stale, fresh) = if entering {
+                (without, with)
+            } else {
+                (with, without)
+            };
             if stale == fresh {
                 continue;
             }
@@ -1212,7 +1412,10 @@ mod tests {
     }
 
     #[test]
-    fn fact_removal_rebuilds_exactly() {
+    fn fact_removal_unpatches_negatives() {
+        // The DRed un-patch path: `m(1)` leaving PT must flip `not m(1)`
+        // back to "definitely false → dropped" in the surviving q-rule
+        // instance (the ground rule loses its negative literal).
         let mut p = Program::new();
         p.fact("n", [i(1)]).unwrap();
         p.fact("n", [i(2)]).unwrap();
@@ -1236,6 +1439,175 @@ mod tests {
             .facts()
             .iter()
             .any(|(pid, args)| *pid == m && args == &vec![i(1)]));
+        // Every q-rule instance now resolves without a negative literal.
+        let q = p.pred_id("q").unwrap();
+        for (head, _, neg) in state.ground_program().resolved_rules() {
+            if head.iter().any(|a| a.pred == q) {
+                assert!(neg.is_empty(), "not m(x) must be dropped after removal");
+            }
+        }
+    }
+
+    #[test]
+    fn atom_with_two_derivations_survives_over_delete() {
+        // p(x) is derived from both e(x) and f(x): removing e(1) tears
+        // p(1) down in pass 1 but pass 2 rederives it from the surviving
+        // f-binding — and its consumers come back with it.
+        let mut p = Program::new();
+        p.fact("e", [i(1)]).unwrap();
+        p.fact("f", [i(1)]).unwrap();
+        p.rule([atom("p", [tv("x")])], [pos(atom("e", [tv("x")]))])
+            .unwrap();
+        p.rule([atom("p", [tv("x")])], [pos(atom("f", [tv("x")]))])
+            .unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("p", [tv("x")]))])
+            .unwrap();
+        let mut state = GroundingState::new(&p);
+        let e = p.pred_id("e").unwrap();
+        state.remove_facts([(e, vec![i(1)])]);
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+        let q = p.pred_id("q").unwrap();
+        assert!(
+            state
+                .ground_program()
+                .resolved_rules()
+                .iter()
+                .any(|(head, _, _)| head.iter().any(|a| a.pred == q)),
+            "q(1) must survive: p(1) still derivable via f(1)"
+        );
+    }
+
+    #[test]
+    fn cyclic_support_is_torn_down() {
+        // p ← q and q ← p support each other; only e grounds them. A pure
+        // refcount cut-off would keep the dead loop alive after e is
+        // removed — the over-delete pass must not.
+        let mut p = Program::new();
+        p.fact("e", [i(1)]).unwrap();
+        p.rule([atom("p", [tv("x")])], [pos(atom("e", [tv("x")]))])
+            .unwrap();
+        p.rule([atom("p", [tv("x")])], [pos(atom("q", [tv("x")]))])
+            .unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("p", [tv("x")]))])
+            .unwrap();
+        let mut state = GroundingState::new(&p);
+        let e = p.pred_id("e").unwrap();
+        state.remove_facts([(e, vec![i(1)])]);
+        let scratch = ground(state.program());
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            scratch.resolved_rules()
+        );
+        assert!(
+            state.ground_program().resolved_rules().is_empty(),
+            "the p/q loop has no non-circular derivation left"
+        );
+    }
+
+    #[test]
+    fn duplicate_fact_removal_is_multiset_exact() {
+        let mut p = Program::new();
+        p.fact("r", [i(1)]).unwrap();
+        p.fact("r", [i(1)]).unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("r", [tv("x")]))])
+            .unwrap();
+        let mut state = GroundingState::new(&p);
+        let r = p.pred_id("r").unwrap();
+        // First removal: one occurrence remains, the atom (and q(1)) stay.
+        state.remove_facts([(r, vec![i(1)])]);
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+        assert_eq!(state.program().facts().len(), 1);
+        assert!(!state.ground_program().resolved_rules().is_empty());
+        // Second removal: now the cone falls.
+        state.remove_facts([(r, vec![i(1)])]);
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+        assert!(state.ground_program().resolved_rules().is_empty());
+    }
+
+    #[test]
+    fn transitive_cone_deletes_and_rederives() {
+        // Diamond: path(1,3) via the direct edge and via 2. Removing
+        // edge(1,3) keeps path(1,3) (rederived through the chain);
+        // removing edge(1,2) afterwards kills it.
+        let mut p = Program::new();
+        p.fact("edge", [i(1), i(2)]).unwrap();
+        p.fact("edge", [i(2), i(3)]).unwrap();
+        p.fact("edge", [i(1), i(3)]).unwrap();
+        p.rule(
+            [atom("path", [tv("x"), tv("y")])],
+            [pos(atom("edge", [tv("x"), tv("y")]))],
+        )
+        .unwrap();
+        p.rule(
+            [atom("path", [tv("x"), tv("z")])],
+            [
+                pos(atom("edge", [tv("x"), tv("y")])),
+                pos(atom("path", [tv("y"), tv("z")])),
+            ],
+        )
+        .unwrap();
+        let mut state = GroundingState::new(&p);
+        let edge = p.pred_id("edge").unwrap();
+        let path = p.pred_id("path").unwrap();
+        let has_path13 = |state: &GroundingState| {
+            state
+                .ground_program()
+                .resolved_rules()
+                .iter()
+                .any(|(head, _, _)| {
+                    head.iter()
+                        .any(|a| a.pred == path && a.args == vec![i(1), i(3)])
+                })
+        };
+        state.remove_facts([(edge, vec![i(1), i(3)])]);
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+        assert!(has_path13(&state), "path(1,3) survives via 1→2→3");
+        state.remove_facts([(edge, vec![i(1), i(2)])]);
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+        assert!(!has_path13(&state), "no derivation of path(1,3) remains");
+    }
+
+    #[test]
+    fn removal_batch_interleaves_with_additions_and_rules() {
+        // DRed must compose with the insertion path and add_rule on one
+        // live state — the cache's mixed-churn usage pattern.
+        let mut p = Program::new();
+        p.fact("n", [i(1)]).unwrap();
+        p.fact("m", [i(1)]).unwrap();
+        p.rule(
+            [atom("q", [tv("x")])],
+            [pos(atom("n", [tv("x")])), neg(atom("m", [tv("x")]))],
+        )
+        .unwrap();
+        let mut state = GroundingState::new(&p);
+        let n = state.program().pred_id("n").unwrap();
+        let m = state.program().pred_id("m").unwrap();
+        state.add_fact_named("n", [i(2)]).unwrap();
+        state.remove_facts([(m, vec![i(1)]), (n, vec![i(1)])]);
+        state
+            .add_rule([atom("s", [tv("x")])], [pos(atom("q", [tv("x")]))])
+            .unwrap();
+        state.add_fact_named("m", [i(2)]).unwrap();
+        state.remove_facts([(n, vec![i(2)])]);
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
     }
 
     #[test]

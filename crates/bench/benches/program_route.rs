@@ -1,22 +1,31 @@
 //! Bench: the logic-program CQA route on the clean-size axis — the cost
-//! profile of PR 4's seminaive incremental grounder.
+//! profile of the seminaive incremental grounder (PR 4) and the DRed
+//! delete–rederive pass (PR 5).
 //!
-//! Three series per instance size (Example-19 shape, conflicts fixed at
+//! Five series per instance size (Example-19 shape, conflicts fixed at
 //! 2 key conflicts + 1 dangling FK while clean tuples grow 16×):
 //!
 //! * `ground_scratch/N` — building a fresh [`GroundingState`] for
 //!   Π(D, IC): the possibly-true fixpoint plus full rule instantiation,
 //!   O(instance) per call. What every program-route call paid before the
 //!   incremental grounder existed.
-//! * `reground_delta/N` — applying a **single-fact delta** to a live
+//! * `reground_delta/N` — applying a **single-fact insertion** to a live
 //!   state: seminaive propagation touches only the rules in the delta's
 //!   derivation cone, so the cost should be conflict-bounded, not
 //!   instance-bounded. The state clone handed to each iteration is set up
-//!   *outside* the timed region. `reground_delta/800` is regression-gated
-//!   against the committed `BENCH_4.json`, and `bench_check` additionally
-//!   enforces the host-independent within-run ratio
-//!   `reground_delta/800 ≤ 0.25 × ground_scratch/800` (the headline
-//!   "≥ 4× faster after a delta" claim).
+//!   *outside* the timed region.
+//! * `reground_delete/N` — removing that fact again: the DRed two-pass
+//!   (over-delete the cone, rederive survivors), which before PR 5 was a
+//!   full rebuild. Symmetric to `reground_delta`, and held to the same
+//!   within-run gate: `bench_check` enforces
+//!   `reground_delete/800 ≤ 0.25 × ground_scratch/800` (the "delete at
+//!   least 4× cheaper than scratch" acceptance bar), alongside the
+//!   existing insert-side gate.
+//! * `reground_mixed_churn/N` — an alternating insert/delete sequence
+//!   (6 ops across both relations) on a live state: the realistic
+//!   multi-tenant drift the grounding cache replays.
+//!   `reground_mixed_churn/800` is regression-gated against the committed
+//!   `BENCH_5.json`.
 //! * `solve/N` — stable-model enumeration over the (cached) ground
 //!   program with the CDCL learning solver: the downstream consumer whose
 //!   input the grounder feeds.
@@ -30,7 +39,8 @@ use std::hint::black_box;
 fn program_route() {
     let mut group = Harness::new("program_route");
     let sizes = [50usize, 200, 800];
-    let mut ratio_at_largest = f64::NAN;
+    let mut insert_ratio_at_largest = f64::NAN;
+    let mut delete_ratio_at_largest = f64::NAN;
     for &clean in &sizes {
         let w = cqa_bench::example19_scaled(clean, 2, 1, 31);
         let program =
@@ -41,6 +51,8 @@ fn program_route() {
             })
             .median_ns;
         let base = GroundingState::new(&program);
+        let r_pred = base.program().pred_id("R").unwrap();
+        let s_pred = base.program().pred_id("S").unwrap();
         let reground = group
             .bench_with_setup(
                 format!("reground_delta/{clean}"),
@@ -51,13 +63,45 @@ fn program_route() {
                 },
             )
             .median_ns;
-        let ratio = reground as f64 / scratch.max(1) as f64;
+        let reground_del = group
+            .bench_with_setup(
+                format!("reground_delete/{clean}"),
+                || {
+                    // Untimed: a live state that already absorbed the fact
+                    // the timed region deletes.
+                    let mut state = base.clone();
+                    state.add_fact_named("R", [s("dx"), s("dy")]).unwrap();
+                    state
+                },
+                |mut state| {
+                    state.remove_facts([(r_pred, vec![s("dx"), s("dy")])]);
+                    black_box(state.ground_program().rules.len())
+                },
+            )
+            .median_ns;
+        group.bench_with_setup(
+            format!("reground_mixed_churn/{clean}"),
+            || base.clone(),
+            |mut state| {
+                state.add_fact_named("R", [s("mx0"), s("my0")]).unwrap();
+                state.add_fact_named("S", [s("ms0"), s("mx0")]).unwrap();
+                state.remove_facts([(s_pred, vec![s("ms0"), s("mx0")])]);
+                state.add_fact_named("R", [s("mx1"), s("my1")]).unwrap();
+                state.remove_facts([(r_pred, vec![s("mx0"), s("my0")])]);
+                state.remove_facts([(r_pred, vec![s("mx1"), s("my1")])]);
+                black_box(state.ground_program().rules.len())
+            },
+        );
+        let ins_ratio = reground as f64 / scratch.max(1) as f64;
+        let del_ratio = reground_del as f64 / scratch.max(1) as f64;
         println!(
-            "  -> reground-after-Δ vs scratch at clean={clean}: {:.1}x faster ({ratio:.3}x the cost)",
-            scratch as f64 / reground.max(1) as f64
+            "  -> reground-after-Δ vs scratch at clean={clean}: insert {:.1}x faster ({ins_ratio:.3}x), delete {:.1}x faster ({del_ratio:.3}x)",
+            scratch as f64 / reground.max(1) as f64,
+            scratch as f64 / reground_del.max(1) as f64,
         );
         if clean == *sizes.last().unwrap() {
-            ratio_at_largest = ratio;
+            insert_ratio_at_largest = ins_ratio;
+            delete_ratio_at_largest = del_ratio;
         }
         let gp = base.ground_program();
         group.bench(format!("solve/{clean}"), || {
@@ -65,7 +109,11 @@ fn program_route() {
         });
     }
     println!(
-        "  reground/scratch ratio at clean={}: {ratio_at_largest:.3} (target: <= 0.25)",
+        "  insert reground/scratch ratio at clean={}: {insert_ratio_at_largest:.3} (target: <= 0.25)",
+        sizes.last().unwrap()
+    );
+    println!(
+        "  delete reground/scratch ratio at clean={}: {delete_ratio_at_largest:.3} (target: <= 0.25)",
         sizes.last().unwrap()
     );
     group.finish();

@@ -29,6 +29,7 @@ const GUARDED: &[(&str, &str)] = &[
     ("repair_instance_size_axis", "incremental/800"),
     ("repair_parallel", "threads/4"),
     ("program_route", "reground_delta/800"),
+    ("program_route", "reground_mixed_churn/800"),
 ];
 
 /// Within-run cap on `threads/4 ÷ threads/1`. Host-independent, so it can
@@ -39,14 +40,16 @@ const GUARDED: &[(&str, &str)] = &[
 /// busy-spin), which overshoot it immediately.
 const PARALLEL_RATIO_TOLERANCE: f64 = 1.5;
 
-/// Within-run cap on `reground_delta/800 ÷ ground_scratch/800` in the
-/// `program_route` group. Host-independent (both series run on the same
-/// machine in the same process), so it is a hard gate: the incremental
-/// grounder must make regrounding after a single-fact delta at clean=800
-/// at least 4× cheaper than grounding from scratch — the PR-4 acceptance
-/// criterion. Measured ~0.03x on the recording host; 0.25 leaves an 8×
-/// margin while still catching a grounder that silently falls back to
-/// full rematerialisation.
+/// Within-run cap on `reground_delta/800 ÷ ground_scratch/800` and on
+/// `reground_delete/800 ÷ ground_scratch/800` in the `program_route`
+/// group. Host-independent (the series run on the same machine in the
+/// same process), so it is a hard gate: the incremental grounder must
+/// make regrounding after a single-fact insertion *or deletion* at
+/// clean=800 at least 4× cheaper than grounding from scratch — the PR-4
+/// (insert) and PR-5 (DRed delete) acceptance criteria. Measured ~0.04x
+/// on the recording host for both directions; 0.25 leaves wide margin
+/// while still catching a grounder that silently falls back to full
+/// rematerialisation.
 const REGROUND_RATIO_TOLERANCE: f64 = 0.25;
 
 /// Median (ns) of `name` within `group` in a harness JSON-lines dump.
@@ -107,22 +110,28 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<(), St
             ));
         }
     }
-    // Within-run incremental-grounding gate: reground-after-Δ must stay a
-    // small fraction of ground-from-scratch at the largest size.
-    if let (Some(scratch), Some(reground)) = (
-        median_ns(&current, "program_route", "ground_scratch/800"),
-        median_ns(&current, "program_route", "reground_delta/800"),
-    ) {
-        let ratio = reground as f64 / scratch.max(1) as f64;
-        println!(
-            "program_route reground-after-Δ vs scratch at clean=800: {:.1}x faster ({ratio:.3}x)",
-            scratch as f64 / reground.max(1) as f64
-        );
-        if ratio > REGROUND_RATIO_TOLERANCE {
-            return Err(format!(
-                "program_route reground_delta/800 is {ratio:.3}x ground_scratch/800 in the same \
-                 run (> {REGROUND_RATIO_TOLERANCE:.2}x): incremental grounding regression"
-            ));
+    // Within-run incremental-grounding gates: reground-after-Δ — in both
+    // the insert and the DRed delete direction — must stay a small
+    // fraction of ground-from-scratch at the largest size.
+    for (series, what) in [
+        ("reground_delta/800", "insert"),
+        ("reground_delete/800", "delete"),
+    ] {
+        if let (Some(scratch), Some(reground)) = (
+            median_ns(&current, "program_route", "ground_scratch/800"),
+            median_ns(&current, "program_route", series),
+        ) {
+            let ratio = reground as f64 / scratch.max(1) as f64;
+            println!(
+                "program_route {what}-reground vs scratch at clean=800: {:.1}x faster ({ratio:.3}x)",
+                scratch as f64 / reground.max(1) as f64
+            );
+            if ratio > REGROUND_RATIO_TOLERANCE {
+                return Err(format!(
+                    "program_route {series} is {ratio:.3}x ground_scratch/800 in the same \
+                     run (> {REGROUND_RATIO_TOLERANCE:.2}x): incremental grounding regression"
+                ));
+            }
         }
     }
     Ok(())

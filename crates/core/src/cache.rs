@@ -10,15 +10,31 @@
 //! * [`GroundingCache`] — persistent [`GroundingState`]s for the repair
 //!   program Π(D, IC), keyed by constraint set, program style and pruning
 //!   flag, stamped with the instance version. A version mismatch does not
-//!   discard the entry: the cache diffs the stored base instance against
-//!   the caller's and, when the change is insert-only, *regrounds
-//!   incrementally* through [`GroundingState::add_facts`] — the program
-//!   route's analogue of `violations_touching`. Deletions rebuild (the
-//!   possibly-true set is not monotone under removal).
+//!   discard the entry: the cache takes the [`InstanceDelta`] of the
+//!   stored base instance against the caller's and replays it onto the
+//!   live state — removals through the DRed delete–rederive pass
+//!   ([`GroundingState::remove_facts`]), insertions through the seminaive
+//!   worklist ([`GroundingState::add_facts`]) — so *any* drift regrounds
+//!   incrementally, the program route's analogue of
+//!   `violations_touching`.
 //!
-//! Both caches are small LRUs behind a [`CqaCaches`] bundle. The
-//! process-wide [`global`] bundle is the default every free function uses
-//! — existing call sites keep their behaviour — while the `Database`
+//!   **Drift policy.** Replaying a delta costs proportional to its
+//!   derivation cone; replaying most of the instance costs more than
+//!   starting over (every removal tears down and every insertion rebuilds
+//!   cone-by-cone, where a from-scratch grounding batches the whole
+//!   fixpoint). The cache therefore keeps a rebuild *escape hatch*: when
+//!   the drift exceeds [`MAX_DRIFT_NUM`]/[`MAX_DRIFT_DEN`] of the target
+//!   instance's atoms — or the schema changed, which no fact delta can
+//!   express — the entry is rebuilt from scratch instead. The
+//!   reground/rebuild split is observable in [`GroundingCacheStats`].
+//!
+//! The worklist cache is a small LRU; the grounding cache is bounded by a
+//! *size-aware* budget instead of an entry count — each entry weighs its
+//! ground program's `atoms + rules`, and least-recently-used entries are
+//! evicted until the summed weight fits (the most recent entry always
+//! survives, even oversized). Both live behind a [`CqaCaches`] bundle.
+//! The process-wide [`global`] bundle is the default every free function
+//! uses — existing call sites keep their behaviour — while the `Database`
 //! facade owns a bundle per database, so many tenants in one process
 //! cannot evict each other's scans (ROADMAP "Worklist-cache scope"; the
 //! per-tenant test pins this).
@@ -27,12 +43,24 @@ use crate::error::CoreError;
 use crate::program::{repair_program_with, ProgramStyle};
 use cqa_asp::GroundingState;
 use cqa_constraints::{violations, IcSet, SatMode, Violation};
-use cqa_relational::{delta, Instance};
+use cqa_relational::{Instance, InstanceDelta};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Capacity of each cache (entries, LRU eviction).
+/// Capacity of the worklist cache (entries, LRU eviction).
 const CACHE_CAP: usize = 8;
+
+/// Default grounding-cache budget: summed `atoms + rules` across cached
+/// ground programs. Generous — a clean=800 Example-19 grounding weighs
+/// ~20k — but bounded, so a process serving many large tenants through
+/// one bundle cannot grow without limit.
+pub const DEFAULT_GROUNDING_BUDGET: usize = 1 << 20;
+
+/// Numerator of the drift escape hatch: a delta larger than
+/// `MAX_DRIFT_NUM/MAX_DRIFT_DEN` of the target instance rebuilds.
+pub const MAX_DRIFT_NUM: usize = 1;
+/// Denominator of the drift escape hatch.
+pub const MAX_DRIFT_DEN: usize = 2;
 
 /// LRU cache of root full-violation scans keyed by
 /// `(Instance::version, IcSet)`.
@@ -107,27 +135,80 @@ struct GroundingEntry {
     state: Arc<GroundingState>,
 }
 
-/// LRU cache of persistent Π(D, IC) groundings. See the module docs for
-/// the hit / incremental-reground / rebuild trichotomy.
-#[derive(Debug, Default)]
+/// Lifetime counters of one [`GroundingCache`] handle. Meaningful as
+/// before/after deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroundingCacheStats {
+    /// Exact version matches: the cached state was handed out as-is.
+    pub hits: u64,
+    /// Incremental regrounds: a drifted entry evolved in place by
+    /// replaying its [`InstanceDelta`] (removals via DRed, insertions via
+    /// the seminaive worklist).
+    pub regrounds: u64,
+    /// Stale entries rebuilt from scratch (drift over the escape-hatch
+    /// fraction, or a schema change).
+    pub rebuilds: u64,
+    /// Cold misses: no entry for the key at all.
+    pub misses: u64,
+    /// Entries evicted by the size budget.
+    pub evictions: u64,
+}
+
+/// Budgeted LRU cache of persistent Π(D, IC) groundings. See the module
+/// docs for the hit / incremental-reground / rebuild trichotomy and the
+/// size-aware eviction policy.
+#[derive(Debug)]
 pub struct GroundingCache {
     entries: Mutex<Vec<(GroundingKey, GroundingEntry)>>,
+    /// Summed `atoms + rules` budget across cached ground programs.
+    budget: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     regrounds: AtomicU64,
+    rebuilds: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for GroundingCache {
+    fn default() -> Self {
+        GroundingCache::with_budget(DEFAULT_GROUNDING_BUDGET)
+    }
+}
+
+/// Eviction weight of one entry: ground atoms + ground rules held live,
+/// floored at 1 so even an empty grounding counts against the budget —
+/// the budget therefore also bounds the entry *count*, which keeps the
+/// linear key scan under the lock short.
+fn entry_weight(entry: &GroundingEntry) -> usize {
+    let gp = entry.state.ground_program();
+    (gp.atom_count() + gp.rules.len()).max(1)
 }
 
 impl GroundingCache {
-    /// An empty cache.
+    /// An empty cache with the default size budget.
     pub fn new() -> Self {
         GroundingCache::default()
+    }
+
+    /// An empty cache bounded by `budget` (summed `atoms + rules` across
+    /// cached ground programs; the most recent entry is always kept).
+    pub fn with_budget(budget: usize) -> Self {
+        GroundingCache {
+            entries: Mutex::new(Vec::new()),
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            regrounds: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// A grounding of Π(`d`, `ics`) in the given style, shared out of the
     /// cache (read-only callers use the `Arc` directly; the per-query
     /// extension path clones the state before mutating). Same version →
-    /// hit; insert-only drift → incremental reground; anything else →
-    /// rebuild.
+    /// hit; bounded drift → incremental reground (any mix of insertions
+    /// and deletions); oversized drift or schema change → rebuild.
     pub(crate) fn state_for(
         &self,
         d: &Instance,
@@ -165,6 +246,7 @@ impl GroundingCache {
         // O(instance) grounding. The stale entry travels outside the
         // cache meanwhile; a racing thread on the same key at worst
         // duplicates work, never corrupts.
+        let had_stale = stale.is_some();
         let evolved = match stale {
             Some(mut entry) => evolve(&mut entry, d)?.then_some(entry),
             None => None,
@@ -175,7 +257,11 @@ impl GroundingCache {
                 entry
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                if had_stale {
+                    self.rebuilds.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
                 GroundingEntry {
                     base: d.clone(),
                     state: Arc::new(build(d, ics, style, prune)?),
@@ -187,20 +273,28 @@ impl GroundingCache {
         if let Some(pos) = cache.iter().position(|(k, _)| matches(k)) {
             cache.remove(pos); // racer's entry: ours is current for `d`
         }
-        if cache.len() >= CACHE_CAP {
-            cache.remove(0);
-        }
         cache.push(((ics.clone(), style, prune), entry));
+        // Size-aware eviction: drop least-recently-used entries until the
+        // summed weight fits the budget. The entry just inserted (at the
+        // back) always survives, even when it alone exceeds the budget.
+        let mut total: usize = cache.iter().map(|(_, e)| entry_weight(e)).sum();
+        while total > self.budget && cache.len() > 1 {
+            let (_, victim) = cache.remove(0);
+            total -= entry_weight(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(state)
     }
 
-    /// Lifetime `(hits, incremental regrounds, misses)` of this handle.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.regrounds.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Lifetime counters of this handle.
+    pub fn stats(&self) -> GroundingCacheStats {
+        GroundingCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            regrounds: self.regrounds.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -217,30 +311,34 @@ fn build(
 
 /// Try to evolve a cached grounding onto `d` incrementally (in place;
 /// `Arc::make_mut` deep-copies only if a previous caller still holds the
-/// state). `false` when the drift involves deletions or a schema change
-/// (caller rebuilds).
+/// state): replay the drift's removals through the DRed two-pass, then
+/// its insertions through the seminaive worklist. `false` when the drift
+/// exceeds the escape-hatch fraction or the schema changed (caller
+/// rebuilds).
 fn evolve(entry: &mut GroundingEntry, d: &Instance) -> Result<bool, CoreError> {
-    let Ok(diff) = delta(&entry.base, d) else {
+    let Ok(drift) = InstanceDelta::between(&entry.base, d) else {
         return Ok(false); // schema mismatch
     };
-    if !diff.removed.is_empty() {
-        return Ok(false);
+    if drift.exceeds_fraction_of(d, MAX_DRIFT_NUM, MAX_DRIFT_DEN) {
+        return Ok(false); // replaying would cost more than starting over
     }
     let schema = d.schema();
-    let facts: Vec<(cqa_asp::PredId, Vec<cqa_relational::Value>)> = diff
-        .inserted
-        .iter()
-        .map(|atom| {
-            let name = schema.relation(atom.rel).name();
-            let pred = entry
-                .state
-                .program()
-                .pred_id(name)
-                .expect("repair programs declare every base predicate");
-            (pred, atom.tuple.values().to_vec())
-        })
-        .collect();
-    Arc::make_mut(&mut entry.state).add_facts(facts)?;
+    let as_fact = |atom: &cqa_relational::DatabaseAtom| {
+        let name = schema.relation(atom.rel).name();
+        let pred = entry
+            .state
+            .program()
+            .pred_id(name)
+            .expect("repair programs declare every base predicate");
+        (pred, atom.tuple.values().to_vec())
+    };
+    let removed: Vec<(cqa_asp::PredId, Vec<cqa_relational::Value>)> =
+        drift.removed.iter().map(as_fact).collect();
+    let added: Vec<(cqa_asp::PredId, Vec<cqa_relational::Value>)> =
+        drift.added.iter().map(as_fact).collect();
+    let state = Arc::make_mut(&mut entry.state);
+    state.remove_facts(removed);
+    state.add_facts(added)?;
     entry.base = d.clone();
     Ok(true)
 }
@@ -260,6 +358,17 @@ impl CqaCaches {
     pub fn new() -> Self {
         CqaCaches::default()
     }
+
+    /// A fresh bundle whose grounding cache is bounded by `budget`
+    /// (summed `atoms + rules` across cached ground programs) instead of
+    /// the default — the knob for tenants with unusually large or
+    /// unusually many constraint-set keys.
+    pub fn with_grounding_budget(budget: usize) -> Self {
+        CqaCaches {
+            worklist: WorklistCache::new(),
+            grounding: GroundingCache::with_budget(budget),
+        }
+    }
 }
 
 /// The process-wide default bundle, used by every free function that is
@@ -269,8 +378,8 @@ pub fn global() -> &'static CqaCaches {
     GLOBAL.get_or_init(CqaCaches::new)
 }
 
-/// Lifetime `(hits, incremental regrounds, misses)` of the process-wide
-/// default grounding cache. Meaningful as before/after deltas.
-pub fn grounding_cache_stats() -> (u64, u64, u64) {
+/// Lifetime counters of the process-wide default grounding cache.
+/// Meaningful as before/after deltas.
+pub fn grounding_cache_stats() -> GroundingCacheStats {
     global().grounding.stats()
 }

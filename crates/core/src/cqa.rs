@@ -183,8 +183,9 @@ pub fn consistent_answers_via_program(
 
 /// [`consistent_answers_via_program`] against an explicit cache bundle.
 /// The grounding of Π(D, IC) comes out of the cache (grounded once per
-/// instance version, regrounded incrementally on insert-only drift) and
-/// only the per-query rules are instantiated on top of the clone.
+/// instance version, regrounded incrementally on any bounded drift —
+/// insertions via the seminaive worklist, deletions via DRed) and only
+/// the per-query rules are instantiated on top of the clone.
 pub fn consistent_answers_via_program_in(
     d: &Instance,
     ics: &IcSet,

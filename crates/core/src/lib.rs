@@ -40,7 +40,9 @@ pub mod program;
 pub mod query;
 pub mod repair;
 
-pub use cache::{grounding_cache_stats, CqaCaches, GroundingCache, WorklistCache};
+pub use cache::{
+    grounding_cache_stats, CqaCaches, GroundingCache, GroundingCacheStats, WorklistCache,
+};
 pub use cqa::{
     consistent_answers, consistent_answers_full, consistent_answers_full_in,
     consistent_answers_via_program, consistent_answers_via_program_in, AnswerSet,

@@ -48,18 +48,21 @@
 //!   `GroundingState` per `(IcSet, ProgramStyle, prune)` key, stamped
 //!   with [`cqa_relational::Instance::version`]. A repeat call over an
 //!   unchanged instance reuses the ground program outright.
-//! * **Delta seeding.** On a version mismatch the cache diffs the stored
-//!   base instance against the caller's; an insert-only drift becomes
-//!   `add_facts` on the live state — seminaive regrounding bounded by the
-//!   delta's derivation cone, the program-route analogue of
+//! * **Delta seeding.** On a version mismatch the cache takes the
+//!   [`cqa_relational::InstanceDelta`] of the stored base instance
+//!   against the caller's and replays it on the live state: removals run
+//!   the DRed delete–rederive two-pass, insertions the seminaive
+//!   worklist — regrounding bounded by the delta's derivation cone under
+//!   *arbitrary* churn, the program-route analogue of
 //!   `violations_touching` (the `program_route` bench pins regrounding
-//!   after a single-fact delta at ~3% of a from-scratch grounding at
-//!   clean=800).
-//! * **State invalidation.** Deletions (the possibly-true set is not
-//!   monotone under removal) and schema changes rebuild the entry;
-//!   correctness never depends on the incremental path being taken. The
-//!   oracle sweep in `tests/engine_vs_program.rs` pins incremental ==
-//!   from-scratch over random delta sequences.
+//!   after a single-fact insert or delete at a few percent of a
+//!   from-scratch grounding at clean=800).
+//! * **State invalidation.** Only drifts beyond the cache's escape-hatch
+//!   fraction (replaying would cost more than starting over) and schema
+//!   changes rebuild the entry; correctness never depends on the
+//!   incremental path being taken. The oracle sweep in
+//!   `tests/engine_vs_program.rs` pins incremental == from-scratch over
+//!   random mixed insert/delete sequences.
 //! * **Per-query extension.** CQA appends its `ans__q` rules to a *clone*
 //!   of the cached state ([`cqa_asp::GroundingState::add_rule`]), so
 //!   query rules never pollute the shared grounding.
@@ -457,7 +460,8 @@ pub fn extract_instance_with_base(
 /// paper-exact corner cases; the result is de-duplicated and sorted.
 /// Grounding goes through the process-wide default [`CqaCaches`]: a
 /// repeat call over an unchanged instance reuses the ground program, and
-/// an insert-only drift regrounds incrementally.
+/// any bounded drift — insertions, deletions, or both — regrounds
+/// incrementally.
 pub fn repairs_via_program(
     d: &Instance,
     ics: &IcSet,

@@ -65,6 +65,53 @@ impl Delta {
     }
 }
 
+/// A *directed* instance drift `base → target`: the atoms the target
+/// **added** and the atoms it **removed**, as a first-class value.
+///
+/// Where [`Delta`] is the paper's symmetric difference (repair machinery,
+/// Definitions 6–7), `InstanceDelta` is the *maintenance* view of the
+/// same information: a caching layer that holds a derived structure for
+/// `base` (e.g. a grounding of Π(D, IC)) replays `removed` then `added`
+/// onto it to evolve the structure to `target` incrementally. The
+/// `cqa-core` grounding cache is the canonical consumer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InstanceDelta {
+    /// Atoms of `target` missing from `base`.
+    pub added: BTreeSet<DatabaseAtom>,
+    /// Atoms of `base` missing from `target`.
+    pub removed: BTreeSet<DatabaseAtom>,
+}
+
+impl InstanceDelta {
+    /// The drift from `base` to `target`.
+    ///
+    /// Errors if the two instances do not share a schema.
+    pub fn between(base: &Instance, target: &Instance) -> Result<InstanceDelta, RelationalError> {
+        let d = delta(base, target)?;
+        Ok(InstanceDelta {
+            added: d.inserted,
+            removed: d.removed,
+        })
+    }
+
+    /// Total number of drifted atoms.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// `true` iff the instances were content-equal.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Does the drift exceed `num/den` of `of`'s atom count? The escape
+    /// hatch a maintenance consumer uses to fall back to a rebuild when
+    /// replaying the delta would cost more than starting over.
+    pub fn exceeds_fraction_of(&self, of: &Instance, num: usize, den: usize) -> bool {
+        self.len() * den > of.len().max(1) * num
+    }
+}
+
 /// Compute `Δ(d, d_prime)`.
 ///
 /// Errors if the two instances do not share a schema.
@@ -153,6 +200,40 @@ mod tests {
         let swap = delta(&d, &with_two).unwrap(); // remove P(1), insert P(2)
         assert!(del.subset_of(&swap));
         assert!(!swap.subset_of(&del));
+    }
+
+    #[test]
+    fn instance_delta_directs_the_drift() {
+        let sc = schema();
+        let mut base = Instance::empty(sc.clone());
+        base.insert_named("P", [i(1)]).unwrap();
+        base.insert_named("Q", [s("a"), s("b")]).unwrap();
+        let mut target = Instance::empty(sc);
+        target.insert_named("P", [i(1)]).unwrap();
+        target.insert_named("Q", [s("a"), s("c")]).unwrap();
+        let drift = InstanceDelta::between(&base, &target).unwrap();
+        assert_eq!(drift.added.len(), 1); // Q(a,c)
+        assert_eq!(drift.removed.len(), 1); // Q(a,b)
+        assert_eq!(drift.len(), 2);
+        assert!(!drift.is_empty());
+        assert!(InstanceDelta::between(&base, &base.clone())
+            .unwrap()
+            .is_empty());
+        // 2 drifted atoms over a 2-atom target: exceeds 1/2, not 2/1.
+        assert!(drift.exceeds_fraction_of(&target, 1, 2));
+        assert!(!drift.exceeds_fraction_of(&target, 2, 1));
+    }
+
+    #[test]
+    fn instance_delta_fraction_handles_empty_target() {
+        let sc = schema();
+        let mut base = Instance::empty(sc.clone());
+        base.insert_named("P", [i(1)]).unwrap();
+        let target = Instance::empty(sc);
+        let drift = InstanceDelta::between(&base, &target).unwrap();
+        assert_eq!(drift.removed.len(), 1);
+        // Empty target: any non-empty drift exceeds every fraction.
+        assert!(drift.exceeds_fraction_of(&target, 1, 2));
     }
 
     #[test]

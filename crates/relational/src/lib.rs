@@ -39,7 +39,7 @@ pub mod tuple;
 pub mod value;
 
 pub use atom::DatabaseAtom;
-pub use diff::{delta, Delta};
+pub use diff::{delta, Delta, InstanceDelta};
 pub use error::RelationalError;
 pub use index::{ColsKey, ColumnIndex, CompositeIndex};
 pub use instance::{Instance, Relation};

@@ -206,6 +206,37 @@ impl Database {
         Ok(self.instance.insert_named(relation, tuple)?)
     }
 
+    /// Delete a tuple; `true` when it was present. Cached groundings of
+    /// the repair program survive the deletion — the next program-route
+    /// call regrounds incrementally by delete–rederive instead of
+    /// rebuilding.
+    pub fn delete(&mut self, relation: &str, tuple: impl Into<Tuple>) -> Result<bool, Error> {
+        let rel = self.schema().require(relation)?;
+        let tuple = tuple.into();
+        // Symmetric with insert: an arity typo is an error, not a silent
+        // "tuple was not present".
+        let expected = self.schema().relation(rel).arity();
+        if tuple.arity() != expected {
+            return Err(Error::Relational(
+                cqa_relational::RelationalError::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected,
+                    actual: tuple.arity(),
+                },
+            ));
+        }
+        Ok(self.instance.remove(rel, &tuple))
+    }
+
+    /// Replace this database's cache bundle with one whose grounding
+    /// cache is bounded by `budget` (summed `atoms + rules` across cached
+    /// ground programs). Detaches the tenant from any clones sharing the
+    /// old bundle.
+    pub fn with_grounding_budget(mut self, budget: usize) -> Self {
+        self.caches = Arc::new(CqaCaches::with_grounding_budget(budget));
+        self
+    }
+
     /// Is the database consistent under the paper's `|=_N`?
     pub fn is_consistent(&self) -> bool {
         cqa_constraints::is_consistent(&self.instance, &self.constraints)
@@ -364,6 +395,27 @@ mod tests {
         assert!(!db.is_consistent());
         assert_eq!(db.repairs().unwrap().len(), 2);
         assert!(db.repair_program_text().unwrap().contains("p_fa"));
+    }
+
+    #[test]
+    fn facade_delete_validates_like_insert() {
+        let mut db = example19_db();
+        // Present tuple: removed. Absent tuple of the right arity: false.
+        assert!(db.delete("r", [s("a"), s("b")]).unwrap());
+        assert!(!db.delete("r", [s("zz"), s("b")]).unwrap());
+        // Wrong arity and unknown relation are errors, exactly as insert.
+        assert!(matches!(
+            db.delete("r", [s("a")]),
+            Err(Error::Relational(
+                cqa_relational::RelationalError::ArityMismatch { .. }
+            ))
+        ));
+        assert!(matches!(
+            db.delete("nope", [s("a")]),
+            Err(Error::Relational(
+                cqa_relational::RelationalError::UnknownRelation(_)
+            ))
+        ));
     }
 
     #[test]

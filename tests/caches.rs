@@ -4,13 +4,21 @@
 //! The free functions keep using the process-wide default bundle — that
 //! behaviour is pinned separately in `worklist_cache.rs`.
 //!
+//! The grounding cache's drift trichotomy (hit / incremental reground /
+//! rebuild) and its size-aware eviction budget are pinned here too: any
+//! drift — insertions, deletions, or both — must take the incremental
+//! path, with rebuild reserved for drifts beyond the escape-hatch
+//! fraction.
+//!
 //! Only per-handle counters are read here, so the tests are immune to the
 //! global counters moving under parallel test threads.
 
+use cqa::core::{CqaCaches, GroundingCacheStats, ProgramStyle};
 use cqa::Database;
 
 fn tenant(tag: &str) -> Database {
-    // One key conflict + one dangling FK: 4 repairs, Example-19 shape.
+    // One key conflict (the FK target survives either resolution):
+    // 2 repairs, Example-19 shape.
     Database::from_script(&format!(
         "CREATE TABLE r (x TEXT PRIMARY KEY, y TEXT);
          CREATE TABLE s (u TEXT, v TEXT, FOREIGN KEY (v) REFERENCES r(x));
@@ -18,6 +26,13 @@ fn tenant(tag: &str) -> Database {
          INSERT INTO s VALUES (NULL, 'a{tag}');",
     ))
     .unwrap()
+}
+
+/// Shorthand: the counters this suite actually drives (evictions are
+/// pinned separately, against an explicit budget).
+fn counts(db: &Database) -> (u64, u64, u64, u64) {
+    let s = db.caches().grounding.stats();
+    (s.hits, s.regrounds, s.rebuilds, s.misses)
 }
 
 #[test]
@@ -55,16 +70,12 @@ fn worklist_cache_is_per_tenant() {
 fn grounding_cache_hits_and_regrounds_incrementally() {
     let mut db = tenant("ground");
     let first = db.repairs_via_program().unwrap();
-    assert_eq!(
-        db.caches().grounding.stats(),
-        (0, 0, 1),
-        "first call grounds from scratch"
-    );
+    assert_eq!(counts(&db), (0, 0, 0, 1), "first call grounds from scratch");
     let second = db.repairs_via_program().unwrap();
     assert_eq!(second, first);
     assert_eq!(
-        db.caches().grounding.stats(),
-        (1, 0, 1),
+        counts(&db),
+        (1, 0, 0, 1),
         "repeat call reuses the grounding"
     );
 
@@ -73,15 +84,14 @@ fn grounding_cache_hits_and_regrounds_incrementally() {
     let answers = db.consistent_answers("q(v) :- s(u, v).").unwrap();
     assert_eq!(answers.len(), 1);
 
-    // Insert-only drift: the cache diffs the instances and regrounds
-    // incrementally instead of rebuilding.
+    // Insert-only drift: the cache replays the delta onto the live state
+    // instead of rebuilding.
     db.insert("s", [cqa::s("extra"), cqa::s("aground")])
         .unwrap();
     let third = db.repairs_via_program().unwrap();
-    let (h, regrounds, m) = db.caches().grounding.stats();
     assert_eq!(
-        (h, regrounds, m),
-        (1, 1, 1),
+        counts(&db),
+        (1, 1, 0, 1),
         "insert-only drift must take the incremental reground path"
     );
     // And the reground result is the real thing: same as the engine.
@@ -90,6 +100,154 @@ fn grounding_cache_hits_and_regrounds_incrementally() {
     // A fresh tenant over the same script grounds independently.
     let other = tenant("ground");
     let _ = other.repairs_via_program().unwrap();
-    assert_eq!(other.caches().grounding.stats(), (0, 0, 1));
-    assert_eq!(db.caches().grounding.stats().2, 1, "untouched by the twin");
+    assert_eq!(counts(&other), (0, 0, 0, 1));
+    assert_eq!(counts(&db).3, 1, "untouched by the twin");
+}
+
+#[test]
+fn grounding_cache_regrounds_through_deletions() {
+    // The DRed end-to-end: deletions (and mixed churn) must ride the
+    // incremental path too — PR 4 rebuilt here.
+    let mut db = tenant("dred");
+    // Pad with clean rows so a 2-atom churn stays under the rebuild
+    // escape-hatch fraction.
+    for i in 0..8 {
+        db.insert("r", [cqa::s(&format!("clean{i}")), cqa::s("y")])
+            .unwrap();
+    }
+    let _ = db.repairs_via_program().unwrap();
+    assert_eq!(counts(&db), (0, 0, 0, 1));
+
+    // Delete-only drift.
+    assert!(db.delete("r", [cqa::s("adred"), cqa::s("b")]).unwrap());
+    let after_delete = db.repairs_via_program().unwrap();
+    assert_eq!(
+        counts(&db),
+        (0, 1, 0, 1),
+        "delete-only drift must take the incremental reground path"
+    );
+    assert_eq!(after_delete, db.repairs().unwrap());
+
+    // Mixed churn: one insert + one delete between calls.
+    db.insert("r", [cqa::s("anew"), cqa::s("b")]).unwrap();
+    assert!(db.delete("s", [cqa::null(), cqa::s("adred")]).unwrap());
+    let after_mixed = db.repairs_via_program().unwrap();
+    assert_eq!(
+        counts(&db),
+        (0, 2, 0, 1),
+        "mixed insert/delete drift regrounds incrementally"
+    );
+    assert_eq!(after_mixed, db.repairs().unwrap());
+
+    // CQA over the churned instance agrees across routes as well.
+    let direct = db.repairs().unwrap();
+    assert!(!direct.is_empty());
+}
+
+#[test]
+fn oversized_drift_takes_the_rebuild_escape_hatch() {
+    // Replacing (almost) the whole instance costs more to replay than to
+    // reground from scratch: the cache must rebuild, and say so.
+    let mut db = tenant("hatch");
+    let _ = db.repairs_via_program().unwrap();
+    assert_eq!(counts(&db), (0, 0, 0, 1));
+    // Drop every r row and insert fresh ones: drift ≈ 2× the instance.
+    assert!(db.delete("r", [cqa::s("ahatch"), cqa::s("b")]).unwrap());
+    assert!(db.delete("r", [cqa::s("ahatch"), cqa::s("c")]).unwrap());
+    for i in 0..6 {
+        db.insert("r", [cqa::s(&format!("fresh{i}")), cqa::s("y")])
+            .unwrap();
+    }
+    let rebuilt = db.repairs_via_program().unwrap();
+    assert_eq!(
+        counts(&db),
+        (0, 0, 1, 1),
+        "drift beyond the escape-hatch fraction rebuilds"
+    );
+    assert_eq!(rebuilt, db.repairs().unwrap());
+}
+
+#[test]
+fn grounding_cache_eviction_is_size_aware() {
+    // A budget small enough for exactly one Example-19 grounding: a
+    // second key (different program style) must evict the first, and the
+    // eviction counter must say so.
+    let caches = CqaCaches::with_grounding_budget(1);
+    let db = tenant("evict");
+    let reps = cqa::core::repairs_via_program_in(
+        db.instance(),
+        db.constraints(),
+        ProgramStyle::Corrected,
+        &caches,
+    )
+    .unwrap();
+    assert_eq!(reps.len(), 2); // the key conflict's two resolutions
+    let s = caches.grounding.stats();
+    assert_eq!(
+        (s.misses, s.evictions),
+        (1, 0),
+        "a single oversized entry is never evicted"
+    );
+    // Same key again: still a hit — the most recent entry survives even
+    // over budget.
+    let _ = cqa::core::repairs_via_program_in(
+        db.instance(),
+        db.constraints(),
+        ProgramStyle::Corrected,
+        &caches,
+    )
+    .unwrap();
+    assert_eq!(caches.grounding.stats().hits, 1);
+    // A second key blows the budget: the older entry goes.
+    let _ = cqa::core::repairs_via_program_in(
+        db.instance(),
+        db.constraints(),
+        ProgramStyle::PaperExact,
+        &caches,
+    )
+    .unwrap();
+    let s = caches.grounding.stats();
+    assert_eq!(s.evictions, 1, "size budget evicted the LRU entry");
+    // The first key is cold again.
+    let _ = cqa::core::repairs_via_program_in(
+        db.instance(),
+        db.constraints(),
+        ProgramStyle::Corrected,
+        &caches,
+    )
+    .unwrap();
+    let s = caches.grounding.stats();
+    assert_eq!((s.hits, s.misses, s.evictions), (1, 3, 2));
+
+    // A default-budget bundle holds both styles without evicting.
+    let roomy = CqaCaches::new();
+    for style in [ProgramStyle::Corrected, ProgramStyle::PaperExact] {
+        let _ = cqa::core::repairs_via_program_in(db.instance(), db.constraints(), style, &roomy)
+            .unwrap();
+    }
+    for style in [ProgramStyle::Corrected, ProgramStyle::PaperExact] {
+        let _ = cqa::core::repairs_via_program_in(db.instance(), db.constraints(), style, &roomy)
+            .unwrap();
+    }
+    let s = roomy.grounding.stats();
+    assert_eq!(
+        s,
+        GroundingCacheStats {
+            hits: 2,
+            regrounds: 0,
+            rebuilds: 0,
+            misses: 2,
+            evictions: 0
+        },
+        "both keys fit the default budget"
+    );
+}
+
+#[test]
+fn facade_budget_knob_detaches_the_bundle() {
+    let db = tenant("knob").with_grounding_budget(1);
+    let _ = db.repairs_via_program().unwrap();
+    let _ = db.repairs_via_program().unwrap();
+    let s = db.caches().grounding.stats();
+    assert_eq!((s.hits, s.misses), (1, 1), "tiny budget still caches one");
 }

@@ -253,9 +253,10 @@ fn delta_atom(rng: &mut XorShift, round: usize, step: usize) -> (&'static str, V
 fn incremental_reground_equals_scratch_over_delta_sequences() {
     // The oracle sweep of the incremental grounder: random instances ×
     // random RIC-acyclic constraint subsets × random fact-delta sequences
-    // (insertions, with occasional removals exercising the rebuild path).
-    // After every delta the live state's ground program must equal — as a
-    // set of atom-level rules — a from-scratch grounding of its program.
+    // (insertions via the seminaive worklist, removals via the DRed
+    // delete–rederive two-pass — nothing rebuilds). After every delta the
+    // live state's ground program must equal — as a set of atom-level
+    // rules — a from-scratch grounding of its program.
     let sc = schema();
     let mut rng = XorShift::new(404);
     for round in 0..24 {
@@ -271,7 +272,7 @@ fn incremental_reground_equals_scratch_over_delta_sequences() {
             );
             for step in 0..6 {
                 if rng.chance(1, 5) {
-                    // Remove a random existing fact (rebuild path).
+                    // Remove a random existing fact (DRed path).
                     let facts = state.program().facts().to_vec();
                     if let Some((pred, args)) = facts.get(rng.below(facts.len().max(1))).cloned() {
                         state.remove_facts([(pred, args)]);
@@ -288,5 +289,91 @@ fn incremental_reground_equals_scratch_over_delta_sequences() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn deletion_heavy_reground_equals_scratch() {
+    // The DRed stress: grow each instance with a burst of insertions,
+    // then delete facts (mostly batches, sometimes the same atom twice —
+    // the multiset edge) until few remain, checking the atom-level
+    // invariant after every step. Deletions dominate 3:1.
+    let sc = schema();
+    let mut rng = XorShift::new(406);
+    for round in 0..12 {
+        let d = instance(&mut rng, &sc);
+        let ics = acyclic_subset(&mut rng, &sc);
+        for style in [ProgramStyle::Corrected, ProgramStyle::PaperExact] {
+            let program = repair_program(&d, &ics, style).unwrap();
+            let mut state = GroundingState::new(&program);
+            for step in 0..4 {
+                let (pred, args) = delta_atom(&mut rng, round, step);
+                state.add_fact_named(pred, args).unwrap();
+            }
+            for step in 0..10 {
+                let facts = state.program().facts().to_vec();
+                if facts.is_empty() {
+                    break;
+                }
+                // A removal batch of 1–3 facts, duplicates allowed (an
+                // absent second occurrence must be a no-op).
+                let batch: Vec<_> = (0..1 + rng.below(3))
+                    .map(|_| facts[rng.below(facts.len())].clone())
+                    .collect();
+                state.remove_facts(batch);
+                let scratch = ground(state.program());
+                assert_eq!(
+                    state.ground_program().resolved_rules(),
+                    scratch.resolved_rules(),
+                    "round {round}, deletion step {step}, {style:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alternating_churn_reground_equals_scratch() {
+    // Strict insert/delete alternation — the multi-tenant churn shape the
+    // grounding cache replays — over both program styles, ending with the
+    // CQA-level agreement between routes on the churned instance.
+    let sc = schema();
+    let mut rng = XorShift::new(407);
+    for round in 0..12 {
+        let mut d = instance(&mut rng, &sc);
+        let ics = acyclic_subset(&mut rng, &sc);
+        for style in [ProgramStyle::Corrected, ProgramStyle::PaperExact] {
+            let program = repair_program(&d, &ics, style).unwrap();
+            let mut state = GroundingState::new(&program);
+            for step in 0..8 {
+                if step % 2 == 0 {
+                    let (pred, args) = delta_atom(&mut rng, round, step);
+                    state.add_fact_named(pred, args).unwrap();
+                } else {
+                    let facts = state.program().facts().to_vec();
+                    if let Some((pred, args)) = facts.get(rng.below(facts.len().max(1))).cloned() {
+                        state.remove_facts([(pred, args)]);
+                    }
+                }
+                let scratch = ground(state.program());
+                assert_eq!(
+                    state.ground_program().resolved_rules(),
+                    scratch.resolved_rules(),
+                    "round {round}, churn step {step}, {style:?}"
+                );
+            }
+        }
+        // End-to-end on a churned *instance*: mutate d the same way and
+        // confirm both CQA routes still agree (the cache layer will replay
+        // exactly this kind of drift).
+        let atoms: Vec<_> = d.atoms().collect();
+        if let Some(atom) = atoms.first() {
+            d.remove(atom.rel, &atom.tuple);
+        }
+        d.insert_named("R", [s(&format!("churn{round}")), value(&mut rng)])
+            .unwrap();
+        let via_engine = repairs(&d, &ics).unwrap();
+        let via_program = repairs_via_program(&d, &ics, ProgramStyle::Corrected).unwrap();
+        assert_eq!(via_engine, via_program, "churned instance, round {round}");
     }
 }
