@@ -30,6 +30,7 @@ const GUARDED: &[(&str, &str)] = &[
     ("repair_parallel", "threads/4"),
     ("program_route", "reground_delta/800"),
     ("program_route", "reground_mixed_churn/800"),
+    ("recovery_replay", "replay/1000"),
 ];
 
 /// Within-run cap on `threads/4 ÷ threads/1`. Host-independent, so it can
@@ -51,6 +52,16 @@ const PARALLEL_RATIO_TOLERANCE: f64 = 1.5;
 /// while still catching a grounder that silently falls back to full
 /// rematerialisation.
 const REGROUND_RATIO_TOLERANCE: f64 = 0.25;
+
+/// Within-run cap on `replay/1000 ÷ cold_rebuild/1000` in the
+/// `recovery_replay` group. Host-independent for the same reason as the
+/// reground gates. Crash recovery replays the WAL through the
+/// incremental grounding engine (warm snapshot grounding evolved by the
+/// net drift); if it silently falls back to grounding the recovered
+/// state from scratch, the two series converge and the ratio jumps to
+/// ~1. Measured ~0.41 at a 1000-delta WAL over a ~4000-atom snapshot on
+/// the recording host.
+const RECOVERY_RATIO_TOLERANCE: f64 = 0.5;
 
 /// Median (ns) of `name` within `group` in a harness JSON-lines dump.
 fn median_ns(json: &str, group: &str, name: &str) -> Option<u128> {
@@ -132,6 +143,26 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<(), St
                      run (> {REGROUND_RATIO_TOLERANCE:.2}x): incremental grounding regression"
                 ));
             }
+        }
+    }
+    // Within-run crash-recovery gate: replaying a 1000-delta WAL onto a
+    // warm snapshot grounding must stay at most half the cost of
+    // rebuilding the recovered state's grounding cold.
+    if let (Some(cold), Some(replay)) = (
+        median_ns(&current, "recovery_replay", "cold_rebuild/1000"),
+        median_ns(&current, "recovery_replay", "replay/1000"),
+    ) {
+        let ratio = replay as f64 / cold.max(1) as f64;
+        println!(
+            "recovery_replay warm replay vs cold rebuild at wal=1000: {:.1}x faster ({ratio:.3}x)",
+            cold as f64 / replay.max(1) as f64
+        );
+        if ratio > RECOVERY_RATIO_TOLERANCE {
+            return Err(format!(
+                "recovery_replay replay/1000 is {ratio:.3}x cold_rebuild/1000 in the same \
+                 run (> {RECOVERY_RATIO_TOLERANCE:.2}x): recovery no longer rides the \
+                 incremental grounding path"
+            ));
         }
     }
     Ok(())

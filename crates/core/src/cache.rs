@@ -371,6 +371,27 @@ impl CqaCaches {
     }
 }
 
+/// Warm `caches` for `(d, ics, style)` through the ordinary cache paths:
+/// ground Π(d, IC) into the grounding cache (unpruned, the program
+/// route's default) and scan the root worklist.
+///
+/// This is the recovery hook for durable databases: warm on the snapshot
+/// state, apply the WAL deltas to the instance, then warm again on the
+/// final state — the second call finds a version-mismatched entry and
+/// rides the *incremental reground* path, so a reopened database resumes
+/// with the same warm-cache trajectory a never-crashed process had,
+/// instead of paying a cold from-scratch grounding on its next query.
+pub fn warm_caches_in(
+    d: &Instance,
+    ics: &IcSet,
+    style: ProgramStyle,
+    caches: &CqaCaches,
+) -> Result<(), CoreError> {
+    let _ = caches.grounding.state_for(d, ics, style, false)?;
+    let _ = caches.worklist.root_worklist(d, ics);
+    Ok(())
+}
+
 /// The process-wide default bundle, used by every free function that is
 /// not handed an explicit one.
 pub fn global() -> &'static CqaCaches {

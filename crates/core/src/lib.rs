@@ -41,7 +41,8 @@ pub mod query;
 pub mod repair;
 
 pub use cache::{
-    grounding_cache_stats, CqaCaches, GroundingCache, GroundingCacheStats, WorklistCache,
+    grounding_cache_stats, warm_caches_in, CqaCaches, GroundingCache, GroundingCacheStats,
+    WorklistCache,
 };
 pub use cqa::{
     consistent_answers, consistent_answers_full, consistent_answers_full_in,

@@ -107,8 +107,22 @@ impl InstanceDelta {
     /// Does the drift exceed `num/den` of `of`'s atom count? The escape
     /// hatch a maintenance consumer uses to fall back to a rebuild when
     /// replaying the delta would cost more than starting over.
+    ///
+    /// Edge cases are pinned by direct tests: an empty drift never
+    /// exceeds anything; a non-empty drift against an *empty* target
+    /// exceeds every finite fraction (there is nothing worth replaying
+    /// onto — the old `max(1)` clamp under-triggered here for `num > 1`);
+    /// `den == 0` reads as an infinite threshold, never exceeded, rather
+    /// than a division hazard; and the products are widened to `u128` so
+    /// extreme fraction arguments cannot overflow.
     pub fn exceeds_fraction_of(&self, of: &Instance, num: usize, den: usize) -> bool {
-        self.len() * den > of.len().max(1) * num
+        if self.is_empty() || den == 0 {
+            return false;
+        }
+        if of.is_empty() {
+            return true;
+        }
+        self.len() as u128 * den as u128 > of.len() as u128 * num as u128
     }
 }
 
@@ -234,6 +248,48 @@ mod tests {
         assert_eq!(drift.removed.len(), 1);
         // Empty target: any non-empty drift exceeds every fraction.
         assert!(drift.exceeds_fraction_of(&target, 1, 2));
+        // … including generous ones, where the old `max(1)` clamp
+        // under-triggered (1 * den > 1 * 10 was false).
+        assert!(drift.exceeds_fraction_of(&target, 10, 1));
+    }
+
+    #[test]
+    fn instance_delta_fraction_edge_cases() {
+        let sc = schema();
+        let empty = Instance::empty(sc.clone());
+        let mut small = Instance::empty(sc.clone());
+        small.insert_named("P", [i(100)]).unwrap(); // disjoint from `big`
+        let mut big = Instance::empty(sc);
+        for k in 0..6 {
+            big.insert_named("P", [i(k)]).unwrap();
+        }
+
+        // An empty drift never exceeds anything — not even over an empty
+        // target, and not for a zero fraction.
+        let none = InstanceDelta::default();
+        assert!(!none.exceeds_fraction_of(&empty, 1, 2));
+        assert!(!none.exceeds_fraction_of(&small, 0, 1));
+
+        // A drift larger than the instance trips the hatch for any
+        // fraction up to its actual ratio: 7 drifted atoms over a 1-atom
+        // target exceed 1/2, 1/1, and even 6/1 — but not 7/1.
+        let swap = InstanceDelta::between(&big, &small).unwrap();
+        assert_eq!(swap.len(), 7); // 6 removed + 1 added
+        assert!(swap.exceeds_fraction_of(&small, 1, 2));
+        assert!(swap.exceeds_fraction_of(&small, 1, 1));
+        assert!(swap.exceeds_fraction_of(&small, 6, 1));
+        assert!(!swap.exceeds_fraction_of(&small, 7, 1));
+
+        // den == 0 is an infinite threshold, not a division hazard.
+        assert!(!swap.exceeds_fraction_of(&small, 1, 0));
+        assert!(!swap.exceeds_fraction_of(&empty, 1, 0));
+
+        // num == 0 with a finite den: any non-empty drift exceeds.
+        assert!(swap.exceeds_fraction_of(&small, 0, 1));
+
+        // Extreme fraction arguments must not overflow the products.
+        assert!(swap.exceeds_fraction_of(&small, 0, usize::MAX));
+        assert!(!swap.exceeds_fraction_of(&small, usize::MAX, 1));
     }
 
     #[test]

@@ -90,6 +90,37 @@ impl Instance {
         Ok(inst)
     }
 
+    /// Build an instance directly from per-relation tuple sets, in schema
+    /// declaration order — the bulk-load hook deserializers use. Unlike
+    /// [`Instance::from_atoms`] this skips the per-insert copy-on-write
+    /// and version churn; arity is still validated for every tuple, so a
+    /// hand-edited snapshot cannot smuggle malformed rows in.
+    pub fn from_relations(
+        schema: Arc<Schema>,
+        relations: Vec<Relation>,
+    ) -> Result<Self, RelationalError> {
+        if relations.len() != schema.len() {
+            return Err(RelationalError::SchemaMismatch);
+        }
+        for (id, decl) in schema.iter() {
+            for tuple in &relations[id.index()] {
+                if tuple.arity() != decl.arity() {
+                    return Err(RelationalError::ArityMismatch {
+                        relation: decl.name().to_string(),
+                        expected: decl.arity(),
+                        actual: tuple.arity(),
+                    });
+                }
+            }
+        }
+        Ok(Instance {
+            schema,
+            relations: relations.into_iter().map(Arc::new).collect(),
+            indexes: IndexStore::default(),
+            version: fresh_version(),
+        })
+    }
+
     /// The shared schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -379,6 +410,31 @@ mod tests {
         d.insert_named("R", [i(3)]).unwrap();
         let rebuilt = Instance::from_atoms(d.schema().clone(), d.atoms()).unwrap();
         assert_eq!(rebuilt, d);
+    }
+
+    #[test]
+    fn from_relations_bulk_loads_and_validates() {
+        let sc = schema();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("P", [s("a"), s("b")]).unwrap();
+        d.insert_named("R", [i(3)]).unwrap();
+        // Rebuilding from the raw relation sets reproduces the instance.
+        let rels: Vec<Relation> = sc.rel_ids().map(|id| d.relation(id).clone()).collect();
+        let bulk = Instance::from_relations(sc.clone(), rels).unwrap();
+        assert_eq!(bulk, d);
+        // Wrong relation count and wrong arity are rejected.
+        assert!(matches!(
+            Instance::from_relations(sc.clone(), vec![Relation::new()]),
+            Err(RelationalError::SchemaMismatch)
+        ));
+        let bad: Vec<Relation> = vec![
+            [Tuple::new(vec![s("only-one")])].into_iter().collect(),
+            Relation::new(),
+        ];
+        assert!(matches!(
+            Instance::from_relations(sc, bad),
+            Err(RelationalError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

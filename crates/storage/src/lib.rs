@@ -1,0 +1,103 @@
+//! # cqa-storage — WAL + snapshot durability
+//!
+//! Crash-safe persistence for the nullcqa workspace: a write-ahead log
+//! of [`InstanceDelta`](cqa_relational::InstanceDelta) frames paired
+//! with periodic full snapshots, std-only like the rest of the
+//! workspace. The delta is the same first-class value that drives the
+//! incremental grounding cache, so recovery is a *replay through the
+//! ordinary incremental machinery* — a reopened database is not just
+//! consistent with every acknowledged write, its derived state
+//! (groundings, worklists) rebuilds warm instead of from scratch.
+//!
+//! ## On-disk format
+//!
+//! A store is a directory with two files (plus a transient
+//! `snapshot.tmp` during compaction):
+//!
+//! ### WAL (`<dir>/wal`)
+//!
+//! ```text
+//! [ magic "CQAWAL01" : 8 bytes ]
+//! [ frame ]*
+//!
+//! frame := [ payload_len : u32 LE ]
+//!          [ seq         : u64 LE ]   monotonic from 1, never reused
+//!          [ crc32       : u32 LE ]   CRC-32/IEEE over seq_LE || payload
+//!          [ payload     : payload_len bytes ]
+//!
+//! payload := [ symbol table ] [ removed atoms ] [ added atoms ]
+//! ```
+//!
+//! Every frame is self-describing: it carries its own symbol table
+//! (file-local dense id → string), so a frame written by one process is
+//! decodable by any other. The CRC covers sequence number and payload
+//! together, so a frame spliced from another log — or one whose header
+//! survived a torn write but whose body did not — fails as a unit.
+//!
+//! **Torn-tail semantics.** A crash mid-append leaves a short or
+//! corrupt final frame; that is the expected steady state of a WAL, not
+//! an error. Opening scans frames until the first short frame, failed
+//! checksum, implausible length, or sequence regression, truncates the
+//! file at the last good frame boundary, and reports the dropped bytes
+//! in [`RecoveryReport::bytes_truncated`]. Acknowledged writes (those
+//! whose append returned, under `FsyncPolicy::Always`) are always in
+//! the surviving prefix.
+//!
+//! ### Snapshot (`<dir>/snapshot`)
+//!
+//! ```text
+//! [ magic "CQASNAP1" : 8 bytes ]
+//! [ body_len : u64 LE ]
+//! [ body     : body_len bytes ]
+//! [ crc32(body) : u32 LE ]
+//!
+//! body := [ last_seq : u64 ]   highest WAL seq folded in
+//!         [ schema ]           relation + attribute names
+//!         [ symbol table ]     file-local id → string
+//!         [ relations ]        per relation: tuple count, packed tuples
+//!         [ constraints ]      structural Ic / Nnc encoding
+//! ```
+//!
+//! Snapshots are all-or-nothing (no salvageable prefix), so atomicity
+//! comes from the writer protocol: write `snapshot.tmp`, `fsync`,
+//! `rename` over `snapshot`, `fsync` the directory. A crash at any
+//! point leaves either the complete old snapshot or the complete new
+//! one; a stale `snapshot.tmp` is swept on open.
+//!
+//! ### Symbol remapping
+//!
+//! [`Symbol`](cqa_relational::Symbol) ids are process-local interner
+//! handles — meaningless across processes. Every persisted section
+//! therefore encodes *file-local* dense ids plus an id → string table;
+//! loading re-interns each string through the live process's interner.
+//! Value ordering survives the remap because `Symbol`'s `Ord` is
+//! lexicographic on the resolved text, never on the id.
+//!
+//! ### Fsync semantics
+//!
+//! [`FsyncPolicy`] governs when appended WAL frames reach stable
+//! storage: `Always` (every acknowledged write survives power loss),
+//! `EveryN(n)` (loss window bounded by n-1 acknowledged frames), or
+//! `Never` (the OS page cache decides — process crashes still lose
+//! nothing, since the page cache outlives the process). Snapshot writes
+//! always sync, regardless of policy.
+//!
+//! ### Compaction
+//!
+//! When the WAL outgrows a configured fraction of the snapshot
+//! ([`StoreOptions`]), the store folds the current in-memory state into
+//! a fresh snapshot stamped with the current `last_seq` and resets the
+//! log. Sequence numbers carry forward across the reset, so recovery
+//! resolves every compaction crash window by rule: apply exactly the
+//! frames with `seq > snapshot.last_seq`.
+
+pub mod codec;
+pub mod error;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use error::StorageError;
+pub use snapshot::Snapshot;
+pub use store::{DurableStore, Recovered, RecoveryReport, StoreOptions};
+pub use wal::FsyncPolicy;

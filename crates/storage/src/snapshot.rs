@@ -1,0 +1,558 @@
+//! Snapshots: a single self-contained file holding the schema, every
+//! relation's packed tuples, the constraint set, and the symbol table
+//! that makes the tuples meaningful in *any* process.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! [ magic "CQASNAP1" : 8 bytes ]
+//! [ body_len : u64 LE ]
+//! [ body     : body_len bytes ]
+//! [ crc32(body) : u32 LE ]
+//!
+//! body := [ last_seq : u64 ]            highest WAL seq folded in
+//!         [ schema ]                    relation names + attr names
+//!         [ symbol table ]              file-local id → string
+//!         [ relations ]                 per relation: tuple count, tuples
+//!         [ constraints ]               structural Ic / Nnc encoding
+//! ```
+//!
+//! Unlike the WAL, a snapshot is all-or-nothing: a failed checksum or a
+//! short body is [`StorageError::Corrupt`], because there is no "good
+//! prefix" of a snapshot to salvage. Atomicity comes from the writer
+//! protocol instead: write `snapshot.tmp`, `fsync` it, `rename` over
+//! `snapshot`, `fsync` the directory — a crash at any point leaves
+//! either the complete old snapshot or the complete new one.
+//!
+//! ## Constraint encoding
+//!
+//! Constraints are stored *structurally* (atoms, terms, builtin
+//! comparisons, variable names) and rebuilt through
+//! [`Ic::builder`](cqa_constraints::Ic) on load. Because the builder
+//! assigns variable ids in first-occurrence order and the encoder
+//! replays terms in their original order, the rebuilt [`Ic`] is
+//! `Eq`-equal to the one that was saved — including its derived
+//! metadata (universal/existential sets, relevant attributes), which is
+//! recomputed rather than trusted from disk.
+
+use crate::codec::{crc32, Reader, SymbolSink, SymbolSource, Writer};
+use crate::error::StorageError;
+use cqa_constraints::{CmpOp, Constraint, Ic, IcAtom, IcSet, Nnc, Term, TermSpec};
+use cqa_relational::{Instance, RelId, Schema, Tuple};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write as IoWrite};
+use std::path::Path;
+use std::sync::Arc;
+
+/// File magic: identifies a snapshot and its format version.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"CQASNAP1";
+
+/// A decoded snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The persisted instance, rebuilt over a fresh schema `Arc`.
+    pub instance: Instance,
+    /// The persisted constraint set.
+    pub ics: IcSet,
+    /// Highest WAL sequence number already folded into the instance;
+    /// recovery skips WAL frames with `seq <= last_seq`.
+    pub last_seq: u64,
+    /// On-disk size in bytes (drives the compaction ratio).
+    pub bytes: u64,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn encode_term(sink: &mut SymbolSink, w: &mut Writer, term: &Term) {
+    match term {
+        Term::Var(v) => {
+            w.u8(0);
+            w.u32(v.0);
+        }
+        Term::Const(val) => {
+            w.u8(1);
+            sink.value(w, val);
+        }
+    }
+}
+
+fn encode_ic_atoms(sink: &mut SymbolSink, w: &mut Writer, atoms: &[IcAtom]) {
+    w.u32(atoms.len() as u32);
+    for atom in atoms {
+        w.u32(atom.rel.0);
+        w.u32(atom.terms.len() as u32);
+        for t in &atom.terms {
+            encode_term(sink, w, t);
+        }
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Neq => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Leq => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Geq => 5,
+    }
+}
+
+fn encode_constraints(sink: &mut SymbolSink, w: &mut Writer, ics: &IcSet) {
+    w.u32(ics.len() as u32);
+    for con in ics.constraints() {
+        match con {
+            Constraint::Tgd(ic) => {
+                w.u8(0);
+                w.str(ic.name());
+                w.u32(ic.var_count() as u32);
+                for v in 0..ic.var_count() {
+                    w.str(ic.var_name(cqa_constraints::VarId(v as u32)));
+                }
+                encode_ic_atoms(sink, w, ic.body());
+                encode_ic_atoms(sink, w, ic.head());
+                w.u32(ic.builtins().len() as u32);
+                for b in ic.builtins() {
+                    w.u8(cmp_tag(b.op));
+                    encode_term(sink, w, &b.lhs);
+                    encode_term(sink, w, &b.rhs);
+                }
+            }
+            Constraint::NotNull(nnc) => {
+                w.u8(1);
+                w.str(&nnc.name);
+                w.u32(nnc.rel.0);
+                w.u32(nnc.position as u32);
+            }
+        }
+    }
+}
+
+/// Encode the snapshot body (everything between `body_len` and the
+/// trailing CRC).
+pub fn encode_body(instance: &Instance, ics: &IcSet, last_seq: u64) -> Vec<u8> {
+    // Tuples and constraint constants intern through the sink, so their
+    // bytes land in a staging buffer; the table — known only once they
+    // are encoded — is written first in the final layout.
+    let mut sink = SymbolSink::new();
+    let mut staged = Writer::new();
+    for rel in instance.schema().rel_ids() {
+        let tuples = instance.relation(rel);
+        staged.u32(tuples.len() as u32);
+        for t in tuples {
+            sink.tuple(&mut staged, t);
+        }
+    }
+    encode_constraints(&mut sink, &mut staged, ics);
+
+    let mut body = Writer::new();
+    body.u64(last_seq);
+    let schema = instance.schema();
+    body.u32(schema.len() as u32);
+    for (_, rel) in schema.iter() {
+        body.str(rel.name());
+        body.u32(rel.arity() as u32);
+        for attr in rel.attrs() {
+            body.str(attr);
+        }
+    }
+    sink.encode_table(&mut body);
+    body.raw(&staged.into_bytes());
+    body.into_bytes()
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn decode_term(
+    source: &SymbolSource,
+    r: &mut Reader<'_>,
+    var_names: &[String],
+) -> Result<TermSpec, StorageError> {
+    match r.u8()? {
+        0 => {
+            let idx = r.u32()? as usize;
+            let name = var_names.get(idx).ok_or_else(|| {
+                StorageError::corrupt(
+                    "snapshot constraint",
+                    format!("variable id {idx} out of range ({} names)", var_names.len()),
+                )
+            })?;
+            Ok(TermSpec::Var(name.clone()))
+        }
+        1 => Ok(TermSpec::Const(source.value(r)?)),
+        tag => Err(StorageError::corrupt(
+            "snapshot constraint",
+            format!("unknown term tag {tag}"),
+        )),
+    }
+}
+
+fn decode_ic_atoms(
+    source: &SymbolSource,
+    r: &mut Reader<'_>,
+    var_names: &[String],
+    schema: &Schema,
+) -> Result<Vec<(String, Vec<TermSpec>)>, StorageError> {
+    let count = r.len_u32()? as usize;
+    let mut atoms = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rel = RelId(r.u32()?);
+        if rel.index() >= schema.len() {
+            return Err(StorageError::corrupt(
+                "snapshot constraint",
+                format!("relation id {rel} out of range"),
+            ));
+        }
+        let name = schema.relation(rel).name().to_string();
+        let arity = r.len_u32()? as usize;
+        let mut terms = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            terms.push(decode_term(source, r, var_names)?);
+        }
+        atoms.push((name, terms));
+    }
+    Ok(atoms)
+}
+
+fn decode_cmp(tag: u8) -> Result<CmpOp, StorageError> {
+    Ok(match tag {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Neq,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Leq,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Geq,
+        other => {
+            return Err(StorageError::corrupt(
+                "snapshot constraint",
+                format!("unknown comparison tag {other}"),
+            ))
+        }
+    })
+}
+
+fn decode_constraints(
+    source: &SymbolSource,
+    r: &mut Reader<'_>,
+    schema: &Schema,
+) -> Result<IcSet, StorageError> {
+    let count = r.len_u32()? as usize;
+    let mut ics = IcSet::default();
+    for _ in 0..count {
+        match r.u8()? {
+            0 => {
+                let name = r.str()?.to_string();
+                let var_count = r.len_u32()? as usize;
+                let mut var_names = Vec::with_capacity(var_count);
+                for _ in 0..var_count {
+                    var_names.push(r.str()?.to_string());
+                }
+                let body = decode_ic_atoms(source, r, &var_names, schema)?;
+                let head = decode_ic_atoms(source, r, &var_names, schema)?;
+                let builtin_count = r.len_u32()? as usize;
+                let mut builtins = Vec::with_capacity(builtin_count);
+                for _ in 0..builtin_count {
+                    let op = decode_cmp(r.u8()?)?;
+                    let lhs = decode_term(source, r, &var_names)?;
+                    let rhs = decode_term(source, r, &var_names)?;
+                    builtins.push((op, lhs, rhs));
+                }
+                // Replaying atoms and terms in their original order makes
+                // the builder assign the same first-occurrence variable
+                // ids the saved Ic had, so the rebuilt value is Eq-equal.
+                let mut builder = Ic::builder(schema, name);
+                for (rel, terms) in body {
+                    builder = builder.body_atom(&rel, terms);
+                }
+                for (rel, terms) in head {
+                    builder = builder.head_atom(&rel, terms);
+                }
+                for (op, lhs, rhs) in builtins {
+                    builder = builder.builtin(lhs, op, rhs);
+                }
+                ics.push(builder.finish()?);
+            }
+            1 => {
+                let name = r.str()?.to_string();
+                let rel = RelId(r.u32()?);
+                if rel.index() >= schema.len() {
+                    return Err(StorageError::corrupt(
+                        "snapshot constraint",
+                        format!("relation id {rel} out of range"),
+                    ));
+                }
+                let position = r.u32()? as usize;
+                let rel_name = schema.relation(rel).name().to_string();
+                ics.push(Nnc::new(schema, name, &rel_name, position)?);
+            }
+            tag => {
+                return Err(StorageError::corrupt(
+                    "snapshot constraint",
+                    format!("unknown constraint tag {tag}"),
+                ))
+            }
+        }
+    }
+    Ok(ics)
+}
+
+/// Decode a snapshot body produced by [`encode_body`].
+pub fn decode_body(bytes: &[u8]) -> Result<(Instance, IcSet, u64), StorageError> {
+    let mut r = Reader::new(bytes, "snapshot body");
+    let last_seq = r.u64()?;
+
+    let rel_count = r.len_u32()? as usize;
+    let mut builder = Schema::builder();
+    for _ in 0..rel_count {
+        let name = r.str()?.to_string();
+        let arity = r.len_u32()? as usize;
+        let mut attrs = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            attrs.push(r.str()?.to_string());
+        }
+        builder = builder.relation(name, attrs);
+    }
+    let schema: Arc<Schema> = builder.finish()?.into_shared();
+
+    let source = SymbolSource::decode_table(&mut r)?;
+
+    let mut relations = Vec::with_capacity(schema.len());
+    for _ in schema.rel_ids() {
+        let tuple_count = r.len_u32()? as usize;
+        let mut tuples = std::collections::BTreeSet::new();
+        for _ in 0..tuple_count {
+            let tuple: Tuple = source.tuple(&mut r)?;
+            tuples.insert(tuple);
+        }
+        relations.push(tuples);
+    }
+    // Bulk-load: one validated construction instead of per-tuple inserts.
+    let instance = Instance::from_relations(schema.clone(), relations)?;
+
+    let ics = decode_constraints(&source, &mut r, &schema)?;
+    if !r.is_exhausted() {
+        return Err(StorageError::corrupt(
+            "snapshot body",
+            format!("{} trailing bytes", r.remaining()),
+        ));
+    }
+    Ok((instance, ics, last_seq))
+}
+
+// ---------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------
+
+/// Atomically (re)place the snapshot at `path`: write `<path>.tmp`,
+/// sync, rename over `path`, sync the parent directory. Returns the
+/// snapshot's size in bytes.
+pub fn write(
+    path: &Path,
+    instance: &Instance,
+    ics: &IcSet,
+    last_seq: u64,
+) -> Result<u64, StorageError> {
+    let body = encode_body(instance, ics, last_seq);
+    let mut out = Vec::with_capacity(8 + 8 + body.len() + 4);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; without the directory fsync the
+        // new name can vanish in a power loss even though the data
+        // blocks survived.
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(out.len() as u64)
+}
+
+/// Read and verify the snapshot at `path`.
+pub fn read(path: &Path) -> Result<Snapshot, StorageError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 8 + 8 + 4 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(StorageError::corrupt(
+            "snapshot",
+            "missing or wrong magic (not a snapshot file)",
+        ));
+    }
+    let body_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8")) as usize;
+    let expected_total = 8 + 8 + body_len + 4;
+    if bytes.len() != expected_total {
+        return Err(StorageError::corrupt(
+            "snapshot",
+            format!(
+                "file is {} bytes, header says {expected_total}",
+                bytes.len()
+            ),
+        ));
+    }
+    let body = &bytes[16..16 + body_len];
+    let stored_crc = u32::from_le_bytes(bytes[16 + body_len..].try_into().expect("4"));
+    if crc32(body) != stored_crc {
+        return Err(StorageError::corrupt("snapshot", "checksum mismatch"));
+    }
+    let (instance, ics, last_seq) = decode_body(body)?;
+    Ok(Snapshot {
+        instance,
+        ics,
+        last_seq,
+        bytes: bytes.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{c, v};
+    use cqa_relational::{i, null, s};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cqa-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn example_state() -> (Instance, IcSet) {
+        let schema = Schema::builder()
+            .relation("r", ["x", "y"])
+            .relation("s", ["u", "v"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut inst = Instance::empty(schema.clone());
+        inst.insert_named("r", [s("a"), s("b")]).unwrap();
+        inst.insert_named("r", [s("a"), s("c")]).unwrap();
+        inst.insert_named("s", [null(), s("a")]).unwrap();
+        inst.insert_named("s", [i(7), i(-3)]).unwrap();
+        let mut ics = IcSet::default();
+        ics.push(
+            Ic::builder(&schema, "key_r")
+                .body_atom("r", [v("x"), v("y")])
+                .body_atom("r", [v("x"), v("z")])
+                .builtin(v("y"), CmpOp::Eq, v("z"))
+                .finish()
+                .unwrap(),
+        );
+        ics.push(
+            Ic::builder(&schema, "fk_s_r")
+                .body_atom("s", [v("u"), v("w")])
+                .head_atom("r", [v("w"), v("t")])
+                .finish()
+                .unwrap(),
+        );
+        ics.push(
+            Ic::builder(&schema, "with_const")
+                .body_atom("r", [v("x"), c(s("b"))])
+                .builtin(v("x"), CmpOp::Neq, c(i(0)))
+                .finish()
+                .unwrap(),
+        );
+        ics.push(Nnc::new(&schema, "nn_r_x", "r", 0).unwrap());
+        (inst, ics)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_instance_and_constraints() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("snapshot");
+        let (inst, ics) = example_state();
+        let bytes = write(&path, &inst, &ics, 42).unwrap();
+        assert!(bytes > 0);
+        assert!(!path.with_extension("tmp").exists(), "tmp cleaned up");
+
+        let snap = read(&path).unwrap();
+        assert_eq!(snap.last_seq, 42);
+        assert_eq!(snap.bytes, bytes);
+        assert_eq!(snap.instance, inst);
+        assert_eq!(snap.ics, ics, "constraints rebuilt Eq-equal");
+        // The rebuilt schema carries attribute names too.
+        let r = snap.instance.schema().require("r").unwrap();
+        assert_eq!(snap.instance.schema().relation(r).attrs(), &["x", "y"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_checksum_detects_bit_flip() {
+        let dir = tmpdir("flip");
+        let path = dir.join("snapshot");
+        let (inst, ics) = example_state();
+        write(&path, &inst, &ics, 1).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = read(&path).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_truncation_is_corrupt_not_a_panic() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("snapshot");
+        let (inst, ics) = example_state();
+        write(&path, &inst, &ics, 1).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for keep in [0, 4, 12, 20, bytes.len() - 1] {
+            fs::write(&path, &bytes[..keep]).unwrap();
+            assert!(
+                matches!(read(&path), Err(StorageError::Corrupt { .. })),
+                "truncation to {keep} bytes must be Corrupt"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let dir = tmpdir("rewrite");
+        let path = dir.join("snapshot");
+        let (mut inst, ics) = example_state();
+        write(&path, &inst, &ics, 5).unwrap();
+        inst.insert_named("r", [s("new"), s("row")]).unwrap();
+        write(&path, &inst, &ics, 9).unwrap();
+        let snap = read(&path).unwrap();
+        assert_eq!(snap.last_seq, 9);
+        assert_eq!(snap.instance, inst);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_instance_and_no_constraints_roundtrip() {
+        let dir = tmpdir("empty");
+        let path = dir.join("snapshot");
+        let schema = Schema::builder()
+            .relation("only", ["a"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let inst = Instance::empty(schema);
+        write(&path, &inst, &IcSet::default(), 0).unwrap();
+        let snap = read(&path).unwrap();
+        assert!(snap.instance.is_empty());
+        assert!(snap.ics.is_empty());
+        assert_eq!(snap.last_seq, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,514 @@
+//! The durable store: one directory holding a snapshot plus a WAL, with
+//! the recovery and compaction protocol between them.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/snapshot       complete state as of some WAL sequence number
+//! <dir>/wal            InstanceDelta frames appended since that point
+//! <dir>/snapshot.tmp   transient; a crash mid-compaction can leave one
+//! ```
+//!
+//! ## Protocol invariants
+//!
+//! - **WAL-before-state**: callers append a delta (and, per
+//!   [`FsyncPolicy`], sync it) *before* mutating in-memory state. An
+//!   acknowledged write is therefore always recoverable.
+//! - **Monotonic sequence numbers**: frame seqs start at 1 and are never
+//!   reused, even across compactions. The snapshot records the highest
+//!   seq folded into it (`last_seq`); recovery applies only frames with
+//!   `seq > last_seq`, so every crash window around compaction —
+//!   snapshot written but WAL not yet reset, or reset but the process
+//!   died before acknowledging — resolves to the same state.
+//! - **Atomic snapshot replace**: compaction writes `snapshot.tmp`,
+//!   syncs, renames over `snapshot`, syncs the directory. A stale
+//!   `snapshot.tmp` found on open is deleted, never trusted.
+//!
+//! The store moves bytes and sequence numbers; it never interprets the
+//! deltas. Replaying them through the incremental grounding machinery is
+//! the facade's job — that is what makes a reopened database arrive
+//! *warm*, not just consistent.
+
+use crate::codec::{decode_delta, encode_delta};
+use crate::error::StorageError;
+use crate::snapshot;
+use crate::wal::{FsyncPolicy, Wal};
+use cqa_constraints::IcSet;
+use cqa_relational::{Instance, InstanceDelta};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs for a [`DurableStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// When appended WAL frames are flushed to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Compaction triggers when `wal_bytes > snapshot_bytes * num / den`
+    /// (and the WAL exceeds [`StoreOptions::compact_min_wal_bytes`]).
+    pub compact_num: u64,
+    /// Denominator of the compaction fraction.
+    pub compact_den: u64,
+    /// Compaction never triggers below this many WAL bytes — tiny
+    /// stores would otherwise snapshot on every write.
+    pub compact_min_wal_bytes: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            fsync: FsyncPolicy::Always,
+            compact_num: 1,
+            compact_den: 1,
+            compact_min_wal_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// What recovery found and did, for observability and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Atoms in the snapshot (before WAL replay).
+    pub snapshot_atoms: usize,
+    /// Highest sequence number folded into the snapshot.
+    pub snapshot_last_seq: u64,
+    /// Frames replayed on top of the snapshot.
+    pub frames_applied: u64,
+    /// Intact frames skipped because the snapshot already covered them
+    /// (the compaction-then-crash window).
+    pub frames_skipped: u64,
+    /// Bytes dropped from the WAL's torn/corrupt tail (0 on clean
+    /// shutdown).
+    pub bytes_truncated: u64,
+    /// Highest sequence number in the recovered state — the durable
+    /// write horizon. Everything at or below it was acknowledged and
+    /// survived; nothing above it was ever acknowledged.
+    pub last_seq: u64,
+}
+
+/// The result of opening an existing store.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The instance exactly as the snapshot recorded it (WAL deltas
+    /// **not** yet applied) — the caller replays [`Recovered::deltas`]
+    /// through its own incremental paths.
+    pub snapshot_instance: Instance,
+    /// The persisted constraint set.
+    pub ics: IcSet,
+    /// Surviving WAL deltas in sequence order, each past the snapshot
+    /// horizon.
+    pub deltas: Vec<(u64, InstanceDelta)>,
+    /// What recovery found and did.
+    pub report: RecoveryReport,
+}
+
+/// A snapshot + WAL pair rooted at one directory.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: Wal,
+    snapshot_bytes: u64,
+    options: StoreOptions,
+}
+
+impl DurableStore {
+    fn snapshot_path(dir: &Path) -> PathBuf {
+        dir.join("snapshot")
+    }
+
+    fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal")
+    }
+
+    /// Create a fresh store at `dir` (creating the directory if needed)
+    /// seeded with `instance` and `ics`. Fails with
+    /// [`StorageError::AlreadyExists`] if `dir` already holds a store.
+    pub fn create(
+        dir: &Path,
+        instance: &Instance,
+        ics: &IcSet,
+        options: StoreOptions,
+    ) -> Result<DurableStore, StorageError> {
+        fs::create_dir_all(dir)?;
+        let snap_path = Self::snapshot_path(dir);
+        if snap_path.exists() {
+            return Err(StorageError::AlreadyExists(dir.to_path_buf()));
+        }
+        let snapshot_bytes = snapshot::write(&snap_path, instance, ics, 0)?;
+        let wal = Wal::create(&Self::wal_path(dir), options.fsync)?;
+        Ok(DurableStore {
+            dir: dir.to_path_buf(),
+            wal,
+            snapshot_bytes,
+            options,
+        })
+    }
+
+    /// Open an existing store: verify the snapshot, scan the WAL
+    /// (truncating any torn tail), and hand back the surviving deltas
+    /// for the caller to replay. Fails with [`StorageError::NotAStore`]
+    /// if `dir` has no snapshot.
+    pub fn open(
+        dir: &Path,
+        options: StoreOptions,
+    ) -> Result<(DurableStore, Recovered), StorageError> {
+        let snap_path = Self::snapshot_path(dir);
+        if !snap_path.exists() {
+            return Err(StorageError::NotAStore(dir.to_path_buf()));
+        }
+        // A crash mid-compaction can leave a half-written tmp file; the
+        // real snapshot is intact (rename is the commit point).
+        let stale_tmp = snap_path.with_extension("tmp");
+        if stale_tmp.exists() {
+            fs::remove_file(&stale_tmp)?;
+        }
+
+        let snap = snapshot::read(&snap_path)?;
+
+        let wal_path = Self::wal_path(dir);
+        let (mut wal, scan) = if wal_path.exists() {
+            Wal::open(&wal_path, options.fsync)?
+        } else {
+            // Crash window between snapshot creation and WAL creation:
+            // the snapshot alone is a complete, empty-log store.
+            (Wal::create(&wal_path, options.fsync)?, Default::default())
+        };
+        // A WAL rebuilt empty (missing, or caught in the create window)
+        // must not reuse sequence numbers the snapshot already covers.
+        wal.ensure_seq_at_least(snap.last_seq + 1);
+
+        let mut deltas = Vec::new();
+        let mut frames_skipped = 0u64;
+        let mut last_seq = snap.last_seq;
+        for frame in &scan.frames {
+            if frame.seq <= snap.last_seq {
+                frames_skipped += 1;
+                continue;
+            }
+            deltas.push((frame.seq, decode_delta(&frame.payload)?));
+            last_seq = frame.seq;
+        }
+
+        let report = RecoveryReport {
+            snapshot_atoms: snap.instance.len(),
+            snapshot_last_seq: snap.last_seq,
+            frames_applied: deltas.len() as u64,
+            frames_skipped,
+            bytes_truncated: scan.bytes_truncated,
+            last_seq,
+        };
+        let store = DurableStore {
+            dir: dir.to_path_buf(),
+            wal,
+            snapshot_bytes: snap.bytes,
+            options,
+        };
+        Ok((
+            store,
+            Recovered {
+                snapshot_instance: snap.instance,
+                ics: snap.ics,
+                deltas,
+                report,
+            },
+        ))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append one delta to the WAL; returns its sequence number. Per the
+    /// WAL-before-state invariant, call this *before* mutating the
+    /// in-memory instance.
+    pub fn append_delta(&mut self, delta: &InstanceDelta) -> Result<u64, StorageError> {
+        self.wal.append(&encode_delta(delta))
+    }
+
+    /// Force all appended frames to stable storage, regardless of
+    /// policy.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.wal.sync()
+    }
+
+    /// The highest sequence number acknowledged so far (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        self.wal.next_seq() - 1
+    }
+
+    /// Current WAL size in bytes.
+    pub fn wal_bytes(&self) -> Result<u64, StorageError> {
+        self.wal.len_bytes()
+    }
+
+    /// Current snapshot size in bytes.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
+    }
+
+    /// `true` iff the WAL has outgrown the configured fraction of the
+    /// snapshot.
+    pub fn wants_compaction(&self) -> Result<bool, StorageError> {
+        let wal_bytes = self.wal.len_bytes()?;
+        if wal_bytes < self.options.compact_min_wal_bytes {
+            return Ok(false);
+        }
+        // wal > snapshot * num / den, overflow-safe.
+        Ok(wal_bytes as u128 * self.options.compact_den as u128
+            > self.snapshot_bytes as u128 * self.options.compact_num as u128)
+    }
+
+    /// Fold the WAL into a fresh snapshot of `instance` + `ics` and
+    /// reset the log. The caller passes the *current* in-memory state —
+    /// by the WAL-before-state invariant it covers every acknowledged
+    /// frame.
+    pub fn compact(&mut self, instance: &Instance, ics: &IcSet) -> Result<(), StorageError> {
+        let last_seq = self.last_seq();
+        self.snapshot_bytes =
+            snapshot::write(&Self::snapshot_path(&self.dir), instance, ics, last_seq)?;
+        self.wal.reset()
+    }
+
+    /// Compact if [`DurableStore::wants_compaction`]; returns whether a
+    /// compaction ran.
+    pub fn maybe_compact(
+        &mut self,
+        instance: &Instance,
+        ics: &IcSet,
+    ) -> Result<bool, StorageError> {
+        if self.wants_compaction()? {
+            self.compact(instance, ics)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_relational::{s, DatabaseAtom, Schema, Tuple};
+    use std::fs::OpenOptions;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cqa-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed() -> (Instance, IcSet) {
+        let schema = Schema::builder()
+            .relation("r", ["x", "y"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut inst = Instance::empty(schema);
+        inst.insert_named("r", [s("a"), s("b")]).unwrap();
+        (inst, IcSet::default())
+    }
+
+    fn atom(inst: &Instance, x: &str, y: &str) -> DatabaseAtom {
+        DatabaseAtom::new(
+            inst.schema().require("r").unwrap(),
+            Tuple::new(vec![s(x), s(y)]),
+        )
+    }
+
+    #[test]
+    fn create_then_open_recovers_seed_state() {
+        let dir = tmpdir("seed");
+        let (inst, ics) = seed();
+        let store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        assert_eq!(store.last_seq(), 0);
+        drop(store);
+
+        let (store, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.snapshot_instance, inst);
+        assert!(rec.deltas.is_empty());
+        assert_eq!(
+            rec.report,
+            RecoveryReport {
+                snapshot_atoms: 1,
+                ..Default::default()
+            }
+        );
+        assert_eq!(store.last_seq(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let dir = tmpdir("clobber");
+        let (inst, ics) = seed();
+        DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        let err = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap_err();
+        assert!(matches!(err, StorageError::AlreadyExists(_)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_is_not_a_store() {
+        let dir = tmpdir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        let err = DurableStore::open(&dir, StoreOptions::default()).unwrap_err();
+        assert!(matches!(err, StorageError::NotAStore(_)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appended_deltas_come_back_in_order() {
+        let dir = tmpdir("deltas");
+        let (mut inst, ics) = seed();
+        let mut store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        for k in 0..5 {
+            let a = atom(&inst, &format!("w{k}"), "y");
+            let mut delta = InstanceDelta::default();
+            delta.added.insert(a.clone());
+            assert_eq!(store.append_delta(&delta).unwrap(), k + 1);
+            inst.insert(a.rel, a.tuple).unwrap();
+        }
+        drop(store);
+
+        let (store, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.deltas.len(), 5);
+        let seqs: Vec<u64> = rec.deltas.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        assert_eq!(rec.report.last_seq, 5);
+        assert_eq!(store.last_seq(), 5, "appends resume past recovery");
+        // Replaying onto the snapshot reproduces the live state.
+        let mut replayed = rec.snapshot_instance;
+        for (_, d) in &rec.deltas {
+            replayed.apply(d.added.iter().cloned(), d.removed.iter().cloned());
+        }
+        assert_eq!(replayed, inst);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_wal_and_survives_reopen() {
+        let dir = tmpdir("compact");
+        let (mut inst, ics) = seed();
+        let mut store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        for k in 0..3 {
+            let a = atom(&inst, &format!("c{k}"), "y");
+            let mut delta = InstanceDelta::default();
+            delta.added.insert(a.clone());
+            store.append_delta(&delta).unwrap();
+            inst.insert(a.rel, a.tuple).unwrap();
+        }
+        store.compact(&inst, &ics).unwrap();
+        assert_eq!(store.last_seq(), 3, "seq survives compaction");
+        // One more write after compaction.
+        let a = atom(&inst, "post", "y");
+        let mut delta = InstanceDelta::default();
+        delta.added.insert(a.clone());
+        assert_eq!(store.append_delta(&delta).unwrap(), 4);
+        inst.insert(a.rel, a.tuple).unwrap();
+        drop(store);
+
+        let (_, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.report.snapshot_last_seq, 3);
+        assert_eq!(rec.report.frames_applied, 1);
+        assert_eq!(rec.report.frames_skipped, 0);
+        let mut replayed = rec.snapshot_instance;
+        for (_, d) in &rec.deltas {
+            replayed.apply(d.added.iter().cloned(), d.removed.iter().cloned());
+        }
+        assert_eq!(replayed, inst);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_crash_window_skips_covered_frames() {
+        // Simulate: snapshot written at seq 2, but the WAL reset never
+        // happened (crash between the two steps). Recovery must skip the
+        // covered frames instead of double-applying them.
+        let dir = tmpdir("window");
+        let (mut inst, ics) = seed();
+        let mut store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        for k in 0..2 {
+            let a = atom(&inst, &format!("v{k}"), "y");
+            let mut delta = InstanceDelta::default();
+            delta.added.insert(a.clone());
+            store.append_delta(&delta).unwrap();
+            inst.insert(a.rel, a.tuple).unwrap();
+        }
+        // Write the snapshot directly, bypassing the WAL reset.
+        snapshot::write(&DurableStore::snapshot_path(&dir), &inst, &ics, 2).unwrap();
+        drop(store);
+
+        let (store, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.report.frames_skipped, 2);
+        assert_eq!(rec.report.frames_applied, 0);
+        assert_eq!(rec.snapshot_instance, inst);
+        assert_eq!(store.last_seq(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_snapshot_tmp_is_swept() {
+        let dir = tmpdir("tmp");
+        let (inst, ics) = seed();
+        DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        let tmp = dir.join("snapshot.tmp");
+        fs::write(&tmp, b"half-written garbage").unwrap();
+        let (_, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert!(!tmp.exists(), "stale tmp removed");
+        assert_eq!(rec.snapshot_instance, inst);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wants_compaction_respects_floor_and_fraction() {
+        let dir = tmpdir("wants");
+        let (inst, ics) = seed();
+        // No floor: any WAL bigger than the snapshot triggers.
+        let opts = StoreOptions {
+            compact_min_wal_bytes: 0,
+            ..StoreOptions::default()
+        };
+        let mut store = DurableStore::create(&dir, &inst, &ics, opts).unwrap();
+        assert!(!store.wants_compaction().unwrap(), "empty WAL never wants");
+        let big = "x".repeat(store.snapshot_bytes() as usize);
+        let mut delta = InstanceDelta::default();
+        delta.added.insert(atom(&inst, &big, "y"));
+        store.append_delta(&delta).unwrap();
+        assert!(store.wants_compaction().unwrap());
+        // With the default 64 KiB floor the same WAL is left alone.
+        let (floored, _) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert!(!floored.wants_compaction().unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_surfaces_in_report_and_keeps_prefix() {
+        let dir = tmpdir("torn");
+        let (mut inst, ics) = seed();
+        let mut store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        for k in 0..3 {
+            let a = atom(&inst, &format!("t{k}"), "y");
+            let mut delta = InstanceDelta::default();
+            delta.added.insert(a.clone());
+            store.append_delta(&delta).unwrap();
+            inst.insert(a.rel, a.tuple).unwrap();
+        }
+        drop(store);
+        // Tear mid-frame.
+        let wal_path = dir.join("wal");
+        let len = fs::metadata(&wal_path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        let (store, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.report.frames_applied, 2, "good prefix survives");
+        assert!(rec.report.bytes_truncated > 0);
+        assert_eq!(rec.report.last_seq, 2);
+        assert_eq!(store.last_seq(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,234 @@
+//! Property tests for symbol-table round-tripping: persisted symbol ids
+//! are file-local, so a load must *remap* them through the live
+//! process's interner — and the remap must be invisible. Every pinned
+//! enumeration order (`BTreeSet` iteration, `Value` ordering, instance
+//! `atoms()` order) has to be byte-identical after a save → load cycle,
+//! because repairs and consistent answers are compared as ordered sets
+//! downstream.
+//!
+//! A fresh process is simulated two ways:
+//!
+//! 1. **Never-interned strings.** Each iteration mints symbol strings
+//!    unique to this test run (seed + counter + process id), so the
+//!    load path's `Symbol::intern` genuinely assigns fresh ids — in an
+//!    order decided by the *file* (first-use order of the writer), not
+//!    by lexicographic order.
+//! 2. **Scrambled table order.** The writer assigns file-local ids in
+//!    first-use order of a shuffled atom stream, so file-local id order,
+//!    intern order, and lexicographic order all disagree — any decode
+//!    path that leaned on id order instead of resolved text would break
+//!    the pinned orders immediately.
+
+use cqa_constraints::{v, CmpOp, Ic, IcSet, Nnc};
+use cqa_relational::testing::XorShift;
+use cqa_relational::{i, null, DatabaseAtom, Instance, InstanceDelta, RelId, Schema, Tuple, Value};
+use cqa_storage::codec::{decode_delta, encode_delta};
+use cqa_storage::snapshot::{decode_body, encode_body};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Strings never interned before this call (process-unique + run-unique),
+/// in a scrambled generation order so lexicographic order ≠ intern order.
+fn fresh_symbols(rng: &mut XorShift, n: usize, tag: &str) -> Vec<String> {
+    let run = rng.next_u64();
+    let mut out: Vec<String> = (0..n)
+        .map(|k| format!("sym-{tag}-{}-{run:x}-{k}", std::process::id()))
+        .collect();
+    // Fisher–Yates so generation order (and thus intern order) is not
+    // already sorted.
+    for idx in (1..out.len()).rev() {
+        out.swap(idx, rng.below(idx + 1));
+    }
+    out
+}
+
+fn random_schema(rng: &mut XorShift) -> Arc<Schema> {
+    let mut b = Schema::builder();
+    let rels = 1 + rng.below(3);
+    for r in 0..rels {
+        let arity = 1 + rng.below(3);
+        b = b.relation_with_arity(format!("rel{r}"), arity);
+    }
+    b.finish().unwrap().into_shared()
+}
+
+fn random_value(rng: &mut XorShift, pool: &[String]) -> Value {
+    match rng.below(4) {
+        0 => null(),
+        1 => i(rng.next_u64() as i64 % 1000),
+        _ => cqa_relational::s(&pool[rng.below(pool.len())]),
+    }
+}
+
+fn random_instance(rng: &mut XorShift, schema: &Arc<Schema>, pool: &[String]) -> Instance {
+    let mut inst = Instance::empty(schema.clone());
+    let rows = 5 + rng.below(30);
+    for _ in 0..rows {
+        let rel = RelId(rng.below(schema.len()) as u32);
+        let arity = schema.relation(rel).arity();
+        let tuple = Tuple::new((0..arity).map(|_| random_value(rng, pool)));
+        inst.insert(rel, tuple).unwrap();
+    }
+    inst
+}
+
+/// The orders the workspace pins downstream, extracted for comparison.
+fn pinned_orders(inst: &Instance) -> (Vec<DatabaseAtom>, Vec<Value>) {
+    let atoms: Vec<DatabaseAtom> = inst.atoms().collect();
+    let domain: Vec<Value> = inst.active_domain().into_iter().collect();
+    (atoms, domain)
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_every_pinned_order() {
+    for seed in 1..=25u64 {
+        let mut rng = XorShift::new(seed);
+        let schema = random_schema(&mut rng);
+        let pool_size = 6 + rng.below(10);
+        let pool = fresh_symbols(&mut rng, pool_size, &format!("snap{seed}"));
+        let inst = random_instance(&mut rng, &schema, &pool);
+
+        let bytes = encode_body(&inst, &IcSet::default(), seed);
+        let (loaded, _, last_seq) = decode_body(&bytes).expect("decode");
+        assert_eq!(last_seq, seed);
+        assert_eq!(loaded, inst, "seed {seed}: instance equality");
+
+        let (atoms_a, dom_a) = pinned_orders(&inst);
+        let (atoms_b, dom_b) = pinned_orders(&loaded);
+        assert_eq!(atoms_a, atoms_b, "seed {seed}: atoms() enumeration order");
+        assert_eq!(dom_a, dom_b, "seed {seed}: active-domain Value order");
+
+        // BTreeSet iteration inside each relation is identical, tuple by
+        // tuple, and sorted by the value ordering (Null < Int < Sym, Sym
+        // by text) — id-independent by construction.
+        for rel in schema.rel_ids() {
+            let a: Vec<&Tuple> = inst.relation(rel).iter().collect();
+            let b: Vec<&Tuple> = loaded.relation(rel).iter().collect();
+            assert_eq!(a, b, "seed {seed}: relation {rel} iteration order");
+            assert!(
+                a.windows(2).all(|w| w[0] < w[1]),
+                "seed {seed}: strict sortedness survives the remap"
+            );
+        }
+    }
+}
+
+#[test]
+fn wal_delta_roundtrip_preserves_set_order() {
+    for seed in 100..=120u64 {
+        let mut rng = XorShift::new(seed);
+        let schema = random_schema(&mut rng);
+        let pool = fresh_symbols(&mut rng, 8, &format!("wal{seed}"));
+        let mut delta = InstanceDelta::default();
+        for _ in 0..(1 + rng.below(12)) {
+            let rel = RelId(rng.below(schema.len()) as u32);
+            let arity = schema.relation(rel).arity();
+            let tuple = Tuple::new((0..arity).map(|_| random_value(&mut rng, &pool)));
+            let atom = DatabaseAtom::new(rel, tuple);
+            if rng.chance(1, 2) {
+                delta.added.insert(atom);
+            } else {
+                delta.removed.insert(atom);
+            }
+        }
+        let back = decode_delta(&encode_delta(&delta)).expect("decode");
+        assert_eq!(back, delta, "seed {seed}: delta equality");
+        let a: Vec<&DatabaseAtom> = delta.added.iter().chain(delta.removed.iter()).collect();
+        let b: Vec<&DatabaseAtom> = back.added.iter().chain(back.removed.iter()).collect();
+        assert_eq!(a, b, "seed {seed}: BTreeSet iteration order");
+    }
+}
+
+#[test]
+fn constraints_roundtrip_with_fresh_symbol_constants() {
+    // Constraint constants ride the same symbol table as tuples; a
+    // rebuilt Ic must be Eq-equal including its Sym constants.
+    let mut rng = XorShift::new(777);
+    let schema = Schema::builder()
+        .relation("r", ["x", "y"])
+        .relation("q", ["a"])
+        .finish()
+        .unwrap()
+        .into_shared();
+    let pool = fresh_symbols(&mut rng, 4, "ics");
+    let mut ics = IcSet::default();
+    ics.push(
+        Ic::builder(&schema, "fk")
+            .body_atom("r", [v("x"), v("y")])
+            .head_atom("q", [v("y")])
+            .finish()
+            .unwrap(),
+    );
+    ics.push(
+        Ic::builder(&schema, "guard")
+            .body_atom("r", [v("x"), v("y")])
+            .builtin(
+                v("x"),
+                CmpOp::Neq,
+                cqa_constraints::c(cqa_relational::s(&pool[0])),
+            )
+            .finish()
+            .unwrap(),
+    );
+    ics.push(Nnc::new(&schema, "nn", "q", 0).unwrap());
+
+    let mut inst = Instance::empty(schema);
+    inst.insert_named(
+        "r",
+        [cqa_relational::s(&pool[1]), cqa_relational::s(&pool[2])],
+    )
+    .unwrap();
+
+    let bytes = encode_body(&inst, &ics, 3);
+    let (loaded_inst, loaded_ics, _) = decode_body(&bytes).expect("decode");
+    assert_eq!(loaded_inst, inst);
+    assert_eq!(loaded_ics, ics, "constraints Eq-equal after remap");
+}
+
+#[test]
+fn interleaved_loads_share_one_interner_without_collisions() {
+    // Two different files whose file-local id 0 names *different*
+    // strings: decoding both in one process must keep them distinct (the
+    // remap is per-file, the interner global).
+    let mut rng = XorShift::new(31337);
+    let schema = Schema::builder()
+        .relation("t", ["v"])
+        .finish()
+        .unwrap()
+        .into_shared();
+    let pool = fresh_symbols(&mut rng, 2, "twin");
+    let make = |name: &str| {
+        let mut inst = Instance::empty(schema.clone());
+        inst.insert_named("t", [cqa_relational::s(name)]).unwrap();
+        encode_body(&inst, &IcSet::default(), 0)
+    };
+    let bytes_a = make(&pool[0]);
+    let bytes_b = make(&pool[1]);
+    let (a, _, _) = decode_body(&bytes_a).unwrap();
+    let (b, _, _) = decode_body(&bytes_b).unwrap();
+    let get = |inst: &Instance| -> String {
+        inst.relation_named("t")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .get(0)
+            .as_str()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(get(&a), pool[0]);
+    assert_eq!(get(&b), pool[1]);
+
+    // And a joint set over both instances still sorts by text.
+    let mut joint = BTreeSet::new();
+    joint.extend(a.atoms());
+    joint.extend(b.atoms());
+    let texts: Vec<String> = joint
+        .iter()
+        .map(|at| at.tuple.get(0).as_str().unwrap().to_string())
+        .collect();
+    let mut sorted = texts.clone();
+    sorted.sort();
+    assert_eq!(texts, sorted, "joint BTreeSet order is textual");
+}

@@ -55,6 +55,7 @@ pub use cqa_constraints as constraints;
 pub use cqa_core as core;
 pub use cqa_relational as relational;
 pub use cqa_sql as sql;
+pub use cqa_storage as storage;
 
 /// The common imports.
 pub mod prelude {
@@ -70,9 +71,11 @@ pub mod prelude {
 use cqa_constraints::IcSet;
 use cqa_core::query::AnswerSemantics;
 use cqa_core::{CoreError, CqaCaches, ProgramStyle, RepairConfig};
-use cqa_relational::{Instance, Schema, Tuple};
+use cqa_relational::{DatabaseAtom, Instance, InstanceDelta, Schema, Tuple};
+use cqa_storage::{DurableStore, RecoveryReport, StoreOptions};
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -83,6 +86,8 @@ pub enum Error {
     Core(CoreError),
     /// Relational-layer error.
     Relational(cqa_relational::RelationalError),
+    /// Durability-layer error (WAL/snapshot I/O or corruption).
+    Storage(cqa_storage::StorageError),
 }
 
 impl std::fmt::Display for Error {
@@ -91,11 +96,18 @@ impl std::fmt::Display for Error {
             Error::Parse(e) => write!(f, "{e}"),
             Error::Core(e) => write!(f, "{e}"),
             Error::Relational(e) => write!(f, "{e}"),
+            Error::Storage(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<cqa_storage::StorageError> for Error {
+    fn from(e: cqa_storage::StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
 
 impl From<cqa_sql::ParseError> for Error {
     fn from(e: cqa_sql::ParseError) -> Self {
@@ -121,6 +133,20 @@ impl From<cqa_relational::RelationalError> for Error {
 /// worklists, repair-program groundings): many databases in one process
 /// cannot evict each other's derived results. Clones share the bundle —
 /// they are views of the same tenant.
+///
+/// ## Durability
+///
+/// A database created through [`Database::persistent`] or reopened with
+/// [`Database::open`] is backed by a [`DurableStore`] (WAL + snapshot):
+/// every `insert`/`delete`/`*_many` appends an
+/// [`InstanceDelta`] frame to the write-ahead log *before* mutating, so
+/// an acknowledged write survives `kill -9`. Recovery replays surviving
+/// frames through the same incremental grounding machinery ordinary
+/// churn uses, so a reopened database arrives consistent *and* warm.
+/// Clones share the underlying store — mutate a persistent tenant
+/// through one handle at a time. [`Database::instance_mut`] bypasses
+/// the WAL entirely; changes made through it reach disk only at the
+/// next snapshot compaction.
 #[derive(Debug, Clone)]
 pub struct Database {
     instance: Instance,
@@ -128,6 +154,8 @@ pub struct Database {
     config: RepairConfig,
     program_style: ProgramStyle,
     caches: Arc<CqaCaches>,
+    storage: Option<Arc<Mutex<DurableStore>>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Database {
@@ -135,13 +163,7 @@ impl Database {
     /// grammar).
     pub fn from_script(script: &str) -> Result<Self, Error> {
         let catalog = cqa_sql::parse_script(script)?;
-        Ok(Database {
-            instance: catalog.instance,
-            constraints: catalog.constraints,
-            config: RepairConfig::default(),
-            program_style: ProgramStyle::default(),
-            caches: Arc::new(CqaCaches::new()),
-        })
+        Ok(Database::new(catalog.instance, catalog.constraints))
     }
 
     /// Build from parts.
@@ -152,7 +174,143 @@ impl Database {
             config: RepairConfig::default(),
             program_style: ProgramStyle::default(),
             caches: Arc::new(CqaCaches::new()),
+            storage: None,
+            recovery: None,
         }
+    }
+
+    /// Create a durable database at `path` (a directory) seeded with
+    /// `instance` and `constraints`, with default [`StoreOptions`]
+    /// (fsync on every write, 1:1 compaction fraction). Fails if `path`
+    /// already holds a store.
+    pub fn persistent(
+        path: impl AsRef<Path>,
+        instance: Instance,
+        constraints: IcSet,
+    ) -> Result<Self, Error> {
+        Database::persistent_with(path, instance, constraints, StoreOptions::default())
+    }
+
+    /// [`Database::persistent`] with explicit [`StoreOptions`] (fsync
+    /// policy, compaction fraction and floor).
+    pub fn persistent_with(
+        path: impl AsRef<Path>,
+        instance: Instance,
+        constraints: IcSet,
+        options: StoreOptions,
+    ) -> Result<Self, Error> {
+        let store = DurableStore::create(path.as_ref(), &instance, &constraints, options)?;
+        let mut db = Database::new(instance, constraints);
+        db.storage = Some(Arc::new(Mutex::new(store)));
+        Ok(db)
+    }
+
+    /// Reopen the durable database at `path` with default
+    /// [`StoreOptions`]: load the snapshot, replay surviving WAL frames
+    /// (truncating any torn tail), and warm the grounding/worklist
+    /// caches along the way. [`Database::recovery_report`] says what
+    /// recovery found.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, Error> {
+        Database::open_with(path, StoreOptions::default())
+    }
+
+    /// [`Database::open`] with explicit [`StoreOptions`].
+    ///
+    /// Recovery replays the WAL through the same incremental paths
+    /// ordinary churn uses: the grounding cache is warmed on the
+    /// snapshot state, the deltas are applied, and the final state is
+    /// re-warmed — the second pass finds the drifted entry and evolves
+    /// it in place (DRed for removals, seminaive for insertions), so the
+    /// reopened database resumes the warm-cache trajectory a
+    /// never-crashed process had.
+    pub fn open_with(path: impl AsRef<Path>, options: StoreOptions) -> Result<Self, Error> {
+        let (store, recovered) = DurableStore::open(path.as_ref(), options)?;
+        let caches = Arc::new(CqaCaches::new());
+        let style = ProgramStyle::default();
+        let mut instance = recovered.snapshot_instance;
+        let constraints = recovered.ics;
+        if !recovered.deltas.is_empty() {
+            // Ground the snapshot state first, then evolve that grounding
+            // across the whole WAL in one incremental step — the replay
+            // cost scales with the net drift, not the WAL length.
+            cqa_core::warm_caches_in(&instance, &constraints, style, &caches)?;
+            for (_, delta) in &recovered.deltas {
+                instance.apply(delta.added.iter().cloned(), delta.removed.iter().cloned());
+            }
+        }
+        cqa_core::warm_caches_in(&instance, &constraints, style, &caches)?;
+        Ok(Database {
+            instance,
+            constraints,
+            config: RepairConfig::default(),
+            program_style: style,
+            caches,
+            storage: Some(Arc::new(Mutex::new(store))),
+            recovery: Some(recovered.report),
+        })
+    }
+
+    /// What recovery found and did, if this database came from
+    /// [`Database::open`]: snapshot size, frames replayed/skipped, torn
+    /// bytes truncated, and the durable write horizon
+    /// ([`RecoveryReport::last_seq`]).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// `true` iff this database is backed by a [`DurableStore`].
+    pub fn is_persistent(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// Force all acknowledged writes to stable storage regardless of the
+    /// configured [`FsyncPolicy`](cqa_storage::FsyncPolicy). No-op for
+    /// in-memory databases.
+    pub fn sync(&self) -> Result<(), Error> {
+        if let Some(store) = &self.storage {
+            store.lock().expect("storage lock").sync()?;
+        }
+        Ok(())
+    }
+
+    /// Append `delta` to the WAL (if persistent). Called *before* the
+    /// in-memory mutation, so an acknowledged write is always
+    /// recoverable.
+    fn log_delta(&self, delta: &InstanceDelta) -> Result<(), Error> {
+        if let Some(store) = &self.storage {
+            store.lock().expect("storage lock").append_delta(delta)?;
+        }
+        Ok(())
+    }
+
+    /// Post-mutation housekeeping: fold the WAL into a fresh snapshot
+    /// when it has outgrown the configured fraction of the snapshot.
+    fn maybe_compact(&self) -> Result<(), Error> {
+        if let Some(store) = &self.storage {
+            store
+                .lock()
+                .expect("storage lock")
+                .maybe_compact(&self.instance, &self.constraints)?;
+        }
+        Ok(())
+    }
+
+    /// Resolve `(relation, tuple)` to a validated [`DatabaseAtom`]:
+    /// unknown relations and arity mismatches are errors *before* any
+    /// WAL append or mutation.
+    fn atom_for(&self, relation: &str, tuple: Tuple) -> Result<DatabaseAtom, Error> {
+        let rel = self.schema().require(relation)?;
+        let expected = self.schema().relation(rel).arity();
+        if tuple.arity() != expected {
+            return Err(Error::Relational(
+                cqa_relational::RelationalError::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected,
+                    actual: tuple.arity(),
+                },
+            ));
+        }
+        Ok(DatabaseAtom::new(rel, tuple))
     }
 
     /// This database's cache bundle (worklist + grounding stats live
@@ -195,37 +353,109 @@ impl Database {
 
     /// Add a constraint from text, e.g. `"r(x, y) -> exists z: s(x, z)"`
     /// or `"not null r(y)"`.
+    ///
+    /// On a persistent database the new constraint set is folded into a
+    /// fresh snapshot immediately — constraints travel in snapshots, not
+    /// WAL frames, so deferring would lose the constraint on crash.
     pub fn add_constraint(&mut self, name: &str, text: &str) -> Result<(), Error> {
         let con = cqa_sql::parse_constraint(self.schema(), name, text)?;
         self.constraints.push(con);
+        if let Some(store) = &self.storage {
+            store
+                .lock()
+                .expect("storage lock")
+                .compact(&self.instance, &self.constraints)?;
+        }
         Ok(())
     }
 
-    /// Insert a tuple.
+    /// Insert a tuple; `Ok(true)` when it was new. On a persistent
+    /// database the delta is WAL-appended (and, per policy, fsynced)
+    /// *before* the in-memory mutation.
     pub fn insert(&mut self, relation: &str, tuple: impl Into<Tuple>) -> Result<bool, Error> {
-        Ok(self.instance.insert_named(relation, tuple)?)
+        let atom = self.atom_for(relation, tuple.into())?;
+        if self.instance.contains(&atom) {
+            return Ok(false); // set semantics: no-ops never reach the WAL
+        }
+        let mut delta = InstanceDelta::default();
+        delta.added.insert(atom.clone());
+        self.log_delta(&delta)?;
+        self.instance.insert(atom.rel, atom.tuple)?;
+        self.maybe_compact()?;
+        Ok(true)
     }
 
     /// Delete a tuple; `true` when it was present. Cached groundings of
     /// the repair program survive the deletion — the next program-route
     /// call regrounds incrementally by delete–rederive instead of
-    /// rebuilding.
+    /// rebuilding. On a persistent database the delta is WAL-appended
+    /// *before* the in-memory mutation.
     pub fn delete(&mut self, relation: &str, tuple: impl Into<Tuple>) -> Result<bool, Error> {
-        let rel = self.schema().require(relation)?;
-        let tuple = tuple.into();
         // Symmetric with insert: an arity typo is an error, not a silent
         // "tuple was not present".
-        let expected = self.schema().relation(rel).arity();
-        if tuple.arity() != expected {
-            return Err(Error::Relational(
-                cqa_relational::RelationalError::ArityMismatch {
-                    relation: relation.to_string(),
-                    expected,
-                    actual: tuple.arity(),
-                },
-            ));
+        let atom = self.atom_for(relation, tuple.into())?;
+        if !self.instance.contains(&atom) {
+            return Ok(false);
         }
-        Ok(self.instance.remove(rel, &tuple))
+        let mut delta = InstanceDelta::default();
+        delta.removed.insert(atom.clone());
+        self.log_delta(&delta)?;
+        self.instance.remove(atom.rel, &atom.tuple);
+        self.maybe_compact()?;
+        Ok(true)
+    }
+
+    /// Insert a batch of tuples into one relation as a *single*
+    /// [`InstanceDelta`] — one WAL frame, one cache-replay step — instead
+    /// of N single-fact rounds. Returns how many tuples were actually
+    /// new. The result is pinned equal to the equivalent sequence of
+    /// [`Database::insert`] calls; only the delta granularity differs.
+    pub fn insert_many(
+        &mut self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = impl Into<Tuple>>,
+    ) -> Result<usize, Error> {
+        let mut delta = InstanceDelta::default();
+        for tuple in tuples {
+            let atom = self.atom_for(relation, tuple.into())?;
+            if !self.instance.contains(&atom) {
+                delta.added.insert(atom);
+            }
+        }
+        if delta.added.is_empty() {
+            return Ok(0);
+        }
+        self.log_delta(&delta)?;
+        let count = delta.added.len();
+        self.instance.apply(delta.added, std::iter::empty());
+        self.maybe_compact()?;
+        Ok(count)
+    }
+
+    /// Delete a batch of tuples from one relation as a single
+    /// [`InstanceDelta`] / WAL frame. Returns how many tuples were
+    /// actually present. Validation is per-tuple, exactly as
+    /// [`Database::delete`].
+    pub fn delete_many(
+        &mut self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = impl Into<Tuple>>,
+    ) -> Result<usize, Error> {
+        let mut delta = InstanceDelta::default();
+        for tuple in tuples {
+            let atom = self.atom_for(relation, tuple.into())?;
+            if self.instance.contains(&atom) {
+                delta.removed.insert(atom);
+            }
+        }
+        if delta.removed.is_empty() {
+            return Ok(0);
+        }
+        self.log_delta(&delta)?;
+        let count = delta.removed.len();
+        self.instance.apply(std::iter::empty(), delta.removed);
+        self.maybe_compact()?;
+        Ok(count)
     }
 
     /// Replace this database's cache bundle with one whose grounding

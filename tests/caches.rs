@@ -168,6 +168,93 @@ fn oversized_drift_takes_the_rebuild_escape_hatch() {
 }
 
 #[test]
+fn batch_mutators_match_singles_and_reground_once() {
+    // `insert_many`/`delete_many` must be semantically identical to the
+    // equivalent sequence of single-atom calls — same instance, same
+    // repairs — while presenting the churn to the grounding cache as ONE
+    // drift (one reground) instead of N.
+    use cqa::relational::Tuple;
+    let mut singles = tenant("batch");
+    let mut batched = tenant("batch");
+
+    let rows: Vec<Tuple> = (0..4)
+        .map(|k| Tuple::from([cqa::s(&format!("pad{k}")), cqa::s("y")]))
+        .collect();
+
+    // Pad both tenants with clean rows so the 4-atom batch drift stays
+    // under the rebuild escape-hatch fraction (the incremental path is
+    // the point of the pin).
+    for k in 0..8 {
+        for db in [&mut singles, &mut batched] {
+            assert!(db
+                .insert("r", [cqa::s(&format!("clean{k}")), cqa::s("z")])
+                .unwrap());
+        }
+    }
+
+    // Prime both caches on the same base state.
+    let base_s = singles.repairs_via_program().unwrap();
+    let base_b = batched.repairs_via_program().unwrap();
+    assert_eq!(base_s, base_b);
+    assert_eq!(counts(&singles), (0, 0, 0, 1));
+    assert_eq!(counts(&batched), (0, 0, 0, 1));
+
+    // Insert: N single calls vs one batch. Duplicates inside the batch
+    // input and re-inserts of existing atoms are both no-ops, so the
+    // reported count is the number of *genuinely new* atoms.
+    for row in &rows {
+        assert!(singles.insert("r", row.clone()).unwrap());
+        let _ = singles.repairs_via_program().unwrap(); // a reground per call
+    }
+    let mut batch_input = rows.clone();
+    batch_input.push(rows[0].clone()); // duplicate inside the batch
+    batch_input.push(Tuple::from([cqa::s("abatch"), cqa::s("b")])); // already present
+    let inserted = batched.insert_many("r", batch_input).unwrap();
+    assert_eq!(inserted, rows.len(), "only genuinely-new atoms count");
+    let after_b = batched.repairs_via_program().unwrap();
+
+    let after_s = singles.repairs_via_program().unwrap();
+    assert_eq!(after_s, after_b, "batch insert == singles insert");
+    assert_eq!(
+        singles.instance().len(),
+        batched.instance().len(),
+        "identical instances after the two insert styles"
+    );
+    // Singles reground once per mutation (plus the final call hits);
+    // the batch path regrounds exactly once for the whole fleet.
+    assert_eq!(counts(&singles), (1, rows.len() as u64, 0, 1));
+    assert_eq!(counts(&batched), (0, 1, 0, 1));
+
+    // Delete: same contract, including absent rows being no-ops.
+    let mut doomed: Vec<Tuple> = rows[..2].to_vec();
+    doomed.push(Tuple::from([cqa::s("never-there"), cqa::s("y")]));
+    let removed = batched.delete_many("r", doomed).unwrap();
+    assert_eq!(removed, 2, "absent rows do not count as deletions");
+    for row in &rows[..2] {
+        assert!(singles.delete("r", row.clone()).unwrap());
+    }
+    assert_eq!(singles.repairs().unwrap(), batched.repairs().unwrap());
+    let _ = batched.repairs_via_program().unwrap();
+    assert_eq!(
+        counts(&batched),
+        (0, 2, 0, 1),
+        "the whole delete batch is one more reground"
+    );
+
+    // An all-no-op batch leaves the cache (and WAL, pinned elsewhere)
+    // untouched: the next program call is a pure hit.
+    assert_eq!(
+        batched
+            .insert_many("r", vec![Tuple::from([cqa::s("pad3"), cqa::s("y")]); 3])
+            .unwrap(),
+        0
+    );
+    assert_eq!(batched.delete_many("r", Vec::<Tuple>::new()).unwrap(), 0);
+    let _ = batched.repairs_via_program().unwrap();
+    assert_eq!(counts(&batched), (1, 2, 0, 1), "no-op batches don't drift");
+}
+
+#[test]
 fn grounding_cache_eviction_is_size_aware() {
     // A budget small enough for exactly one Example-19 grounding: a
     // second key (different program style) must evict the first, and the

@@ -1,0 +1,313 @@
+//! Facade-level durability: `Database::persistent` / `Database::open`
+//! round-trips, recovery reports, corrupted-tail handling, and the
+//! warm-cache recovery trajectory (ISSUE 6 acceptance: reopen-then-churn
+//! shows *regrounds*, not rebuilds).
+//!
+//! Every test owns a scratch directory under the system temp dir and
+//! cleans it up on entry, so re-runs and parallel tests never collide.
+
+use cqa::storage::{FsyncPolicy, StoreOptions};
+use cqa::{Database, Error};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cqa-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Example-19 shape: one key conflict (2 repairs), an FK, a null.
+const SCRIPT: &str = "CREATE TABLE r (x TEXT PRIMARY KEY, y TEXT);
+     CREATE TABLE s (u TEXT, v TEXT, FOREIGN KEY (v) REFERENCES r(x));
+     INSERT INTO r VALUES ('a', 'b'), ('a', 'c');
+     INSERT INTO s VALUES (NULL, 'a');";
+
+fn seeded(dir: &PathBuf) -> Database {
+    let catalog = cqa::sql::parse_script(SCRIPT).unwrap();
+    Database::persistent(dir, catalog.instance, catalog.constraints).unwrap()
+}
+
+#[test]
+fn create_churn_reopen_round_trips() {
+    let dir = scratch("roundtrip");
+    let mut db = seeded(&dir);
+    assert!(db.is_persistent());
+    assert!(db.recovery_report().is_none(), "fresh stores don't recover");
+
+    // Churn: two effective singles, one batch, one no-op (never logged).
+    assert!(db.insert("r", [cqa::s("w1"), cqa::s("y")]).unwrap());
+    assert!(db.delete("r", [cqa::s("a"), cqa::s("b")]).unwrap());
+    assert!(!db.insert("r", [cqa::s("w1"), cqa::s("y")]).unwrap());
+    assert_eq!(
+        db.insert_many("s", (0..3).map(|k| [cqa::s(&format!("u{k}")), cqa::s("a")]),)
+            .unwrap(),
+        3
+    );
+    db.sync().unwrap();
+
+    let want_atoms: Vec<_> = db.instance().atoms().collect();
+    let want_repairs = db.repairs().unwrap();
+    let want_answers = db.consistent_answers("q(v) :- s(u, v).").unwrap();
+    drop(db);
+
+    let back = Database::open(&dir).unwrap();
+    assert!(back.is_persistent());
+    let report = back.recovery_report().expect("opened stores report");
+    // 3 effective frames: insert, delete, insert_many (the no-op insert
+    // never reached the WAL).
+    assert_eq!(report.frames_applied, 3);
+    assert_eq!(report.frames_skipped, 0);
+    assert_eq!(report.bytes_truncated, 0);
+    assert_eq!(report.last_seq, 3);
+    assert_eq!(report.snapshot_last_seq, 0);
+
+    let got_atoms: Vec<_> = back.instance().atoms().collect();
+    assert_eq!(got_atoms, want_atoms, "instance survives byte-identically");
+    assert_eq!(back.repairs().unwrap(), want_repairs);
+    assert_eq!(
+        back.consistent_answers("q(v) :- s(u, v).").unwrap(),
+        want_answers
+    );
+}
+
+#[test]
+fn reopen_then_churn_regrounds_not_rebuilds() {
+    // Seed the *snapshot* with enough clean rows that the WAL drift and
+    // the post-reopen churn stay under the rebuild escape-hatch fraction
+    // — the incremental path is what this test pins.
+    let dir = scratch("warm");
+    let mut script = String::from(SCRIPT);
+    for k in 0..20 {
+        script.push_str(&format!("INSERT INTO r VALUES ('clean{k}', 'z');"));
+    }
+    let catalog = cqa::sql::parse_script(&script).unwrap();
+    let mut db = Database::persistent(&dir, catalog.instance, catalog.constraints).unwrap();
+    for k in 0..4 {
+        assert!(db
+            .insert("r", [cqa::s(&format!("pad{k}")), cqa::s("z")])
+            .unwrap());
+    }
+    drop(db);
+
+    // Recovery replays the WAL through the incremental engine: the
+    // snapshot state is grounded (miss), then the whole WAL drift is
+    // evolved onto it (reground) — never a rebuild, and the reopened
+    // handle starts *warm*.
+    let mut back = Database::open(&dir).unwrap();
+    let stats = back.caches().grounding.stats();
+    assert_eq!(
+        (stats.misses, stats.regrounds, stats.rebuilds),
+        (1, 1, 0),
+        "recovery = one snapshot grounding + one incremental evolve"
+    );
+
+    // First query after reopen rides the recovered grounding: a pure hit.
+    let first = back.repairs_via_program().unwrap();
+    let stats = back.caches().grounding.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1), "reopen starts warm");
+
+    // Churn after reopen continues the incremental trajectory.
+    assert!(back.insert("r", [cqa::s("post"), cqa::s("z")]).unwrap());
+    assert!(back.delete("r", [cqa::s("pad0"), cqa::s("z")]).unwrap());
+    let second = back.repairs_via_program().unwrap();
+    let stats = back.caches().grounding.stats();
+    assert_eq!(stats.rebuilds, 0, "churn after reopen must not rebuild");
+    assert_eq!(stats.regrounds, 2, "…it regrounds incrementally");
+    // The clean churn rows shift the repair instances but not the
+    // conflict structure: still the one key conflict, two resolutions.
+    assert_eq!(first.len(), second.len());
+    assert_eq!(second, back.repairs().unwrap());
+}
+
+#[test]
+fn corrupted_wal_tail_is_detected_and_dropped() {
+    let dir = scratch("bitflip");
+    let mut db = seeded(&dir);
+    for k in 0..5 {
+        assert!(db
+            .insert("r", [cqa::s(&format!("w{k}")), cqa::s("y")])
+            .unwrap());
+    }
+    let want_after_4: Vec<_> = {
+        // What the instance looked like before the 5th insert.
+        let catalog = cqa::sql::parse_script(SCRIPT).unwrap();
+        let mut oracle = Database::new(catalog.instance, catalog.constraints);
+        for k in 0..4 {
+            oracle
+                .insert("r", [cqa::s(&format!("w{k}")), cqa::s("y")])
+                .unwrap();
+        }
+        oracle.instance().atoms().collect()
+    };
+    drop(db);
+
+    // Flip one bit in the last frame's payload: CRC must catch it, the
+    // frame (and only that frame) must be dropped.
+    let wal = dir.join("wal");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let back = Database::open(&dir).unwrap();
+    let report = back.recovery_report().unwrap();
+    assert_eq!(report.frames_applied, 4, "the flipped frame is dropped");
+    assert!(report.bytes_truncated > 0, "…and reported as truncated");
+    let got: Vec<_> = back.instance().atoms().collect();
+    assert_eq!(got, want_after_4, "state = everything before the bad frame");
+    drop(back);
+
+    // The open itself truncated the bad tail: a second open is clean.
+    let again = Database::open(&dir).unwrap();
+    let report = again.recovery_report().unwrap();
+    assert_eq!(report.frames_applied, 4);
+    assert_eq!(report.bytes_truncated, 0, "tail already healed");
+    drop(again);
+
+    // Truncation mid-frame at every offset over the last 40 bytes: never
+    // a panic, always a clean open with a ≤4-frame replay.
+    let healthy = std::fs::read(&wal).unwrap();
+    for cut in 1..=40usize.min(healthy.len() - 8) {
+        std::fs::write(&wal, &healthy[..healthy.len() - cut]).unwrap();
+        let db = Database::open(&dir).unwrap();
+        assert!(db.recovery_report().unwrap().frames_applied <= 4);
+        drop(db);
+        std::fs::write(&wal, &healthy).unwrap();
+    }
+
+    // A mangled WAL magic is a hard error — corrupt, not silently empty —
+    // and must surface as `Err`, never a panic.
+    let mut mangled = healthy.clone();
+    mangled[0] ^= 0xFF;
+    std::fs::write(&wal, &mangled).unwrap();
+    match Database::open(&dir) {
+        Err(Error::Storage(_)) => {}
+        other => panic!("wrong-magic WAL must be a storage error, got {other:?}"),
+    }
+    std::fs::write(&wal, &healthy).unwrap();
+
+    // A truncated *snapshot* is also a hard error, never a panic.
+    let snap = dir.join("snapshot");
+    let snap_bytes = std::fs::read(&snap).unwrap();
+    std::fs::write(&snap, &snap_bytes[..snap_bytes.len() / 2]).unwrap();
+    assert!(matches!(Database::open(&dir), Err(Error::Storage(_))));
+    std::fs::write(&snap, &snap_bytes).unwrap();
+    assert!(Database::open(&dir).is_ok(), "restored store opens again");
+}
+
+#[test]
+fn constraints_persist_through_snapshots() {
+    let dir = scratch("constraints");
+    let mut db = seeded(&dir);
+    let before = db.repairs().unwrap();
+    let n_constraints = db.constraints().len();
+    // A new constraint forces a fresh snapshot immediately (constraints
+    // travel in snapshots, not WAL frames).
+    db.add_constraint("nn_s_u", "not null s(u)").unwrap();
+    let with_nnc = db.repairs().unwrap();
+    assert_ne!(before, with_nnc, "the NNC changes the repair space");
+    assert!(db.insert("r", [cqa::s("late"), cqa::s("y")]).unwrap());
+    drop(db);
+
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(
+        back.constraints().len(),
+        n_constraints + 1,
+        "the script's constraints plus the late NNC all survive"
+    );
+    let report = back.recovery_report().unwrap();
+    assert_eq!(
+        report.frames_applied, 1,
+        "only the post-constraint insert rides the WAL"
+    );
+    assert!(
+        report.snapshot_last_seq > 0 || report.frames_skipped == 0,
+        "the forced compaction moved the snapshot horizon"
+    );
+    assert_eq!(back.repairs().unwrap().len(), with_nnc.len());
+}
+
+#[test]
+fn batch_mutators_write_one_frame_each() {
+    let dir = scratch("frames");
+    let mut db = seeded(&dir);
+    assert_eq!(
+        db.insert_many("r", (0..5).map(|k| [cqa::s(&format!("b{k}")), cqa::s("y")]))
+            .unwrap(),
+        5
+    );
+    assert!(db.insert("r", [cqa::s("solo"), cqa::s("y")]).unwrap());
+    assert_eq!(
+        db.delete_many(
+            "r",
+            [[cqa::s("b0"), cqa::s("y")], [cqa::s("b1"), cqa::s("y")]]
+        )
+        .unwrap(),
+        2
+    );
+    // All-no-op batches write nothing at all.
+    assert_eq!(
+        db.insert_many("r", [[cqa::s("b2"), cqa::s("y")]]).unwrap(),
+        0
+    );
+    drop(db);
+
+    let back = Database::open(&dir).unwrap();
+    let report = back.recovery_report().unwrap();
+    assert_eq!(
+        (report.frames_applied, report.last_seq),
+        (3, 3),
+        "5-row batch + single + 2-row batch = exactly 3 frames"
+    );
+    assert_eq!(
+        back.instance().len(),
+        3 + 5 + 1 - 2,
+        "seeded 3 atoms, +5 batch, +1 single, -2 batch"
+    );
+}
+
+#[test]
+fn store_options_knobs_are_honoured() {
+    // FsyncPolicy::Never + an aggressive compaction fraction: churn folds
+    // into snapshots instead of an ever-growing WAL, and reopen sees a
+    // recent snapshot horizon with few (or zero) residual frames.
+    let dir = scratch("options");
+    let catalog = cqa::sql::parse_script(SCRIPT).unwrap();
+    let options = StoreOptions {
+        fsync: FsyncPolicy::Never,
+        compact_num: 1,
+        compact_den: 4,
+        compact_min_wal_bytes: 0,
+    };
+    let mut db =
+        Database::persistent_with(&dir, catalog.instance, catalog.constraints, options).unwrap();
+    for k in 0..40 {
+        assert!(db
+            .insert("r", [cqa::s(&format!("n{k}")), cqa::s("y")])
+            .unwrap());
+    }
+    let want: Vec<_> = db.instance().atoms().collect();
+    drop(db);
+
+    let back = Database::open(&dir).unwrap();
+    let report = back.recovery_report().unwrap();
+    assert!(
+        report.snapshot_last_seq > 0,
+        "aggressive fraction forced at least one compaction"
+    );
+    assert_eq!(report.frames_skipped, 0, "reset WALs hold no stale frames");
+    let got: Vec<_> = back.instance().atoms().collect();
+    assert_eq!(got, want);
+
+    // Reopening an *occupied* path with `persistent` is refused.
+    let catalog = cqa::sql::parse_script(SCRIPT).unwrap();
+    assert!(matches!(
+        Database::persistent(&dir, catalog.instance, catalog.constraints),
+        Err(Error::Storage(_))
+    ));
+    // And opening an empty path is NotAStore, not a panic.
+    assert!(matches!(
+        Database::open(scratch("void")),
+        Err(Error::Storage(_))
+    ));
+}
