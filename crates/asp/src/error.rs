@@ -31,6 +31,17 @@ pub enum AspError {
     NotNormal,
     /// The shift transformation requires a head-cycle-free program.
     NotHcf,
+    /// A cancellation token (deadline or manual cancel) tripped while the
+    /// operation was running. `partial` counts the sound intermediate
+    /// results produced before the interrupt — e.g. stable models fully
+    /// enumerated and checked; each one is a genuine stable model even
+    /// though the enumeration is incomplete.
+    Interrupted {
+        /// Which engine loop observed the cancellation.
+        phase: &'static str,
+        /// Sound intermediate results completed before the interrupt.
+        partial: usize,
+    },
 }
 
 impl fmt::Display for AspError {
@@ -55,6 +66,9 @@ impl fmt::Display for AspError {
             }
             AspError::NotNormal => write!(f, "operation requires a non-disjunctive program"),
             AspError::NotHcf => write!(f, "shift requires a head-cycle-free program"),
+            AspError::Interrupted { phase, partial } => {
+                write!(f, "interrupted during {phase} ({partial} partial results)")
+            }
         }
     }
 }

@@ -99,7 +99,7 @@
 
 use crate::error::AspError;
 use crate::syntax::{AtomSpec, BodyLit, Literal, PredId, Program, Rule, RuleAtom, Term};
-use cqa_relational::Value;
+use cqa_relational::{CancelToken, Cancelled, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Dense ground-atom identifier.
@@ -180,6 +180,18 @@ impl GroundProgram {
 
 /// Ground `program`.
 pub fn ground(program: &Program) -> GroundProgram {
+    ground_cancellable(program, &CancelToken::never())
+        .expect("never-token grounding cannot be cancelled")
+}
+
+/// [`ground`] under a cancellation token, polled once per seminaive
+/// fixpoint round (phase 1) and once per rule family during emission
+/// (phase 2). Scratch grounding owns all its state, so a cancelled run
+/// is simply abandoned — nothing shared is left half-built.
+pub fn ground_cancellable(
+    program: &Program,
+    cancel: &CancelToken,
+) -> Result<GroundProgram, Cancelled> {
     let mut gp = GroundProgram::default();
 
     // Possibly-true set, indexed by predicate for joins.
@@ -191,6 +203,7 @@ pub fn ground(program: &Program) -> GroundProgram {
     // Phase 1: least fixpoint ignoring negation. New head atoms are
     // buffered per round (the join borrows the possibly-true set).
     loop {
+        cancel.check()?;
         let mut buffer: Vec<(PredId, Vec<Value>)> = Vec::new();
         for rule in program.rules() {
             instantiate(rule, &pt_by_pred, &mut |bindings| {
@@ -230,6 +243,7 @@ pub fn ground(program: &Program) -> GroundProgram {
         }
     }
     for rule in program.rules() {
+        cancel.check()?;
         // Capture instantiations first (interning needs &mut gp).
         let mut instances: Vec<Vec<Value>> = Vec::new();
         instantiate(rule, &pt_by_pred, &mut |bindings| {
@@ -282,7 +296,7 @@ pub fn ground(program: &Program) -> GroundProgram {
             }
         }
     }
-    gp
+    Ok(gp)
 }
 
 fn ground_args(terms: &[Term], bindings: &[Option<Value>]) -> Vec<Value> {
@@ -440,6 +454,11 @@ pub struct GroundingState {
     gp: GroundProgram,
     /// Emitted rule → (index in `gp.rules`, reference count).
     emitted: BTreeMap<GroundRule, (usize, u32)>,
+    /// Cancellation token polled by the propagation/deletion loops.
+    cancel: CancelToken,
+    /// Set when `cancel` tripped mid-loop: the state is partially
+    /// propagated and must be discarded, never reused.
+    poisoned: bool,
 }
 
 /// Bump a refcount map entry (absent = zero).
@@ -461,6 +480,14 @@ fn unbump(map: &mut BTreeMap<Vec<Value>, u32>, args: &[Value]) {
 impl GroundingState {
     /// Ground `program` from scratch into a persistent state.
     pub fn new(program: &Program) -> Self {
+        Self::new_governed(program, CancelToken::never())
+    }
+
+    /// [`GroundingState::new`] with a cancellation token installed before
+    /// the initial propagation runs. Check [`GroundingState::is_poisoned`]
+    /// afterwards: a state whose build was interrupted is partial and must
+    /// be discarded.
+    pub fn new_governed(program: &Program, cancel: CancelToken) -> Self {
         let preds = program.pred_count();
         let mut st = GroundingState {
             program: program.clone(),
@@ -473,6 +500,8 @@ impl GroundingState {
             fact_rc: vec![BTreeMap::new(); preds],
             gp: GroundProgram::default(),
             emitted: BTreeMap::new(),
+            cancel,
+            poisoned: false,
         };
         for ri in 0..st.program.rules().len() {
             st.register_rule(ri);
@@ -513,6 +542,22 @@ impl GroundingState {
     /// delta applied so far.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Install (or replace) the cancellation token polled by the seminaive
+    /// propagation and DRed deletion loops. Mid-loop cancellation cannot
+    /// unwind — the in-place grounding would be left half-updated — so a
+    /// trip instead marks the state *poisoned*; callers observe that via
+    /// [`GroundingState::is_poisoned`] and rebuild from scratch.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    /// Did a cancellation trip mid-propagation? A poisoned state's ground
+    /// program is partial: discard the state (and any cache entry holding
+    /// it) instead of reusing it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Add ground facts, regrounding incrementally: only rules whose body
@@ -601,6 +646,10 @@ impl GroundingState {
         // and their heads join the queue.
         let mut deleted: BTreeSet<(PredId, Vec<Value>)> = BTreeSet::new();
         while let Some((pred, args)) = dq.pop_front() {
+            if self.cancel.is_cancelled() {
+                self.poisoned = true;
+                return;
+            }
             if !self.pt[pred.index()].contains(&args)
                 || self.fact_rc[pred.index()].contains_key(&args)
             {
@@ -805,6 +854,10 @@ impl GroundingState {
     /// against the full `PT` set.
     fn propagate(&mut self, work: &mut VecDeque<(PredId, Vec<Value>)>) {
         while let Some((pred, args)) = work.pop_front() {
+            if self.cancel.is_cancelled() {
+                self.poisoned = true;
+                return;
+            }
             let occs = self.pos_occ[pred.index()].clone();
             for (ri, pi) in occs {
                 let mut found: Vec<Vec<Value>> = Vec::new();

@@ -39,9 +39,14 @@ pub mod stable;
 pub mod syntax;
 
 pub use error::AspError;
-pub use ground::{ground, AtomId, GroundAtom, GroundProgram, GroundRule, GroundingState};
+pub use ground::{
+    ground, ground_cancellable, AtomId, GroundAtom, GroundProgram, GroundRule, GroundingState,
+};
 pub use hcf::{is_hcf, shift};
-pub use stable::{brave_consequences, cautious_consequences, is_stable, stable_models};
+pub use stable::{
+    brave_consequences, cautious_consequences, cautious_consequences_cancellable, is_stable,
+    is_stable_cancellable, stable_models, stable_models_cancellable,
+};
 pub use syntax::{
     atom, cmp, neg, pos, tc, tv, AtomSpec, BodyLit, BuiltinOp, PredId, Program, Rule, TermSpec,
 };

@@ -63,6 +63,8 @@
 
 use std::ops::ControlFlow;
 
+use cqa_relational::{CancelToken, Cancelled};
+
 /// A literal: variable index with polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lit {
@@ -145,6 +147,25 @@ impl Cnf {
         self.for_each_model_instrumented(decide_vars, f, |_| {})
     }
 
+    /// [`Cnf::for_each_model`] under a cancellation token: the CDCL outer
+    /// loop polls `cancel` once per iteration (every propagation round,
+    /// conflict, decision, or model), so `Err(Cancelled)` surfaces within
+    /// one propagate/analyze step of the token tripping. Models delivered
+    /// before the interrupt are exactly the lexicographic prefix the
+    /// uncancelled enumeration would produce.
+    pub fn for_each_model_cancellable<B>(
+        &self,
+        decide_vars: usize,
+        cancel: &CancelToken,
+        mut f: impl FnMut(&[bool]) -> ControlFlow<B>,
+    ) -> Result<ControlFlow<B>, Cancelled> {
+        let mut solver = Solver::new(self, decide_vars.min(self.num_vars), Policy::Lex);
+        if !solver.init() {
+            return Ok(ControlFlow::Continue(()));
+        }
+        solver.search(cancel, &mut f, &mut |_| {})
+    }
+
     /// [`Cnf::for_each_model`] with a tap on the clause-learning stream:
     /// `on_learnt` sees every 1UIP clause the solver learns, in order.
     /// Test instrumentation (the solver-learning suite checks each one is
@@ -159,7 +180,9 @@ impl Cnf {
         if !solver.init() {
             return ControlFlow::Continue(());
         }
-        solver.search(&mut f, &mut on_learnt)
+        solver
+            .search(&CancelToken::never(), &mut f, &mut on_learnt)
+            .expect("never-token search cannot be cancelled")
     }
 
     /// The previous chronological engine (explicit decision stack, both
@@ -191,19 +214,27 @@ impl Cnf {
     /// Is the formula satisfiable? Branches by conflict activity (no order
     /// contract — this is the fast path for the stability sub-checks).
     pub fn satisfiable(&self) -> bool {
+        self.satisfiable_cancellable(&CancelToken::never())
+            .expect("never-token search cannot be cancelled")
+    }
+
+    /// [`Cnf::satisfiable`] under a cancellation token, polled once per
+    /// CDCL outer-loop iteration.
+    pub fn satisfiable_cancellable(&self, cancel: &CancelToken) -> Result<bool, Cancelled> {
         let mut solver = Solver::new(self, self.num_vars, Policy::Activity);
         if !solver.init() {
-            return false;
+            return Ok(false);
         }
         let mut sat = false;
-        let _ = solver.search(
+        let _flow = solver.search(
+            cancel,
             &mut |_m: &[bool]| {
                 sat = true;
                 ControlFlow::Break(())
             },
             &mut |_| {},
-        );
-        sat
+        )?;
+        Ok(sat)
     }
 }
 
@@ -654,16 +685,23 @@ impl<'a> Solver<'a> {
     /// decide range under `Policy::Lex` (see module docs); conflicts learn
     /// 1UIP clauses; each model is blocked by a permanent clause and the
     /// search continues in place.
+    ///
+    /// `cancel` is polled at the head of every outer-loop iteration (one
+    /// propagation round / conflict / decision / model), the natural
+    /// quantum of solver work; a tripped token returns `Err(Cancelled)`
+    /// with the solver state simply abandoned.
     fn search<B>(
         &mut self,
+        cancel: &CancelToken,
         f: &mut impl FnMut(&[bool]) -> ControlFlow<B>,
         on_learnt: &mut impl FnMut(&[Lit]),
-    ) -> ControlFlow<B> {
+    ) -> Result<ControlFlow<B>, Cancelled> {
         loop {
+            cancel.check()?;
             if let Some(confl) = self.propagate() {
                 self.note_conflict();
                 if self.current_level() == 0 {
-                    return ControlFlow::Continue(());
+                    return Ok(ControlFlow::Continue(()));
                 }
                 let (learnt, back) = self.analyze(confl);
                 self.learn_and_backjump(learnt, back, on_learnt);
@@ -700,9 +738,11 @@ impl<'a> Solver<'a> {
                     // outside the decide range default to false (they are
                     // unconstrained either way).
                     let model: Vec<bool> = self.assign.iter().map(|a| a.unwrap_or(false)).collect();
-                    f(&model)?;
+                    if let ControlFlow::Break(b) = f(&model) {
+                        return Ok(ControlFlow::Break(b));
+                    }
                     if self.current_level() == 0 {
-                        return ControlFlow::Continue(()); // unique model
+                        return Ok(ControlFlow::Continue(())); // unique model
                     }
                     // Block the model: the negation of its decide-range
                     // assignment, omitting level-0 (permanently forced)
@@ -715,7 +755,7 @@ impl<'a> Solver<'a> {
                         })
                         .collect();
                     if block.is_empty() {
-                        return ControlFlow::Continue(());
+                        return Ok(ControlFlow::Continue(()));
                     }
                     if block.len() == 1 {
                         // One free decide variable: flipping it is forced.
@@ -723,7 +763,7 @@ impl<'a> Solver<'a> {
                         self.push_clause(block, false);
                         self.cancel_until(0);
                         if !self.enqueue(lit, None) {
-                            return ControlFlow::Continue(());
+                            return Ok(ControlFlow::Continue(()));
                         }
                         continue;
                     }

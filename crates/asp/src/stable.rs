@@ -22,8 +22,10 @@
 //! polynomial time — the complexity gap of the paper's Section 6 made
 //! concrete.
 
+use crate::error::AspError;
 use crate::ground::{AtomId, GroundProgram, GroundRule};
 use crate::solve::{Cnf, Lit};
+use cqa_relational::{CancelToken, Cancelled};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
@@ -33,50 +35,114 @@ pub type Model = BTreeSet<AtomId>;
 /// Enumerate the stable models, calling `f` for each; `Break` stops early.
 pub fn for_each_stable_model<B>(
     gp: &GroundProgram,
-    mut f: impl FnMut(&Model) -> ControlFlow<B>,
+    f: impl FnMut(&Model) -> ControlFlow<B>,
 ) -> ControlFlow<B> {
+    for_each_stable_model_cancellable(gp, &CancelToken::never(), f)
+        .expect("never-token enumeration cannot be cancelled")
+}
+
+/// [`for_each_stable_model`] under a cancellation token. Both the
+/// supported-model CDCL enumeration and every coNP minimality sub-search
+/// poll the token; models delivered before `Err(Cancelled)` are genuine
+/// stable models (the sound prefix of the full enumeration).
+pub fn for_each_stable_model_cancellable<B>(
+    gp: &GroundProgram,
+    cancel: &CancelToken,
+    mut f: impl FnMut(&Model) -> ControlFlow<B>,
+) -> Result<ControlFlow<B>, Cancelled> {
     let n = gp.atom_count();
     let cnf = encode(gp);
-    cnf.for_each_model(n, |assignment| {
+    // Cancellation inside the per-model stability check must abort the
+    // whole enumeration: smuggle it through the break value.
+    let flow = cnf.for_each_model_cancellable(n, cancel, |assignment| {
         let model: Model = (0..n as AtomId)
             .filter(|&a| assignment[a as usize])
             .collect();
-        if is_stable(gp, &model) {
-            f(&model)?;
+        match is_stable_cancellable(gp, &model, cancel) {
+            Err(c) => ControlFlow::Break(Err(c)),
+            Ok(false) => ControlFlow::Continue(()),
+            Ok(true) => match f(&model) {
+                ControlFlow::Break(b) => ControlFlow::Break(Ok(b)),
+                ControlFlow::Continue(()) => ControlFlow::Continue(()),
+            },
         }
-        ControlFlow::Continue(())
-    })
+    })?;
+    match flow {
+        ControlFlow::Continue(()) => Ok(ControlFlow::Continue(())),
+        ControlFlow::Break(Ok(b)) => Ok(ControlFlow::Break(b)),
+        ControlFlow::Break(Err(c)) => Err(c),
+    }
 }
 
 /// All stable models, sorted (deterministic order independent of the
 /// solver's branching order).
 pub fn stable_models(gp: &GroundProgram) -> Vec<Model> {
+    stable_models_cancellable(gp, &CancelToken::never())
+        .expect("never-token enumeration cannot be interrupted")
+}
+
+/// [`stable_models`] under a cancellation token. On interruption returns
+/// [`AspError::Interrupted`] whose `partial` counts the stable models
+/// fully enumerated and checked before the token tripped.
+pub fn stable_models_cancellable(
+    gp: &GroundProgram,
+    cancel: &CancelToken,
+) -> Result<Vec<Model>, AspError> {
     let mut out = Vec::new();
-    let _ = for_each_stable_model(gp, |m| {
+    let res = for_each_stable_model_cancellable(gp, cancel, |m| {
         out.push(m.clone());
         ControlFlow::<()>::Continue(())
     });
-    out.sort();
-    out
+    match res {
+        Ok(_) => {
+            out.sort();
+            Ok(out)
+        }
+        Err(Cancelled) => Err(AspError::Interrupted {
+            phase: "stable-model enumeration",
+            partial: out.len(),
+        }),
+    }
 }
 
 /// Cautious consequences: atoms true in *every* stable model.
 /// `None` if the program has no stable models (everything follows).
 pub fn cautious_consequences(gp: &GroundProgram) -> Option<Model> {
+    cautious_consequences_cancellable(gp, &CancelToken::never())
+        .expect("never-token enumeration cannot be interrupted")
+}
+
+/// [`cautious_consequences`] under a cancellation token. On interruption
+/// returns [`AspError::Interrupted`] whose `partial` counts the stable
+/// models intersected before the token tripped — the partial intersection
+/// itself is *not* returned, because it over-approximates the cautious
+/// consequences until every model has been seen.
+pub fn cautious_consequences_cancellable(
+    gp: &GroundProgram,
+    cancel: &CancelToken,
+) -> Result<Option<Model>, AspError> {
     let mut acc: Option<Model> = None;
-    let _ = for_each_stable_model(gp, |m| {
+    let mut seen = 0usize;
+    let res = for_each_stable_model_cancellable(gp, cancel, |m| {
+        seen += 1;
         match &mut acc {
             None => acc = Some(m.clone()),
-            Some(seen) => {
-                seen.retain(|a| m.contains(a));
-                if seen.is_empty() {
+            Some(inter) => {
+                inter.retain(|a| m.contains(a));
+                if inter.is_empty() {
                     return ControlFlow::Break(());
                 }
             }
         }
         ControlFlow::<()>::Continue(())
     });
-    acc
+    match res {
+        Ok(_) => Ok(acc),
+        Err(Cancelled) => Err(AspError::Interrupted {
+            phase: "cautious consequences",
+            partial: seen,
+        }),
+    }
 }
 
 /// Brave consequences: atoms true in *some* stable model.
@@ -95,6 +161,18 @@ pub fn brave_consequences(gp: &GroundProgram) -> Option<Model> {
 
 /// Is `model` a stable model of `gp`?
 pub fn is_stable(gp: &GroundProgram, model: &Model) -> bool {
+    is_stable_cancellable(gp, model, &CancelToken::never())
+        .expect("never-token check cannot be cancelled")
+}
+
+/// [`is_stable`] under a cancellation token: the coNP minimality
+/// sub-search (disjunctive reducts) polls it per CDCL iteration; the
+/// polynomial normal-reduct fast path polls it per fixpoint round.
+pub fn is_stable_cancellable(
+    gp: &GroundProgram,
+    model: &Model,
+    cancel: &CancelToken,
+) -> Result<bool, Cancelled> {
     // The GL-reduct: rules whose negative body avoids the model.
     let reduct: Vec<&GroundRule> = gp
         .rules
@@ -105,24 +183,29 @@ pub fn is_stable(gp: &GroundProgram, model: &Model) -> bool {
     for rule in &reduct {
         let body_holds = rule.pos.iter().all(|p| model.contains(p));
         if body_holds && !rule.head.iter().any(|h| model.contains(h)) {
-            return false;
+            return Ok(false);
         }
     }
     // …and a minimal one.
     if reduct.iter().all(|r| r.head.len() <= 1) {
         // Normal reduct: minimal model of a definite program = least
         // fixpoint; stable iff lfp == M. Polynomial (Section 6 fast path).
-        least_model_equals(&reduct, model)
+        least_model_equals(&reduct, model, cancel)
     } else {
-        !has_smaller_model(&reduct, model)
+        Ok(!has_smaller_model(&reduct, model, cancel)?)
     }
 }
 
 /// Definite-program least-model check (restricted to rules with bodies in
 /// M — others cannot fire below M).
-fn least_model_equals(reduct: &[&GroundRule], model: &Model) -> bool {
+fn least_model_equals(
+    reduct: &[&GroundRule],
+    model: &Model,
+    cancel: &CancelToken,
+) -> Result<bool, Cancelled> {
     let mut derived: Model = Model::new();
     loop {
+        cancel.check()?;
         let mut grew = false;
         for rule in reduct {
             if rule.head.len() != 1 {
@@ -137,12 +220,16 @@ fn least_model_equals(reduct: &[&GroundRule], model: &Model) -> bool {
         }
     }
     // lfp ⊆ M always (M is a model); stable iff every atom of M derived.
-    &derived == model
+    Ok(&derived == model)
 }
 
 /// Search for a model `M′ ⊊ M` of the (positive) reduct: SAT over the
 /// atoms of M with "keep" variables.
-fn has_smaller_model(reduct: &[&GroundRule], model: &Model) -> bool {
+fn has_smaller_model(
+    reduct: &[&GroundRule],
+    model: &Model,
+    cancel: &CancelToken,
+) -> Result<bool, Cancelled> {
     let atoms: Vec<AtomId> = model.iter().copied().collect();
     let var_of = |a: AtomId| -> Option<u32> { atoms.binary_search(&a).ok().map(|i| i as u32) };
     let mut cnf = Cnf::new(atoms.len());
@@ -167,7 +254,7 @@ fn has_smaller_model(reduct: &[&GroundRule], model: &Model) -> bool {
     }
     // Strictly smaller: at least one atom dropped.
     cnf.add_clause((0..atoms.len() as u32).map(Lit::neg));
-    cnf.satisfiable()
+    cnf.satisfiable_cancellable(cancel)
 }
 
 /// CNF encoding: rule clauses + support clauses (see module docs).
@@ -416,6 +503,32 @@ mod tests {
         assert_eq!(models.len(), 1);
         assert!(models[0].contains(&"q(1)".to_string()));
         assert!(!models[0].contains(&"q(2)".to_string()));
+    }
+
+    #[test]
+    fn cancellation_interrupts_enumeration() {
+        // a ∨ b. → two models. A pre-tripped token interrupts before any
+        // model is produced; a fresh token reproduces the ungoverned call.
+        let mut p = Program::new();
+        p.pred("a", 0).unwrap();
+        p.pred("b", 0).unwrap();
+        p.rule([atom("a", []), atom("b", [])], []).unwrap();
+        let gp = ground(&p);
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        match stable_models_cancellable(&gp, &tripped) {
+            Err(AspError::Interrupted { partial, .. }) => assert_eq!(partial, 0),
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        assert!(matches!(
+            cautious_consequences_cancellable(&gp, &tripped),
+            Err(AspError::Interrupted { .. })
+        ));
+        let fresh = CancelToken::new();
+        assert_eq!(
+            stable_models_cancellable(&gp, &fresh).unwrap(),
+            stable_models(&gp)
+        );
     }
 
     #[test]

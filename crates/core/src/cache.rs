@@ -39,11 +39,11 @@
 //! cannot evict each other's scans (ROADMAP "Worklist-cache scope"; the
 //! per-tenant test pins this).
 
-use crate::error::CoreError;
+use crate::error::{CoreError, InterruptPhase};
 use crate::program::{repair_program_with, ProgramStyle};
 use cqa_asp::GroundingState;
 use cqa_constraints::{violations, IcSet, SatMode, Violation};
-use cqa_relational::{Instance, InstanceDelta};
+use cqa_relational::{CancelToken, Instance, InstanceDelta};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -216,6 +216,26 @@ impl GroundingCache {
         style: ProgramStyle,
         prune: bool,
     ) -> Result<Arc<GroundingState>, CoreError> {
+        self.state_for_governed(d, ics, style, prune, &CancelToken::never())
+    }
+
+    /// [`GroundingCache::state_for`] under a cancellation token. The
+    /// exact-version hit path is O(1) and never polls; the rebuild and
+    /// incremental-reground paths run their propagation loops governed. A
+    /// trip mid-grounding *poisons* the in-flight state (the in-place
+    /// update cannot unwind soundly), which is then discarded — never
+    /// cached — and surfaces as [`CoreError::Interrupted`] with
+    /// `phase = Grounding`, `partial = 0`: a partial grounding supports
+    /// no sound conclusions. The stale entry was already detached from
+    /// the cache, so a later call simply rebuilds from scratch.
+    pub(crate) fn state_for_governed(
+        &self,
+        d: &Instance,
+        ics: &IcSet,
+        style: ProgramStyle,
+        prune: bool,
+        cancel: &CancelToken,
+    ) -> Result<Arc<GroundingState>, CoreError> {
         // Borrowed key comparison — the owned IcSet clone is only paid on
         // the insert path, never on a hit (same discipline as the
         // worklist cache).
@@ -248,7 +268,7 @@ impl GroundingCache {
         // duplicates work, never corrupts.
         let had_stale = stale.is_some();
         let evolved = match stale {
-            Some(mut entry) => evolve(&mut entry, d)?.then_some(entry),
+            Some(mut entry) => evolve(&mut entry, d, cancel)?.then_some(entry),
             None => None,
         };
         let entry = match evolved {
@@ -264,7 +284,7 @@ impl GroundingCache {
                 }
                 GroundingEntry {
                     base: d.clone(),
-                    state: Arc::new(build(d, ics, style, prune)?),
+                    state: Arc::new(build(d, ics, style, prune, cancel)?),
                 }
             }
         };
@@ -298,15 +318,27 @@ impl GroundingCache {
     }
 }
 
-/// Ground Π(`d`, `ics`) from scratch into a fresh state.
+/// Ground Π(`d`, `ics`) from scratch into a fresh state, governed: a
+/// cancellation mid-build poisons the partial state, which is discarded
+/// here (never cached). On success the token is detached again so the
+/// cached state can never be tripped by a long-expired deadline.
 fn build(
     d: &Instance,
     ics: &IcSet,
     style: ProgramStyle,
     prune: bool,
+    cancel: &CancelToken,
 ) -> Result<GroundingState, CoreError> {
     let program = repair_program_with(d, ics, style, prune)?;
-    Ok(GroundingState::new(&program))
+    let mut state = GroundingState::new_governed(&program, cancel.clone());
+    if state.is_poisoned() {
+        return Err(CoreError::Interrupted {
+            phase: InterruptPhase::Grounding,
+            partial: 0,
+        });
+    }
+    state.set_cancel(CancelToken::never());
+    Ok(state)
 }
 
 /// Try to evolve a cached grounding onto `d` incrementally (in place;
@@ -315,7 +347,11 @@ fn build(
 /// its insertions through the seminaive worklist. `false` when the drift
 /// exceeds the escape-hatch fraction or the schema changed (caller
 /// rebuilds).
-fn evolve(entry: &mut GroundingEntry, d: &Instance) -> Result<bool, CoreError> {
+fn evolve(
+    entry: &mut GroundingEntry,
+    d: &Instance,
+    cancel: &CancelToken,
+) -> Result<bool, CoreError> {
     let Ok(drift) = InstanceDelta::between(&entry.base, d) else {
         return Ok(false); // schema mismatch
     };
@@ -337,8 +373,22 @@ fn evolve(entry: &mut GroundingEntry, d: &Instance) -> Result<bool, CoreError> {
     let added: Vec<(cqa_asp::PredId, Vec<cqa_relational::Value>)> =
         drift.added.iter().map(as_fact).collect();
     let state = Arc::make_mut(&mut entry.state);
+    // Govern the DRed + seminaive replay. A trip poisons the state; the
+    // Err path drops `entry` (already detached from the cache), so the
+    // poisoned grounding can never be observed by a later call.
+    state.set_cancel(cancel.clone());
     state.remove_facts(removed);
-    state.add_facts(added)?;
+    if !state.is_poisoned() {
+        state.add_facts(added)?;
+    }
+    if state.is_poisoned() {
+        return Err(CoreError::Interrupted {
+            phase: InterruptPhase::Grounding,
+            partial: 0,
+        });
+    }
+    // Detach the token: a cached state must never carry a trippable one.
+    state.set_cancel(CancelToken::never());
     entry.base = d.clone();
     Ok(true)
 }

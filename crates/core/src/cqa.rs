@@ -11,15 +11,15 @@
 //!   the two coincide for RIC-acyclic sets).
 
 use crate::cache::CqaCaches;
-use crate::engine::{repairs_with_config_in, RepairConfig, SearchStrategy};
-use crate::error::CoreError;
+use crate::engine::{repairs_with_config_governed, RepairConfig, SearchStrategy};
+use crate::error::{CoreError, InterruptPhase};
 use crate::program::{annotated, ProgramStyle};
 use crate::query::{AnswerSemantics, QTerm, Query};
-use cqa_asp::{atom, cmp, neg, pos, tc, tv, BodyLit, BuiltinOp};
+use cqa_asp::{atom, cmp, neg, pos, tc, tv, AspError, BodyLit, BuiltinOp};
 use cqa_constraints::IcSet;
-use cqa_relational::{Instance, Tuple};
+use cqa_relational::{CancelToken, Instance, Tuple};
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// The result of a CQA call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,20 +104,56 @@ pub fn consistent_answers_full_in(
     query_semantics: crate::query::QueryNullSemantics,
     caches: &CqaCaches,
 ) -> Result<AnswerSet, CoreError> {
-    let repairs = repairs_with_config_in(d, ics, config, caches)?;
+    consistent_answers_governed(
+        d,
+        ics,
+        query,
+        config,
+        semantics,
+        query_semantics,
+        caches,
+        &CancelToken::never(),
+    )
+}
+
+/// [`consistent_answers_full_in`] under a cancellation token: the repair
+/// search polls it per node, and the per-repair evaluation loop polls it
+/// per repair (serial and chunked alike). An interrupt there surfaces as
+/// [`CoreError::Interrupted`] with `phase = QueryEvaluation` and
+/// `partial` counting the repairs whose answers were fully intersected —
+/// the running intersection itself is not returned, since it only
+/// over-approximates the consistent answers until every repair is seen.
+#[allow(clippy::too_many_arguments)]
+pub fn consistent_answers_governed(
+    d: &Instance,
+    ics: &IcSet,
+    query: &Query,
+    config: RepairConfig,
+    semantics: AnswerSemantics,
+    query_semantics: crate::query::QueryNullSemantics,
+    caches: &CqaCaches,
+    cancel: &CancelToken,
+) -> Result<AnswerSet, CoreError> {
+    let repairs = repairs_with_config_governed(d, ics, config, caches, cancel)?;
     let threads = match config.strategy {
         SearchStrategy::Parallel { threads } => threads.max(1),
         _ => 1,
+    };
+    let evaluated = AtomicUsize::new(0);
+    let interrupted = || CoreError::Interrupted {
+        phase: InterruptPhase::QueryEvaluation,
+        partial: evaluated.load(Ordering::Relaxed),
     };
     let mut acc: BTreeSet<Tuple> = if threads > 1 && repairs.len() > 1 {
         let empty = AtomicBool::new(false);
         let chunks = crate::parallel::map_chunks(repairs.len(), threads, |range| {
             let mut local: Option<BTreeSet<Tuple>> = None;
             for repair in &repairs[range] {
-                if empty.load(Ordering::Relaxed) {
+                if empty.load(Ordering::Relaxed) || cancel.is_cancelled() {
                     break;
                 }
                 let answers = query.eval_with(repair, query_semantics);
+                evaluated.fetch_add(1, Ordering::Relaxed);
                 local = Some(match local {
                     None => answers,
                     Some(mut seen) => {
@@ -132,6 +168,9 @@ pub fn consistent_answers_full_in(
             }
             local
         });
+        if cancel.is_cancelled() && !empty.load(Ordering::Relaxed) {
+            return Err(interrupted());
+        }
         if empty.load(Ordering::Relaxed) {
             // Some subset of repairs already intersects to nothing, so the
             // full intersection is empty — identical to the serial result.
@@ -147,15 +186,23 @@ pub fn consistent_answers_full_in(
     } else {
         let mut iter = repairs.iter();
         let mut acc: BTreeSet<Tuple> = match iter.next() {
-            Some(first) => query.eval_with(first, query_semantics),
+            Some(first) => {
+                let answers = query.eval_with(first, query_semantics);
+                evaluated.fetch_add(1, Ordering::Relaxed);
+                answers
+            }
             None => BTreeSet::new(), // unreachable: repairs always exist
         };
         for repair in iter {
-            let answers = query.eval_with(repair, query_semantics);
-            acc.retain(|t| answers.contains(t));
             if acc.is_empty() {
                 break;
             }
+            if cancel.is_cancelled() {
+                return Err(interrupted());
+            }
+            let answers = query.eval_with(repair, query_semantics);
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            acc.retain(|t| answers.contains(t));
         }
         acc
     };
@@ -194,12 +241,39 @@ pub fn consistent_answers_via_program_in(
     semantics: AnswerSemantics,
     caches: &CqaCaches,
 ) -> Result<AnswerSet, CoreError> {
+    consistent_answers_via_program_governed(
+        d,
+        ics,
+        query,
+        style,
+        semantics,
+        caches,
+        &CancelToken::never(),
+    )
+}
+
+/// [`consistent_answers_via_program_in`] under a cancellation token. The
+/// token governs the cached (re)grounding, the grounding of the per-query
+/// rules on the cloned state, and the cautious-consequence enumeration;
+/// the interrupt phase reports whichever stage was cut short.
+pub fn consistent_answers_via_program_governed(
+    d: &Instance,
+    ics: &IcSet,
+    query: &Query,
+    style: ProgramStyle,
+    semantics: AnswerSemantics,
+    caches: &CqaCaches,
+    cancel: &CancelToken,
+) -> Result<AnswerSet, CoreError> {
     // Deep-clone the shared grounding: the query rules below mutate it.
     let mut state = caches
         .grounding
-        .state_for(d, ics, style, false)?
+        .state_for_governed(d, ics, style, false, cancel)?
         .as_ref()
         .clone();
+    // The clone's propagation of the query rules is governed too; a trip
+    // poisons only this private copy, never the cached state.
+    state.set_cancel(cancel.clone());
     let schema = d.schema();
     let ans_pred = "ans__q";
     for cq in query.disjuncts() {
@@ -231,9 +305,23 @@ pub fn consistent_answers_via_program_in(
             .map(|v| tv(cq.var_names[*v as usize].clone()))
             .collect();
         state.add_rule([atom(ans_pred, head_terms)], body)?;
+        if state.is_poisoned() {
+            return Err(CoreError::Interrupted {
+                phase: InterruptPhase::Grounding,
+                partial: 0,
+            });
+        }
     }
     let gp = state.ground_program();
-    let cautious = cqa_asp::cautious_consequences(gp).ok_or(CoreError::NoStableModels)?;
+    let cautious = cqa_asp::cautious_consequences_cancellable(gp, cancel)
+        .map_err(|e| match e {
+            AspError::Interrupted { partial, .. } => CoreError::Interrupted {
+                phase: InterruptPhase::ModelEnumeration,
+                partial,
+            },
+            other => CoreError::Asp(other),
+        })?
+        .ok_or(CoreError::NoStableModels)?;
     let Some(ans_id) = state.program().pred_id(ans_pred) else {
         // Query predicate never derivable: no answers.
         return Ok(AnswerSet {

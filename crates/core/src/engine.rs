@@ -94,13 +94,13 @@
 //! co-resident databases cannot evict each other's scans.
 
 use crate::cache::CqaCaches;
-use crate::error::CoreError;
+use crate::error::{CoreError, InterruptPhase};
 use crate::repair::minimal_delta_indices_chunked;
 use cqa_constraints::{
     first_violation_naive, violation_active, violations_touching, Constraint, IcSet, SatMode, Term,
     Violation, ViolationKind,
 };
-use cqa_relational::{DatabaseAtom, Delta, Instance, Tuple, Value};
+use cqa_relational::{CancelToken, DatabaseAtom, Delta, Instance, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which repair semantics to apply.
@@ -219,7 +219,19 @@ pub fn repairs_with_config_in(
     config: RepairConfig,
     caches: &CqaCaches,
 ) -> Result<Vec<Instance>, CoreError> {
-    Ok(repairs_with_trace_in(d, ics, config, caches)?
+    repairs_with_config_governed(d, ics, config, caches, &CancelToken::never())
+}
+
+/// [`repairs_with_config_in`] under a cancellation token (see
+/// [`repairs_with_trace_governed`]).
+pub fn repairs_with_config_governed(
+    d: &Instance,
+    ics: &IcSet,
+    config: RepairConfig,
+    caches: &CqaCaches,
+    cancel: &CancelToken,
+) -> Result<Vec<Instance>, CoreError> {
+    Ok(repairs_with_trace_governed(d, ics, config, caches, cancel)?
         .into_iter()
         .map(|t| t.instance)
         .collect())
@@ -243,6 +255,21 @@ pub fn repairs_with_trace_in(
     config: RepairConfig,
     caches: &CqaCaches,
 ) -> Result<Vec<TracedRepair>, CoreError> {
+    repairs_with_trace_governed(d, ics, config, caches, &CancelToken::never())
+}
+
+/// [`repairs_with_trace_in`] under a cancellation token. Every search
+/// node polls `cancel` (sequential and parallel strategies alike); a
+/// tripped token surfaces as [`CoreError::Interrupted`] with
+/// `phase = RepairSearch` and `partial` counting the candidate repairs
+/// collected before the interrupt.
+pub fn repairs_with_trace_governed(
+    d: &Instance,
+    ics: &IcSet,
+    config: RepairConfig,
+    caches: &CqaCaches,
+    cancel: &CancelToken,
+) -> Result<Vec<TracedRepair>, CoreError> {
     if config.semantics == RepairSemantics::NullBased && !ics.is_non_conflicting() {
         return Err(CoreError::ConflictingConstraints(ics.conflicting_pairs()));
     }
@@ -250,7 +277,7 @@ pub fn repairs_with_trace_in(
         SearchStrategy::Parallel { threads } => {
             let threads = threads.max(1);
             (
-                crate::parallel::search(d, ics, config, threads, caches)?,
+                crate::parallel::search(d, ics, config, threads, caches, cancel)?,
                 threads,
             )
         }
@@ -260,6 +287,7 @@ pub fn repairs_with_trace_in(
                 config,
                 nodes: 0,
                 candidates: Vec::new(),
+                cancel: cancel.clone(),
             };
             let mut decisions = BTreeMap::new();
             let mut trace = Vec::new();
@@ -378,10 +406,18 @@ struct Search<'a> {
     /// fixpoint would share the relation/index `Arc`s and turn the
     /// parent's next in-place delta into an O(instance) copy-on-write.
     candidates: Vec<(Delta, Vec<RepairStep>)>,
+    /// Governor token, polled once per charged search node.
+    cancel: CancelToken,
 }
 
 impl Search<'_> {
     fn charge_node(&mut self) -> Result<(), CoreError> {
+        if self.cancel.is_cancelled() {
+            return Err(CoreError::Interrupted {
+                phase: InterruptPhase::RepairSearch,
+                partial: self.candidates.len(),
+            });
+        }
         self.nodes += 1;
         if self.nodes > self.config.node_budget {
             return Err(CoreError::BudgetExceeded {

@@ -34,6 +34,57 @@ pub enum CoreError {
     NoStableModels,
     /// A query failed validation (safety, arity, unknown relation).
     InvalidQuery(String),
+    /// A cancellation token (deadline or manual cancel) tripped while an
+    /// engine was running. `partial` counts the *sound* intermediate
+    /// results completed before the interrupt — see [`InterruptPhase`]
+    /// for what each phase counts. The computation's caller-visible state
+    /// is unchanged; retrying with a larger deadline is always safe.
+    Interrupted {
+        /// Which engine observed the cancellation.
+        phase: InterruptPhase,
+        /// Sound intermediate results completed before the interrupt.
+        partial: usize,
+    },
+    /// A worker thread of the parallel repair search panicked. The pool
+    /// shut down cleanly (siblings drained, no lock poisoned from the
+    /// caller's view) and remains usable for subsequent calls.
+    WorkerPanic {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+/// Which engine loop a [`CoreError::Interrupted`] surfaced from, and what
+/// its `partial` count means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptPhase {
+    /// Grounding the repair program. `partial` is always 0: a partial
+    /// grounding supports no sound conclusions and is discarded.
+    Grounding,
+    /// The repair search tree walk. `partial` counts minimal-candidate
+    /// repairs collected so far — an under-approximation of the repair
+    /// set, pending the final minimality cross-check.
+    RepairSearch,
+    /// Stable-model enumeration on the program route. `partial` counts
+    /// models fully enumerated and verified stable; each is a genuine
+    /// repair candidate even though the enumeration is incomplete.
+    ModelEnumeration,
+    /// Per-repair query evaluation during consistent-answer
+    /// intersection. `partial` counts repairs whose answers were fully
+    /// intersected (the running intersection over-approximates until
+    /// every repair is seen, so it is not returned).
+    QueryEvaluation,
+}
+
+impl fmt::Display for InterruptPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterruptPhase::Grounding => write!(f, "grounding"),
+            InterruptPhase::RepairSearch => write!(f, "repair search"),
+            InterruptPhase::ModelEnumeration => write!(f, "stable-model enumeration"),
+            InterruptPhase::QueryEvaluation => write!(f, "query evaluation"),
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -54,6 +105,15 @@ impl fmt::Display for CoreError {
             CoreError::Asp(e) => write!(f, "logic-program error: {e}"),
             CoreError::NoStableModels => write!(f, "repair program has no stable models"),
             CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            CoreError::Interrupted { phase, partial } => {
+                write!(
+                    f,
+                    "interrupted during {phase} ({partial} sound partial results)"
+                )
+            }
+            CoreError::WorkerPanic { message } => {
+                write!(f, "parallel repair-search worker panicked: {message}")
+            }
         }
     }
 }

@@ -46,17 +46,18 @@ pub use cache::{
 };
 pub use cqa::{
     consistent_answers, consistent_answers_full, consistent_answers_full_in,
-    consistent_answers_via_program, consistent_answers_via_program_in, AnswerSet,
+    consistent_answers_governed, consistent_answers_via_program,
+    consistent_answers_via_program_governed, consistent_answers_via_program_in, AnswerSet,
 };
 pub use engine::{
-    repairs, repairs_with_config, repairs_with_config_in, repairs_with_trace,
-    repairs_with_trace_in, worklist_cache_stats, RepairAction, RepairConfig, RepairSemantics,
-    RepairStep, SearchStrategy, TracedRepair,
+    repairs, repairs_with_config, repairs_with_config_governed, repairs_with_config_in,
+    repairs_with_trace, repairs_with_trace_governed, repairs_with_trace_in, worklist_cache_stats,
+    RepairAction, RepairConfig, RepairSemantics, RepairStep, SearchStrategy, TracedRepair,
 };
-pub use error::CoreError;
+pub use error::{CoreError, InterruptPhase};
 pub use program::{
-    repair_program, repair_program_with, repairs_via_program, repairs_via_program_in,
-    repairs_via_program_with, ProgramStyle,
+    repair_program, repair_program_with, repairs_via_program, repairs_via_program_governed,
+    repairs_via_program_in, repairs_via_program_with, ProgramStyle,
 };
 pub use query::{AnswerSemantics, QueryNullSemantics};
 pub use query::{ConjunctiveQuery, Query, QueryBuilder};

@@ -30,15 +30,41 @@
 //! whole tree has been explored. Budget exhaustion flips `over_budget`,
 //! which every worker checks between tasks; the drained pool then reports
 //! [`CoreError::BudgetExceeded`] like the sequential drivers.
+//!
+//! ## Failure containment (ISSUE 7)
+//!
+//! The pool never hangs and never propagates a panic:
+//!
+//! * **Cancellation.** Every charged node and every between-task loop
+//!   polls the governor token; a trip makes all workers drain promptly
+//!   and the join reports [`CoreError::Interrupted`] with the fixpoints
+//!   published so far.
+//! * **Worker panics.** Each task runs under `catch_unwind`: a panicking
+//!   task records its payload, flips a pool-wide flag that stops the
+//!   siblings at their next between-task check, and the join reports
+//!   [`CoreError::WorkerPanic`] instead of unwinding through the scope
+//!   (which would abort the process via double-panic on the joins).
+//! * **Lock poisoning.** Pool locks are acquired poison-tolerantly: the
+//!   panic containment above means a poisoned queue/collector mutex only
+//!   arises from a panic *outside* any task — and even then the data is a
+//!   plain deque/vec whose invariants hold at every lock release point,
+//!   so recovering the inner value is sound and keeps sibling workers
+//!   (and any later search on the same process) running.
 
 use crate::cache::CqaCaches;
 use crate::engine::{delta_of, fixes_for, Decision, Fix, RepairAction, RepairConfig, RepairStep};
-use crate::error::CoreError;
+use crate::error::{CoreError, InterruptPhase};
 use cqa_constraints::{violation_active, violations_touching, IcSet, SatMode, Violation};
-use cqa_relational::{DatabaseAtom, Delta, Instance};
+use cqa_relational::{CancelToken, DatabaseAtom, Delta, Instance};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Poison-tolerant lock: a worker panic between tasks cannot take the
+/// pool down with `PoisonError` (see module docs, "Failure containment").
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// One search node, self-contained so any worker can execute it.
 struct Task {
@@ -136,8 +162,36 @@ struct Shared<'a> {
     /// Search nodes charged so far, against `config.node_budget`.
     nodes: AtomicUsize,
     over_budget: AtomicBool,
+    /// Governor token: polled per charged node and between tasks.
+    cancel: &'a CancelToken,
+    /// Set when a worker observed the cancellation with work outstanding
+    /// (the result is a prefix, not the full candidate set).
+    interrupted: AtomicBool,
+    /// Set when a task panicked; `panic_note` holds the payload.
+    panicked: AtomicBool,
+    /// The first panicking task's payload message.
+    panic_note: Mutex<Option<String>>,
     /// Consistent fixpoints: `(path, Δ, trace)`.
     found: Mutex<Vec<Found>>,
+}
+
+impl Shared<'_> {
+    /// Should workers stop picking up new tasks? (Cancellation is checked
+    /// separately so it can flag `interrupted`.)
+    fn halted(&self) -> bool {
+        self.over_budget.load(Ordering::Relaxed) || self.panicked.load(Ordering::Relaxed)
+    }
+}
+
+/// Render a caught panic payload for [`CoreError::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Run the parallel search and return the fixpoint candidates in
@@ -148,6 +202,7 @@ pub(crate) fn search(
     config: RepairConfig,
     threads: usize,
     caches: &CqaCaches,
+    cancel: &CancelToken,
 ) -> Result<Vec<(Delta, Vec<RepairStep>)>, CoreError> {
     let threads = threads.max(1);
     // Fork point: on a cache miss the root scan registers the indexes its
@@ -169,30 +224,46 @@ pub(crate) fn search(
         pending: AtomicUsize::new(1),
         nodes: AtomicUsize::new(0),
         over_budget: AtomicBool::new(false),
+        cancel,
+        interrupted: AtomicBool::new(false),
+        panicked: AtomicBool::new(false),
+        panic_note: Mutex::new(None),
         found: Mutex::new(Vec::new()),
     };
-    shared.queues[0]
-        .lock()
-        .expect("queue lock")
-        .push_back(Task {
-            path: Vec::new(),
-            decisions: BTreeMap::new(),
-            trace: Vec::new(),
-            worklist,
-            touch: None,
-        });
+    lock(&shared.queues[0]).push_back(Task {
+        path: Vec::new(),
+        decisions: BTreeMap::new(),
+        trace: Vec::new(),
+        worklist,
+        touch: None,
+    });
     std::thread::scope(|scope| {
         let shared = &shared;
         for id in 0..threads {
             scope.spawn(move || worker(shared, id));
         }
     });
+    // Outcome priority: a panic is a bug report (loudest), then the
+    // governor, then the budget — matching the sequential driver, whose
+    // per-node check order is cancel before budget.
+    if let Some(message) = lock(&shared.panic_note).take() {
+        return Err(CoreError::WorkerPanic { message });
+    }
+    let mut found = shared
+        .found
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if shared.interrupted.load(Ordering::Relaxed) {
+        return Err(CoreError::Interrupted {
+            phase: InterruptPhase::RepairSearch,
+            partial: found.len(),
+        });
+    }
     if shared.over_budget.load(Ordering::Relaxed) {
         return Err(CoreError::BudgetExceeded {
             budget: config.node_budget,
         });
     }
-    let mut found = shared.found.into_inner().expect("collector lock");
     found.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(found
         .into_iter()
@@ -207,14 +278,33 @@ fn worker(shared: &Shared<'_>, id: usize) {
     let mut applied = Delta::default();
     let mut idle_rounds: u32 = 0;
     loop {
-        if shared.over_budget.load(Ordering::Relaxed) {
+        if shared.halted() {
+            return;
+        }
+        if shared.cancel.is_cancelled() {
+            // Work still outstanding means the candidate set is a prefix.
+            if shared.pending.load(Ordering::Acquire) > 0 {
+                shared.interrupted.store(true, Ordering::Relaxed);
+            }
             return;
         }
         let task = pop_own(shared, id).or_else(|| steal(shared, id));
         match task {
             Some(task) => {
                 idle_rounds = 0;
-                run_task(shared, id, &mut fork, &mut applied, task);
+                // Contain panics to the task: record the payload, flag the
+                // pool, and keep this worker's loop intact — siblings stop
+                // at their next between-task check and the scope join
+                // never sees an unwinding thread. The fork may be stale
+                // relative to `applied` after a mid-task panic, but this
+                // worker never runs another task (`halted()` above).
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_task(shared, id, &mut fork, &mut applied, task)
+                }));
+                if let Err(payload) = outcome {
+                    *lock(&shared.panic_note) = Some(panic_message(payload));
+                    shared.panicked.store(true, Ordering::Relaxed);
+                }
                 // Decrement only after children (if any) were published:
                 // `pending` never reads 0 while work remains.
                 shared.pending.fetch_sub(1, Ordering::AcqRel);
@@ -238,7 +328,7 @@ fn worker(shared: &Shared<'_>, id: usize) {
 }
 
 fn pop_own(shared: &Shared<'_>, id: usize) -> Option<Task> {
-    shared.queues[id].lock().expect("queue lock").pop_back()
+    lock(&shared.queues[id]).pop_back()
 }
 
 /// Steal the oldest (shallowest) task from another worker, scanning
@@ -247,11 +337,7 @@ fn steal(shared: &Shared<'_>, id: usize) -> Option<Task> {
     let n = shared.queues.len();
     for offset in 1..n {
         let victim = (id + offset) % n;
-        if let Some(task) = shared.queues[victim]
-            .lock()
-            .expect("queue lock")
-            .pop_front()
-        {
+        if let Some(task) = lock(&shared.queues[victim]).pop_front() {
             return Some(task);
         }
     }
@@ -292,6 +378,15 @@ fn run_task(shared: &Shared<'_>, id: usize, fork: &mut Instance, applied: &mut D
         shared.over_budget.store(true, Ordering::Relaxed);
         return;
     }
+    if shared.cancel.is_cancelled() {
+        // Abandon the node unexpanded: the candidate set is a prefix.
+        shared.interrupted.store(true, Ordering::Relaxed);
+        return;
+    }
+    #[cfg(test)]
+    if INJECT_PANIC_AT_NODE.load(Ordering::Relaxed) == nodes {
+        panic!("injected worker panic at node {nodes}");
+    }
     reconcile(fork, applied, delta_of(&task.decisions));
     let mut worklist = task.worklist;
     if let Some(step_delta) = &task.touch {
@@ -311,11 +406,7 @@ fn run_task(shared: &Shared<'_>, id: usize, fork: &mut Instance, applied: &mut D
             None => {
                 // `applied` is exactly delta_of(task.decisions) since the
                 // reconcile above — clone it instead of rebuilding.
-                shared.found.lock().expect("collector lock").push((
-                    task.path,
-                    applied.clone(),
-                    task.trace,
-                ));
+                lock(&shared.found).push((task.path, applied.clone(), task.trace));
                 return;
             }
         }
@@ -373,11 +464,100 @@ fn run_task(shared: &Shared<'_>, id: usize, fork: &mut Instance, applied: &mut D
     }
     if !children.is_empty() {
         shared.pending.fetch_add(children.len(), Ordering::AcqRel);
-        let mut queue = shared.queues[id].lock().expect("queue lock");
+        let mut queue = lock(&shared.queues[id]);
         // Reversed so the owner's LIFO pop explores fix 0 first, matching
         // the sequential driver's branch order.
         for child in children.into_iter().rev() {
             queue.push_back(child);
         }
+    }
+}
+
+/// Test hook: make the task that charges exactly this node number panic
+/// (0 = disabled). Drives the panic-containment unit test below.
+#[cfg(test)]
+static INJECT_PANIC_AT_NODE: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SearchStrategy;
+    use cqa_constraints::{v, Constraint, Ic};
+    use cqa_relational::{s, Schema, Tuple};
+
+    /// n dangling Course rows under a Course → Student RIC: every row
+    /// branches (delete | insert null-witness), so the tree has 2^n
+    /// fixpoints — plenty of parallel work.
+    fn dangling(n: usize) -> (Instance, IcSet) {
+        let sc = Schema::builder()
+            .relation("Course", ["ID", "Code"])
+            .relation("Student", ["ID", "Name"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        for k in 0..n {
+            d.insert_named("Course", Tuple::new([s(&format!("id{k}")), s("C1")]))
+                .unwrap();
+        }
+        let ric = Ic::builder(&sc, "ric")
+            .body_atom("Course", [v("id"), v("code")])
+            .head_atom("Student", [v("id"), v("name")])
+            .finish()
+            .unwrap();
+        (d, IcSet::new([Constraint::from(ric)]))
+    }
+
+    fn config(threads: usize) -> RepairConfig {
+        RepairConfig {
+            strategy: SearchStrategy::Parallel { threads },
+            ..RepairConfig::default()
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_is_typed_and_pool_is_reusable() {
+        let (d, ics) = dangling(6);
+        let caches = CqaCaches::new();
+        let baseline = search(&d, &ics, config(4), 4, &caches, &CancelToken::never()).unwrap();
+        assert_eq!(baseline.len(), 64);
+
+        // Silence the default panic hook while the injected panic fires
+        // (containment is under test; the report would just be noise).
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        INJECT_PANIC_AT_NODE.store(3, Ordering::Relaxed);
+        let err = search(&d, &ics, config(4), 4, &caches, &CancelToken::never()).unwrap_err();
+        INJECT_PANIC_AT_NODE.store(0, Ordering::Relaxed);
+        std::panic::set_hook(prev);
+
+        match err {
+            CoreError::WorkerPanic { message } => {
+                assert!(message.contains("injected worker panic"), "{message}")
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The machinery survives: same caches, fresh call, full answer.
+        let again = search(&d, &ics, config(4), 4, &caches, &CancelToken::never()).unwrap();
+        assert_eq!(again.len(), baseline.len());
+    }
+
+    #[test]
+    fn tripped_token_interrupts_with_prefix() {
+        let (d, ics) = dangling(6);
+        let caches = CqaCaches::new();
+        let cancel = CancelToken::new();
+        cancel.cancel(); // pre-tripped: workers must drain immediately
+        let err = search(&d, &ics, config(4), 4, &caches, &cancel).unwrap_err();
+        match err {
+            CoreError::Interrupted { phase, partial } => {
+                assert_eq!(phase, InterruptPhase::RepairSearch);
+                assert!(partial < 64, "pre-tripped token cannot finish the tree");
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        // And the same pool machinery still completes untripped.
+        let full = search(&d, &ics, config(4), 4, &caches, &CancelToken::never()).unwrap();
+        assert_eq!(full.len(), 64);
     }
 }

@@ -68,10 +68,13 @@
 //!   query rules never pollute the shared grounding.
 
 use crate::cache::CqaCaches;
-use crate::error::CoreError;
-use cqa_asp::{atom, cmp, neg, pos, stable_models, tc, tv, AtomSpec, BodyLit, BuiltinOp, Program};
+use crate::error::{CoreError, InterruptPhase};
+use cqa_asp::{
+    atom, cmp, neg, pos, stable_models_cancellable, tc, tv, AspError, AtomSpec, BodyLit, BuiltinOp,
+    Program,
+};
 use cqa_constraints::{classify::classify, Constraint, Ic, IcClass, IcSet, Term};
-use cqa_relational::{Instance, RelId, Schema, Tuple, Value};
+use cqa_relational::{CancelToken, Instance, RelId, Schema, Tuple, Value};
 use std::collections::BTreeMap;
 
 /// Which variant of the repair program to generate.
@@ -499,11 +502,47 @@ pub fn repairs_via_program_with_in(
     prune_untouched: bool,
     caches: &CqaCaches,
 ) -> Result<Vec<Instance>, CoreError> {
-    let state = caches.grounding.state_for(d, ics, style, prune_untouched)?;
+    repairs_via_program_governed(
+        d,
+        ics,
+        style,
+        prune_untouched,
+        caches,
+        &CancelToken::never(),
+    )
+}
+
+/// [`repairs_via_program_with_in`] under a cancellation token, polled by
+/// the grounding loops ([`CoreError::Interrupted`] with `Grounding`), the
+/// CDCL stable-model enumeration, and the per-model extraction (both
+/// `ModelEnumeration`, `partial` counting models fully processed).
+pub fn repairs_via_program_governed(
+    d: &Instance,
+    ics: &IcSet,
+    style: ProgramStyle,
+    prune_untouched: bool,
+    caches: &CqaCaches,
+    cancel: &CancelToken,
+) -> Result<Vec<Instance>, CoreError> {
+    let state = caches
+        .grounding
+        .state_for_governed(d, ics, style, prune_untouched, cancel)?;
     let gp = state.ground_program();
-    let models = stable_models(gp);
+    let models = stable_models_cancellable(gp, cancel).map_err(|e| match e {
+        AspError::Interrupted { partial, .. } => CoreError::Interrupted {
+            phase: InterruptPhase::ModelEnumeration,
+            partial,
+        },
+        other => CoreError::Asp(other),
+    })?;
     let mut out: Vec<Instance> = Vec::new();
     for m in &models {
+        if cancel.is_cancelled() {
+            return Err(CoreError::Interrupted {
+                phase: InterruptPhase::ModelEnumeration,
+                partial: out.len(),
+            });
+        }
         let inst = extract_instance_with_base(d, state.program(), gp, m)?;
         if !out.contains(&inst) {
             out.push(inst);

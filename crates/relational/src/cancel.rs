@@ -1,0 +1,211 @@
+//! Cooperative cancellation and deadlines — the governor every engine
+//! loop in the workspace polls (ISSUE 7 tentpole, part 2).
+//!
+//! A [`CancelToken`] is a cheap, clonable handle over a shared atomic
+//! flag plus an optional wall-clock deadline. Long-running loops —
+//! repair search nodes, CDCL solver iterations, grounding fixpoint
+//! rounds — poll [`CancelToken::check`] at their natural step
+//! boundaries; a tripped token makes the poll return [`Cancelled`],
+//! which each layer maps into its own typed error (`AspError::
+//! Interrupted`, `CoreError::Interrupted`) carrying how much sound
+//! partial work had completed.
+//!
+//! Cancellation is *cooperative*: nothing is torn down preemptively, so
+//! a cancelled engine always unwinds through ordinary `Result` paths
+//! with its invariants intact. Tokens form a one-level hierarchy:
+//! [`CancelToken::child_with_timeout`] derives a per-operation deadline
+//! token that also trips when its parent (a long-lived manual handle,
+//! e.g. the facade's `cancel_handle`) is cancelled.
+//!
+//! The default token ([`CancelToken::never`]) carries no allocation and
+//! every poll on it is a single `Option` test — engines pay for the
+//! governor only when one is installed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The unit "operation was cancelled" marker returned by
+/// [`CancelToken::check`]; each layer converts it into its own typed
+/// error at the boundary where partial-progress counts are known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "operation cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    /// Manual cancellation, and the latch for an observed deadline.
+    flag: AtomicBool,
+    /// Wall-clock deadline, if any.
+    deadline: Option<Instant>,
+    /// Parent token: tripping it trips this one too.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn tripped(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                // Latch: later polls skip the clock read.
+                self.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        if let Some(parent) = &self.parent {
+            if parent.tripped() {
+                self.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A shared cancellation flag with an optional deadline. Clones observe
+/// (and can trip) the same flag.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Default for CancelToken {
+    /// The never-cancelled token, same as [`CancelToken::never`].
+    fn default() -> Self {
+        CancelToken::never()
+    }
+}
+
+impl CancelToken {
+    /// A token that can never trip: polls are a single `Option` test and
+    /// no allocation is made. This is what un-governed entry points pass
+    /// down, so the governor is free when unused.
+    pub const fn never() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A manually-cancellable token with no deadline.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            })),
+        }
+    }
+
+    /// A token that trips once `timeout` has elapsed from now (or when
+    /// manually cancelled, whichever is first).
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
+                parent: None,
+            })),
+        }
+    }
+
+    /// Derive a per-operation token: trips when `timeout` elapses *or*
+    /// when `self` is cancelled. Cancelling the child never affects the
+    /// parent. On a [`CancelToken::never`] parent this is just
+    /// [`CancelToken::with_timeout`].
+    pub fn child_with_timeout(&self, timeout: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
+                parent: self.inner.clone(),
+            })),
+        }
+    }
+
+    /// Trip the token. Idempotent; a no-op on [`CancelToken::never`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Has the token tripped (manually, by deadline, or via its parent)?
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => inner.tripped(),
+        }
+    }
+
+    /// Poll point: `Err(Cancelled)` once the token has tripped.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_trips() {
+        let t = CancelToken::never();
+        t.cancel(); // no-op
+        assert!(!t.is_cancelled());
+        assert_eq!(t.check(), Ok(()));
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn manual_cancel_is_shared_and_idempotent() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn deadline_trips_and_latches() {
+        let t = CancelToken::with_timeout(Duration::from_millis(0));
+        assert!(t.is_cancelled(), "zero deadline trips immediately");
+        let patient = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!patient.is_cancelled());
+    }
+
+    #[test]
+    fn child_observes_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::from_secs(3600));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled(), "parent trip reaches the child");
+
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::from_secs(3600));
+        child.cancel();
+        assert!(!parent.is_cancelled(), "child trip stays local");
+    }
+
+    #[test]
+    fn child_deadline_still_applies() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::from_millis(0));
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+    }
+}

@@ -27,6 +27,7 @@
 //!   and test output — is deterministic.
 
 pub mod atom;
+pub mod cancel;
 pub mod diff;
 pub mod display;
 pub mod error;
@@ -39,6 +40,7 @@ pub mod tuple;
 pub mod value;
 
 pub use atom::DatabaseAtom;
+pub use cancel::{CancelToken, Cancelled};
 pub use diff::{delta, Delta, InstanceDelta};
 pub use error::RelationalError;
 pub use index::{ColsKey, ColumnIndex, CompositeIndex};

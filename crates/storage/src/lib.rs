@@ -90,14 +90,58 @@
 //! log. Sequence numbers carry forward across the reset, so recovery
 //! resolves every compaction crash window by rule: apply exactly the
 //! frames with `seq > snapshot.last_seq`.
+//!
+//! ## Failure model
+//!
+//! Everything this crate promises is stated against an explicit fault
+//! model, and the whole model is mechanically exercised: all I/O flows
+//! through the [`Vfs`] trait, and the deterministic [`FaultVfs`]
+//! harness injects each fault class at every reachable operation index
+//! (see `tests/fault_injection.rs`).
+//!
+//! Faults considered, and the contract under each:
+//!
+//! * **Torn writes** — a crash truncates an in-flight WAL append (or
+//!   tmp-snapshot write) at any byte boundary. Contract: reopen
+//!   succeeds; the torn tail is truncated and reported
+//!   ([`RecoveryReport::bytes_truncated`]); every acknowledged-and-
+//!   synced write survives.
+//! * **Bit rot / corruption** — any persisted byte flips after a
+//!   successful write. Contract: the CRC layer detects it; open fails
+//!   with a *typed* [`StorageError`] naming the damaged structure,
+//!   never a panic, a hang, or silently wrong data. A corrupt
+//!   mid-WAL frame drops that frame and its suffix (reported in
+//!   [`RecoveryReport::frames_skipped`]); a corrupt snapshot is fatal
+//!   for the store, by design — the snapshot is the root of trust.
+//! * **Failed syscalls** — `write`/`fsync`/`rename`/`create` returning
+//!   an error at any point. Contract: the error propagates as
+//!   [`StorageError`]; on-disk state remains one of the two states the
+//!   writer protocol allows (old or new), so a subsequent open
+//!   recovers a consistent prefix.
+//! * **Crash between protocol steps** — e.g. after `snapshot.tmp` is
+//!   written but before the rename, or after rename but before the
+//!   directory sync. Contract: the open-time sweep and the
+//!   `seq > last_seq` replay rule resolve every interleaving.
+//!
+//! Out of scope: byzantine filesystems that acknowledge syncs without
+//! persisting (the contract is only as strong as `fsync`), collisions
+//! of CRC-32 (detection, not authentication), and concurrent writers
+//! (single write role, enforced by the facade's clone semantics).
+//!
+//! The test oracle is equivalence: for every injected fault, either the
+//! operation reports a typed error and the reopened store equals the
+//! last acknowledged state, or the operation succeeds and the store
+//! equals the new state — no third outcome.
 
 pub mod codec;
 pub mod error;
 pub mod snapshot;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use error::StorageError;
 pub use snapshot::Snapshot;
 pub use store::{DurableStore, Recovered, RecoveryReport, StoreOptions};
+pub use vfs::{FaultScript, FaultVfs, OpCounts, RealVfs, Vfs, VfsFile};
 pub use wal::FsyncPolicy;

@@ -37,10 +37,9 @@
 
 use crate::codec::{crc32, Reader, SymbolSink, SymbolSource, Writer};
 use crate::error::StorageError;
+use crate::vfs::{RealVfs, Vfs};
 use cqa_constraints::{CmpOp, Constraint, Ic, IcAtom, IcSet, Nnc, Term, TermSpec};
 use cqa_relational::{Instance, RelId, Schema, Tuple};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write as IoWrite};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -356,6 +355,17 @@ pub fn write(
     ics: &IcSet,
     last_seq: u64,
 ) -> Result<u64, StorageError> {
+    write_with(&RealVfs, path, instance, ics, last_seq)
+}
+
+/// [`write`] against an explicit [`Vfs`].
+pub fn write_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    instance: &Instance,
+    ics: &IcSet,
+    last_seq: u64,
+) -> Result<u64, StorageError> {
     let body = encode_body(instance, ics, last_seq);
     let mut out = Vec::with_capacity(8 + 8 + body.len() + 4);
     out.extend_from_slice(SNAPSHOT_MAGIC);
@@ -365,28 +375,28 @@ pub fn write(
 
     let tmp = path.with_extension("tmp");
     {
-        let mut f = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&tmp)?;
+        let mut f = vfs.create_truncate(&tmp)?;
         f.write_all(&out)?;
         f.sync_all()?;
     }
-    std::fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
         // Persist the rename itself; without the directory fsync the
         // new name can vanish in a power loss even though the data
         // blocks survived.
-        File::open(dir)?.sync_all()?;
+        vfs.sync_dir(dir)?;
     }
     Ok(out.len() as u64)
 }
 
 /// Read and verify the snapshot at `path`.
 pub fn read(path: &Path) -> Result<Snapshot, StorageError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+    read_with(&RealVfs, path)
+}
+
+/// [`read`] against an explicit [`Vfs`].
+pub fn read_with(vfs: &dyn Vfs, path: &Path) -> Result<Snapshot, StorageError> {
+    let bytes = vfs.read(path)?;
     if bytes.len() < 8 + 8 + 4 || &bytes[..8] != SNAPSHOT_MAGIC {
         return Err(StorageError::corrupt(
             "snapshot",

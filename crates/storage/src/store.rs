@@ -32,11 +32,12 @@
 use crate::codec::{decode_delta, encode_delta};
 use crate::error::StorageError;
 use crate::snapshot;
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{FsyncPolicy, Wal};
 use cqa_constraints::IcSet;
 use cqa_relational::{Instance, InstanceDelta};
-use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Tuning knobs for a [`DurableStore`].
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +109,7 @@ pub struct DurableStore {
     wal: Wal,
     snapshot_bytes: u64,
     options: StoreOptions,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl DurableStore {
@@ -128,18 +130,31 @@ impl DurableStore {
         ics: &IcSet,
         options: StoreOptions,
     ) -> Result<DurableStore, StorageError> {
-        fs::create_dir_all(dir)?;
+        Self::create_with_vfs(dir, instance, ics, options, Arc::new(RealVfs))
+    }
+
+    /// [`DurableStore::create`] against an explicit [`Vfs`] — the
+    /// fault-injection entry point.
+    pub fn create_with_vfs(
+        dir: &Path,
+        instance: &Instance,
+        ics: &IcSet,
+        options: StoreOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<DurableStore, StorageError> {
+        vfs.create_dir_all(dir)?;
         let snap_path = Self::snapshot_path(dir);
-        if snap_path.exists() {
+        if vfs.exists(&snap_path) {
             return Err(StorageError::AlreadyExists(dir.to_path_buf()));
         }
-        let snapshot_bytes = snapshot::write(&snap_path, instance, ics, 0)?;
-        let wal = Wal::create(&Self::wal_path(dir), options.fsync)?;
+        let snapshot_bytes = snapshot::write_with(vfs.as_ref(), &snap_path, instance, ics, 0)?;
+        let wal = Wal::create_with(vfs.as_ref(), &Self::wal_path(dir), options.fsync)?;
         Ok(DurableStore {
             dir: dir.to_path_buf(),
             wal,
             snapshot_bytes,
             options,
+            vfs,
         })
     }
 
@@ -151,26 +166,39 @@ impl DurableStore {
         dir: &Path,
         options: StoreOptions,
     ) -> Result<(DurableStore, Recovered), StorageError> {
+        Self::open_with_vfs(dir, options, Arc::new(RealVfs))
+    }
+
+    /// [`DurableStore::open`] against an explicit [`Vfs`] — the
+    /// fault-injection entry point.
+    pub fn open_with_vfs(
+        dir: &Path,
+        options: StoreOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(DurableStore, Recovered), StorageError> {
         let snap_path = Self::snapshot_path(dir);
-        if !snap_path.exists() {
+        if !vfs.exists(&snap_path) {
             return Err(StorageError::NotAStore(dir.to_path_buf()));
         }
         // A crash mid-compaction can leave a half-written tmp file; the
         // real snapshot is intact (rename is the commit point).
         let stale_tmp = snap_path.with_extension("tmp");
-        if stale_tmp.exists() {
-            fs::remove_file(&stale_tmp)?;
+        if vfs.exists(&stale_tmp) {
+            vfs.remove_file(&stale_tmp)?;
         }
 
-        let snap = snapshot::read(&snap_path)?;
+        let snap = snapshot::read_with(vfs.as_ref(), &snap_path)?;
 
         let wal_path = Self::wal_path(dir);
-        let (mut wal, scan) = if wal_path.exists() {
-            Wal::open(&wal_path, options.fsync)?
+        let (mut wal, scan) = if vfs.exists(&wal_path) {
+            Wal::open_with(vfs.as_ref(), &wal_path, options.fsync)?
         } else {
             // Crash window between snapshot creation and WAL creation:
             // the snapshot alone is a complete, empty-log store.
-            (Wal::create(&wal_path, options.fsync)?, Default::default())
+            (
+                Wal::create_with(vfs.as_ref(), &wal_path, options.fsync)?,
+                Default::default(),
+            )
         };
         // A WAL rebuilt empty (missing, or caught in the create window)
         // must not reuse sequence numbers the snapshot already covers.
@@ -201,6 +229,7 @@ impl DurableStore {
             wal,
             snapshot_bytes: snap.bytes,
             options,
+            vfs,
         };
         Ok((
             store,
@@ -264,8 +293,13 @@ impl DurableStore {
     /// frame.
     pub fn compact(&mut self, instance: &Instance, ics: &IcSet) -> Result<(), StorageError> {
         let last_seq = self.last_seq();
-        self.snapshot_bytes =
-            snapshot::write(&Self::snapshot_path(&self.dir), instance, ics, last_seq)?;
+        self.snapshot_bytes = snapshot::write_with(
+            self.vfs.as_ref(),
+            &Self::snapshot_path(&self.dir),
+            instance,
+            ics,
+            last_seq,
+        )?;
         self.wal.reset()
     }
 
@@ -289,7 +323,7 @@ impl DurableStore {
 mod tests {
     use super::*;
     use cqa_relational::{s, DatabaseAtom, Schema, Tuple};
-    use std::fs::OpenOptions;
+    use std::fs::{self, OpenOptions};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("cqa-store-{tag}-{}", std::process::id()));

@@ -1,0 +1,564 @@
+//! The virtual filesystem seam: every byte the store moves goes through
+//! a [`Vfs`], so tests can inject *deterministic* storage faults at
+//! exact operation boundaries instead of hoping a `kill -9` lands in an
+//! interesting window.
+//!
+//! Two implementations:
+//!
+//! * [`RealVfs`] — the production path, a zero-cost veneer over
+//!   `std::fs`. [`DurableStore::create`](crate::DurableStore::create)
+//!   and friends use it implicitly.
+//! * [`FaultVfs`] — wraps the real filesystem but counts every write,
+//!   fsync, read and rename, and fires the faults described by a
+//!   [`FaultScript`] when a counter hits its scripted index: fail the
+//!   Nth fsync, short-write K bytes, ENOSPC after a byte budget, lose a
+//!   rename (the crash point between `snapshot.tmp` and its rename),
+//!   flip a bit on the Nth read. Because the store's I/O sequence is
+//!   itself deterministic, a `(workload, script)` pair replays the same
+//!   fault at the same byte every run — crash windows become enumerable
+//!   unit tests.
+//!
+//! A fired fault can optionally *kill* the VFS
+//! ([`FaultScript::crash_after_fault`]): every subsequent operation
+//! fails, modelling the process dying at the fault point. Reopening the
+//! directory with a fresh [`RealVfs`] then plays the part of the
+//! post-crash process.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An open file handle behind the [`Vfs`] seam.
+pub trait VfsFile: fmt::Debug + Send {
+    /// Write the whole buffer (the all-or-error contract of
+    /// `Write::write_all`).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Read from the current position to EOF, appending to `out`.
+    fn read_to_end(&mut self, out: &mut Vec<u8>) -> io::Result<usize>;
+    /// Flush file *data* to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flush file data and metadata to stable storage (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncate (or extend) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Move the file cursor.
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64>;
+    /// Current file size in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// `true` iff the file is zero bytes long.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// The filesystem operations the store needs — nothing more.
+///
+/// Implementations must be shareable across threads: the facade keeps
+/// its store behind an `Arc<Mutex<_>>`.
+pub trait Vfs: fmt::Debug + Send + Sync {
+    /// Open an existing file for reading and writing.
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Create (or truncate) a file for reading and writing.
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Read a whole file into memory.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsync a directory, persisting renames/creates within it.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Create a directory and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Does `path` exist?
+    fn exists(&self, path: &Path) -> bool;
+}
+
+// ---------------------------------------------------------------------
+// RealVfs
+// ---------------------------------------------------------------------
+
+/// The production [`Vfs`]: plain `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealVfs;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn read_to_end(&mut self, out: &mut Vec<u8>) -> io::Result<usize> {
+        self.0.read_to_end(out)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.0.seek(pos)
+    }
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
+}
+
+impl Vfs for RealVfs {
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultVfs
+// ---------------------------------------------------------------------
+
+/// Which faults to fire, keyed by 1-based operation indices. All
+/// counters are global across every file the VFS touches, which keeps a
+/// script a pure function of the workload's I/O sequence.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    /// Fail the Nth fsync (`sync_data`, `sync_all` and directory syncs
+    /// share one counter). The flush is *not* performed.
+    pub fail_fsync: Option<u64>,
+    /// On the Nth write, persist only the first K bytes and fail.
+    pub short_write: Option<(u64, usize)>,
+    /// Total byte budget: the write that would exceed it persists the
+    /// prefix that fits and fails with an ENOSPC-flavoured error.
+    pub enospc_after: Option<u64>,
+    /// Fail the Nth rename without performing it — the crash point
+    /// between a fully-synced `snapshot.tmp` and its rename.
+    pub fail_rename: Option<u64>,
+    /// On the Nth read, flip one bit of the returned buffer (byte
+    /// `offset % len`); the bytes on disk stay intact.
+    pub flip_read: Option<(u64, u64)>,
+    /// After any fault fires, every subsequent operation fails —
+    /// modelling the process dying at the fault point.
+    pub crash_after_fault: bool,
+}
+
+impl FaultScript {
+    /// A script that never fires (useful as a counting profiler).
+    pub fn profile() -> Self {
+        FaultScript::default()
+    }
+    /// Fail the `n`th fsync (1-based).
+    pub fn fail_fsync(mut self, n: u64) -> Self {
+        self.fail_fsync = Some(n);
+        self
+    }
+    /// Short-write: the `n`th write persists only `keep` bytes.
+    pub fn short_write(mut self, n: u64, keep: usize) -> Self {
+        self.short_write = Some((n, keep));
+        self
+    }
+    /// Fail writes once `budget` total bytes have been written.
+    pub fn enospc_after(mut self, budget: u64) -> Self {
+        self.enospc_after = Some(budget);
+        self
+    }
+    /// Fail the `n`th rename (1-based).
+    pub fn fail_rename(mut self, n: u64) -> Self {
+        self.fail_rename = Some(n);
+        self
+    }
+    /// Flip a bit of the `n`th read at byte `offset % read_len`.
+    pub fn flip_read(mut self, n: u64, offset: u64) -> Self {
+        self.flip_read = Some((n, offset));
+        self
+    }
+    /// Kill the VFS after the first fault fires.
+    pub fn crash_after_fault(mut self) -> Self {
+        self.crash_after_fault = true;
+        self
+    }
+}
+
+/// Operation counts observed by a [`FaultVfs`] — run a workload against
+/// `FaultScript::profile()` first, then enumerate fault points
+/// `1..=counts.fsyncs` (etc.) with one scripted run each.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `write_all` calls.
+    pub writes: u64,
+    /// `sync_data` + `sync_all` + directory syncs.
+    pub fsyncs: u64,
+    /// `read`/`read_to_end` calls.
+    pub reads: u64,
+    /// Renames.
+    pub renames: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    script: FaultScript,
+    counts: Mutex<OpCounts>,
+    fired: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl FaultState {
+    fn injected(&self, what: &str) -> io::Error {
+        self.fired.fetch_add(1, Ordering::SeqCst);
+        if self.script.crash_after_fault {
+            self.dead.store(true, Ordering::SeqCst);
+        }
+        io::Error::other(format!("injected fault: {what}"))
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(io::Error::other(
+                "injected fault: process crashed at an earlier fault point",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Handle one write of `buf` against `file`, applying short-write /
+    /// ENOSPC scripting.
+    fn write(&self, file: &mut File, buf: &[u8]) -> io::Result<()> {
+        self.check_alive()?;
+        let mut c = self.counts.lock().expect("fault counters");
+        c.writes += 1;
+        let idx = c.writes;
+        if let Some((n, keep)) = self.script.short_write {
+            if idx == n {
+                let keep = keep.min(buf.len());
+                file.write_all(&buf[..keep])?;
+                c.bytes_written += keep as u64;
+                drop(c);
+                return Err(self.injected(&format!("short write ({keep} bytes persisted)")));
+            }
+        }
+        if let Some(budget) = self.script.enospc_after {
+            if c.bytes_written + buf.len() as u64 > budget {
+                let room = budget.saturating_sub(c.bytes_written) as usize;
+                file.write_all(&buf[..room])?;
+                c.bytes_written = budget;
+                drop(c);
+                return Err(self.injected("no space left on device (ENOSPC)"));
+            }
+        }
+        file.write_all(buf)?;
+        c.bytes_written += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Handle one fsync-class operation; `flush` performs the real sync.
+    fn fsync(&self, flush: impl FnOnce() -> io::Result<()>) -> io::Result<()> {
+        self.check_alive()?;
+        let idx = {
+            let mut c = self.counts.lock().expect("fault counters");
+            c.fsyncs += 1;
+            c.fsyncs
+        };
+        if self.script.fail_fsync == Some(idx) {
+            // The flush is deliberately skipped: an fsync that reports
+            // failure must not be assumed to have persisted anything.
+            return Err(self.injected("fsync failed"));
+        }
+        flush()
+    }
+
+    /// Count one read and maybe flip a bit in the freshly-read suffix.
+    fn post_read(&self, fresh: &mut [u8]) {
+        let idx = {
+            let mut c = self.counts.lock().expect("fault counters");
+            c.reads += 1;
+            c.reads
+        };
+        if let Some((n, offset)) = self.script.flip_read {
+            if idx == n && !fresh.is_empty() {
+                let at = (offset % fresh.len() as u64) as usize;
+                fresh[at] ^= 0x40;
+                // A read fault is observed, not returned: record it so
+                // tests can assert the script actually fired.
+                self.fired.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// A [`Vfs`] that injects the faults scripted in a [`FaultScript`].
+/// Clones share counters and scripting, so the store's own handles and
+/// the test's handle observe one I/O timeline.
+#[derive(Debug, Clone)]
+pub struct FaultVfs {
+    state: Arc<FaultState>,
+}
+
+impl FaultVfs {
+    /// A fault VFS over the real filesystem, firing `script`.
+    pub fn new(script: FaultScript) -> Self {
+        FaultVfs {
+            state: Arc::new(FaultState {
+                script,
+                counts: Mutex::new(OpCounts::default()),
+                fired: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// How many scripted faults have fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.state.fired.load(Ordering::SeqCst)
+    }
+
+    /// The operation counts observed so far.
+    pub fn counts(&self) -> OpCounts {
+        *self.state.counts.lock().expect("fault counters")
+    }
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    file: File,
+    state: Arc<FaultState>,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let state = self.state.clone();
+        state.write(&mut self.file, buf)
+    }
+    fn read_to_end(&mut self, out: &mut Vec<u8>) -> io::Result<usize> {
+        self.state.check_alive()?;
+        let start = out.len();
+        let n = self.file.read_to_end(out)?;
+        self.state.post_read(&mut out[start..]);
+        Ok(n)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        let file = &self.file;
+        self.state.fsync(|| file.sync_data())
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        let file = &self.file;
+        self.state.fsync(|| file.sync_all())
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.state.check_alive()?;
+        self.file.set_len(len)
+    }
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.state.check_alive()?;
+        self.file.seek(pos)
+    }
+    fn len(&self) -> io::Result<u64> {
+        self.state.check_alive()?;
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.state.check_alive()?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Box::new(FaultFile {
+            file,
+            state: self.state.clone(),
+        }))
+    }
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.state.check_alive()?;
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(FaultFile {
+            file,
+            state: self.state.clone(),
+        }))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.state.check_alive()?;
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        self.state.post_read(&mut bytes);
+        Ok(bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.state.check_alive()?;
+        let idx = {
+            let mut c = self.state.counts.lock().expect("fault counters");
+            c.renames += 1;
+            c.renames
+        };
+        if self.state.script.fail_rename == Some(idx) {
+            // The rename is *lost*, not half-done: `from` stays on disk
+            // (the stale-tmp sweep's job), `to` keeps its old content.
+            return Err(self.state.injected("rename lost"));
+        }
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.state.check_alive()?;
+        std::fs::remove_file(path)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.state.fsync(|| File::open(dir)?.sync_all())
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.state.check_alive()?;
+        std::fs::create_dir_all(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cqa-vfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_vfs_roundtrips() {
+        let dir = tmpdir("real");
+        let path = dir.join("f");
+        let vfs = RealVfs;
+        let mut f = vfs.create_truncate(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello");
+        let renamed = dir.join("g");
+        vfs.rename(&path, &renamed).unwrap();
+        assert!(vfs.exists(&renamed) && !vfs.exists(&path));
+        vfs.sync_dir(&dir).unwrap();
+        vfs.remove_file(&renamed).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_vfs_counts_and_is_deterministic() {
+        let dir = tmpdir("counts");
+        let run = |script: FaultScript| -> (OpCounts, u64) {
+            let vfs = FaultVfs::new(script);
+            let path = dir.join("f");
+            let mut f = vfs.create_truncate(&path).unwrap();
+            f.write_all(b"abc").unwrap();
+            f.write_all(b"defg").unwrap();
+            let _ = f.sync_data();
+            drop(f);
+            let _ = vfs.read(&path);
+            (vfs.counts(), vfs.faults_fired())
+        };
+        let (a, fired_a) = run(FaultScript::profile());
+        let (b, fired_b) = run(FaultScript::profile());
+        assert_eq!(a, b, "profiling is deterministic");
+        assert_eq!(a.writes, 2);
+        assert_eq!(a.fsyncs, 1);
+        assert_eq!(a.reads, 1);
+        assert_eq!(a.bytes_written, 7);
+        assert_eq!((fired_a, fired_b), (0, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scripted_faults_fire_at_exact_indices() {
+        let dir = tmpdir("fire");
+        let path = dir.join("f");
+
+        // Second write is cut short at 2 bytes.
+        let vfs = FaultVfs::new(FaultScript::default().short_write(2, 2));
+        let mut f = vfs.create_truncate(&path).unwrap();
+        f.write_all(b"keep").unwrap();
+        let err = f.write_all(b"lost").unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(vfs.faults_fired(), 1);
+        drop(f);
+        assert_eq!(fs::read(&path).unwrap(), b"keeplo", "2-byte torn suffix");
+
+        // ENOSPC once 5 total bytes are written.
+        let vfs = FaultVfs::new(FaultScript::default().enospc_after(5));
+        let mut f = vfs.create_truncate(&path).unwrap();
+        f.write_all(b"abc").unwrap();
+        let err = f.write_all(b"defg").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        drop(f);
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            b"abcde",
+            "budget exhausted mid-write"
+        );
+
+        // First fsync fails; crash_after_fault kills everything after.
+        let vfs = FaultVfs::new(FaultScript::default().fail_fsync(1).crash_after_fault());
+        let mut f = vfs.create_truncate(&path).unwrap();
+        f.write_all(b"x").unwrap();
+        assert!(f.sync_data().is_err());
+        assert!(f.write_all(b"y").is_err(), "dead after the fault");
+        assert!(vfs.open_rw(&path).is_err(), "VFS itself is dead");
+
+        // Read flip corrupts the buffer, not the disk.
+        fs::write(&path, b"pristine").unwrap();
+        let vfs = FaultVfs::new(FaultScript::default().flip_read(1, 3));
+        let flipped = vfs.read(&path).unwrap();
+        assert_ne!(flipped, b"pristine");
+        assert_eq!(fs::read(&path).unwrap(), b"pristine");
+        assert_eq!(vfs.faults_fired(), 1);
+
+        // Lost rename leaves both names as they were.
+        fs::write(dir.join("a"), b"new").unwrap();
+        fs::write(dir.join("b"), b"old").unwrap();
+        let vfs = FaultVfs::new(FaultScript::default().fail_rename(1));
+        assert!(vfs.rename(&dir.join("a"), &dir.join("b")).is_err());
+        assert_eq!(fs::read(dir.join("a")).unwrap(), b"new");
+        assert_eq!(fs::read(dir.join("b")).unwrap(), b"old");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

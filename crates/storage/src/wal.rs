@@ -36,8 +36,8 @@
 
 use crate::codec::{crc32, MAX_SECTION_LEN};
 use crate::error::StorageError;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::vfs::{RealVfs, Vfs, VfsFile};
+use std::io::SeekFrom;
 use std::path::Path;
 
 /// File magic: identifies a WAL and its format version.
@@ -86,7 +86,7 @@ pub struct WalScan {
 /// An open, append-position log file.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     next_seq: u64,
     fsync: FsyncPolicy,
     appends_since_sync: u32,
@@ -94,14 +94,18 @@ pub struct Wal {
 
 impl Wal {
     /// Create a fresh, empty WAL at `path` (truncating any existing
-    /// file), write the magic, and sync it.
+    /// file), write the magic, and sync it — on the real filesystem.
     pub fn create(path: &Path, fsync: FsyncPolicy) -> Result<Wal, StorageError> {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .read(true)
-            .truncate(true)
-            .open(path)?;
+        Wal::create_with(&RealVfs, path, fsync)
+    }
+
+    /// [`Wal::create`] against an explicit [`Vfs`].
+    pub fn create_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        fsync: FsyncPolicy,
+    ) -> Result<Wal, StorageError> {
+        let mut file = vfs.create_truncate(path)?;
         file.write_all(WAL_MAGIC)?;
         file.sync_all()?;
         Ok(Wal {
@@ -112,15 +116,25 @@ impl Wal {
         })
     }
 
-    /// Open an existing WAL: scan every frame, truncate the torn tail
-    /// (if any), and leave the file positioned for appending. Returns
-    /// the scan alongside the ready-to-append handle.
+    /// Open an existing WAL on the real filesystem: scan every frame,
+    /// truncate the torn tail (if any), and leave the file positioned
+    /// for appending. Returns the scan alongside the ready-to-append
+    /// handle.
     ///
     /// Never panics on mangled bytes: a short frame, a failed checksum,
     /// an implausible length, or a sequence regression all end the scan
     /// at the last good frame boundary.
     pub fn open(path: &Path, fsync: FsyncPolicy) -> Result<(Wal, WalScan), StorageError> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        Wal::open_with(&RealVfs, path, fsync)
+    }
+
+    /// [`Wal::open`] against an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        fsync: FsyncPolicy,
+    ) -> Result<(Wal, WalScan), StorageError> {
+        let mut file = vfs.open_rw(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
 
@@ -221,7 +235,7 @@ impl Wal {
 
     /// Bytes currently in the log (including the magic).
     pub fn len_bytes(&self) -> Result<u64, StorageError> {
-        Ok(self.file.metadata()?.len())
+        Ok(self.file.len()?)
     }
 
     /// Append one payload as a frame; returns its sequence number. The
@@ -295,7 +309,7 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::fs;
+    use std::fs::{self, OpenOptions};
     use std::path::PathBuf;
 
     fn tmpdir(tag: &str) -> PathBuf {

@@ -72,10 +72,13 @@ use cqa_constraints::IcSet;
 use cqa_core::query::AnswerSemantics;
 use cqa_core::{CoreError, CqaCaches, ProgramStyle, RepairConfig};
 use cqa_relational::{DatabaseAtom, Instance, InstanceDelta, Schema, Tuple};
+
+pub use cqa_relational::CancelToken;
 use cqa_storage::{DurableStore, RecoveryReport, StoreOptions};
 use std::collections::BTreeSet;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -88,6 +91,10 @@ pub enum Error {
     Relational(cqa_relational::RelationalError),
     /// Durability-layer error (WAL/snapshot I/O or corruption).
     Storage(cqa_storage::StorageError),
+    /// Mutation attempted through a clone of a persistent database.
+    /// The write role stays with the handle that created or opened the
+    /// store; clones are read-only views.
+    ReadOnlyClone,
 }
 
 impl std::fmt::Display for Error {
@@ -97,6 +104,11 @@ impl std::fmt::Display for Error {
             Error::Core(e) => write!(f, "{e}"),
             Error::Relational(e) => write!(f, "{e}"),
             Error::Storage(e) => write!(f, "{e}"),
+            Error::ReadOnlyClone => write!(
+                f,
+                "clones of a persistent database are read-only; \
+                 mutate through the handle that opened the store"
+            ),
         }
     }
 }
@@ -143,11 +155,27 @@ impl From<cqa_relational::RelationalError> for Error {
 /// an acknowledged write survives `kill -9`. Recovery replays surviving
 /// frames through the same incremental grounding machinery ordinary
 /// churn uses, so a reopened database arrives consistent *and* warm.
-/// Clones share the underlying store — mutate a persistent tenant
-/// through one handle at a time. [`Database::instance_mut`] bypasses
-/// the WAL entirely; changes made through it reach disk only at the
-/// next snapshot compaction.
-#[derive(Debug, Clone)]
+/// Clones of a *persistent* database are **read-only**: two handles
+/// with divergent in-memory views interleaving WAL appends would leave
+/// the log describing a state neither handle holds, so the write role
+/// stays with the original handle and a clone's `insert`/`delete`/
+/// `add_constraint` returns [`Error::ReadOnlyClone`]. Clones still
+/// query, and share the cache bundle. [`Database::instance_mut`]
+/// bypasses the WAL entirely; changes made through it reach disk only
+/// at the next snapshot compaction.
+///
+/// ## Cancellation and deadlines
+///
+/// Every engine entry point — repair search (sequential and parallel),
+/// the Π(D, IC) program route, and both CQA pipelines — runs under a
+/// cooperative cancellation governor. [`Database::with_deadline`] bounds
+/// each call's wall-clock time; [`Database::cancel_handle`] hands out a
+/// [`CancelToken`] another thread can trip mid-call. An interrupted call
+/// returns [`CoreError::Interrupted`] (wrapped in [`Error::Core`])
+/// naming the phase cut short and how many partial results were sound
+/// at that point; the database and its caches stay valid — a poisoned
+/// in-flight grounding is discarded, never cached.
+#[derive(Debug)]
 pub struct Database {
     instance: Instance,
     constraints: IcSet,
@@ -156,6 +184,35 @@ pub struct Database {
     caches: Arc<CqaCaches>,
     storage: Option<Arc<Mutex<DurableStore>>>,
     recovery: Option<RecoveryReport>,
+    /// Does this handle hold the write role for `storage`? Always true
+    /// for in-memory databases; cleared on clones of persistent ones.
+    writer: bool,
+    /// Per-call wall-clock budget; `None` = unbounded.
+    deadline: Option<Duration>,
+    /// Shared manual-cancel root; clones share it, so tripping the
+    /// handle stops in-flight work on every view of this tenant.
+    cancel: CancelToken,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            instance: self.instance.clone(),
+            constraints: self.constraints.clone(),
+            config: self.config,
+            program_style: self.program_style,
+            caches: self.caches.clone(),
+            storage: self.storage.clone(),
+            recovery: self.recovery.clone(),
+            // The write role does not travel: a clone of a persistent
+            // handle is a read-only view of the same tenant.
+            writer: self.storage.is_none(),
+            deadline: self.deadline,
+            // The cancel root *does* travel: cancelling any handle of
+            // the tenant stops them all (see `reset_cancel` to detach).
+            cancel: self.cancel.clone(),
+        }
+    }
 }
 
 impl Database {
@@ -176,6 +233,9 @@ impl Database {
             caches: Arc::new(CqaCaches::new()),
             storage: None,
             recovery: None,
+            writer: true,
+            deadline: None,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -199,7 +259,27 @@ impl Database {
         constraints: IcSet,
         options: StoreOptions,
     ) -> Result<Self, Error> {
-        let store = DurableStore::create(path.as_ref(), &instance, &constraints, options)?;
+        Database::persistent_with_vfs(
+            path,
+            instance,
+            constraints,
+            options,
+            Arc::new(cqa_storage::RealVfs),
+        )
+    }
+
+    /// [`Database::persistent_with`] against an explicit
+    /// [`Vfs`](cqa_storage::Vfs) — the fault-injection entry point used
+    /// by the robustness suite.
+    pub fn persistent_with_vfs(
+        path: impl AsRef<Path>,
+        instance: Instance,
+        constraints: IcSet,
+        options: StoreOptions,
+        vfs: Arc<dyn cqa_storage::Vfs>,
+    ) -> Result<Self, Error> {
+        let store =
+            DurableStore::create_with_vfs(path.as_ref(), &instance, &constraints, options, vfs)?;
         let mut db = Database::new(instance, constraints);
         db.storage = Some(Arc::new(Mutex::new(store)));
         Ok(db)
@@ -224,7 +304,18 @@ impl Database {
     /// reopened database resumes the warm-cache trajectory a
     /// never-crashed process had.
     pub fn open_with(path: impl AsRef<Path>, options: StoreOptions) -> Result<Self, Error> {
-        let (store, recovered) = DurableStore::open(path.as_ref(), options)?;
+        Database::open_with_vfs(path, options, Arc::new(cqa_storage::RealVfs))
+    }
+
+    /// [`Database::open_with`] against an explicit
+    /// [`Vfs`](cqa_storage::Vfs) — the fault-injection entry point used
+    /// by the robustness suite.
+    pub fn open_with_vfs(
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+        vfs: Arc<dyn cqa_storage::Vfs>,
+    ) -> Result<Self, Error> {
+        let (store, recovered) = DurableStore::open_with_vfs(path.as_ref(), options, vfs)?;
         let caches = Arc::new(CqaCaches::new());
         let style = ProgramStyle::default();
         let mut instance = recovered.snapshot_instance;
@@ -247,6 +338,9 @@ impl Database {
             caches,
             storage: Some(Arc::new(Mutex::new(store))),
             recovery: Some(recovered.report),
+            writer: true,
+            deadline: None,
+            cancel: CancelToken::new(),
         })
     }
 
@@ -263,12 +357,28 @@ impl Database {
         self.storage.is_some()
     }
 
+    /// `true` iff this handle may mutate: always for in-memory
+    /// databases, and for the handle that created/opened a persistent
+    /// store — but not for its clones (see [`Error::ReadOnlyClone`]).
+    pub fn is_writer(&self) -> bool {
+        self.storage.is_none() || self.writer
+    }
+
     /// Force all acknowledged writes to stable storage regardless of the
     /// configured [`FsyncPolicy`](cqa_storage::FsyncPolicy). No-op for
     /// in-memory databases.
     pub fn sync(&self) -> Result<(), Error> {
         if let Some(store) = &self.storage {
             store.lock().expect("storage lock").sync()?;
+        }
+        Ok(())
+    }
+
+    /// Mutation guard: a clone of a persistent database does not hold
+    /// the write role and must not append to the shared WAL.
+    fn check_writable(&self) -> Result<(), Error> {
+        if self.storage.is_some() && !self.writer {
+            return Err(Error::ReadOnlyClone);
         }
         Ok(())
     }
@@ -351,6 +461,48 @@ impl Database {
         self
     }
 
+    /// Bound every subsequent engine call (`repairs`, the program route,
+    /// CQA) to at most `deadline` of wall-clock time. The budget is
+    /// per-call, not cumulative: each call starts a fresh timer. A call
+    /// that exceeds it returns [`CoreError::Interrupted`] and leaves the
+    /// database and its caches fully usable.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set or clear the per-call deadline in place (the `&mut` form of
+    /// [`Database::with_deadline`]).
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// A handle that cancels in-flight engine calls on this database
+    /// (and its clones — they share the root token). Typical use: clone
+    /// the database into a worker thread, keep the handle, and
+    /// [`CancelToken::cancel`] it when the caller loses interest. The
+    /// trip is sticky: call [`Database::reset_cancel`] before issuing
+    /// new work through a tripped handle.
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Replace the cancel root with a fresh, untripped token. Detaches
+    /// this handle from previously exported [`Database::cancel_handle`]s
+    /// and from clones (which keep the old root).
+    pub fn reset_cancel(&mut self) {
+        self.cancel = CancelToken::new();
+    }
+
+    /// The token governing one engine call: the shared manual-cancel
+    /// root, with this call's deadline layered on top when one is set.
+    fn op_token(&self) -> CancelToken {
+        match self.deadline {
+            Some(d) => self.cancel.child_with_timeout(d),
+            None => self.cancel.clone(),
+        }
+    }
+
     /// Add a constraint from text, e.g. `"r(x, y) -> exists z: s(x, z)"`
     /// or `"not null r(y)"`.
     ///
@@ -358,6 +510,7 @@ impl Database {
     /// fresh snapshot immediately — constraints travel in snapshots, not
     /// WAL frames, so deferring would lose the constraint on crash.
     pub fn add_constraint(&mut self, name: &str, text: &str) -> Result<(), Error> {
+        self.check_writable()?;
         let con = cqa_sql::parse_constraint(self.schema(), name, text)?;
         self.constraints.push(con);
         if let Some(store) = &self.storage {
@@ -373,6 +526,7 @@ impl Database {
     /// database the delta is WAL-appended (and, per policy, fsynced)
     /// *before* the in-memory mutation.
     pub fn insert(&mut self, relation: &str, tuple: impl Into<Tuple>) -> Result<bool, Error> {
+        self.check_writable()?;
         let atom = self.atom_for(relation, tuple.into())?;
         if self.instance.contains(&atom) {
             return Ok(false); // set semantics: no-ops never reach the WAL
@@ -391,6 +545,7 @@ impl Database {
     /// rebuilding. On a persistent database the delta is WAL-appended
     /// *before* the in-memory mutation.
     pub fn delete(&mut self, relation: &str, tuple: impl Into<Tuple>) -> Result<bool, Error> {
+        self.check_writable()?;
         // Symmetric with insert: an arity typo is an error, not a silent
         // "tuple was not present".
         let atom = self.atom_for(relation, tuple.into())?;
@@ -415,6 +570,7 @@ impl Database {
         relation: &str,
         tuples: impl IntoIterator<Item = impl Into<Tuple>>,
     ) -> Result<usize, Error> {
+        self.check_writable()?;
         let mut delta = InstanceDelta::default();
         for tuple in tuples {
             let atom = self.atom_for(relation, tuple.into())?;
@@ -441,6 +597,7 @@ impl Database {
         relation: &str,
         tuples: impl IntoIterator<Item = impl Into<Tuple>>,
     ) -> Result<usize, Error> {
+        self.check_writable()?;
         let mut delta = InstanceDelta::default();
         for tuple in tuples {
             let atom = self.atom_for(relation, tuple.into())?;
@@ -484,23 +641,28 @@ impl Database {
         .collect()
     }
 
-    /// All repairs (Definition 7).
+    /// All repairs (Definition 7). Honours the deadline/cancel governor
+    /// (see [`Database::with_deadline`]).
     pub fn repairs(&self) -> Result<Vec<Instance>, Error> {
-        Ok(cqa_core::repairs_with_config_in(
+        Ok(cqa_core::repairs_with_config_governed(
             &self.instance,
             &self.constraints,
             self.config,
             &self.caches,
+            &self.op_token(),
         )?)
     }
 
     /// Repairs via the Definition-9 logic program (Theorem 4 route).
+    /// Honours the deadline/cancel governor.
     pub fn repairs_via_program(&self) -> Result<Vec<Instance>, Error> {
-        Ok(cqa_core::repairs_via_program_in(
+        Ok(cqa_core::repairs_via_program_governed(
             &self.instance,
             &self.constraints,
             self.program_style,
+            false,
             &self.caches,
+            &self.op_token(),
         )?)
     }
 
@@ -514,7 +676,7 @@ impl Database {
     /// `"q(x) :- r(x, y), not s(y), y <> 'b'."`.
     pub fn consistent_answers(&self, query: &str) -> Result<BTreeSet<Tuple>, Error> {
         let q = cqa_sql::parse_query(self.schema(), query)?;
-        let answers = cqa_core::consistent_answers_full_in(
+        let answers = cqa_core::consistent_answers_governed(
             &self.instance,
             &self.constraints,
             &q,
@@ -522,6 +684,7 @@ impl Database {
             AnswerSemantics::IncludeNullAnswers,
             cqa_core::QueryNullSemantics::NullAsValue,
             &self.caches,
+            &self.op_token(),
         )?;
         Ok(answers.tuples)
     }
@@ -529,7 +692,7 @@ impl Database {
     /// Consistent answer for a boolean query: `yes`/`no`.
     pub fn consistent_answer_boolean(&self, query: &str) -> Result<bool, Error> {
         let q = cqa_sql::parse_query(self.schema(), query)?;
-        let answers = cqa_core::consistent_answers_full_in(
+        let answers = cqa_core::consistent_answers_governed(
             &self.instance,
             &self.constraints,
             &q,
@@ -537,6 +700,7 @@ impl Database {
             AnswerSemantics::IncludeNullAnswers,
             cqa_core::QueryNullSemantics::NullAsValue,
             &self.caches,
+            &self.op_token(),
         )?;
         Ok(answers.is_yes())
     }
@@ -552,7 +716,7 @@ impl Database {
     /// `|=q_N` variant of the paper's Section 7(a).
     pub fn consistent_answers_sql(&self, query: &str) -> Result<BTreeSet<Tuple>, Error> {
         let q = cqa_sql::parse_query(self.schema(), query)?;
-        let answers = cqa_core::consistent_answers_full_in(
+        let answers = cqa_core::consistent_answers_governed(
             &self.instance,
             &self.constraints,
             &q,
@@ -560,18 +724,21 @@ impl Database {
             AnswerSemantics::IncludeNullAnswers,
             cqa_core::QueryNullSemantics::SqlThreeValued,
             &self.caches,
+            &self.op_token(),
         )?;
         Ok(answers.tuples)
     }
 
     /// Repairs together with the decision steps that produced them
-    /// (which constraint fired, what was inserted/deleted).
+    /// (which constraint fired, what was inserted/deleted). Honours the
+    /// deadline/cancel governor.
     pub fn repairs_with_trace(&self) -> Result<Vec<cqa_core::TracedRepair>, Error> {
-        Ok(cqa_core::repairs_with_trace_in(
+        Ok(cqa_core::repairs_with_trace_governed(
             &self.instance,
             &self.constraints,
             self.config,
             &self.caches,
+            &self.op_token(),
         )?)
     }
 
@@ -583,7 +750,8 @@ impl Database {
 
 /// Re-export of commonly used leaf types at the crate root.
 pub use cqa_core::query::AnswerSemantics as NullAnswerSemantics;
-pub use cqa_relational::{i, null, s, Value as DbValue};
+pub use cqa_core::InterruptPhase;
+pub use cqa_relational::{i, null, s, Cancelled, Value as DbValue};
 
 #[cfg(test)]
 mod tests {

@@ -311,3 +311,64 @@ fn store_options_knobs_are_honoured() {
         Err(Error::Storage(_))
     ));
 }
+
+/// ISSUE 7 satellite: the write role of a persistent store does not
+/// travel with `Clone`. Two handles with divergent in-memory views
+/// interleaving WAL appends would leave the log describing a state
+/// neither holds, so clones are read-only views: every mutator returns
+/// `Error::ReadOnlyClone`, queries still work, and in-memory databases
+/// keep their freely-cloning behaviour.
+#[test]
+fn clones_of_persistent_handles_are_read_only() {
+    let dir = scratch("clone");
+    let mut db = seeded(&dir);
+    assert!(db.is_writer());
+
+    let mut view = db.clone();
+    assert!(!view.is_writer(), "the write role stays with the opener");
+    assert!(matches!(
+        view.insert("r", [cqa::s("z"), cqa::s("z")]),
+        Err(Error::ReadOnlyClone)
+    ));
+    assert!(matches!(
+        view.delete("r", [cqa::s("a"), cqa::s("b")]),
+        Err(Error::ReadOnlyClone)
+    ));
+    assert!(matches!(
+        view.insert_many("r", vec![[cqa::s("z"), cqa::s("z")]]),
+        Err(Error::ReadOnlyClone)
+    ));
+    assert!(matches!(
+        view.delete_many("r", vec![[cqa::s("a"), cqa::s("b")]]),
+        Err(Error::ReadOnlyClone)
+    ));
+    assert!(matches!(
+        view.add_constraint("nnc_u", "NOT NULL s(u)"),
+        Err(Error::ReadOnlyClone)
+    ));
+    // A rejected mutation leaves no trace: memory, then (below) disk.
+    assert_eq!(view.instance().len(), db.instance().len());
+    // The view still answers queries (it shares the cache bundle).
+    assert_eq!(view.repairs().unwrap().len(), 2);
+    // A clone of the clone is still read-only.
+    assert!(!view.clone().is_writer());
+
+    // The writer keeps writing; the view keeps its snapshot of state.
+    assert!(db.insert("r", [cqa::s("w"), cqa::s("y")]).unwrap());
+    assert!(db.instance().len() > view.instance().len());
+    drop(view);
+    drop(db);
+
+    // Exactly one frame reached the WAL: the writer's insert.
+    let back = Database::open(&dir).unwrap();
+    let report = back.recovery_report().unwrap();
+    assert_eq!(report.last_seq, 1, "clone mutations never reached the log");
+    // The reopened handle holds the write role again.
+    assert!(back.is_writer());
+
+    // In-memory databases are unaffected: clones stay writable.
+    let mem = Database::from_script(SCRIPT).unwrap();
+    let mut mem_clone = mem.clone();
+    assert!(mem_clone.is_writer());
+    assert!(mem_clone.insert("r", [cqa::s("k"), cqa::s("k")]).unwrap());
+}
