@@ -77,6 +77,13 @@
 //!    fall, where a pure refcount cut-off would keep the dead loop
 //!    alive). Atoms still backed by a program fact are skipped — fact
 //!    support is ground and can never be part of a derivation cycle.
+//!    The same reasoning generalises to a *stratification cut-off*: a
+//!    predicate that sits on no positive cycle of the predicate
+//!    dependency graph has well-founded support, so an atom of such a
+//!    predicate with a surviving derivation is kept rather than torn
+//!    down and rederived. The cut-off only defers — every support
+//!    decrement re-queues the head atom — so the atom still falls the
+//!    moment its last derivation does.
 //! 2. **Rederive.** Every over-deleted atom whose support count is still
 //!    positive has a surviving derivation (a fact occurrence or a live
 //!    binding untouched by pass 1 — supports are exact here *because*
@@ -115,7 +122,7 @@ pub struct GroundAtom {
 }
 
 /// A ground rule over atom ids: `head ← pos, not neg`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroundRule {
     /// Disjunctive head (empty = denial).
     pub head: Vec<AtomId>,
@@ -454,12 +461,33 @@ pub struct GroundingState {
     gp: GroundProgram,
     /// Emitted rule → (index in `gp.rules`, reference count).
     emitted: BTreeMap<GroundRule, (usize, u32)>,
+    /// Per-predicate: does the predicate sit on a *positive* cycle of the
+    /// predicate dependency graph? Non-recursive predicates have
+    /// well-founded (acyclic) ground support, which lets DRed pass 1 skip
+    /// their teardown when a derivation survives (see `remove_facts`).
+    recursive: Vec<bool>,
+    /// Monotone counter of rules actually removed from `gp` (last
+    /// reference retracted). Consumers holding derived artifacts (the
+    /// incremental solver's learned clauses) sync against it.
+    retract_seq: u64,
+    /// Recent retractions, newest last: `(seq, rule)` with `seq` the value
+    /// `retract_seq` took when the rule left the ground program. Capped;
+    /// [`GroundingState::retractions_since`] reports a trimmed window as
+    /// `None` so consumers fall back to a full resync.
+    retract_log: VecDeque<(u64, GroundRule)>,
+    /// Cumulative count of atoms torn down by DRed pass 1 (observability
+    /// for the stratification skip; has no semantic role).
+    dred_teardowns: u64,
     /// Cancellation token polled by the propagation/deletion loops.
     cancel: CancelToken,
     /// Set when `cancel` tripped mid-loop: the state is partially
     /// propagated and must be discarded, never reused.
     poisoned: bool,
 }
+
+/// Retraction-log retention: enough to span many delta batches between
+/// solver syncs while bounding `GroundingState`'s clone cost.
+const RETRACT_LOG_CAP: usize = 4096;
 
 /// Bump a refcount map entry (absent = zero).
 fn bump(map: &mut BTreeMap<Vec<Value>, u32>, args: &[Value]) {
@@ -500,12 +528,17 @@ impl GroundingState {
             fact_rc: vec![BTreeMap::new(); preds],
             gp: GroundProgram::default(),
             emitted: BTreeMap::new(),
+            recursive: Vec::new(),
+            retract_seq: 0,
+            retract_log: VecDeque::new(),
+            dred_teardowns: 0,
             cancel,
             poisoned: false,
         };
         for ri in 0..st.program.rules().len() {
             st.register_rule(ri);
         }
+        st.compute_recursion();
         let mut work: VecDeque<(PredId, Vec<Value>)> = VecDeque::new();
         let facts: Vec<(PredId, Vec<Value>)> = st.program.facts().to_vec();
         for (pred, args) in facts {
@@ -655,6 +688,17 @@ impl GroundingState {
             {
                 continue; // already deleted, or fact-supported (ground)
             }
+            // Stratification cut-off: a predicate off every positive
+            // cycle has well-founded support, so a surviving derivation
+            // cannot be circular — keep the atom instead of tearing down
+            // a cone pass 2 would immediately rederive. Sound because
+            // this only *defers*: `drop_binding` re-queues head atoms on
+            // every support decrement, so the atom is re-examined each
+            // time a supporting binding falls and is deleted the moment
+            // its support reaches zero.
+            if !self.recursive[pred.index()] && self.support[pred.index()].contains_key(&args) {
+                continue;
+            }
             self.delete_atom(pred, args, &mut dq, &mut deleted);
         }
         // Pass 2: rederive. Supports are exact after pass 1 (every
@@ -704,6 +748,7 @@ impl GroundingState {
             }
         }
         self.pt[pred.index()].remove(&args);
+        self.dred_teardowns += 1;
         deleted.insert((pred, args));
         for (ri, binding) in affected {
             self.drop_binding(ri, binding, dq);
@@ -765,11 +810,16 @@ impl GroundingState {
             self.pt.push(BTreeSet::new());
             self.support.push(BTreeMap::new());
             self.fact_rc.push(BTreeMap::new());
+            // A predicate declared by a rejected rule heads no rule, so
+            // it is trivially non-recursive until a later `add_rule`
+            // recomputes the flags.
+            self.recursive.push(false);
         }
         result?;
         let ri = self.program.rules().len() - 1;
         self.instances.push(BTreeSet::new());
         self.register_rule(ri);
+        self.compute_recursion();
         let mut found: Vec<Vec<Value>> = Vec::new();
         collect_bindings(
             &self.program.rules()[ri],
@@ -808,6 +858,51 @@ impl GroundingState {
         }
         debug_assert_eq!(self.info.len(), ri);
         self.info.push(info);
+    }
+
+    /// Recompute the per-predicate positive-recursion flags: a predicate
+    /// is *recursive* iff it lies on a cycle of the positive predicate
+    /// dependency graph (edges: positive body predicate → head predicate).
+    /// Support flows only through positive literals (bindings are
+    /// justified by their positive body; negation never binds), so an
+    /// atom-level support cycle implies a positive predicate-level cycle —
+    /// predicates off every such cycle have well-founded ground support.
+    /// O(preds · edges): the graph is schema-sized, not data-sized.
+    fn compute_recursion(&mut self) {
+        let preds = self.program.pred_count();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); preds];
+        for rule in self.program.rules() {
+            for lit in &rule.body {
+                if let Literal::Pos(a) = lit {
+                    for h in &rule.head {
+                        succ[a.pred.index()].push(h.pred.index());
+                    }
+                }
+            }
+        }
+        for s in &mut succ {
+            s.sort_unstable();
+            s.dedup();
+        }
+        self.recursive = vec![false; preds];
+        let mut seen = vec![false; preds];
+        let mut stack: Vec<usize> = Vec::new();
+        for p in 0..preds {
+            // Reachability from p's successors back to p.
+            seen.iter_mut().for_each(|s| *s = false);
+            stack.extend(succ[p].iter().copied());
+            while let Some(q) = stack.pop() {
+                if q == p {
+                    self.recursive[p] = true;
+                    stack.clear();
+                    break;
+                }
+                if !seen[q] {
+                    seen[q] = true;
+                    stack.extend(succ[q].iter().copied());
+                }
+            }
+        }
     }
 
     /// A new fact: emit its unit rule, count its derivation and admit its
@@ -1014,6 +1109,52 @@ impl GroundingState {
                 *mi = idx;
             }
         }
+        self.retract_seq += 1;
+        self.retract_log.push_back((self.retract_seq, rule.clone()));
+        if self.retract_log.len() > RETRACT_LOG_CAP {
+            self.retract_log.pop_front();
+        }
+    }
+
+    /// The current retraction sequence number: increments once per rule
+    /// that actually leaves the ground program (last reference
+    /// retracted). Snapshot it, apply deltas, then feed the interval to
+    /// [`GroundingState::retractions_since`].
+    pub fn retraction_seq(&self) -> u64 {
+        self.retract_seq
+    }
+
+    /// The rules retracted from the ground program since sequence number
+    /// `since` (exclusive), oldest first, or `None` when the capped log
+    /// no longer covers that interval — the consumer must then resync
+    /// from scratch. A rule can be retracted and later re-emitted;
+    /// consumers invalidating derived artifacts by retracted rule are
+    /// conservative under that (they drop something still valid, never
+    /// keep something stale).
+    pub fn retractions_since(&self, since: u64) -> Option<Vec<GroundRule>> {
+        if since > self.retract_seq {
+            return None; // not our past: the caller tracked another state
+        }
+        if since == self.retract_seq {
+            return Some(Vec::new());
+        }
+        match self.retract_log.front() {
+            Some(&(front_seq, _)) if front_seq <= since + 1 => Some(
+                self.retract_log
+                    .iter()
+                    .filter(|(seq, _)| *seq > since)
+                    .map(|(_, rule)| rule.clone())
+                    .collect(),
+            ),
+            _ => None, // trimmed (or empty while retractions happened)
+        }
+    }
+
+    /// Cumulative atoms torn down by DRed pass 1 over this state's
+    /// lifetime. Observability for the stratification cut-off: a
+    /// non-recursive atom with a surviving derivation must not bump this.
+    pub fn dred_teardowns(&self) -> u64 {
+        self.dred_teardowns
     }
 }
 
@@ -1763,5 +1904,83 @@ mod tests {
             state.ground_program().resolved_rules(),
             scratch.resolved_rules()
         );
+    }
+
+    #[test]
+    fn acyclic_survivor_skips_teardown() {
+        // q(1) is derived twice — via e(1) and via f(1) — and q is not on
+        // any positive cycle. Removing e(1) must not tear q(1) (or its
+        // cone through c) down only to rederive it: the stratification
+        // cut-off keeps teardown confined to atoms that actually fall.
+        let mut p = Program::new();
+        p.fact("e", [i(1)]).unwrap();
+        p.fact("f", [i(1)]).unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("e", [tv("x")]))])
+            .unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("f", [tv("x")]))])
+            .unwrap();
+        p.rule([atom("c", [tv("x")])], [pos(atom("q", [tv("x")]))])
+            .unwrap();
+        let mut state = GroundingState::new(&p);
+        let e = p.pred_id("e").unwrap();
+        state.remove_facts([(e, vec![i(1)])]);
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+        assert_eq!(
+            state.dred_teardowns(),
+            1,
+            "only e(1) itself falls; q(1) and c(1) keep their surviving support"
+        );
+    }
+
+    #[test]
+    fn recursive_survivor_still_rederives_through_teardown() {
+        // Same diamond shape but with q on a positive cycle (q ← r, r ← q):
+        // the cut-off must not apply, and the classic over-delete +
+        // rederive equality must still hold.
+        let mut p = Program::new();
+        p.fact("e", [i(1)]).unwrap();
+        p.fact("f", [i(1)]).unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("e", [tv("x")]))])
+            .unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("f", [tv("x")]))])
+            .unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("r", [tv("x")]))])
+            .unwrap();
+        p.rule([atom("r", [tv("x")])], [pos(atom("q", [tv("x")]))])
+            .unwrap();
+        let mut state = GroundingState::new(&p);
+        let e = p.pred_id("e").unwrap();
+        let before = state.dred_teardowns();
+        state.remove_facts([(e, vec![i(1)])]);
+        assert_eq!(
+            state.ground_program().resolved_rules(),
+            ground(state.program()).resolved_rules()
+        );
+        assert!(
+            state.dred_teardowns() > before + 1,
+            "recursive q must go through the full over-delete pass"
+        );
+    }
+
+    #[test]
+    fn retraction_log_reports_the_interval() {
+        let mut p = Program::new();
+        p.fact("e", [i(1)]).unwrap();
+        p.rule([atom("q", [tv("x")])], [pos(atom("e", [tv("x")]))])
+            .unwrap();
+        let mut state = GroundingState::new(&p);
+        let e = p.pred_id("e").unwrap();
+        let seq0 = state.retraction_seq();
+        assert_eq!(state.retractions_since(seq0), Some(Vec::new()));
+        state.remove_facts([(e, vec![i(1)])]);
+        let since = state.retractions_since(seq0).expect("log covers this");
+        // e(1)'s unit rule and the q(1) ← e(1) instance both left.
+        assert_eq!(since.len() as u64, state.retraction_seq() - seq0);
+        assert_eq!(since.len(), 2);
+        // A future sequence number is not this state's past.
+        assert_eq!(state.retractions_since(state.retraction_seq() + 1), None);
     }
 }

@@ -34,6 +34,7 @@ pub mod display;
 pub mod error;
 pub mod ground;
 pub mod hcf;
+pub mod resolve;
 pub mod solve;
 pub mod stable;
 pub mod syntax;
@@ -43,9 +44,11 @@ pub use ground::{
     ground, ground_cancellable, AtomId, GroundAtom, GroundProgram, GroundRule, GroundingState,
 };
 pub use hcf::{is_hcf, shift};
+pub use resolve::{resolve_on_state, SolverState, SolverStateStats};
 pub use stable::{
     brave_consequences, cautious_consequences, cautious_consequences_cancellable, is_stable,
-    is_stable_cancellable, stable_models, stable_models_cancellable,
+    is_stable_cancellable, is_stable_with, stable_models, stable_models_cancellable,
+    stable_models_with, SolveOptions,
 };
 pub use syntax::{
     atom, cmp, neg, pos, tc, tv, AtomSpec, BodyLit, BuiltinOp, PredId, Program, Rule, TermSpec,

@@ -60,8 +60,48 @@
 //! activity policy: the enumeration path keeps its pinned lexicographic
 //! order and never restarts (a restart would replay blocked models'
 //! prefixes; the order contract is the whole point of `Policy::Lex`).
+//!
+//! ## Incremental solving architecture
+//!
+//! The pieces below let [`crate::resolve`] keep a **persistent
+//! [`crate::resolve::SolverState`]** alive across reground deltas instead
+//! of solving every call from scratch:
+//!
+//! * **Premise-tagged clauses.** [`Cnf::add_clause_premised`] attaches an
+//!   opaque tag set (the encoder uses ground-rule slots and per-atom
+//!   completion markers) to a clause. Conflict analysis **unions the
+//!   premises of every clause it resolves through** — including, for
+//!   literals omitted from the learned clause because they are forced at
+//!   level 0, the recorded premise of that level-0 assignment — so a
+//!   learned clause's premise set names a sub-formula that *implies* it.
+//!   Any clause without a tag (blocking clauses of already-enumerated
+//!   models, above all) poisons the union to `None`: a clause derived
+//!   from a blocking clause is **not** implied by the program and must
+//!   never outlive the enumeration that produced it. Premise sets are
+//!   capped ([`PREMISE_CAP`]); overflow also poisons to `None` —
+//!   untracked is always sound, it merely forfeits reuse.
+//! * **Tombstone / watermark rule.** A learned clause exported through
+//!   [`Cnf::for_each_model_tracked`] may be re-injected into a *later*
+//!   solve iff its premises still hold there — for rule tags, the rule is
+//!   still in the (sub)program; for completion markers, the atom's
+//!   rule-head set is *unchanged* (a completion clause is definitional
+//!   for "exactly these rules can support the atom", so a new or
+//!   retracted head rule invalidates it). Rules DRed retracts arrive via
+//!   `GroundingState::retractions_since` and tombstone every stored
+//!   clause premised on them. Injected clauses are *implied*, so the
+//!   lexicographic enumeration contract is untouched: they only skip
+//!   modelless regions, exactly like natively learned clauses.
+//! * **Warm heuristics.** [`Cnf::satisfiable_warm`] seeds saved phases
+//!   and VSIDS activities from a previous run and hands the final values
+//!   back; heuristics never affect verdicts, only time-to-verdict.
+//! * **Portfolio SAT.** [`Cnf::satisfiable_portfolio`] races diversified
+//!   activity-policy solvers (phase / order variants) over the same
+//!   formula, first answer wins, the rest are cooperatively cancelled.
+//!   Used for the coNP minimality sub-checks of the stability test; the
+//!   enumeration path stays sequential and order-pinned.
 
 use std::ops::ControlFlow;
+use std::sync::Mutex;
 
 use cqa_relational::{CancelToken, Cancelled};
 
@@ -92,11 +132,21 @@ impl Lit {
     }
 }
 
+/// Premise sets larger than this poison to untracked (`None`): a learned
+/// clause depending on that many distinct premises is unlikely to survive
+/// a delta anyway, and the cap bounds the per-conflict union cost.
+pub const PREMISE_CAP: usize = 24;
+
 /// A CNF formula.
 #[derive(Debug, Clone, Default)]
 pub struct Cnf {
     num_vars: usize,
-    clauses: Vec<Vec<Lit>>,
+    pub(crate) clauses: Vec<Vec<Lit>>,
+    /// Per-clause premise tags, parallel to `clauses`: `Some(tags)` marks
+    /// the clause as implied by the sub-formula the (caller-defined) tags
+    /// name; `None` is untracked. See the module docs, "Incremental
+    /// solving architecture".
+    pub(crate) premises: Vec<Option<Vec<u32>>>,
 }
 
 impl Cnf {
@@ -105,6 +155,7 @@ impl Cnf {
         Cnf {
             num_vars,
             clauses: Vec::new(),
+            premises: Vec::new(),
         }
     }
 
@@ -120,6 +171,25 @@ impl Cnf {
 
     /// Add a clause (empty clause makes the formula unsatisfiable).
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.push_normalised(lits, None);
+    }
+
+    /// [`Cnf::add_clause`] with a premise tag set attached: conflict
+    /// analysis propagates the tags into learned clauses (see module
+    /// docs). Tags are opaque to the solver; the encoder defines them.
+    pub fn add_clause_premised(
+        &mut self,
+        lits: impl IntoIterator<Item = Lit>,
+        premise: impl IntoIterator<Item = u32>,
+    ) {
+        let mut p: Vec<u32> = premise.into_iter().collect();
+        p.sort_unstable();
+        p.dedup();
+        let premise = if p.len() > PREMISE_CAP { None } else { Some(p) };
+        self.push_normalised(lits, premise);
+    }
+
+    fn push_normalised(&mut self, lits: impl IntoIterator<Item = Lit>, premise: Option<Vec<u32>>) {
         let mut c: Vec<Lit> = lits.into_iter().collect();
         c.sort_unstable_by_key(|l| (l.var, l.positive));
         c.dedup();
@@ -130,6 +200,7 @@ impl Cnf {
             }
         }
         self.clauses.push(c);
+        self.premises.push(premise);
     }
 
     /// Enumerate all satisfying assignments over the first `decide_vars`
@@ -163,7 +234,7 @@ impl Cnf {
         if !solver.init() {
             return Ok(ControlFlow::Continue(()));
         }
-        solver.search(cancel, &mut f, &mut |_| {})
+        solver.search(cancel, &mut f, &mut |_, _| {})
     }
 
     /// [`Cnf::for_each_model`] with a tap on the clause-learning stream:
@@ -181,7 +252,11 @@ impl Cnf {
             return ControlFlow::Continue(());
         }
         solver
-            .search(&CancelToken::never(), &mut f, &mut on_learnt)
+            .search(
+                &CancelToken::never(),
+                &mut f,
+                &mut |lits: &[Lit], _premise| on_learnt(lits),
+            )
             .expect("never-token search cannot be cancelled")
     }
 
@@ -232,9 +307,151 @@ impl Cnf {
                 sat = true;
                 ControlFlow::Break(())
             },
-            &mut |_| {},
+            &mut |_, _| {},
         )?;
         Ok(sat)
+    }
+
+    /// [`Cnf::for_each_model_cancellable`] with a premise-aware tap on the
+    /// clause-learning stream: `on_learnt` sees every 1UIP clause together
+    /// with its premise union — `Some(tags)` when every resolved clause
+    /// (and every omitted level-0 assignment) was tracked, `None`
+    /// otherwise. This is the export surface of the incremental solver:
+    /// only `Some`-premised clauses are sound outside this enumeration.
+    pub fn for_each_model_tracked<B>(
+        &self,
+        decide_vars: usize,
+        cancel: &CancelToken,
+        mut f: impl FnMut(&[bool]) -> ControlFlow<B>,
+        mut on_learnt: impl FnMut(&[Lit], Option<&[u32]>),
+    ) -> Result<ControlFlow<B>, Cancelled> {
+        let mut solver = Solver::new(self, decide_vars.min(self.num_vars), Policy::Lex);
+        if !solver.init() {
+            return Ok(ControlFlow::Continue(()));
+        }
+        solver.search(cancel, &mut f, &mut on_learnt)
+    }
+
+    /// [`Cnf::satisfiable_cancellable`] warm-started from saved phases and
+    /// VSIDS activities (shorter slices seed a prefix), returning the
+    /// verdict together with the final phases and activities for the next
+    /// warm start. Heuristic state never changes the verdict — only how
+    /// fast the search converges on it.
+    pub fn satisfiable_warm(
+        &self,
+        cancel: &CancelToken,
+        phases: &[bool],
+        activities: &[u64],
+    ) -> Result<(bool, Vec<bool>, Vec<u64>), Cancelled> {
+        let mut solver = Solver::new(self, self.num_vars, Policy::Activity);
+        for (p, &w) in solver.phase.iter_mut().zip(phases) {
+            *p = w;
+        }
+        for (a, &w) in solver.var_act.iter_mut().zip(activities) {
+            *a = w;
+        }
+        let act = &solver.var_act;
+        solver
+            .order
+            .sort_by_key(|&v| (std::cmp::Reverse(act[v as usize]), v));
+        if !solver.init() {
+            return Ok((false, solver.phase, solver.var_act));
+        }
+        let mut sat = false;
+        let _flow = solver.search(
+            cancel,
+            &mut |_m: &[bool]| {
+                sat = true;
+                ControlFlow::Break(())
+            },
+            &mut |_, _| {},
+        )?;
+        // Saved phase of an assigned variable is its current value; the
+        // cancel-time save in `cancel_until` only covers undone ones.
+        let phases_out: Vec<bool> = (0..self.num_vars)
+            .map(|v| solver.assign[v].unwrap_or(solver.phase[v]))
+            .collect();
+        Ok((sat, phases_out, solver.var_act))
+    }
+
+    /// [`Cnf::satisfiable_cancellable`] as a first-answer-wins race of up
+    /// to `threads` diversified activity-policy solvers (differing initial
+    /// phases and decision orders). The winner cancels the rest
+    /// cooperatively; `cancel` still aborts the whole race. Small formulas
+    /// (and `threads <= 1`) stay sequential — spawn cost would dominate.
+    pub fn satisfiable_portfolio(
+        &self,
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Result<bool, Cancelled> {
+        if threads <= 1 || self.num_vars < PORTFOLIO_MIN_VARS {
+            return self.satisfiable_cancellable(cancel);
+        }
+        let workers = threads.min(4);
+        let done = CancelToken::new();
+        let result: Mutex<Option<bool>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for k in 0..workers {
+                let (done, result) = (&done, &result);
+                scope.spawn(move || {
+                    let mut solver = Solver::new(self, self.num_vars, Policy::Activity);
+                    solver.diversify(k);
+                    let verdict = if !solver.init() {
+                        Ok(false)
+                    } else {
+                        let mut sat = false;
+                        solver
+                            .search(
+                                &PairToken(cancel, done),
+                                &mut |_m: &[bool]| {
+                                    sat = true;
+                                    ControlFlow::Break(())
+                                },
+                                &mut |_, _| {},
+                            )
+                            .map(|_| sat)
+                    };
+                    if let Ok(sat) = verdict {
+                        let mut slot = result.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(sat);
+                        }
+                        done.cancel(); // first answer wins; losers stand down
+                    }
+                });
+            }
+        });
+        cancel.check()?;
+        let verdict = result.into_inner().unwrap_or_else(|e| e.into_inner());
+        Ok(verdict.expect("uncancelled portfolio has a finisher"))
+    }
+}
+
+/// Portfolio floor: below this many variables a sub-check resolves faster
+/// than a thread spawns, so the race would only add overhead.
+const PORTFOLIO_MIN_VARS: usize = 48;
+
+/// Polling the union of two cancellation sources (the caller's governor
+/// and the portfolio's first-answer-wins flag) without allocating a
+/// combined token. Monomorphised into `search`, so the sequential paths
+/// pay nothing for its existence.
+trait PollCancel {
+    fn check(&self) -> Result<(), Cancelled>;
+}
+
+impl PollCancel for CancelToken {
+    fn check(&self) -> Result<(), Cancelled> {
+        CancelToken::check(self)
+    }
+}
+
+/// Either token tripping cancels the search.
+struct PairToken<'a>(&'a CancelToken, &'a CancelToken);
+
+impl PollCancel for PairToken<'_> {
+    fn check(&self) -> Result<(), Cancelled> {
+        self.0.check()?;
+        self.1.check()
     }
 }
 
@@ -291,6 +508,28 @@ struct Clause {
     deleted: bool,
     /// Analysis-participation activity (halved at decay).
     activity: u64,
+    /// Premise tags (see [`Cnf::add_clause_premised`]); `None` =
+    /// untracked, which poisons any analysis that resolves through it.
+    premise: Option<Vec<u32>>,
+}
+
+/// Union of two premise sets under the poisoning discipline: `None`
+/// absorbs, and a union past [`PREMISE_CAP`] poisons to `None`.
+fn union_premise(a: Option<&[u32]>, b: Option<&[u32]>) -> Option<Vec<u32>> {
+    let (a, b) = (a?, b?);
+    let mut out: Vec<u32> = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out.sort_unstable();
+    out.dedup();
+    (out.len() <= PREMISE_CAP).then_some(out)
+}
+
+/// In-place variant of [`union_premise`] for the analysis accumulator.
+fn absorb_premise(acc: &mut Option<Vec<u32>>, extra: Option<&[u32]>) {
+    if let Some(have) = acc.take() {
+        *acc = union_premise(Some(&have), extra);
+    }
 }
 
 struct Solver<'a> {
@@ -327,6 +566,11 @@ struct Solver<'a> {
     /// Saved polarities (phase saving): the last value each variable held
     /// before being cancelled. Activity-policy decisions retry it.
     phase: Vec<bool>,
+    /// Premise justifying each *level-0* assignment (why the variable is
+    /// globally forced). Level-0 literals are omitted from learned
+    /// clauses, so their justification must flow into the learned
+    /// clause's premise; `None` poisons. Never read for level > 0.
+    var_premise: Vec<Option<Vec<u32>>>,
     /// Restarts taken so far (indexes the Luby sequence).
     restarts: u64,
     /// Conflicts since the last restart, against `restart_limit`.
@@ -357,6 +601,7 @@ impl<'a> Solver<'a> {
             num_learnts: 0,
             max_learnts: cnf.clauses.len() / 3 + 100,
             phase: vec![false; cnf.num_vars],
+            var_premise: vec![None; cnf.num_vars],
             restarts: 0,
             conflicts_since_restart: 0,
             restart_limit: RESTART_UNIT, // luby(0) = 1
@@ -382,41 +627,72 @@ impl<'a> Solver<'a> {
                 self.level[v] = self.current_level();
                 self.reason[v] = reason;
                 self.trail.push(lit.var);
+                if self.trail_lim.is_empty() {
+                    // Permanently forced: record why, so analyses that
+                    // omit this literal keep a sound premise. A `None`
+                    // reason here (decisionless unit, blocking-clause
+                    // flip) has no tracked justification.
+                    self.var_premise[v] = reason.and_then(|ci| self.level0_premise(ci, lit.var));
+                }
                 true
             }
         }
     }
 
+    /// Premise of a level-0 propagation out of clause `ci` asserting
+    /// `var`: the clause's own premise unioned with the justifications of
+    /// the (level-0 false) literals it resolves away.
+    fn level0_premise(&self, ci: u32, var: u32) -> Option<Vec<u32>> {
+        let clause = &self.clauses[ci as usize];
+        let mut acc = clause.premise.clone();
+        for l in &clause.lits {
+            if l.var == var {
+                continue;
+            }
+            absorb_premise(&mut acc, self.var_premise[l.var as usize].as_deref());
+            if acc.is_none() {
+                break;
+            }
+        }
+        acc
+    }
+
     /// Load the original clauses: propagate units, watch the first two
     /// literals of longer clauses. `false` if trivially unsatisfiable.
     fn init(&mut self) -> bool {
-        for clause in &self.cnf.clauses {
+        for (i, clause) in self.cnf.clauses.iter().enumerate() {
+            let premise = self.cnf.premises.get(i).cloned().flatten();
             match clause.len() {
                 0 => return false,
                 1 => {
-                    if !self.enqueue(clause[0], None) {
+                    let lit = clause[0];
+                    if !self.enqueue(lit, None) {
                         return false;
                     }
-                    self.push_clause(clause.clone(), false);
+                    // The unit's justification is the clause itself.
+                    self.var_premise[lit.var as usize] = premise.clone();
+                    self.push_clause(clause.clone(), false, premise);
                 }
                 _ => {
-                    let ci = self.push_clause(clause.clone(), false);
+                    let (c0, c1) = (clause[0], clause[1]);
+                    let ci = self.push_clause(clause.clone(), false, premise);
                     self.watch_pos[ci as usize] = [0, 1];
-                    self.watchers[code(clause[0])].push(ci);
-                    self.watchers[code(clause[1])].push(ci);
+                    self.watchers[code(c0)].push(ci);
+                    self.watchers[code(c1)].push(ci);
                 }
             }
         }
         self.propagate().is_none()
     }
 
-    fn push_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    fn push_clause(&mut self, lits: Vec<Lit>, learnt: bool, premise: Option<Vec<u32>>) -> u32 {
         let ci = self.clauses.len() as u32;
         self.clauses.push(Clause {
             lits,
             learnt,
             deleted: false,
             activity: 0,
+            premise,
         });
         self.watch_pos.push([0, 1]);
         if learnt {
@@ -429,7 +705,12 @@ impl<'a> Solver<'a> {
     /// the two best literals: unassigned before false, higher assignment
     /// level before lower — so backtracking past their levels restores the
     /// watch invariant before either can be missed.
-    fn attach_under_assignment(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    fn attach_under_assignment(
+        &mut self,
+        lits: Vec<Lit>,
+        learnt: bool,
+        premise: Option<Vec<u32>>,
+    ) -> u32 {
         debug_assert!(lits.len() >= 2);
         let rank = |s: &Self, l: Lit| -> (u8, u32) {
             match s.value(l) {
@@ -451,7 +732,7 @@ impl<'a> Solver<'a> {
             }
         }
         let (w0, w1) = (lits[best[0]], lits[best[1]]);
-        let ci = self.push_clause(lits, learnt);
+        let ci = self.push_clause(lits, learnt, premise);
         self.watch_pos[ci as usize] = [best[0], best[1]];
         self.watchers[code(w0)].push(ci);
         self.watchers[code(w1)].push(ci);
@@ -524,16 +805,25 @@ impl<'a> Solver<'a> {
     /// 1UIP conflict analysis: resolve the conflicting clause backwards
     /// along the trail until exactly one current-level literal remains.
     /// Returns the learned clause (asserting literal first, a
-    /// highest-remaining-level literal second) and the backjump level.
-    /// Bumps the activity of every variable and clause involved.
-    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+    /// highest-remaining-level literal second), the backjump level, and
+    /// the premise union over every clause resolved through — including
+    /// the justifications of omitted level-0 literals — under the
+    /// poisoning discipline of [`union_premise`]. Bumps the activity of
+    /// every variable and clause involved.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32, Option<Vec<u32>>) {
         let current = self.current_level();
         let mut learnt: Vec<Lit> = vec![Lit::pos(0)]; // slot 0 = asserting literal
+        let mut premise = self.clauses[confl as usize].premise.clone();
         let mut counter: usize = 0;
         let mut resolved_var: Option<u32> = None;
         let mut idx = self.trail.len();
         loop {
             self.clauses[confl as usize].activity += 1;
+            if resolved_var.is_some() {
+                // Resolving with a reason clause: its premise joins.
+                let reason_premise = self.clauses[confl as usize].premise.clone();
+                absorb_premise(&mut premise, reason_premise.as_deref());
+            }
             // Indexed walk: `seen`/`var_act` updates alias `self`, so a
             // literal borrow cannot be held across them — but this is the
             // conflict hot loop, so no per-clause allocation either.
@@ -551,6 +841,11 @@ impl<'a> Solver<'a> {
                     } else {
                         learnt.push(q);
                     }
+                } else if self.level[v] == 0 && premise.is_some() {
+                    // Omitted from the learned clause: its level-0
+                    // justification must join the premise instead.
+                    let vp = self.var_premise[v].clone();
+                    absorb_premise(&mut premise, vp.as_deref());
                 }
             }
             // Walk back to the most recent trail variable involved.
@@ -590,7 +885,7 @@ impl<'a> Solver<'a> {
         if learnt.len() > 1 {
             learnt.swap(1, at);
         }
-        (learnt, back)
+        (learnt, back, premise)
     }
 
     /// Count a conflict: decay activities (and rebuild the activity
@@ -644,9 +939,22 @@ impl<'a> Solver<'a> {
             // so long enumerations don't accumulate every clause ever
             // learned.
             clause.lits = Vec::new();
+            clause.premise = None;
             self.num_learnts -= 1;
         }
         self.max_learnts += self.max_learnts / 10 + 1;
+    }
+
+    /// Portfolio diversification: worker `k` varies its initial saved
+    /// phases (bit 0) and reverses its initial decision order (bit 1).
+    /// Pure heuristics — the verdict is unaffected, only the route to it.
+    fn diversify(&mut self, k: usize) {
+        if k & 1 == 1 {
+            self.phase.iter_mut().for_each(|p| *p = true);
+        }
+        if k & 2 == 2 {
+            self.order.reverse();
+        }
     }
 
     /// First unassigned decision variable in the current order.
@@ -663,19 +971,23 @@ impl<'a> Solver<'a> {
         &mut self,
         learnt: Vec<Lit>,
         back: u32,
-        on_learnt: &mut impl FnMut(&[Lit]),
+        premise: Option<Vec<u32>>,
+        on_learnt: &mut impl FnMut(&[Lit], Option<&[u32]>),
     ) {
-        on_learnt(&learnt);
+        on_learnt(&learnt, premise.as_deref());
         self.cancel_until(back);
         if learnt.len() == 1 {
-            let ok = self.enqueue(learnt[0], None);
+            let lit = learnt[0];
+            let ok = self.enqueue(lit, None);
             debug_assert!(ok, "asserting literal is unassigned after backjump");
-            let _ = self.push_clause(learnt, true);
+            // The learned unit justifies its own level-0 assignment.
+            self.var_premise[lit.var as usize] = premise.clone();
+            let _ = self.push_clause(learnt, true, premise);
             // Unit clauses never need watches: their literal is on the
             // level-0 trail permanently.
         } else {
             let lit = learnt[0];
-            let ci = self.attach_under_assignment(learnt, true);
+            let ci = self.attach_under_assignment(learnt, true, premise);
             let ok = self.enqueue(lit, Some(ci));
             debug_assert!(ok, "asserting literal is unassigned after backjump");
         }
@@ -692,9 +1004,9 @@ impl<'a> Solver<'a> {
     /// with the solver state simply abandoned.
     fn search<B>(
         &mut self,
-        cancel: &CancelToken,
+        cancel: &impl PollCancel,
         f: &mut impl FnMut(&[bool]) -> ControlFlow<B>,
-        on_learnt: &mut impl FnMut(&[Lit]),
+        on_learnt: &mut impl FnMut(&[Lit], Option<&[u32]>),
     ) -> Result<ControlFlow<B>, Cancelled> {
         loop {
             cancel.check()?;
@@ -703,8 +1015,8 @@ impl<'a> Solver<'a> {
                 if self.current_level() == 0 {
                     return Ok(ControlFlow::Continue(()));
                 }
-                let (learnt, back) = self.analyze(confl);
-                self.learn_and_backjump(learnt, back, on_learnt);
+                let (learnt, back, premise) = self.analyze(confl);
+                self.learn_and_backjump(learnt, back, premise, on_learnt);
                 self.reduce_db();
                 continue;
             }
@@ -760,17 +1072,20 @@ impl<'a> Solver<'a> {
                     if block.len() == 1 {
                         // One free decide variable: flipping it is forced.
                         let lit = block[0];
-                        self.push_clause(block, false);
+                        self.push_clause(block, false, None);
                         self.cancel_until(0);
                         if !self.enqueue(lit, None) {
                             return Ok(ControlFlow::Continue(()));
                         }
                         continue;
                     }
-                    let ci = self.attach_under_assignment(block, false);
+                    // Blocking clauses are untracked (`None`): they are
+                    // not implied by the formula, so anything learned
+                    // from them must stay poisoned.
+                    let ci = self.attach_under_assignment(block, false, None);
                     self.note_conflict();
-                    let (learnt, back) = self.analyze(ci);
-                    self.learn_and_backjump(learnt, back, on_learnt);
+                    let (learnt, back, premise) = self.analyze(ci);
+                    self.learn_and_backjump(learnt, back, premise, on_learnt);
                     self.reduce_db();
                 }
             }
@@ -1194,6 +1509,107 @@ mod tests {
             let vars = 4 + (round % 6);
             let cnf = random_cnf(&mut seed, vars, 10 + (round % 9));
             assert_eq!(all_models(&cnf), all_models_basic(&cnf), "round {round}");
+        }
+    }
+
+    /// Brute-force implication check: no assignment satisfies every
+    /// clause in `subset` while falsifying `clause`.
+    fn implied_by(cnf: &Cnf, subset: &[u32], clause: &[Lit], vars: usize) -> bool {
+        for bits in 0..(1u32 << vars) {
+            let val = |l: Lit| ((bits >> l.var) & 1 == 1) == l.positive;
+            let sub_ok = subset
+                .iter()
+                .all(|&ci| cnf.clauses[ci as usize].iter().any(|&l| val(l)));
+            if sub_ok && !clause.iter().any(|&l| val(l)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn tracked_premises_imply_their_learned_clauses() {
+        // Tag every clause with its own index; then each learned clause
+        // carrying `Some(premise)` must be implied by *those clauses
+        // alone* — the soundness contract reuse across deltas rests on.
+        let mut seed = XorShift::new(711);
+        let mut tracked = 0usize;
+        for round in 0..150 {
+            let vars = 3 + (round % 6);
+            let plain = random_cnf(&mut seed, vars, 4 + (round % 9));
+            let mut cnf = Cnf::new(vars);
+            for (i, c) in plain.clauses.iter().enumerate() {
+                cnf.add_clause_premised(c.iter().copied(), [i as u32]);
+            }
+            let mut learned: Vec<(Vec<Lit>, Option<Vec<u32>>)> = Vec::new();
+            let _ = cnf
+                .for_each_model_tracked(
+                    vars,
+                    &CancelToken::never(),
+                    |_m| ControlFlow::<()>::Continue(()),
+                    |lits, premise| learned.push((lits.to_vec(), premise.map(<[u32]>::to_vec))),
+                )
+                .unwrap();
+            for (lits, premise) in &learned {
+                if let Some(premise) = premise {
+                    tracked += 1;
+                    assert!(
+                        implied_by(&cnf, premise, lits, vars),
+                        "round {round}: learned {lits:?} not implied by premises {premise:?} of {cnf:?}"
+                    );
+                }
+            }
+        }
+        assert!(tracked > 0, "the sweep must exercise tracked learning");
+    }
+
+    #[test]
+    fn portfolio_agrees_with_sequential_satisfiable() {
+        // Under the variable floor the portfolio is the sequential path;
+        // over it the diversified race must return the same verdict.
+        const {
+            assert!(
+                PORTFOLIO_MIN_VARS <= 56,
+                "pigeonhole(7) must cross the floor"
+            );
+        }
+        let unsat = pigeonhole(7); // 56 vars, UNSAT
+        assert!(!unsat
+            .satisfiable_portfolio(4, &CancelToken::never())
+            .unwrap());
+        let mut sat = Cnf::new(60); // wide satisfiable chain
+        for v in 0..59u32 {
+            sat.add_clause([Lit::neg(v), Lit::pos(v + 1)]);
+        }
+        sat.add_clause([Lit::pos(0)]);
+        assert!(sat.satisfiable_portfolio(4, &CancelToken::never()).unwrap());
+        // Small formulas take the sequential route and still agree.
+        let mut seed = XorShift::new(712);
+        for round in 0..60 {
+            let cnf = random_cnf(&mut seed, 4 + (round % 5), 6 + (round % 7));
+            assert_eq!(
+                cnf.satisfiable_portfolio(4, &CancelToken::never()).unwrap(),
+                cnf.satisfiable(),
+                "round {round}: {cnf:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_never_changes_the_verdict() {
+        let mut seed = XorShift::new(713);
+        let mut phases: Vec<bool> = Vec::new();
+        let mut acts: Vec<u64> = Vec::new();
+        for round in 0..80 {
+            let vars = 4 + (round % 6);
+            let cnf = random_cnf(&mut seed, vars, 6 + (round % 9));
+            let (sat, p, a) = cnf
+                .satisfiable_warm(&CancelToken::never(), &phases, &acts)
+                .unwrap();
+            assert_eq!(sat, cnf.satisfiable(), "round {round}: {cnf:?}");
+            // Feed each round's heuristics into the next (sizes differ on
+            // purpose: seeding is prefix-tolerant).
+            (phases, acts) = (p, a);
         }
     }
 

@@ -32,6 +32,53 @@ use std::ops::ControlFlow;
 /// A model: the set of true atoms.
 pub type Model = BTreeSet<AtomId>;
 
+/// Knobs for the solving entry points that support parallelism.
+///
+/// `threads > 1` races a small portfolio of diversified CDCL workers on
+/// each coNP minimality sub-check (first answer wins; see
+/// [`Cnf::satisfiable_portfolio`]) and lets the incremental resolve path
+/// fan independent partition solves. The *enumeration* itself stays
+/// sequential and lexicographic at every thread count, so the set and
+/// order of returned models never depend on `threads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Worker threads for minimality sub-checks and partition fan-out.
+    /// `1` (the default) keeps everything on the calling thread.
+    pub threads: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { threads: 1 }
+    }
+}
+
+/// Warm-start heuristics chained across successive minimality
+/// sub-searches: saved phases and variable activities from the previous
+/// search seed the next one. Seeding is zip-truncated, so consecutive
+/// CNFs of different sizes are fine; it can only re-order the search,
+/// never change a verdict.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Warm {
+    pub phases: Vec<bool>,
+    pub acts: Vec<u64>,
+    /// Set once a sequential minimality check ran long (see
+    /// [`HARD_CHECK_NS`]): from then on `threads > 1` escalates to the
+    /// portfolio race. Easy instances resolve checks in microseconds,
+    /// where spawning the portfolio's OS threads costs more than the
+    /// whole check — so the knob must not engage until a check proves
+    /// hard. A heuristic threshold only: both paths return identical
+    /// verdicts, so timing jitter cannot change any result.
+    pub hard: bool,
+}
+
+/// A sequential minimality check running at least this long flips
+/// [`Warm::hard`]. A portfolio race pays thread spawns plus a per-worker
+/// solver build — construction is proportional to CNF size and runs
+/// 1–2 ms on Section-5-scale programs — so escalation only pays once a
+/// check's *search* clearly dominates its construction.
+const HARD_CHECK_NS: u128 = 5_000_000;
+
 /// Enumerate the stable models, calling `f` for each; `Break` stops early.
 pub fn for_each_stable_model<B>(
     gp: &GroundProgram,
@@ -48,17 +95,33 @@ pub fn for_each_stable_model<B>(
 pub fn for_each_stable_model_cancellable<B>(
     gp: &GroundProgram,
     cancel: &CancelToken,
+    f: impl FnMut(&Model) -> ControlFlow<B>,
+) -> Result<ControlFlow<B>, Cancelled> {
+    for_each_stable_model_with(gp, SolveOptions::default(), cancel, f)
+}
+
+/// [`for_each_stable_model_cancellable`] with explicit [`SolveOptions`].
+/// Models arrive in the same (solver-lexicographic) order at every
+/// thread count; only the coNP minimality sub-checks are parallelised.
+pub fn for_each_stable_model_with<B>(
+    gp: &GroundProgram,
+    opts: SolveOptions,
+    cancel: &CancelToken,
     mut f: impl FnMut(&Model) -> ControlFlow<B>,
 ) -> Result<ControlFlow<B>, Cancelled> {
     let n = gp.atom_count();
     let cnf = encode(gp);
+    // Phases/activities learned in one minimality search seed the next:
+    // consecutive candidate models of the same program yield near-identical
+    // sub-formulas, so the chained heuristics amortise across the run.
+    let mut warm = Warm::default();
     // Cancellation inside the per-model stability check must abort the
     // whole enumeration: smuggle it through the break value.
     let flow = cnf.for_each_model_cancellable(n, cancel, |assignment| {
         let model: Model = (0..n as AtomId)
             .filter(|&a| assignment[a as usize])
             .collect();
-        match is_stable_cancellable(gp, &model, cancel) {
+        match is_stable_warm(gp, &model, opts, Some(&mut warm), cancel) {
             Err(c) => ControlFlow::Break(Err(c)),
             Ok(false) => ControlFlow::Continue(()),
             Ok(true) => match f(&model) {
@@ -88,8 +151,18 @@ pub fn stable_models_cancellable(
     gp: &GroundProgram,
     cancel: &CancelToken,
 ) -> Result<Vec<Model>, AspError> {
+    stable_models_with(gp, SolveOptions::default(), cancel)
+}
+
+/// [`stable_models_cancellable`] with explicit [`SolveOptions`]. The
+/// returned (sorted) model set is identical at every thread count.
+pub fn stable_models_with(
+    gp: &GroundProgram,
+    opts: SolveOptions,
+    cancel: &CancelToken,
+) -> Result<Vec<Model>, AspError> {
     let mut out = Vec::new();
-    let res = for_each_stable_model_cancellable(gp, cancel, |m| {
+    let res = for_each_stable_model_with(gp, opts, cancel, |m| {
         out.push(m.clone());
         ControlFlow::<()>::Continue(())
     });
@@ -173,6 +246,30 @@ pub fn is_stable_cancellable(
     model: &Model,
     cancel: &CancelToken,
 ) -> Result<bool, Cancelled> {
+    is_stable_warm(gp, model, SolveOptions::default(), None, cancel)
+}
+
+/// [`is_stable`] with explicit [`SolveOptions`]: `threads > 1` races a
+/// portfolio of diversified solvers on the coNP minimality sub-search.
+/// The verdict is identical at every thread count.
+pub fn is_stable_with(
+    gp: &GroundProgram,
+    model: &Model,
+    opts: SolveOptions,
+    cancel: &CancelToken,
+) -> Result<bool, Cancelled> {
+    is_stable_warm(gp, model, opts, None, cancel)
+}
+
+/// Shared body of the `is_stable*` entry points: optional warm-start
+/// chaining (sequential callers) and optional portfolio minimality.
+pub(crate) fn is_stable_warm(
+    gp: &GroundProgram,
+    model: &Model,
+    opts: SolveOptions,
+    warm: Option<&mut Warm>,
+    cancel: &CancelToken,
+) -> Result<bool, Cancelled> {
     // The GL-reduct: rules whose negative body avoids the model.
     let reduct: Vec<&GroundRule> = gp
         .rules
@@ -192,7 +289,7 @@ pub fn is_stable_cancellable(
         // fixpoint; stable iff lfp == M. Polynomial (Section 6 fast path).
         least_model_equals(&reduct, model, cancel)
     } else {
-        Ok(!has_smaller_model(&reduct, model, cancel)?)
+        Ok(!has_smaller_model(&reduct, model, opts, warm, cancel)?)
     }
 }
 
@@ -224,10 +321,16 @@ fn least_model_equals(
 }
 
 /// Search for a model `M′ ⊊ M` of the (positive) reduct: SAT over the
-/// atoms of M with "keep" variables.
+/// atoms of M with "keep" variables. With a `warm` store it seeds (and
+/// then refreshes) chained phase/activity heuristics; `opts.threads > 1`
+/// escalates to a first-answer-wins portfolio race — immediately for
+/// standalone checks, adaptively (once a check proves hard) inside an
+/// enumeration, so easy instances never pay thread-spawn overhead.
 fn has_smaller_model(
     reduct: &[&GroundRule],
     model: &Model,
+    opts: SolveOptions,
+    warm: Option<&mut Warm>,
     cancel: &CancelToken,
 ) -> Result<bool, Cancelled> {
     let atoms: Vec<AtomId> = model.iter().copied().collect();
@@ -254,70 +357,133 @@ fn has_smaller_model(
     }
     // Strictly smaller: at least one atom dropped.
     cnf.add_clause((0..atoms.len() as u32).map(Lit::neg));
+    if let Some(w) = warm {
+        if opts.threads > 1 && w.hard {
+            // The portfolio diversifies phases itself; warm seeds would
+            // only de-diversify the workers.
+            return cnf.satisfiable_portfolio(opts.threads, cancel);
+        }
+        let start = std::time::Instant::now();
+        let (sat, phases, acts) = cnf.satisfiable_warm(cancel, &w.phases, &w.acts)?;
+        if opts.threads > 1 && start.elapsed().as_nanos() >= HARD_CHECK_NS {
+            w.hard = true;
+        }
+        w.phases = phases;
+        w.acts = acts;
+        return Ok(sat);
+    }
+    if opts.threads > 1 {
+        // A standalone check has no history to adapt from; the spawn
+        // overhead is paid once, not per candidate.
+        return cnf.satisfiable_portfolio(opts.threads, cancel);
+    }
     cnf.satisfiable_cancellable(cancel)
+}
+
+/// A supported-model encoding plus the variable layout incremental
+/// consumers need to decode solver literals back into program objects:
+/// variables `0..atom_count` are the program's atoms, and variable
+/// `support_base[ri] + hi` is the support variable of head slot `hi` of
+/// rule `ri`.
+pub(crate) struct Encoded {
+    pub cnf: Cnf,
+    pub support_base: Vec<u32>,
 }
 
 /// CNF encoding: rule clauses + support clauses (see module docs).
 fn encode(gp: &GroundProgram) -> Cnf {
+    encode_impl(gp, false).cnf
+}
+
+/// [`encode`] with per-clause premise tags for learned-clause reuse
+/// (identical clauses in identical order; only the tags differ):
+///
+/// * rule clause and support definitions of rule `ri` — premise `{ri}`;
+/// * the completion clause `a → ∨ supports(a)` — premise
+///   `{rules_len + a} ∪ {ri : a ∈ head(ri)}`. The marker id records that
+///   the clause is definitional for atom `a`'s *exact* head-rule set: it
+///   is only valid in a program whose rules heading `a` are exactly the
+///   heading rules recorded in the premise.
+pub(crate) fn encode_tagged(gp: &GroundProgram) -> Encoded {
+    encode_impl(gp, true)
+}
+
+fn encode_impl(gp: &GroundProgram, tagged: bool) -> Encoded {
     let n = gp.atom_count();
-    // Auxiliary support variables, one per (rule, head-atom) pair.
-    let mut support_vars: Vec<Vec<u32>> = Vec::with_capacity(gp.rules.len());
+    let rules_len = gp.rules.len() as u32;
+    // Auxiliary support variables, one per (rule, head-atom) pair,
+    // allocated consecutively per rule.
+    let mut support_base: Vec<u32> = Vec::with_capacity(gp.rules.len());
     let mut next = n as u32;
     for rule in &gp.rules {
-        let mut vars = Vec::with_capacity(rule.head.len());
-        for _ in &rule.head {
-            vars.push(next);
-            next += 1;
-        }
-        support_vars.push(vars);
+        support_base.push(next);
+        next += rule.head.len() as u32;
     }
     let mut cnf = Cnf::new(next as usize);
-    // Supports of each atom.
+    // Supports of each atom, and (tagged only) the rules heading it.
     let mut supports: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut heading: Vec<Vec<u32>> = vec![Vec::new(); if tagged { n } else { 0 }];
 
     for (ri, rule) in gp.rules.iter().enumerate() {
+        let tag = ri as u32;
+        let emit = |cnf: &mut Cnf, lits: Vec<Lit>| {
+            if tagged {
+                cnf.add_clause_premised(lits, [tag]);
+            } else {
+                cnf.add_clause(lits);
+            }
+        };
         // Rule clause: ∨ head ∨ ¬pos ∨ neg.
         let clause = rule
             .head
             .iter()
             .map(|&h| Lit::pos(h))
             .chain(rule.pos.iter().map(|&p| Lit::neg(p)))
-            .chain(rule.neg.iter().map(|&m| Lit::pos(m)));
-        cnf.add_clause(clause);
+            .chain(rule.neg.iter().map(|&m| Lit::pos(m)))
+            .collect();
+        emit(&mut cnf, clause);
 
         // Support definitions.
         for (hi, &a) in rule.head.iter().enumerate() {
-            let s = support_vars[ri][hi];
+            let s = support_base[ri] + hi as u32;
             supports[a as usize].push(s);
+            if tagged {
+                heading[a as usize].push(tag);
+            }
             // s → pos true, neg false, other heads false.
             let mut condition: Vec<Lit> = Vec::new();
             for &p in &rule.pos {
-                cnf.add_clause([Lit::neg(s), Lit::pos(p)]);
+                emit(&mut cnf, vec![Lit::neg(s), Lit::pos(p)]);
                 condition.push(Lit::neg(p));
             }
             for &m in &rule.neg {
-                cnf.add_clause([Lit::neg(s), Lit::neg(m)]);
+                emit(&mut cnf, vec![Lit::neg(s), Lit::neg(m)]);
                 condition.push(Lit::pos(m));
             }
             for (hj, &b) in rule.head.iter().enumerate() {
                 if hj != hi {
-                    cnf.add_clause([Lit::neg(s), Lit::neg(b)]);
+                    emit(&mut cnf, vec![Lit::neg(s), Lit::neg(b)]);
                     condition.push(Lit::pos(b));
                 }
             }
             // Completion: condition → s (makes s functionally determined,
             // so each supported model appears exactly once).
             condition.push(Lit::pos(s));
-            cnf.add_clause(condition);
+            emit(&mut cnf, condition);
         }
     }
     // a → ∨ supports(a).
     for (a, sup) in supports.iter().enumerate() {
         let mut clause = vec![Lit::neg(a as u32)];
         clause.extend(sup.iter().map(|&s| Lit::pos(s)));
-        cnf.add_clause(clause);
+        if tagged {
+            let premise = std::iter::once(rules_len + a as u32).chain(heading[a].iter().copied());
+            cnf.add_clause_premised(clause, premise);
+        } else {
+            cnf.add_clause(clause);
+        }
     }
-    cnf
+    Encoded { cnf, support_base }
 }
 
 #[cfg(test)]
@@ -542,5 +708,68 @@ mod tests {
         .unwrap();
         let models = models_of(&p);
         assert!(models[0].contains(&"swap(y, x)".to_string()));
+    }
+
+    /// A mixed program exercising disjunction, negation and facts, for
+    /// the encoding and threading tests below.
+    fn mixed_program() -> GroundProgram {
+        let mut p = Program::new();
+        for q in ["a", "b", "c", "d"] {
+            p.pred(q, 0).unwrap();
+        }
+        p.fact("r", [i(1)]).unwrap();
+        p.rule([atom("a", []), atom("b", [])], []).unwrap();
+        p.rule([atom("c", [])], [pos(atom("a", [])), neg(atom("d", []))])
+            .unwrap();
+        p.rule([atom("a", [])], [pos(atom("b", []))]).unwrap();
+        p.rule([atom("b", [])], [pos(atom("a", []))]).unwrap();
+        p.rule([], [pos(atom("d", []))]).unwrap();
+        ground(&p)
+    }
+
+    #[test]
+    fn tagged_encoding_matches_untagged_clause_for_clause() {
+        let gp = mixed_program();
+        let plain = encode(&gp);
+        let tagged = encode_tagged(&gp);
+        assert_eq!(plain.num_vars(), tagged.cnf.num_vars());
+        assert_eq!(plain.clauses, tagged.cnf.clauses);
+        // Every untagged premise is None; every tagged premise is Some
+        // (nothing here overflows PREMISE_CAP).
+        assert!(plain.premises.iter().all(|p| p.is_none()));
+        assert!(tagged.cnf.premises.iter().all(|p| p.is_some()));
+        // Support-variable layout covers exactly the auxiliary range.
+        let heads: u32 = gp.rules.iter().map(|r| r.head.len() as u32).sum();
+        assert_eq!(tagged.support_base.len(), gp.rules.len());
+        assert_eq!(tagged.cnf.num_vars(), gp.atom_count() + heads as usize);
+        // Completion premises carry the head-marker id and the heading
+        // rule slots; the marker id space starts past the rule slots.
+        let rules_len = gp.rules.len() as u32;
+        let completion_tail = &tagged.cnf.premises[tagged.cnf.premises.len() - gp.atom_count()..];
+        for p in completion_tail {
+            let p = p.as_ref().unwrap();
+            assert!(
+                p.iter().any(|&t| t >= rules_len),
+                "missing head marker in {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_options_threads_never_change_the_models() {
+        let gp = mixed_program();
+        let baseline = stable_models(&gp);
+        for threads in [1, 2, 4] {
+            let got =
+                stable_models_with(&gp, SolveOptions { threads }, &CancelToken::never()).unwrap();
+            assert_eq!(got, baseline, "threads={threads}");
+            for m in &baseline {
+                assert!(
+                    is_stable_with(&gp, m, SolveOptions { threads }, &CancelToken::never())
+                        .unwrap()
+                );
+            }
+        }
+        assert_eq!(baseline, oracle(&gp));
     }
 }

@@ -29,11 +29,25 @@
 //! * `solve/N` — stable-model enumeration over the (cached) ground
 //!   program with the CDCL learning solver: the downstream consumer whose
 //!   input the grounder feeds.
+//! * `resolve_delta/N` — the ISSUE-8 closer for the 13× solver gap: a
+//!   **warmed** [`SolverState`] (per-partition model cache, learned
+//!   clauses, warm heuristics) re-answering after a single-fact delta.
+//!   The state clone + delta reground run in untimed setup; the timed
+//!   region is [`resolve_on_state`] alone. `bench_check` enforces
+//!   `resolve_delta/800 ≤ 0.25 × solve/800` within the same run — the
+//!   incremental solver must beat from-scratch enumeration at least 4×,
+//!   matching the insert/delete grounder gates.
+//! * `solve_threads/{1,4}` — from-scratch [`stable_models_with`] at the
+//!   largest size, sequential vs the partition fan-out + portfolio
+//!   minimality path, pinning that the thread knob actually buys time on
+//!   the shape the paper's Section 5 scales.
 
-use cqa_asp::{stable_models, GroundingState};
+use cqa_asp::{
+    resolve_on_state, stable_models, stable_models_with, GroundingState, SolveOptions, SolverState,
+};
 use cqa_bench::harness::Harness;
 use cqa_core::ProgramStyle;
-use cqa_relational::s;
+use cqa_relational::{s, CancelToken};
 use std::hint::black_box;
 
 fn program_route() {
@@ -107,6 +121,49 @@ fn program_route() {
         group.bench(format!("solve/{clean}"), || {
             black_box(stable_models(gp).len())
         });
+        // Warm a solver state on the base grounding, then time how fast
+        // it re-answers after a one-fact insertion (cache hits on every
+        // untouched component, clause reuse + warm heuristics on the
+        // touched one). Clone + reground are untimed setup.
+        let mut warmed = SolverState::new();
+        resolve_on_state(
+            &base,
+            &mut warmed,
+            SolveOptions::default(),
+            &CancelToken::never(),
+        )
+        .unwrap();
+        group.bench_with_setup(
+            format!("resolve_delta/{clean}"),
+            || {
+                let mut state = base.clone();
+                state.add_fact_named("R", [s("dx"), s("dy")]).unwrap();
+                (state, warmed.clone())
+            },
+            |(state, mut solver)| {
+                black_box(
+                    resolve_on_state(
+                        &state,
+                        &mut solver,
+                        SolveOptions::default(),
+                        &CancelToken::never(),
+                    )
+                    .unwrap()
+                    .len(),
+                )
+            },
+        );
+        if clean == *sizes.last().unwrap() {
+            for threads in [1usize, 4] {
+                group.bench(format!("solve_threads/{threads}"), || {
+                    black_box(
+                        stable_models_with(gp, SolveOptions { threads }, &CancelToken::never())
+                            .unwrap()
+                            .len(),
+                    )
+                });
+            }
+        }
     }
     println!(
         "  insert reground/scratch ratio at clean={}: {insert_ratio_at_largest:.3} (target: <= 0.25)",

@@ -30,8 +30,18 @@ const GUARDED: &[(&str, &str)] = &[
     ("repair_parallel", "threads/4"),
     ("program_route", "reground_delta/800"),
     ("program_route", "reground_mixed_churn/800"),
+    ("program_route", "resolve_delta/800"),
     ("recovery_replay", "replay/1000"),
 ];
+
+/// Entries whose *baseline* median exceeds this are gated on `min_ns`
+/// instead of `median_ns`. Slow payloads get few samples, so their median
+/// is a high-variance order statistic (the committed `BENCH_6.json`
+/// recorded `repair_parallel/threads/2` at median 302 ms vs min 107 ms
+/// from a 2-sample run); the minimum is the stablest point estimate a
+/// small sample offers and is what criterion-style harnesses fall back
+/// to for exactly this reason.
+const SLOW_ENTRY_NS: u128 = 200_000_000;
 
 /// Within-run cap on `threads/4 ÷ threads/1`. Host-independent, so it can
 /// be a hard gate — but it must hold on a *single-core* host too, where
@@ -53,6 +63,14 @@ const PARALLEL_RATIO_TOLERANCE: f64 = 1.5;
 /// rematerialisation.
 const REGROUND_RATIO_TOLERANCE: f64 = 0.25;
 
+/// Within-run cap on `resolve_delta/800 ÷ solve/800` in the
+/// `program_route` group. Host-independent like the reground gates: a
+/// warm `SolverState` resolving after a one-fact reground reuses every
+/// unchanged partition's cached model set and only re-enumerates the
+/// component the delta touched, so it must come in at least 4× under a
+/// scratch enumeration of the same ground program.
+const RESOLVE_RATIO_TOLERANCE: f64 = 0.25;
+
 /// Within-run cap on `replay/1000 ÷ cold_rebuild/1000` in the
 /// `recovery_replay` group. Host-independent for the same reason as the
 /// reground gates. Crash recovery replays the WAL through the
@@ -65,11 +83,26 @@ const RECOVERY_RATIO_TOLERANCE: f64 = 0.5;
 
 /// Median (ns) of `name` within `group` in a harness JSON-lines dump.
 fn median_ns(json: &str, group: &str, name: &str) -> Option<u128> {
+    stat_ns(json, group, name, "median_ns")
+}
+
+/// Fastest sample (ns) of `name` within `group`.
+fn min_ns(json: &str, group: &str, name: &str) -> Option<u128> {
+    stat_ns(json, group, name, "min_ns")
+}
+
+/// Numeric field `field` of `name` within `group` in a harness JSON-lines
+/// dump. Field lookup is anchored at the record's unique
+/// `{"name":"…","median_ns":` prefix so sibling records never shadow it.
+fn stat_ns(json: &str, group: &str, name: &str, field: &str) -> Option<u128> {
     let group_tag = format!("{{\"group\":\"{group}\",");
     let line = json.lines().find(|l| l.starts_with(&group_tag))?;
     let name_tag = format!("{{\"name\":\"{name}\",\"median_ns\":");
-    let at = line.find(&name_tag)? + name_tag.len();
-    let digits: String = line[at..]
+    let at = line.find(&name_tag)?;
+    let record = &line[at..];
+    let field_tag = format!("\"{field}\":");
+    let at = record.find(&field_tag)? + field_tag.len();
+    let digits: String = record[at..]
         .chars()
         .take_while(char::is_ascii_digit)
         .collect();
@@ -82,13 +115,24 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<(), St
     let baseline = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
     for (group, name) in GUARDED {
-        let cur = median_ns(&current, group, name)
-            .ok_or_else(|| format!("{current_path}: no record of {group}/{name}"))?;
-        let base = median_ns(&baseline, group, name)
+        let base_median = median_ns(&baseline, group, name)
             .ok_or_else(|| format!("{baseline_path}: no record of {group}/{name}"))?;
+        // Slow entries run with few samples; compare their stablest
+        // statistic (the minimum) instead of a 2-of-5 order statistic.
+        let (stat, cur, base) = if base_median > SLOW_ENTRY_NS {
+            let cur = min_ns(&current, group, name)
+                .ok_or_else(|| format!("{current_path}: no record of {group}/{name}"))?;
+            let base = min_ns(&baseline, group, name)
+                .ok_or_else(|| format!("{baseline_path}: no record of {group}/{name}"))?;
+            ("min", cur, base)
+        } else {
+            let cur = median_ns(&current, group, name)
+                .ok_or_else(|| format!("{current_path}: no record of {group}/{name}"))?;
+            ("median", cur, base_median)
+        };
         let ratio = cur as f64 / base as f64;
         println!(
-            "{group}/{name}: current {:.3} ms vs baseline {:.3} ms ({ratio:.2}x, tolerance {tolerance:.2}x)",
+            "{group}/{name}: current {stat} {:.3} ms vs baseline {:.3} ms ({ratio:.2}x, tolerance {tolerance:.2}x)",
             cur as f64 / 1e6,
             base as f64 / 1e6,
         );
@@ -143,6 +187,28 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<(), St
                      run (> {REGROUND_RATIO_TOLERANCE:.2}x): incremental grounding regression"
                 ));
             }
+        }
+    }
+    // Within-run incremental-solving gate: enumerating stable models
+    // after a 1-fact reground with a warm `SolverState` (partition model
+    // cache + premise-tracked learned clauses) must stay a small fraction
+    // of solving the same program from scratch. Host-independent like the
+    // reground gates; a resolver that silently re-enumerates every
+    // partition converges on the scratch series and trips this.
+    if let (Some(scratch), Some(resolve)) = (
+        median_ns(&current, "program_route", "solve/800"),
+        median_ns(&current, "program_route", "resolve_delta/800"),
+    ) {
+        let ratio = resolve as f64 / scratch.max(1) as f64;
+        println!(
+            "program_route delta-resolve vs scratch solve at clean=800: {:.1}x faster ({ratio:.3}x)",
+            scratch as f64 / resolve.max(1) as f64
+        );
+        if ratio > RESOLVE_RATIO_TOLERANCE {
+            return Err(format!(
+                "program_route resolve_delta/800 is {ratio:.3}x solve/800 in the same \
+                 run (> {RESOLVE_RATIO_TOLERANCE:.2}x): incremental solving regression"
+            ));
         }
     }
     // Within-run crash-recovery gate: replaying a 1000-delta WAL onto a
@@ -226,6 +292,20 @@ mod tests {
         assert_eq!(
             median_ns(SAMPLE, "repair_instance_size_axis", "missing"),
             None
+        );
+    }
+
+    #[test]
+    fn extracts_min_ns_of_the_right_record() {
+        // min_ns lookup is anchored at its record, not at the line: the
+        // /80 record's min (11) must not shadow the /800 record's min.
+        assert_eq!(
+            min_ns(SAMPLE, "repair_instance_size_axis", "incremental/800"),
+            Some(2_900_000)
+        );
+        assert_eq!(
+            min_ns(SAMPLE, "repair_instance_size_axis", "incremental/80"),
+            Some(11)
         );
     }
 }

@@ -47,12 +47,17 @@ pub struct Harness {
 
 /// Iteration count and sample count for a payload whose single run took
 /// `once_ns`: aim at ~20 ms per sample, at least one iteration, fewer
-/// samples for very slow payloads.
+/// samples for very slow payloads — but never fewer than five. A median
+/// of two samples is just the slower of two runs, which once recorded a
+/// 2.8x-inflated baseline for `repair_parallel/threads/2` (302 ms median
+/// vs 107 ms min) and turned the regression gate into a coin flip; five
+/// samples bound a slow entry to ~5 s of wall clock while making the
+/// median a real central tendency.
 fn calibrate(once_ns: u128) -> (u64, usize) {
     let once_ns = once_ns.max(1);
     const TARGET_SAMPLE_NS: u128 = 20_000_000;
     let iters: u64 = (TARGET_SAMPLE_NS / once_ns).clamp(1, 1_000_000) as u64;
-    let samples: usize = if once_ns > 200_000_000 { 2 } else { 7 };
+    let samples: usize = if once_ns > 200_000_000 { 5 } else { 7 };
     (iters, samples)
 }
 

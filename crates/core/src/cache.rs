@@ -41,7 +41,7 @@
 
 use crate::error::{CoreError, InterruptPhase};
 use crate::program::{repair_program_with, ProgramStyle};
-use cqa_asp::GroundingState;
+use cqa_asp::{GroundingState, SolverState, SolverStateStats};
 use cqa_constraints::{violations, IcSet, SatMode, Violation};
 use cqa_relational::{CancelToken, Instance, InstanceDelta};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -62,6 +62,19 @@ pub const MAX_DRIFT_NUM: usize = 1;
 /// Denominator of the drift escape hatch.
 pub const MAX_DRIFT_DEN: usize = 2;
 
+/// Lifetime counters of one [`WorklistCache`] handle, in the same
+/// named-struct shape as [`GroundingCacheStats`] and
+/// [`SolverStateStats`]. Meaningful as before/after deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorklistCacheStats {
+    /// Scans answered from the cache.
+    pub hits: u64,
+    /// Scans that ran the full-violation pass.
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity.
+    pub evictions: u64,
+}
+
 /// LRU cache of root full-violation scans keyed by
 /// `(Instance::version, IcSet)`.
 #[derive(Debug, Default)]
@@ -69,6 +82,7 @@ pub struct WorklistCache {
     entries: Mutex<Vec<(u64, IcSet, Vec<Violation>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl WorklistCache {
@@ -106,33 +120,43 @@ impl WorklistCache {
         if !cache.iter().any(|(v, set, _)| *v == version && set == ics) {
             if cache.len() >= CACHE_CAP {
                 cache.remove(0);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
             cache.push((version, ics.clone(), worklist.clone()));
         }
         worklist
     }
 
-    /// Lifetime `(hits, misses)` of this handle. Meaningful as
-    /// before/after deltas.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Lifetime counters of this handle.
+    pub fn stats(&self) -> WorklistCacheStats {
+        WorklistCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 }
 
 /// Key of one cached grounding: constraint set, program style, pruning.
 type GroundingKey = (IcSet, ProgramStyle, bool);
 
-/// One cached grounding: the instance it was built from (for diffing) and
-/// the live state. `Arc`-shared so a cache hit hands out a reference, not
-/// a deep copy — read-only callers (`repairs_via_program*`) never pay for
-/// the state's size, and the per-query extension path clones explicitly.
+/// One cached grounding: the instance it was built from (for diffing),
+/// the live state, and the paired incremental solver. `Arc`-shared so a
+/// cache hit hands out a reference, not a deep copy — read-only callers
+/// (`repairs_via_program*`) never pay for the state's size, and the
+/// per-query extension path clones explicitly.
+///
+/// The [`SolverState`] follows the grounding's *lineage*: it rides along
+/// through incremental evolution (atom ids are stable there) and is
+/// replaced by a fresh one whenever the grounding is rebuilt from scratch
+/// (atom ids restart). Everything it holds is content-validated, so a
+/// racer observing an older grounding through a shared solver stays
+/// sound — at worst it re-solves.
 #[derive(Debug, Clone)]
 struct GroundingEntry {
     base: Instance,
     state: Arc<GroundingState>,
+    solver: Arc<Mutex<SolverState>>,
 }
 
 /// Lifetime counters of one [`GroundingCache`] handle. Meaningful as
@@ -236,6 +260,23 @@ impl GroundingCache {
         prune: bool,
         cancel: &CancelToken,
     ) -> Result<Arc<GroundingState>, CoreError> {
+        self.entry_for_governed(d, ics, style, prune, cancel)
+            .map(|(state, _)| state)
+    }
+
+    /// [`GroundingCache::state_for_governed`] returning the paired
+    /// incremental [`SolverState`] as well — what the program route's
+    /// delta-aware solving path consumes. The solver handle follows the
+    /// grounding's lineage: it survives incremental regrounds and is
+    /// replaced together with the grounding on rebuilds.
+    pub(crate) fn entry_for_governed(
+        &self,
+        d: &Instance,
+        ics: &IcSet,
+        style: ProgramStyle,
+        prune: bool,
+        cancel: &CancelToken,
+    ) -> Result<(Arc<GroundingState>, Arc<Mutex<SolverState>>), CoreError> {
         // Borrowed key comparison — the owned IcSet clone is only paid on
         // the insert path, never on a hit (same discipline as the
         // worklist cache).
@@ -251,9 +292,9 @@ impl GroundingCache {
                     let (k, entry) = cache.remove(pos);
                     if entry.base.version() == d.version() {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        let state = entry.state.clone();
+                        let handles = (entry.state.clone(), entry.solver.clone());
                         cache.push((k, entry)); // most-recently-used at the back
-                        return Ok(state);
+                        return Ok(handles);
                     }
                     Some(entry)
                 }
@@ -285,10 +326,14 @@ impl GroundingCache {
                 GroundingEntry {
                     base: d.clone(),
                     state: Arc::new(build(d, ics, style, prune, cancel)?),
+                    // A rebuilt grounding restarts atom interning: the old
+                    // solver's ids are meaningless for it, so it starts
+                    // fresh too.
+                    solver: Arc::new(Mutex::new(SolverState::new())),
                 }
             }
         };
-        let state = entry.state.clone();
+        let handles = (entry.state.clone(), entry.solver.clone());
         let mut cache = self.entries.lock().expect("grounding cache lock");
         if let Some(pos) = cache.iter().position(|(k, _)| matches(k)) {
             cache.remove(pos); // racer's entry: ours is current for `d`
@@ -303,7 +348,7 @@ impl GroundingCache {
             total -= entry_weight(&victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(state)
+        Ok(handles)
     }
 
     /// Lifetime counters of this handle.
@@ -315,6 +360,23 @@ impl GroundingCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Summed counters of the incremental solvers paired with the cached
+    /// groundings — same named-struct shape as [`GroundingCache::stats`]
+    /// and [`WorklistCache::stats`]. Solvers evicted with their entries
+    /// stop contributing, so read this as a point-in-time gauge.
+    pub fn solver_stats(&self) -> SolverStateStats {
+        let cache = self.entries.lock().expect("grounding cache lock");
+        let mut total = SolverStateStats::default();
+        for (_, entry) in cache.iter() {
+            let s = entry.solver.lock().expect("solver state lock").stats();
+            total.partition_hits += s.partition_hits;
+            total.partition_misses += s.partition_misses;
+            total.learned_reused += s.learned_reused;
+            total.learned_tombstoned += s.learned_tombstoned;
+        }
+        total
     }
 }
 

@@ -370,11 +370,11 @@ fn materialise(
     })
 }
 
-/// Lifetime hit/miss counters of the *process-wide default* root-worklist
-/// cache, for tests and diagnostics. Meaningful as before/after deltas,
-/// not as absolute values. Per-database bundles report through
+/// Lifetime counters of the *process-wide default* root-worklist cache,
+/// for tests and diagnostics. Meaningful as before/after deltas, not as
+/// absolute values. Per-database bundles report through
 /// [`crate::cache::WorklistCache::stats`] instead.
-pub fn worklist_cache_stats() -> (u64, u64) {
+pub fn worklist_cache_stats() -> crate::cache::WorklistCacheStats {
     crate::cache::global().worklist.stats()
 }
 

@@ -42,13 +42,14 @@ pub mod repair;
 
 pub use cache::{
     grounding_cache_stats, warm_caches_in, CqaCaches, GroundingCache, GroundingCacheStats,
-    WorklistCache,
+    WorklistCache, WorklistCacheStats,
 };
 pub use cqa::{
     consistent_answers, consistent_answers_full, consistent_answers_full_in,
     consistent_answers_governed, consistent_answers_via_program,
     consistent_answers_via_program_governed, consistent_answers_via_program_in, AnswerSet,
 };
+pub use cqa_asp::{SolveOptions, SolverStateStats};
 pub use engine::{
     repairs, repairs_with_config, repairs_with_config_governed, repairs_with_config_in,
     repairs_with_trace, repairs_with_trace_governed, repairs_with_trace_in, worklist_cache_stats,
@@ -57,7 +58,7 @@ pub use engine::{
 pub use error::{CoreError, InterruptPhase};
 pub use program::{
     repair_program, repair_program_with, repairs_via_program, repairs_via_program_governed,
-    repairs_via_program_in, repairs_via_program_with, ProgramStyle,
+    repairs_via_program_in, repairs_via_program_solved, repairs_via_program_with, ProgramStyle,
 };
 pub use query::{AnswerSemantics, QueryNullSemantics};
 pub use query::{ConjunctiveQuery, Query, QueryBuilder};

@@ -70,8 +70,8 @@
 use crate::cache::CqaCaches;
 use crate::error::{CoreError, InterruptPhase};
 use cqa_asp::{
-    atom, cmp, neg, pos, stable_models_cancellable, tc, tv, AspError, AtomSpec, BodyLit, BuiltinOp,
-    Program,
+    atom, cmp, neg, pos, resolve_on_state, tc, tv, AspError, AtomSpec, BodyLit, BuiltinOp, Program,
+    SolveOptions,
 };
 use cqa_constraints::{classify::classify, Constraint, Ic, IcClass, IcSet, Term};
 use cqa_relational::{CancelToken, Instance, RelId, Schema, Tuple, Value};
@@ -524,17 +524,47 @@ pub fn repairs_via_program_governed(
     caches: &CqaCaches,
     cancel: &CancelToken,
 ) -> Result<Vec<Instance>, CoreError> {
-    let state = caches
-        .grounding
-        .state_for_governed(d, ics, style, prune_untouched, cancel)?;
+    repairs_via_program_solved(
+        d,
+        ics,
+        style,
+        prune_untouched,
+        SolveOptions::default(),
+        caches,
+        cancel,
+    )
+}
+
+/// [`repairs_via_program_governed`] with explicit [`SolveOptions`]: the
+/// stable models come from the *incremental* resolve path — the ground
+/// program is split into connected components, unchanged components are
+/// answered from the [`cqa_asp::SolverState`] paired with the cached
+/// grounding, and only changed components are re-solved (reusing learned
+/// clauses whose rule premises survived). The repair set is identical to
+/// the scratch enumeration at every thread count.
+pub fn repairs_via_program_solved(
+    d: &Instance,
+    ics: &IcSet,
+    style: ProgramStyle,
+    prune_untouched: bool,
+    opts: SolveOptions,
+    caches: &CqaCaches,
+    cancel: &CancelToken,
+) -> Result<Vec<Instance>, CoreError> {
+    let (state, solver) =
+        caches
+            .grounding
+            .entry_for_governed(d, ics, style, prune_untouched, cancel)?;
     let gp = state.ground_program();
-    let models = stable_models_cancellable(gp, cancel).map_err(|e| match e {
+    let mut solver = solver.lock().expect("solver state lock");
+    let models = resolve_on_state(&state, &mut solver, opts, cancel).map_err(|e| match e {
         AspError::Interrupted { partial, .. } => CoreError::Interrupted {
             phase: InterruptPhase::ModelEnumeration,
             partial,
         },
         other => CoreError::Asp(other),
     })?;
+    drop(solver);
     let mut out: Vec<Instance> = Vec::new();
     for m in &models {
         if cancel.is_cancelled() {

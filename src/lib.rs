@@ -666,6 +666,22 @@ impl Database {
         )?)
     }
 
+    /// [`Database::repairs_via_program`] with an explicit solver thread
+    /// count: independent ground-program components fan across a scoped
+    /// pool and coNP minimality checks race a solver portfolio. The
+    /// repair set is identical at every thread count.
+    pub fn repairs_via_program_threaded(&self, threads: usize) -> Result<Vec<Instance>, Error> {
+        Ok(cqa_core::repairs_via_program_solved(
+            &self.instance,
+            &self.constraints,
+            self.program_style,
+            false,
+            cqa_core::SolveOptions { threads },
+            &self.caches,
+            &self.op_token(),
+        )?)
+    }
+
     /// The repair program Π(D, IC), rendered.
     pub fn repair_program_text(&self) -> Result<String, Error> {
         let p = cqa_core::repair_program(&self.instance, &self.constraints, self.program_style)?;

@@ -35,14 +35,20 @@ fn counts(db: &Database) -> (u64, u64, u64, u64) {
     (s.hits, s.regrounds, s.rebuilds, s.misses)
 }
 
+/// Worklist counters as a (hits, misses, evictions) triple.
+fn wl(db: &Database) -> (u64, u64, u64) {
+    let s = db.caches().worklist.stats();
+    (s.hits, s.misses, s.evictions)
+}
+
 #[test]
 fn worklist_cache_is_per_tenant() {
     let db = tenant("main");
     let first = db.repairs().unwrap();
-    assert_eq!(db.caches().worklist.stats(), (0, 1), "first call scans");
+    assert_eq!(wl(&db), (0, 1, 0), "first call scans");
     let second = db.repairs().unwrap();
     assert_eq!(second, first);
-    assert_eq!(db.caches().worklist.stats(), (1, 1), "repeat call hits");
+    assert_eq!(wl(&db), (1, 1, 0), "repeat call hits");
 
     // Hammer 20 other tenants — more than the 8-entry LRU capacity. With
     // the old process-wide cache this evicted `db`'s entry; per-tenant
@@ -50,20 +56,36 @@ fn worklist_cache_is_per_tenant() {
     for i in 0..20 {
         let other = tenant(&format!("t{i}"));
         let _ = other.repairs().unwrap();
-        assert_eq!(other.caches().worklist.stats(), (0, 1));
+        assert_eq!(wl(&other), (0, 1, 0));
     }
     let third = db.repairs().unwrap();
     assert_eq!(third, first);
     assert_eq!(
-        db.caches().worklist.stats(),
-        (2, 1),
+        wl(&db),
+        (2, 1, 0),
         "no cross-tenant eviction: still a hit after 20 other tenants"
     );
 
     // Clones are views of the same tenant: they share the bundle.
     let fork = db.clone();
     let _ = fork.repairs().unwrap();
-    assert_eq!(db.caches().worklist.stats(), (3, 1));
+    assert_eq!(wl(&db), (3, 1, 0));
+}
+
+#[test]
+fn worklist_eviction_counter_reports_capacity_pressure() {
+    // Every mutation reassigns the version stamp, so each round is a
+    // fresh key: ten distinct keys against the 8-entry LRU must evict
+    // exactly twice, and the named counter must say so.
+    let mut db = tenant("evict");
+    for i in 0..10 {
+        let _ = db.repairs().unwrap();
+        db.insert("r", [cqa::s(&format!("v{i}")), cqa::s("w")])
+            .unwrap();
+    }
+    let s = db.caches().worklist.stats();
+    assert_eq!((s.hits, s.misses), (0, 10), "each round is a fresh key");
+    assert_eq!(s.evictions, 2, "capacity 8 under 10 distinct keys");
 }
 
 #[test]
@@ -78,6 +100,12 @@ fn grounding_cache_hits_and_regrounds_incrementally() {
         (1, 0, 0, 1),
         "repeat call reuses the grounding"
     );
+    // The paired incremental solver rides the same cache entry: the first
+    // call solved every component from scratch, the repeat answered them
+    // all from the per-partition model cache.
+    let solver = db.caches().grounding.solver_stats();
+    assert!(solver.partition_misses > 0, "first call solved components");
+    assert!(solver.partition_hits > 0, "repeat call reused them");
 
     // CQA through the program route rides the same cached grounding (the
     // query rules are added to a clone).

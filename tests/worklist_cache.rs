@@ -10,6 +10,12 @@
 use cqa::core::{repairs_with_config, worklist_cache_stats, RepairConfig, SearchStrategy};
 use cqa::prelude::*;
 
+/// The counters this suite drives, as a destructurable pair.
+fn hm() -> (u64, u64) {
+    let s = worklist_cache_stats();
+    (s.hits, s.misses)
+}
+
 #[test]
 fn cache_hits_repeats_and_invalidates_on_mutation() {
     let w = cqa_bench::example19_scaled(30, 2, 1, 71);
@@ -17,14 +23,14 @@ fn cache_hits_repeats_and_invalidates_on_mutation() {
     let ics = w.ics;
     let config = RepairConfig::default();
 
-    let (h0, m0) = worklist_cache_stats();
+    let (h0, m0) = hm();
     let first = repairs_with_config(&d, &ics, config).unwrap();
-    let (h1, m1) = worklist_cache_stats();
+    let (h1, m1) = hm();
     assert_eq!(m1, m0 + 1, "first call scans");
     assert_eq!(h1, h0, "nothing to hit yet");
 
     let second = repairs_with_config(&d, &ics, config).unwrap();
-    let (h2, m2) = worklist_cache_stats();
+    let (h2, m2) = hm();
     assert_eq!(m2, m1, "repeat call must not rescan");
     assert_eq!(h2, h1 + 1, "repeat call hits");
     assert_eq!(second, first);
@@ -39,7 +45,7 @@ fn cache_hits_repeats_and_invalidates_on_mutation() {
         },
     )
     .unwrap();
-    let (h3, m3) = worklist_cache_stats();
+    let (h3, m3) = hm();
     assert_eq!(m3, m2);
     assert_eq!(h3, h2 + 1);
     assert_eq!(parallel, first);
@@ -47,7 +53,7 @@ fn cache_hits_repeats_and_invalidates_on_mutation() {
     // A clone shares the version stamp: still a hit.
     let fork = d.clone();
     let _ = repairs_with_config(&fork, &ics, config).unwrap();
-    let (h4, m4) = worklist_cache_stats();
+    let (h4, m4) = hm();
     assert_eq!((h4, m4), (h3 + 1, m3));
 
     // Mutating between calls invalidates: new conflict, fresh scan, and —
@@ -55,7 +61,7 @@ fn cache_hits_repeats_and_invalidates_on_mutation() {
     d.insert_named("R", [s("dupX"), s("a")]).unwrap();
     d.insert_named("R", [s("dupX"), s("b")]).unwrap();
     let third = repairs_with_config(&d, &ics, config).unwrap();
-    let (h5, m5) = worklist_cache_stats();
+    let (h5, m5) = hm();
     assert_eq!(m5, m4 + 1, "mutation must force a rescan");
     assert_eq!(h5, h4);
     assert_eq!(
@@ -67,7 +73,7 @@ fn cache_hits_repeats_and_invalidates_on_mutation() {
     // Same instance, different constraint set: the key includes the ICs.
     let fewer: IcSet = ics.constraints().iter().take(1).cloned().collect();
     let _ = repairs_with_config(&d, &fewer, config).unwrap();
-    let (h6, m6) = worklist_cache_stats();
+    let (h6, m6) = hm();
     assert_eq!(m6, m5 + 1, "different ICs must not reuse the scan");
     assert_eq!(h6, h5);
 }
