@@ -32,6 +32,7 @@ const GUARDED: &[(&str, &str)] = &[
     ("program_route", "reground_mixed_churn/800"),
     ("program_route", "resolve_delta/800"),
     ("recovery_replay", "replay/1000"),
+    ("fast_path", "fast_path/80000"),
 ];
 
 /// Entries whose *baseline* median exceeds this are gated on `min_ns`
@@ -70,6 +71,17 @@ const REGROUND_RATIO_TOLERANCE: f64 = 0.25;
 /// component the delta touched, so it must come in at least 4× under a
 /// scratch enumeration of the same ground program.
 const RESOLVE_RATIO_TOLERANCE: f64 = 0.25;
+
+/// Within-run cap on `fast_path/800 ÷ enumeration/800` in the
+/// `fast_path` group. Host-independent like the other ratio gates: on a
+/// key-FD workload with 8 conflicting pairs (2⁸ = 256 repairs), the
+/// planner's FO-rewrite route answers by index probes over `D` while the
+/// enumeration baseline materialises all 256 repairs and intersects their
+/// answers, so the fast path must come in at least 20× under enumeration
+/// at clean=800. Measured ~0.002x on the recording host; a planner that
+/// silently falls back to enumeration converges on 1x and trips this
+/// immediately.
+const FAST_PATH_RATIO_TOLERANCE: f64 = 0.05;
 
 /// Within-run cap on `replay/1000 ÷ cold_rebuild/1000` in the
 /// `recovery_replay` group. Host-independent for the same reason as the
@@ -208,6 +220,24 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<(), St
             return Err(format!(
                 "program_route resolve_delta/800 is {ratio:.3}x solve/800 in the same \
                  run (> {RESOLVE_RATIO_TOLERANCE:.2}x): incremental solving regression"
+            ));
+        }
+    }
+    // Within-run planner gate: the FO-rewrite fast path must stay a small
+    // fraction of repair enumeration on the same workload in the same run.
+    if let (Some(enumerated), Some(fast)) = (
+        median_ns(&current, "fast_path", "enumeration/800"),
+        median_ns(&current, "fast_path", "fast_path/800"),
+    ) {
+        let ratio = fast as f64 / enumerated.max(1) as f64;
+        println!(
+            "fast_path planner vs enumeration at clean=800: {:.1}x faster ({ratio:.4}x)",
+            enumerated as f64 / fast.max(1) as f64
+        );
+        if ratio > FAST_PATH_RATIO_TOLERANCE {
+            return Err(format!(
+                "fast_path fast_path/800 is {ratio:.3}x enumeration/800 in the same run \
+                 (> {FAST_PATH_RATIO_TOLERANCE:.2}x): planner fast-path regression"
             ));
         }
     }

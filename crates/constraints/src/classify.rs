@@ -1,8 +1,11 @@
 //! Syntactic classification of form-(1) constraints into the paper's
 //! subclasses: universal ICs (2), referential ICs (3), and the shapes used
-//! in practice (denials, checks, functional dependencies).
+//! in practice (denials, checks, functional dependencies) — plus the
+//! whole-set [`PlanClass`] analysis the `cqa-core` query planner keys its
+//! fast-path dispatch on.
 
-use crate::ast::{Ic, Term};
+use crate::ast::{CmpOp, Ic, IcSet, Term, VarId};
+use cqa_relational::RelId;
 
 /// The syntactic class of a form-(1) constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +69,130 @@ pub fn is_check(ic: &Ic) -> bool {
 /// Is this a single-row check constraint (one body atom)?
 pub fn is_single_row_check(ic: &Ic) -> bool {
     is_check(ic) && ic.body().len() == 1
+}
+
+/// The key/determinant structure of a functional dependency, as
+/// recognised by [`fd_key_columns`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdKey {
+    /// The constrained relation.
+    pub rel: RelId,
+    /// 0-based determinant ("key") positions, ascending.
+    pub determinant: Vec<usize>,
+    /// The 0-based dependent position the determinant must fix.
+    pub dependent: usize,
+}
+
+/// Recognise the functional-dependency shape
+/// `R(x̄) ∧ R(x̄′) → x_dep = x′_dep` (the [`crate::builders::
+/// functional_dependency`] encoding, single- or composite-determinant):
+///
+/// * head empty, exactly one `=` builtin, exactly two body atoms over the
+///   same relation, all terms distinct variables within each atom;
+/// * the two atoms share variables at exactly the determinant positions
+///   (same position in both atoms, at least one of them);
+/// * the builtin equates the two atoms' variables at one shared
+///   *non-determinant* position — the dependent.
+///
+/// `is_denial`/`is_single_row_check` both answer `false` on this shape
+/// (the consequent is a builtin and the body is two rows), which is why
+/// the planner needs a dedicated recogniser. Anything else — constants in
+/// the atoms, repeated variables inside one atom, extra builtins,
+/// cross-position sharing — returns `None`; callers must treat `None` as
+/// "not FD-shaped", never as "unconstrained".
+pub fn fd_key_columns(ic: &Ic) -> Option<FdKey> {
+    if !ic.head().is_empty() || ic.builtins().len() != 1 || ic.body().len() != 2 {
+        return None;
+    }
+    let (a, b) = (&ic.body()[0], &ic.body()[1]);
+    if a.rel != b.rel || a.terms.len() != b.terms.len() {
+        return None;
+    }
+    // Each atom: all-variable terms, no variable repeated inside the atom.
+    let vars_of = |atom: &crate::ast::IcAtom| -> Option<Vec<VarId>> {
+        let mut vars = Vec::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            match t {
+                Term::Var(v) if !vars.contains(v) => vars.push(*v),
+                _ => return None,
+            }
+        }
+        Some(vars)
+    };
+    let (av, bv) = (vars_of(a)?, vars_of(b)?);
+    // Shared variables must sit at identical positions (the determinant);
+    // a variable of one atom appearing at a *different* position of the
+    // other is some other join shape, not an FD.
+    let mut determinant = Vec::new();
+    for (pos, va) in av.iter().enumerate() {
+        if *va == bv[pos] {
+            determinant.push(pos);
+        } else if bv.contains(va) || av.contains(&bv[pos]) {
+            return None;
+        }
+    }
+    if determinant.is_empty() || determinant.len() == av.len() {
+        return None; // no key, or the atoms are identical
+    }
+    // The lone builtin must equate the two atoms' variables at one
+    // non-determinant position (either orientation).
+    let bi = &ic.builtins()[0];
+    if bi.op != CmpOp::Eq {
+        return None;
+    }
+    let (Term::Var(l), Term::Var(r)) = (&bi.lhs, &bi.rhs) else {
+        return None;
+    };
+    let dependent = av.iter().position(|v| v == l || v == r)?;
+    if determinant.contains(&dependent)
+        || bv[dependent] != if av[dependent] == *l { *r } else { *l }
+    {
+        return None;
+    }
+    Some(FdKey {
+        rel: a.rel,
+        determinant,
+        dependent,
+    })
+}
+
+/// The whole-set classification the `cqa-core` planner dispatches on.
+/// Query-shape checks (quantifier-freeness, single disjunct) live with
+/// the planner; this is the constraint half of the decision table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanClass {
+    /// Every constraint is a key-style FD ([`fd_key_columns`]) or a NOT
+    /// NULL constraint: repairs are deletion-only and conflicts are
+    /// pairwise, so quantifier-free queries are first-order rewritable
+    /// (Fuxman–Miller guards) on the inconsistent instance.
+    KeyFdOnly,
+    /// Every constraint has an atom-free consequent (FDs, denials,
+    /// checks) or is a NOT NULL constraint: repairs are still
+    /// deletion-only — exactly the maximal conflict-free subsets — so a
+    /// polynomial true/false-tuple chase answers quantifier-free queries
+    /// without enumeration, but violations may span more than two rows.
+    DeletionOnly,
+    /// Some constraint can repair by *insertion* (a universal IC with
+    /// head atoms, a referential IC, a general existential IC): only the
+    /// repair-enumeration engines are sound.
+    General,
+}
+
+/// Classify a whole constraint set for fast-path planning.
+pub fn plan_class(ics: &IcSet) -> PlanClass {
+    let mut class = PlanClass::KeyFdOnly;
+    for con in ics.constraints() {
+        let Some(ic) = con.as_ic() else {
+            continue; // NOT NULL: deletion-only in every class
+        };
+        if !ic.head().is_empty() {
+            return PlanClass::General;
+        }
+        if fd_key_columns(ic).is_none() {
+            class = PlanClass::DeletionOnly;
+        }
+    }
+    class
 }
 
 #[cfg(test)]
@@ -159,5 +286,121 @@ mod tests {
             .unwrap();
         assert!(is_check(&multirow));
         assert!(!is_single_row_check(&multirow));
+    }
+
+    #[test]
+    fn fd_key_columns_recognises_builder_fds() {
+        let sc = schema();
+        // Single-column determinant: P[0] → P[1].
+        let fd = crate::builders::functional_dependency(&sc, "P", &[0], 1).unwrap();
+        let key = fd_key_columns(&fd).unwrap();
+        assert_eq!(key.rel, sc.rel_id("P").unwrap());
+        assert_eq!(key.determinant, vec![0]);
+        assert_eq!(key.dependent, 1);
+        // Neither legacy recogniser sees the FD shape — the gap this
+        // function closes.
+        assert!(!is_denial(&fd));
+        assert!(!is_single_row_check(&fd));
+        assert!(is_check(&fd));
+    }
+
+    #[test]
+    fn fd_key_columns_composite_determinant() {
+        // The PR-4 pool's composite shape: Q[0,1] → Q[2].
+        let sc = schema();
+        let fd = crate::builders::functional_dependency(&sc, "Q", &[0, 1], 2).unwrap();
+        let key = fd_key_columns(&fd).unwrap();
+        assert_eq!(key.determinant, vec![0, 1]);
+        assert_eq!(key.dependent, 2);
+        // Non-contiguous composite determinant, dependent in the middle.
+        let fd2 = crate::builders::functional_dependency(&sc, "Q", &[0, 2], 1).unwrap();
+        let key2 = fd_key_columns(&fd2).unwrap();
+        assert_eq!(key2.determinant, vec![0, 2]);
+        assert_eq!(key2.dependent, 1);
+    }
+
+    #[test]
+    fn fd_key_columns_rejects_non_fd_shapes() {
+        let sc = schema();
+        // Denial: two atoms, no builtin.
+        let denial = Ic::builder(&sc, "d")
+            .body_atom("P", [v("x"), v("y")])
+            .body_atom("P", [v("x"), v("z")])
+            .finish()
+            .unwrap();
+        assert!(fd_key_columns(&denial).is_none());
+        // Multi-row check whose builtin is not an equality.
+        let ineq = Ic::builder(&sc, "i")
+            .body_atom("P", [v("x"), v("y")])
+            .body_atom("P", [v("x"), v("z")])
+            .builtin(v("y"), CmpOp::Lt, v("z"))
+            .finish()
+            .unwrap();
+        assert!(fd_key_columns(&ineq).is_none());
+        // Different relations.
+        let cross = Ic::builder(&sc, "x")
+            .body_atom("P", [v("x"), v("y")])
+            .body_atom("Q", [v("x"), v("z"), v("w")])
+            .builtin(v("y"), CmpOp::Eq, v("z"))
+            .finish()
+            .unwrap();
+        assert!(fd_key_columns(&cross).is_none());
+        // Cross-position sharing is a self-join, not an FD.
+        let twisted = Ic::builder(&sc, "t")
+            .body_atom("P", [v("x"), v("y")])
+            .body_atom("P", [v("y"), v("z")])
+            .builtin(v("x"), CmpOp::Eq, v("z"))
+            .finish()
+            .unwrap();
+        assert!(fd_key_columns(&twisted).is_none());
+        // Constant inside an atom.
+        let constant = Ic::builder(&sc, "c")
+            .body_atom("P", [v("x"), v("y")])
+            .body_atom("P", [v("x"), c("k")])
+            .builtin(v("y"), CmpOp::Eq, c("k"))
+            .finish()
+            .unwrap();
+        assert!(fd_key_columns(&constant).is_none());
+        // A RIC is not an FD.
+        let ric = Ic::builder(&sc, "r")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("Q", [v("x"), v("u"), v("w")])
+            .finish()
+            .unwrap();
+        assert!(fd_key_columns(&ric).is_none());
+    }
+
+    #[test]
+    fn plan_class_over_whole_sets() {
+        use crate::ast::{Constraint, IcSet, Nnc};
+        let sc = schema();
+        let fd = crate::builders::functional_dependency(&sc, "Q", &[0, 1], 2).unwrap();
+        let nnc = Nnc::new(&sc, "nn", "P", 0).unwrap();
+        let denial = Ic::builder(&sc, "d")
+            .body_atom("P", [v("x"), v("y")])
+            .body_atom("R", [v("x")])
+            .finish()
+            .unwrap();
+        let ric = Ic::builder(&sc, "r")
+            .body_atom("P", [v("x"), v("y")])
+            .head_atom("Q", [v("x"), v("u"), v("w")])
+            .finish()
+            .unwrap();
+
+        // Empty set: vacuously key-FD-only.
+        assert_eq!(plan_class(&IcSet::default()), PlanClass::KeyFdOnly);
+        let key_only = IcSet::new([
+            Constraint::from(fd.clone()),
+            Constraint::NotNull(nnc.clone()),
+        ]);
+        assert_eq!(plan_class(&key_only), PlanClass::KeyFdOnly);
+        let deletion_only = IcSet::new([
+            Constraint::from(fd.clone()),
+            Constraint::from(denial),
+            Constraint::NotNull(nnc),
+        ]);
+        assert_eq!(plan_class(&deletion_only), PlanClass::DeletionOnly);
+        let general = IcSet::new([Constraint::from(fd), Constraint::from(ric)]);
+        assert_eq!(plan_class(&general), PlanClass::General);
     }
 }

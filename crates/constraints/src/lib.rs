@@ -46,7 +46,7 @@ pub mod satisfaction;
 pub use ast::{
     c, v, Builtin, CmpOp, Constraint, Ic, IcAtom, IcBuilder, IcSet, Nnc, Term, TermSpec, VarId,
 };
-pub use classify::IcClass;
+pub use classify::{fd_key_columns, plan_class, FdKey, IcClass, PlanClass};
 pub use error::ConstraintError;
 pub use graph::{contracted_dependency_graph, dependency_graph, DependencyGraph};
 pub use incremental::{violation_active, violations_touching};

@@ -456,13 +456,18 @@ fn evolve(
 }
 
 /// The two caches bundled: what a `Database` facade owns, and what the
-/// process-wide default provides to the free functions.
+/// process-wide default provides to the free functions. The bundle also
+/// carries the fast-path planner's routing counters
+/// ([`crate::plan::PlannerCounters`]) so each tenant observes which
+/// engine answered its own queries.
 #[derive(Debug, Default)]
 pub struct CqaCaches {
     /// Root violation scans for the repair engine.
     pub worklist: WorklistCache,
     /// Persistent repair-program groundings.
     pub grounding: GroundingCache,
+    /// Fast-path planner routing counters.
+    pub planner: crate::plan::PlannerCounters,
 }
 
 impl CqaCaches {
@@ -479,6 +484,7 @@ impl CqaCaches {
         CqaCaches {
             worklist: WorklistCache::new(),
             grounding: GroundingCache::with_budget(budget),
+            planner: crate::plan::PlannerCounters::default(),
         }
     }
 }

@@ -1,0 +1,236 @@
+//! The chase fast path: true/false-tuple classification for deletion-only
+//! constraint sets, in the style of Laurent & Spyratos (arXiv 2301.03668).
+//!
+//! For tables with nulls under FDs, Laurent & Spyratos compute consistent
+//! answers by a polynomial chase-like pass that sorts tuples into *true*
+//! (in every repair), *false* (in no repair) and *uncertain* — no repairs
+//! are ever materialised. This module generalises that computation from
+//! FDs to every *deletion-only* constraint set this system supports
+//! (head-empty ICs — denials, multi-row checks, FDs — plus NOT NULL
+//! constraints): for such sets the repairs are exactly the maximal
+//! independent sets of the violation hypergraph, and the classification
+//! falls out of one pass over its edges (see `plan.rs` for the proof):
+//!
+//! * **false** — tuples forming a singleton edge (a NOT NULL violation or
+//!   a single-tuple check/denial violation): no repair keeps them;
+//! * **uncertain** — tuples `t` with some edge `e ∋ t` whose remainder
+//!   `e \ {t}` is independent (contains no full edge): that remainder
+//!   extends to a repair that must exclude `t`;
+//! * **true** — everything else in `D`.
+//!
+//! The edge set is the engine's own root violation worklist, shared
+//! through [`WorklistCache`](crate::cache::WorklistCache) — a repeated
+//! query on an unchanged instance pays zero scans. The classification
+//! pass polls the cancel token and surfaces
+//! [`CoreError::Interrupted`] with `phase = QueryEvaluation`.
+
+use crate::cache::CqaCaches;
+use crate::error::{CoreError, InterruptPhase};
+use crate::plan::TupleOracle;
+use cqa_constraints::{IcSet, ViolationKind};
+use cqa_relational::{CancelToken, DatabaseAtom, Instance, RelId, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Poll the cancel token once per this many edges.
+const CANCEL_STRIDE: usize = 256;
+
+/// The classification of every tuple of one instance under one
+/// deletion-only constraint set. Tuples in neither set are *true* —
+/// present in every repair.
+#[derive(Debug)]
+pub(crate) struct ChaseClassification {
+    false_atoms: HashSet<DatabaseAtom>,
+    uncertain_atoms: HashSet<DatabaseAtom>,
+}
+
+impl ChaseClassification {
+    /// Run the classification pass over the violation hypergraph of
+    /// `(d, ics)`.
+    pub(crate) fn classify(
+        d: &Instance,
+        ics: &IcSet,
+        caches: &CqaCaches,
+        cancel: &CancelToken,
+    ) -> Result<Self, CoreError> {
+        let worklist = caches.worklist.root_worklist(d, ics);
+        // Edges: the ground tuple sets whose joint presence violates a
+        // constraint. Body atoms binding the same tuple twice collapse,
+        // so a self-joining denial can yield a singleton edge.
+        let mut edges: Vec<Vec<DatabaseAtom>> = Vec::with_capacity(worklist.len());
+        for violation in &worklist {
+            match &violation.kind {
+                ViolationKind::Tgd { body_atoms, .. } => {
+                    let mut edge = body_atoms.clone();
+                    edge.sort();
+                    edge.dedup();
+                    edges.push(edge);
+                }
+                ViolationKind::NotNull { atom, .. } => edges.push(vec![atom.clone()]),
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        let false_atoms: HashSet<DatabaseAtom> = edges
+            .iter()
+            .filter(|e| e.len() == 1)
+            .map(|e| e[0].clone())
+            .collect();
+        // Atom → indices of the edges containing it, for the sub-edge
+        // containment probes below.
+        let mut by_atom: HashMap<&DatabaseAtom, Vec<usize>> = HashMap::new();
+        for (i, edge) in edges.iter().enumerate() {
+            for atom in edge {
+                by_atom.entry(atom).or_default().push(i);
+            }
+        }
+        let mut uncertain_atoms: HashSet<DatabaseAtom> = HashSet::new();
+        for (i, edge) in edges.iter().enumerate() {
+            if i % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                return Err(CoreError::Interrupted {
+                    phase: InterruptPhase::QueryEvaluation,
+                    partial: i,
+                });
+            }
+            if edge.len() == 1 {
+                continue; // its atom is already false
+            }
+            for atom in edge {
+                if false_atoms.contains(atom) || uncertain_atoms.contains(atom) {
+                    continue;
+                }
+                let rest: Vec<&DatabaseAtom> = edge.iter().filter(|a| *a != atom).collect();
+                // `rest` is independent iff no edge is contained in it
+                // (singleton false-atom edges included). Any contained
+                // edge touches some member of `rest`, so probing each
+                // member's edge list covers them all; edge bodies are
+                // tiny, so the subset tests are linear scans.
+                let dependent = rest.iter().any(|member| {
+                    by_atom[*member].iter().any(|&j| {
+                        j != i
+                            && edges[j].len() <= rest.len()
+                            && edges[j].iter().all(|a| rest.contains(&a))
+                    })
+                });
+                if !dependent {
+                    uncertain_atoms.insert(atom.clone());
+                }
+            }
+        }
+        Ok(ChaseClassification {
+            false_atoms,
+            uncertain_atoms,
+        })
+    }
+}
+
+impl TupleOracle for ChaseClassification {
+    fn sure(&self, rel: RelId, values: &[Value]) -> bool {
+        let atom = DatabaseAtom::new(rel, Tuple::new(values.iter().copied()));
+        !self.false_atoms.contains(&atom) && !self.uncertain_atoms.contains(&atom)
+    }
+
+    fn in_no_repair(&self, rel: RelId, values: &[Value]) -> bool {
+        let atom = DatabaseAtom::new(rel, Tuple::new(values.iter().copied()));
+        self.false_atoms.contains(&atom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_constraints::{builders, v, Ic};
+    use cqa_relational::{null, s, Schema};
+
+    fn atom(d: &Instance, rel: RelId, vals: Vec<Value>) -> DatabaseAtom {
+        let a = DatabaseAtom::new(rel, Tuple::new(vals));
+        assert!(d.contains(&a), "test atom must exist");
+        a
+    }
+
+    #[test]
+    fn classification_matches_repair_structure() {
+        let sc = Schema::builder()
+            .relation("R", ["K", "V"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("R", [s("k1"), s("a")]).unwrap(); // clean: true
+        d.insert_named("R", [s("k2"), s("a")]).unwrap(); // FD pair: uncertain
+        d.insert_named("R", [s("k2"), s("b")]).unwrap();
+        d.insert_named("R", [null(), s("c")]).unwrap(); // NNC violator: false
+        let mut ics = IcSet::default();
+        ics.push(builders::functional_dependency(&sc, "R", &[0], 1).unwrap());
+        ics.push(builders::not_null(&sc, "R", 0).unwrap());
+        let rel = sc.rel_id("R").unwrap();
+        let caches = CqaCaches::new();
+        let cls = ChaseClassification::classify(&d, &ics, &caches, &CancelToken::never()).unwrap();
+        let clean = atom(&d, rel, vec![s("k1"), s("a")]);
+        let pair_a = atom(&d, rel, vec![s("k2"), s("a")]);
+        let pair_b = atom(&d, rel, vec![s("k2"), s("b")]);
+        let nncv = atom(&d, rel, vec![null(), s("c")]);
+        assert!(cls.sure(rel, clean.tuple.values()));
+        assert!(!cls.sure(rel, pair_a.tuple.values()));
+        assert!(!cls.sure(rel, pair_b.tuple.values()));
+        assert!(!cls.in_no_repair(rel, pair_a.tuple.values()));
+        assert!(cls.in_no_repair(rel, nncv.tuple.values()));
+    }
+
+    #[test]
+    fn dead_edge_members_keep_partners_sure() {
+        // An edge whose remainder contains a false tuple (or a full
+        // sub-edge) is not independent — the surviving member stays true.
+        let sc = Schema::builder()
+            .relation("R", ["K", "V"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        d.insert_named("R", [s("k"), s("a")]).unwrap();
+        d.insert_named("R", [null(), s("x")]).unwrap(); // in no repair
+        let mut ics = IcSet::default();
+        // Denial: R(x,'a') ∧ R(y,'x') may not coexist.
+        ics.push(
+            Ic::builder(&sc, "d")
+                .body_atom("R", [v("x"), cqa_constraints::c(s("a"))])
+                .body_atom("R", [v("y"), cqa_constraints::c(s("x"))])
+                .finish()
+                .unwrap(),
+        );
+        ics.push(builders::not_null(&sc, "R", 0).unwrap());
+        let rel = sc.rel_id("R").unwrap();
+        let caches = CqaCaches::new();
+        let cls = ChaseClassification::classify(&d, &ics, &caches, &CancelToken::never()).unwrap();
+        // The null-keyed tuple is in no repair, so it can never push
+        // R(k,a) out of one: R(k,a) is true.
+        assert!(cls.sure(rel, Tuple::new(vec![s("k"), s("a")]).values()));
+        assert!(cls.in_no_repair(rel, Tuple::new(vec![null(), s("x")]).values()));
+    }
+
+    #[test]
+    fn classification_polls_the_cancel_token() {
+        let sc = Schema::builder()
+            .relation("R", ["K", "V"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut d = Instance::empty(sc.clone());
+        for i in 0..40 {
+            d.insert_named("R", [s(&format!("k{i}")), s("a")]).unwrap();
+            d.insert_named("R", [s(&format!("k{i}")), s("b")]).unwrap();
+        }
+        let mut ics = IcSet::default();
+        ics.push(builders::functional_dependency(&sc, "R", &[0], 1).unwrap());
+        let caches = CqaCaches::new();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let err = ChaseClassification::classify(&d, &ics, &caches, &cancelled).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Interrupted {
+                phase: InterruptPhase::QueryEvaluation,
+                ..
+            }
+        ));
+    }
+}

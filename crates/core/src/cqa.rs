@@ -123,8 +123,81 @@ pub fn consistent_answers_full_in(
 /// `partial` counting the repairs whose answers were fully intersected —
 /// the running intersection itself is not returned, since it only
 /// over-approximates the consistent answers until every repair is seen.
+///
+/// **Plan-first**: the request is classified by the fast-path planner
+/// ([`crate::plan`]) and answered without repair enumeration when a
+/// polynomial route is sound (key FDs → FO-rewrite; deletion-only sets →
+/// chase classification). Answers are identical either way — only the
+/// resource-limit semantics differ: the fast paths never consult
+/// [`RepairConfig::node_budget`]. Use [`consistent_answers_enumerated`]
+/// (or its governed variant) to force the enumeration route, e.g. as the
+/// oracle in planner tests.
 #[allow(clippy::too_many_arguments)]
 pub fn consistent_answers_governed(
+    d: &Instance,
+    ics: &IcSet,
+    query: &Query,
+    config: RepairConfig,
+    semantics: AnswerSemantics,
+    query_semantics: crate::query::QueryNullSemantics,
+    caches: &CqaCaches,
+    cancel: &CancelToken,
+) -> Result<AnswerSet, CoreError> {
+    if let Some(answers) = crate::plan::dispatch(
+        d,
+        ics,
+        query,
+        &config,
+        semantics,
+        query_semantics,
+        caches,
+        cancel,
+    )? {
+        return Ok(answers);
+    }
+    consistent_answers_enumerated_governed(
+        d,
+        ics,
+        query,
+        config,
+        semantics,
+        query_semantics,
+        caches,
+        cancel,
+    )
+}
+
+/// [`consistent_answers_full`] with the fast-path planner bypassed: the
+/// answer always comes from repair enumeration + intersection. The
+/// planner-vs-oracle test suite relies on this to compare both engines on
+/// the *same* dispatchable inputs; production callers want
+/// [`consistent_answers_full`] instead.
+pub fn consistent_answers_enumerated(
+    d: &Instance,
+    ics: &IcSet,
+    query: &Query,
+    config: RepairConfig,
+    semantics: AnswerSemantics,
+    query_semantics: crate::query::QueryNullSemantics,
+) -> Result<AnswerSet, CoreError> {
+    consistent_answers_enumerated_governed(
+        d,
+        ics,
+        query,
+        config,
+        semantics,
+        query_semantics,
+        crate::cache::global(),
+        &CancelToken::never(),
+    )
+}
+
+/// [`consistent_answers_enumerated`] with explicit caches and a
+/// cancellation token — the repair-enumeration body that
+/// [`consistent_answers_governed`] falls through to when the planner
+/// declines.
+#[allow(clippy::too_many_arguments)]
+pub fn consistent_answers_enumerated_governed(
     d: &Instance,
     ics: &IcSet,
     query: &Query,

@@ -25,29 +25,38 @@
 //!   unions thereof, evaluated with null as an ordinary constant.
 //! * [`cqa`] — consistent answers (Definition 8): by repair intersection
 //!   and by cautious reasoning over Π(D, IC) plus query rules.
+//! * [`plan`] — the fast-path planner: classifies each
+//!   `(IcSet, query, semantics)` request and answers it without repair
+//!   enumeration when a polynomial route is sound (see its decision
+//!   table); [`rewrite`] is the FO-rewrite route for key FDs, [`chase`]
+//!   the true/false-tuple classification for deletion-only sets.
 //! * [`nonconflict`] — the non-conflicting-IC assumption and the
 //!   deletion-preferring `Rep_d` semantics of Example 20.
 
 pub mod bruteforce;
 pub mod cache;
+pub mod chase;
 pub mod classic;
 pub mod cqa;
 pub mod engine;
 pub mod error;
 pub mod nonconflict;
 pub mod parallel;
+pub mod plan;
 pub mod program;
 pub mod query;
 pub mod repair;
+pub mod rewrite;
 
 pub use cache::{
     grounding_cache_stats, warm_caches_in, CqaCaches, GroundingCache, GroundingCacheStats,
     WorklistCache, WorklistCacheStats,
 };
 pub use cqa::{
-    consistent_answers, consistent_answers_full, consistent_answers_full_in,
-    consistent_answers_governed, consistent_answers_via_program,
-    consistent_answers_via_program_governed, consistent_answers_via_program_in, AnswerSet,
+    consistent_answers, consistent_answers_enumerated, consistent_answers_enumerated_governed,
+    consistent_answers_full, consistent_answers_full_in, consistent_answers_governed,
+    consistent_answers_via_program, consistent_answers_via_program_governed,
+    consistent_answers_via_program_in, AnswerSet,
 };
 pub use cqa_asp::{SolveOptions, SolverStateStats};
 pub use engine::{
@@ -56,6 +65,7 @@ pub use engine::{
     RepairAction, RepairConfig, RepairSemantics, RepairStep, SearchStrategy, TracedRepair,
 };
 pub use error::{CoreError, InterruptPhase};
+pub use plan::{plan_query, DeclineReason, PlanRoute, PlannerCounters, PlannerStats, QueryPlan};
 pub use program::{
     repair_program, repair_program_with, repairs_via_program, repairs_via_program_governed,
     repairs_via_program_in, repairs_via_program_solved, repairs_via_program_with, ProgramStyle,

@@ -135,32 +135,11 @@ impl ConjunctiveQuery {
         mode: QueryNullSemantics,
     ) -> std::collections::BTreeSet<Tuple> {
         let mut out = std::collections::BTreeSet::new();
-        let mut bindings: Vec<Option<Value>> = vec![None; self.var_names.len()];
-        self.join(instance, mode, 0, &mut bindings, &mut out);
-        out
-    }
-
-    fn join(
-        &self,
-        instance: &Instance,
-        mode: QueryNullSemantics,
-        depth: usize,
-        bindings: &mut Vec<Option<Value>>,
-        out: &mut std::collections::BTreeSet<Tuple>,
-    ) {
-        if depth == self.pos.len() {
-            // builtins
-            for b in &self.builtins {
-                let l = term_value(&b.lhs, bindings);
-                let r = term_value(&b.rhs, bindings);
-                if !mode.cmp(b.op, l, r) {
-                    return;
-                }
-            }
+        self.for_each_match(instance, mode, &mut |bindings| {
             // negated atoms: no matching tuple may exist.
             for n in &self.neg {
                 if atom_has_match(instance, n, bindings, mode) {
-                    return;
+                    return true;
                 }
             }
             let answer: Tuple = self
@@ -169,7 +148,45 @@ impl ConjunctiveQuery {
                 .map(|v| bindings[*v as usize].expect("safe head var"))
                 .collect();
             out.insert(answer);
-            return;
+            true
+        });
+        out
+    }
+
+    /// Enumerate every binding of the *positive* body (builtins applied,
+    /// negated atoms NOT applied) and hand it to `sink`; a `false` return
+    /// from the sink aborts the enumeration. The fast-path planner uses
+    /// this to intercept each candidate match before the classical
+    /// negation filter, substituting its own repair-aware treatment of
+    /// positive and negated ground atoms.
+    pub(crate) fn for_each_match(
+        &self,
+        instance: &Instance,
+        mode: QueryNullSemantics,
+        sink: &mut dyn FnMut(&[Option<Value>]) -> bool,
+    ) {
+        let mut bindings: Vec<Option<Value>> = vec![None; self.var_names.len()];
+        self.join_pos(instance, mode, 0, &mut bindings, sink);
+    }
+
+    fn join_pos(
+        &self,
+        instance: &Instance,
+        mode: QueryNullSemantics,
+        depth: usize,
+        bindings: &mut Vec<Option<Value>>,
+        sink: &mut dyn FnMut(&[Option<Value>]) -> bool,
+    ) -> bool {
+        if depth == self.pos.len() {
+            // builtins
+            for b in &self.builtins {
+                let l = term_value(&b.lhs, bindings);
+                let r = term_value(&b.rhs, bindings);
+                if !mode.cmp(b.op, l, r) {
+                    return true;
+                }
+            }
+            return sink(bindings);
         }
         let atom = &self.pos[depth];
         'tuples: for t in instance.relation(atom.rel) {
@@ -197,9 +214,13 @@ impl ConjunctiveQuery {
                     },
                 }
             }
-            self.join(instance, mode, depth + 1, bindings, out);
+            let keep_going = self.join_pos(instance, mode, depth + 1, bindings, sink);
             undo(bindings, &newly);
+            if !keep_going {
+                return false;
+            }
         }
+        true
     }
 }
 

@@ -429,6 +429,24 @@ impl Database {
         &self.caches
     }
 
+    /// Routing counters of the fast-path query planner for this
+    /// database's traffic: how many `consistent_answers*` calls were
+    /// answered by the FO-rewrite route, the chase fast path, or fell
+    /// back to repair enumeration, and which route the most recent call
+    /// took. Meaningful as before/after deltas (PR-8 stats idiom).
+    pub fn planner_stats(&self) -> cqa_core::PlannerStats {
+        self.caches.planner.stats()
+    }
+
+    /// The route the planner would take for a Datalog-style query under
+    /// this database's constraints and repair configuration — pure
+    /// analysis, no data is touched. `declined` lists why a fast path
+    /// was refused.
+    pub fn query_plan(&self, query: &str) -> Result<cqa_core::QueryPlan, Error> {
+        let q = cqa_sql::parse_query(self.schema(), query)?;
+        Ok(cqa_core::plan_query(&self.constraints, &q, &self.config))
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Arc<Schema> {
         self.instance.schema()
