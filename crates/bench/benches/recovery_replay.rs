@@ -27,7 +27,7 @@
 use cqa_bench::harness::Harness;
 use cqa_core::{warm_caches_in, CqaCaches, ProgramStyle};
 use cqa_relational::{s, DatabaseAtom, InstanceDelta};
-use cqa_storage::{DurableStore, FsyncPolicy, StoreOptions};
+use cqa_storage::{DurableStore, FsyncPolicy, StoreOptions, WalOp};
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
 
@@ -53,7 +53,7 @@ fn options() -> StoreOptions {
 fn store_with_wal(n: usize, w: &cqa_bench::Workload) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("cqa-bench-recovery-{n}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let mut store = DurableStore::create(&dir, &w.instance, &w.ics, options()).unwrap();
+    let store = DurableStore::create(&dir, &w.instance, &w.ics, options()).unwrap();
     let rel = w.instance.schema().rel_id("R").unwrap();
     for k in 0..n {
         let mut delta = InstanceDelta::default();
@@ -73,8 +73,10 @@ fn store_with_wal(n: usize, w: &cqa_bench::Workload) -> PathBuf {
 fn recover(dir: &Path, caches: &CqaCaches) -> usize {
     let (_store, rec) = DurableStore::open(dir, options()).unwrap();
     let mut inst = rec.snapshot_instance;
-    for (_, delta) in &rec.deltas {
-        inst.apply(delta.added.iter().cloned(), delta.removed.iter().cloned());
+    for (_, op) in &rec.ops {
+        if let WalOp::Delta(delta) = op {
+            inst.apply(delta.added.iter().cloned(), delta.removed.iter().cloned());
+        }
     }
     warm_caches_in(&inst, &rec.ics, ProgramStyle::Corrected, caches).unwrap();
     inst.len()

@@ -18,7 +18,8 @@
 //! never on the id — the `symbol_roundtrip` property suite pins this.
 
 use crate::error::StorageError;
-use cqa_relational::{DatabaseAtom, InstanceDelta, RelId, Symbol, Tuple, Value};
+use cqa_constraints::{CmpOp, Constraint, Ic, IcAtom, IcSet, Nnc, Term, TermSpec};
+use cqa_relational::{DatabaseAtom, InstanceDelta, RelId, Schema, Symbol, Tuple, Value};
 use std::collections::HashMap;
 
 /// Sanity cap on any single length-prefixed section (strings, frames,
@@ -395,6 +396,293 @@ pub fn decode_delta(bytes: &[u8]) -> Result<InstanceDelta, StorageError> {
     Ok(delta)
 }
 
+// ---------------------------------------------------------------------
+// Constraint payloads (structural encoding, shared by the manifest and
+// constraint WAL frames)
+// ---------------------------------------------------------------------
+
+fn encode_term(sink: &mut SymbolSink, w: &mut Writer, term: &Term) {
+    match term {
+        Term::Var(v) => {
+            w.u8(0);
+            w.u32(v.0);
+        }
+        Term::Const(val) => {
+            w.u8(1);
+            sink.value(w, val);
+        }
+    }
+}
+
+fn encode_ic_atoms(sink: &mut SymbolSink, w: &mut Writer, atoms: &[IcAtom]) {
+    w.u32(atoms.len() as u32);
+    for atom in atoms {
+        w.u32(atom.rel.0);
+        w.u32(atom.terms.len() as u32);
+        for t in &atom.terms {
+            encode_term(sink, w, t);
+        }
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Neq => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Leq => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Geq => 5,
+    }
+}
+
+/// Encode one constraint structurally (atoms, terms, builtin
+/// comparisons, variable names), interning constants through `sink`.
+pub fn encode_constraint(sink: &mut SymbolSink, w: &mut Writer, con: &Constraint) {
+    match con {
+        Constraint::Tgd(ic) => {
+            w.u8(0);
+            w.str(ic.name());
+            w.u32(ic.var_count() as u32);
+            for v in 0..ic.var_count() {
+                w.str(ic.var_name(cqa_constraints::VarId(v as u32)));
+            }
+            encode_ic_atoms(sink, w, ic.body());
+            encode_ic_atoms(sink, w, ic.head());
+            w.u32(ic.builtins().len() as u32);
+            for b in ic.builtins() {
+                w.u8(cmp_tag(b.op));
+                encode_term(sink, w, &b.lhs);
+                encode_term(sink, w, &b.rhs);
+            }
+        }
+        Constraint::NotNull(nnc) => {
+            w.u8(1);
+            w.str(&nnc.name);
+            w.u32(nnc.rel.0);
+            w.u32(nnc.position as u32);
+        }
+    }
+}
+
+/// Encode a whole constraint set: count, then each constraint.
+pub fn encode_constraints(sink: &mut SymbolSink, w: &mut Writer, ics: &IcSet) {
+    w.u32(ics.len() as u32);
+    for con in ics.constraints() {
+        encode_constraint(sink, w, con);
+    }
+}
+
+fn decode_term(
+    source: &SymbolSource,
+    r: &mut Reader<'_>,
+    var_names: &[String],
+) -> Result<TermSpec, StorageError> {
+    match r.u8()? {
+        0 => {
+            let idx = r.u32()? as usize;
+            let name = var_names.get(idx).ok_or_else(|| {
+                StorageError::corrupt(
+                    "persisted constraint",
+                    format!("variable id {idx} out of range ({} names)", var_names.len()),
+                )
+            })?;
+            Ok(TermSpec::Var(name.clone()))
+        }
+        1 => Ok(TermSpec::Const(source.value(r)?)),
+        tag => Err(StorageError::corrupt(
+            "persisted constraint",
+            format!("unknown term tag {tag}"),
+        )),
+    }
+}
+
+fn decode_ic_atoms(
+    source: &SymbolSource,
+    r: &mut Reader<'_>,
+    var_names: &[String],
+    schema: &Schema,
+) -> Result<Vec<(String, Vec<TermSpec>)>, StorageError> {
+    let count = r.len_u32()? as usize;
+    let mut atoms = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rel = RelId(r.u32()?);
+        if rel.index() >= schema.len() {
+            return Err(StorageError::corrupt(
+                "persisted constraint",
+                format!("relation id {rel} out of range"),
+            ));
+        }
+        let name = schema.relation(rel).name().to_string();
+        let arity = r.len_u32()? as usize;
+        let mut terms = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            terms.push(decode_term(source, r, var_names)?);
+        }
+        atoms.push((name, terms));
+    }
+    Ok(atoms)
+}
+
+fn decode_cmp(tag: u8) -> Result<CmpOp, StorageError> {
+    Ok(match tag {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Neq,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Leq,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Geq,
+        other => {
+            return Err(StorageError::corrupt(
+                "persisted constraint",
+                format!("unknown comparison tag {other}"),
+            ))
+        }
+    })
+}
+
+/// Decode one constraint written by [`encode_constraint`], rebuilding it
+/// through [`Ic::builder`] / [`Nnc::new`] so the result is `Eq`-equal to
+/// the saved value (the builder replays atoms and terms in their
+/// original order, re-deriving the same first-occurrence variable ids
+/// and all derived metadata).
+pub fn decode_constraint(
+    source: &SymbolSource,
+    r: &mut Reader<'_>,
+    schema: &Schema,
+) -> Result<Constraint, StorageError> {
+    match r.u8()? {
+        0 => {
+            let name = r.str()?.to_string();
+            let var_count = r.len_u32()? as usize;
+            let mut var_names = Vec::with_capacity(var_count);
+            for _ in 0..var_count {
+                var_names.push(r.str()?.to_string());
+            }
+            let body = decode_ic_atoms(source, r, &var_names, schema)?;
+            let head = decode_ic_atoms(source, r, &var_names, schema)?;
+            let builtin_count = r.len_u32()? as usize;
+            let mut builtins = Vec::with_capacity(builtin_count);
+            for _ in 0..builtin_count {
+                let op = decode_cmp(r.u8()?)?;
+                let lhs = decode_term(source, r, &var_names)?;
+                let rhs = decode_term(source, r, &var_names)?;
+                builtins.push((op, lhs, rhs));
+            }
+            let mut builder = Ic::builder(schema, name);
+            for (rel, terms) in body {
+                builder = builder.body_atom(&rel, terms);
+            }
+            for (rel, terms) in head {
+                builder = builder.head_atom(&rel, terms);
+            }
+            for (op, lhs, rhs) in builtins {
+                builder = builder.builtin(lhs, op, rhs);
+            }
+            Ok(builder.finish()?.into())
+        }
+        1 => {
+            let name = r.str()?.to_string();
+            let rel = RelId(r.u32()?);
+            if rel.index() >= schema.len() {
+                return Err(StorageError::corrupt(
+                    "persisted constraint",
+                    format!("relation id {rel} out of range"),
+                ));
+            }
+            let position = r.u32()? as usize;
+            let rel_name = schema.relation(rel).name().to_string();
+            Ok(Nnc::new(schema, name, &rel_name, position)?.into())
+        }
+        tag => Err(StorageError::corrupt(
+            "persisted constraint",
+            format!("unknown constraint tag {tag}"),
+        )),
+    }
+}
+
+/// Decode a constraint set written by [`encode_constraints`].
+pub fn decode_constraints(
+    source: &SymbolSource,
+    r: &mut Reader<'_>,
+    schema: &Schema,
+) -> Result<IcSet, StorageError> {
+    let count = r.len_u32()? as usize;
+    let mut ics = IcSet::default();
+    for _ in 0..count {
+        ics.push(decode_constraint(source, r, schema)?);
+    }
+    Ok(ics)
+}
+
+// ---------------------------------------------------------------------
+// Tagged WAL operations (the frame payload, format v2)
+// ---------------------------------------------------------------------
+
+/// Payload tag of an instance-delta frame.
+const OP_DELTA: u8 = 0;
+/// Payload tag of an added-constraint frame.
+const OP_CONSTRAINT: u8 = 1;
+
+/// One decoded WAL operation: what a recovered frame asks the caller to
+/// replay.
+#[derive(Debug)]
+pub enum WalOp {
+    /// Apply an instance delta.
+    Delta(InstanceDelta),
+    /// Add a constraint to the set. Constraint changes ride the WAL as
+    /// O(delta) appends — recovery replays them in sequence order with
+    /// the deltas — instead of forcing a full snapshot rewrite.
+    Constraint(Constraint),
+}
+
+/// Encode a delta as a tagged WAL frame payload.
+pub fn encode_delta_op(delta: &InstanceDelta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(OP_DELTA);
+    out.extend_from_slice(&encode_delta(delta));
+    out
+}
+
+/// Encode an added constraint as a tagged WAL frame payload. The
+/// payload is self-describing (it carries its own symbol table for any
+/// constant values), like every other frame.
+pub fn encode_constraint_op(con: &Constraint) -> Vec<u8> {
+    let mut sink = SymbolSink::new();
+    let mut staged = Writer::new();
+    encode_constraint(&mut sink, &mut staged, con);
+    let mut w = Writer::new();
+    w.u8(OP_CONSTRAINT);
+    sink.encode_table(&mut w);
+    w.raw(&staged.into_bytes());
+    w.into_bytes()
+}
+
+/// Decode a tagged frame payload produced by [`encode_delta_op`] or
+/// [`encode_constraint_op`]. Constraint frames need the schema (from
+/// the snapshot manifest) to re-validate relation ids.
+pub fn decode_op(bytes: &[u8], schema: &Schema) -> Result<WalOp, StorageError> {
+    let mut r = Reader::new(bytes, "wal frame payload");
+    match r.u8()? {
+        OP_DELTA => Ok(WalOp::Delta(decode_delta(&bytes[1..])?)),
+        OP_CONSTRAINT => {
+            let source = SymbolSource::decode_table(&mut r)?;
+            let con = decode_constraint(&source, &mut r, schema)?;
+            if !r.is_exhausted() {
+                return Err(StorageError::corrupt(
+                    "wal frame payload",
+                    format!("{} trailing bytes after constraint", r.remaining()),
+                ));
+            }
+            Ok(WalOp::Constraint(con))
+        }
+        tag => Err(StorageError::corrupt(
+            "wal frame payload",
+            format!("unknown operation tag {tag}"),
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,6 +781,50 @@ mod tests {
         assert_eq!(source.resolve(0, "test").unwrap(), b);
         assert_eq!(source.resolve(1, "test").unwrap(), a);
         assert!(source.resolve(2, "test").is_err());
+    }
+
+    #[test]
+    fn tagged_ops_roundtrip() {
+        use cqa_constraints::{c, v};
+        let schema = Schema::builder()
+            .relation("r", ["x", "y"])
+            .relation("s", ["u", "v"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        // Constraint ops: a Tgd with a constant (exercises the symbol
+        // table) and an Nnc, both Eq-equal after the roundtrip.
+        let tgd: Constraint = Ic::builder(&schema, "key_r")
+            .body_atom("r", [v("x"), v("y")])
+            .body_atom("r", [v("x"), v("z")])
+            .builtin(v("y"), CmpOp::Eq, v("z"))
+            .builtin(v("x"), CmpOp::Neq, c(s("op-roundtrip-const")))
+            .finish()
+            .unwrap()
+            .into();
+        let nnc: Constraint = Nnc::new(&schema, "nn_s_u", "s", 0).unwrap().into();
+        for con in [tgd, nnc] {
+            let bytes = encode_constraint_op(&con);
+            match decode_op(&bytes, &schema).unwrap() {
+                WalOp::Constraint(back) => assert_eq!(back, con),
+                other => panic!("expected a constraint op, got {other:?}"),
+            }
+        }
+        // Delta ops carry the untagged delta payload behind tag 0.
+        let mut delta = InstanceDelta::default();
+        delta.added.insert(DatabaseAtom::new(
+            RelId(0),
+            Tuple::new(vec![s("x"), null()]),
+        ));
+        match decode_op(&encode_delta_op(&delta), &schema).unwrap() {
+            WalOp::Delta(back) => assert_eq!(back, delta),
+            other => panic!("expected a delta op, got {other:?}"),
+        }
+        // Unknown tags and trailing bytes are corruption, not panics.
+        assert!(decode_op(&[9], &schema).is_err());
+        let mut trailing = encode_constraint_op(&Nnc::new(&schema, "t", "s", 1).unwrap().into());
+        trailing.push(0);
+        assert!(decode_op(&trailing, &schema).is_err());
     }
 
     #[test]

@@ -1,23 +1,25 @@
-//! # cqa-storage — WAL + snapshot durability
+//! # cqa-storage — WAL + segmented-snapshot durability
 //!
 //! Crash-safe persistence for the nullcqa workspace: a write-ahead log
-//! of [`InstanceDelta`](cqa_relational::InstanceDelta) frames paired
-//! with periodic full snapshots, std-only like the rest of the
-//! workspace. The delta is the same first-class value that drives the
-//! incremental grounding cache, so recovery is a *replay through the
-//! ordinary incremental machinery* — a reopened database is not just
-//! consistent with every acknowledged write, its derived state
-//! (groundings, worklists) rebuilds warm instead of from scratch.
+//! of tagged ops — [`InstanceDelta`](cqa_relational::InstanceDelta)
+//! frames and constraint frames — paired with incremental per-relation
+//! snapshots, std-only like the rest of the workspace. The delta is the
+//! same first-class value that drives the incremental grounding cache,
+//! so recovery is a *replay through the ordinary incremental machinery*
+//! — a reopened database is not just consistent with every acknowledged
+//! write, its derived state (groundings, worklists) rebuilds warm
+//! instead of from scratch.
 //!
 //! ## On-disk format
 //!
-//! A store is a directory with two files (plus a transient
-//! `snapshot.tmp` during compaction):
+//! A store is a directory holding a WAL, a manifest, and one segment
+//! file per relation (plus a transient `manifest.tmp` during
+//! compaction):
 //!
 //! ### WAL (`<dir>/wal`)
 //!
 //! ```text
-//! [ magic "CQAWAL01" : 8 bytes ]
+//! [ magic "CQAWAL02" : 8 bytes ]
 //! [ frame ]*
 //!
 //! frame := [ payload_len : u32 LE ]
@@ -25,7 +27,10 @@
 //!          [ crc32       : u32 LE ]   CRC-32/IEEE over seq_LE || payload
 //!          [ payload     : payload_len bytes ]
 //!
-//! payload := [ symbol table ] [ removed atoms ] [ added atoms ]
+//! payload := [ op_tag : u8 ]  0 = delta, 1 = constraint
+//!            [ op body ]      delta: symbol table, removed, added
+//!                             constraint: symbol table, structural
+//!                             Ic / Nnc encoding
 //! ```
 //!
 //! Every frame is self-describing: it carries its own symbol table
@@ -33,6 +38,13 @@
 //! decodable by any other. The CRC covers sequence number and payload
 //! together, so a frame spliced from another log — or one whose header
 //! survived a torn write but whose body did not — fails as a unit.
+//!
+//! **Constraint frames** make `add_constraint` an O(delta) append:
+//! instead of forcing a snapshot rewrite (constraints used to live only
+//! in snapshots), the constraint is logged as a tagged frame and
+//! recovery replays it in sequence order with the deltas. The next
+//! compaction folds it into the manifest like any other acknowledged
+//! write.
 //!
 //! **Torn-tail semantics.** A crash mid-append leaves a short or
 //! corrupt final frame; that is the expected steady state of a WAL, not
@@ -43,26 +55,23 @@
 //! whose append returned, under `FsyncPolicy::Always`) are always in
 //! the surviving prefix.
 //!
-//! ### Snapshot (`<dir>/snapshot`)
+//! ### Snapshot (`<dir>/manifest` + `<dir>/seg-<rel>-<epoch>`)
 //!
-//! ```text
-//! [ magic "CQASNAP1" : 8 bytes ]
-//! [ body_len : u64 LE ]
-//! [ body     : body_len bytes ]
-//! [ crc32(body) : u32 LE ]
+//! The snapshot is segmented: a small manifest records the schema, the
+//! constraint set, and one entry per relation naming a segment file
+//! that holds the relation's tuples (see [`snapshot`] for the exact
+//! byte layout). Both manifest and segments are all-or-nothing
+//! `[magic][body_len][body][crc32]` files; the manifest additionally
+//! pins each segment's expected length and body CRC, so a swapped or
+//! truncated segment is detected as a unit.
 //!
-//! body := [ last_seq : u64 ]   highest WAL seq folded in
-//!         [ schema ]           relation + attribute names
-//!         [ symbol table ]     file-local id → string
-//!         [ relations ]        per relation: tuple count, packed tuples
-//!         [ constraints ]      structural Ic / Nnc encoding
-//! ```
-//!
-//! Snapshots are all-or-nothing (no salvageable prefix), so atomicity
-//! comes from the writer protocol: write `snapshot.tmp`, `fsync`,
-//! `rename` over `snapshot`, `fsync` the directory. A crash at any
-//! point leaves either the complete old snapshot or the complete new
-//! one; a stale `snapshot.tmp` is swept on open.
+//! Atomicity comes from the writer protocol: write changed segments to
+//! *fresh* epoch-stamped names and fsync them, fsync the directory,
+//! then write `manifest.tmp`, `fsync`, `rename` over `manifest`, and
+//! `fsync` the directory again. The rename is the commit point: a crash
+//! at any step leaves either the complete old snapshot or the complete
+//! new one. Debris — a stale `manifest.tmp`, segment files no manifest
+//! references — is swept on open, never trusted.
 //!
 //! ### Symbol remapping
 //!
@@ -73,7 +82,7 @@
 //! Value ordering survives the remap because `Symbol`'s `Ord` is
 //! lexicographic on the resolved text, never on the id.
 //!
-//! ### Fsync semantics
+//! ### Fsync semantics and group commit
 //!
 //! [`FsyncPolicy`] governs when appended WAL frames reach stable
 //! storage: `Always` (every acknowledged write survives power loss),
@@ -82,14 +91,40 @@
 //! nothing, since the page cache outlives the process). Snapshot writes
 //! always sync, regardless of policy.
 //!
+//! Under `Always`, the fsync is **group-committed** by default
+//! ([`StoreOptions::group_commit`]): an append stages its frame and is
+//! acknowledged once a *leader* — the first appender to arrive at the
+//! commit rendezvous — issues one fsync covering every frame written so
+//! far. Concurrent appenders therefore share fsyncs instead of paying
+//! one each, while the acknowledgment contract stays exactly
+//! per-append-fsync's: **an append does not return until stable storage
+//! covers its frame; nothing is ever acknowledged that a reopen can
+//! lose.** If the covering fsync fails, every append it would have
+//! acknowledged returns an error and none of those frames count as
+//! durable. [`StoreOptions::group_window_us`] optionally lets the
+//! leader linger for stragglers; [`StoreOptions::group_max_batch`]
+//! skips the linger once enough frames are waiting.
+//!
 //! ### Compaction
 //!
 //! When the WAL outgrows a configured fraction of the snapshot
 //! ([`StoreOptions`]), the store folds the current in-memory state into
-//! a fresh snapshot stamped with the current `last_seq` and resets the
-//! log. Sequence numbers carry forward across the reset, so recovery
-//! resolves every compaction crash window by rule: apply exactly the
-//! frames with `seq > snapshot.last_seq`.
+//! the snapshot stamped with the current `last_seq` and resets the log.
+//! Compaction is **incremental**: the store tracks which relations
+//! appends have touched since the last snapshot (including ops
+//! recovered from the WAL at open) and rewrites only their segments,
+//! re-referencing every clean segment from the previous manifest —
+//! O(changed relations), not O(instance). Sequence numbers carry
+//! forward across the reset, so recovery resolves every compaction
+//! crash window by rule: apply exactly the frames with
+//! `seq > manifest.last_seq`.
+//!
+//! ### Observability
+//!
+//! [`DurableStore::stats`] returns a [`StoreStats`] with the write-path
+//! counters — appends, fsyncs, group-commit batch sizes, segments
+//! written vs reused — following the same named-stats convention as the
+//! engine-side cache stats.
 //!
 //! ## Failure model
 //!
@@ -102,31 +137,38 @@
 //! Faults considered, and the contract under each:
 //!
 //! * **Torn writes** — a crash truncates an in-flight WAL append (or
-//!   tmp-snapshot write) at any byte boundary. Contract: reopen
-//!   succeeds; the torn tail is truncated and reported
-//!   ([`RecoveryReport::bytes_truncated`]); every acknowledged-and-
-//!   synced write survives.
+//!   segment / tmp-manifest write) at any byte boundary. Contract:
+//!   reopen succeeds; a torn WAL tail is truncated and reported
+//!   ([`RecoveryReport::bytes_truncated`]); a torn segment or manifest
+//!   write is invisible because nothing referenced it yet (fresh names,
+//!   rename-commit); every acknowledged-and-synced write survives.
 //! * **Bit rot / corruption** — any persisted byte flips after a
 //!   successful write. Contract: the CRC layer detects it; open fails
 //!   with a *typed* [`StorageError`] naming the damaged structure,
 //!   never a panic, a hang, or silently wrong data. A corrupt
 //!   mid-WAL frame drops that frame and its suffix (reported in
-//!   [`RecoveryReport::frames_skipped`]); a corrupt snapshot is fatal
-//!   for the store, by design — the snapshot is the root of trust.
-//! * **Failed syscalls** — `write`/`fsync`/`rename`/`create` returning
-//!   an error at any point. Contract: the error propagates as
+//!   [`RecoveryReport::frames_skipped`]); a corrupt manifest or
+//!   referenced segment is fatal for the store, by design — the
+//!   manifest is the root of trust.
+//! * **Failed syscalls** — `write`/`fsync`/`rename`/`remove`/`create`
+//!   returning an error at any point. Contract: the error propagates as
 //!   [`StorageError`]; on-disk state remains one of the two states the
-//!   writer protocol allows (old or new), so a subsequent open
-//!   recovers a consistent prefix.
-//! * **Crash between protocol steps** — e.g. after `snapshot.tmp` is
-//!   written but before the rename, or after rename but before the
-//!   directory sync. Contract: the open-time sweep and the
-//!   `seq > last_seq` replay rule resolve every interleaving.
+//!   writer protocol allows (old or new), so a subsequent open recovers
+//!   a consistent prefix. A failed group-commit fsync errors *every*
+//!   append that fsync would have acknowledged.
+//! * **Crash between protocol steps** — e.g. after segments are written
+//!   but before the manifest, after `manifest.tmp` is written but
+//!   before the rename, or after the rename but before the directory
+//!   sync. Contract: the open-time sweep and the `seq > last_seq`
+//!   replay rule resolve every interleaving; unreferenced segment files
+//!   are garbage-collected, never read.
 //!
 //! Out of scope: byzantine filesystems that acknowledge syncs without
 //! persisting (the contract is only as strong as `fsync`), collisions
 //! of CRC-32 (detection, not authentication), and concurrent writers
-//! (single write role, enforced by the facade's clone semantics).
+//! (single write role, enforced by the facade's clone semantics;
+//! concurrent *appends through one handle* are in scope and exactly
+//! what group commit coalesces).
 //!
 //! The test oracle is equivalence: for every injected fault, either the
 //! operation reports a typed error and the reopened store equals the
@@ -140,8 +182,9 @@ pub mod store;
 pub mod vfs;
 pub mod wal;
 
+pub use codec::WalOp;
 pub use error::StorageError;
-pub use snapshot::Snapshot;
-pub use store::{DurableStore, Recovered, RecoveryReport, StoreOptions};
+pub use snapshot::{SegmentEntry, Snapshot, SnapshotLayout};
+pub use store::{DurableStore, Recovered, RecoveryReport, StoreOptions, StoreStats};
 pub use vfs::{FaultScript, FaultVfs, OpCounts, RealVfs, Vfs, VfsFile};
 pub use wal::FsyncPolicy;

@@ -1,49 +1,88 @@
-//! The durable store: one directory holding a snapshot plus a WAL, with
-//! the recovery and compaction protocol between them.
+//! The durable store: one directory holding a segmented snapshot plus a
+//! WAL, with the recovery, group-commit and compaction protocol between
+//! them.
 //!
 //! ## Directory layout
 //!
 //! ```text
-//! <dir>/snapshot       complete state as of some WAL sequence number
-//! <dir>/wal            InstanceDelta frames appended since that point
-//! <dir>/snapshot.tmp   transient; a crash mid-compaction can leave one
+//! <dir>/manifest          snapshot root: schema, constraints, and one
+//!                         entry per relation segment (see
+//!                         [`crate::snapshot`])
+//! <dir>/seg-<rel>-<epoch> per-relation tuple segments
+//! <dir>/wal               tagged op frames appended since the manifest
+//! <dir>/manifest.tmp      transient; a crash mid-compaction can leave
+//!                         one (swept on open, never trusted)
 //! ```
 //!
 //! ## Protocol invariants
 //!
-//! - **WAL-before-state**: callers append a delta (and, per
-//!   [`FsyncPolicy`], sync it) *before* mutating in-memory state. An
-//!   acknowledged write is therefore always recoverable.
+//! - **WAL-before-state**: callers append an op *before* mutating
+//!   in-memory state, and the append does not return under
+//!   [`FsyncPolicy::Always`] until an fsync covers it. An acknowledged
+//!   write is therefore always recoverable.
+//! - **Group commit**: under `Always` with
+//!   [`StoreOptions::group_commit`] enabled, the fsync is issued by a
+//!   *leader* — the first appender to arrive — whose single
+//!   `fdatasync` covers every frame written before it, including frames
+//!   other threads appended while the leader was waiting its turn.
+//!   Followers block until the leader reports a durable (or failed)
+//!   sequence number at or past their own. The acknowledgment contract
+//!   is byte-for-byte the one per-append fsync gives: nothing returns
+//!   to the caller that a reopen can lose.
 //! - **Monotonic sequence numbers**: frame seqs start at 1 and are never
-//!   reused, even across compactions. The snapshot records the highest
+//!   reused, even across compactions. The manifest records the highest
 //!   seq folded into it (`last_seq`); recovery applies only frames with
-//!   `seq > last_seq`, so every crash window around compaction —
-//!   snapshot written but WAL not yet reset, or reset but the process
-//!   died before acknowledging — resolves to the same state.
-//! - **Atomic snapshot replace**: compaction writes `snapshot.tmp`,
-//!   syncs, renames over `snapshot`, syncs the directory. A stale
-//!   `snapshot.tmp` found on open is deleted, never trusted.
+//!   `seq > last_seq`, so every crash window around compaction resolves
+//!   to the same state.
+//! - **Incremental compaction**: the store tracks which relations have
+//!   been touched by appends since the last snapshot; compaction
+//!   rewrites *only their* segments (to fresh epoch-stamped names) and
+//!   re-references the rest, then commits at the manifest rename —
+//!   O(changed relations), not O(instance). Constraints ride in the
+//!   manifest itself and are always current.
+//! - **Constraint frames are O(delta)**: `add_constraint` appends one
+//!   tagged WAL frame ([`WalOp::Constraint`]) instead of forcing a
+//!   snapshot rewrite; recovery replays it in sequence order with the
+//!   delta frames.
 //!
 //! The store moves bytes and sequence numbers; it never interprets the
-//! deltas. Replaying them through the incremental grounding machinery is
+//! ops. Replaying them through the incremental grounding machinery is
 //! the facade's job — that is what makes a reopened database arrive
 //! *warm*, not just consistent.
 
-use crate::codec::{decode_delta, encode_delta};
+use crate::codec::{encode_constraint_op, encode_delta_op, WalOp};
 use crate::error::StorageError;
-use crate::snapshot;
+use crate::snapshot::{self, SnapshotLayout};
 use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{FsyncPolicy, Wal};
-use cqa_constraints::IcSet;
-use cqa_relational::{Instance, InstanceDelta};
+use cqa_constraints::{Constraint, IcSet};
+use cqa_relational::{Instance, InstanceDelta, RelId};
+use std::collections::BTreeSet;
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Tuning knobs for a [`DurableStore`].
 #[derive(Debug, Clone, Copy)]
 pub struct StoreOptions {
     /// When appended WAL frames are flushed to stable storage.
     pub fsync: FsyncPolicy,
+    /// Coalesce `Always`-policy fsyncs across concurrent appenders: one
+    /// leader fsync acknowledges the whole batch. Identical crash
+    /// contract; with a single appender and no
+    /// [`StoreOptions::group_window_us`] it degenerates to one fsync
+    /// per append.
+    pub group_commit: bool,
+    /// How long a group-commit leader lingers for stragglers before
+    /// issuing its fsync, in microseconds. The leader polls, so it
+    /// leaves the window early the moment
+    /// [`StoreOptions::group_max_batch`] frames are staged. `0` syncs
+    /// immediately, coalescing only frames that have already landed.
+    pub group_window_us: u64,
+    /// A leader stops lingering once this many frames are already
+    /// awaiting the fsync.
+    pub group_max_batch: u32,
     /// Compaction triggers when `wal_bytes > snapshot_bytes * num / den`
     /// (and the WAL exceeds [`StoreOptions::compact_min_wal_bytes`]).
     pub compact_num: u64,
@@ -58,9 +97,52 @@ impl Default for StoreOptions {
     fn default() -> Self {
         StoreOptions {
             fsync: FsyncPolicy::Always,
+            group_commit: true,
+            group_window_us: 0,
+            group_max_batch: 64,
             compact_num: 1,
             compact_den: 1,
             compact_min_wal_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Write-path counters, named and cheap to copy — the storage
+/// counterpart of the engine-side cache stats. Snapshot via
+/// [`DurableStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// WAL frames appended (delta + constraint).
+    pub appends: u64,
+    /// Constraint frames among the appends.
+    pub constraint_frames: u64,
+    /// fsyncs issued on the WAL (any policy, group or solo).
+    pub fsyncs: u64,
+    /// Group-commit fsyncs among them (leader syncs).
+    pub group_commits: u64,
+    /// Total frames acknowledged by group-commit fsyncs; divide by
+    /// [`StoreStats::group_commits`] for the mean batch size.
+    pub group_batch_frames: u64,
+    /// Largest single group-commit batch.
+    pub group_batch_max: u64,
+    /// Current WAL length in bytes (sampled when the stats are read).
+    pub wal_bytes: u64,
+    /// Snapshot compactions performed by this handle.
+    pub compactions: u64,
+    /// Segment files freshly written across those compactions.
+    pub segments_written: u64,
+    /// Segment entries reused by reference across those compactions.
+    pub segments_reused: u64,
+}
+
+impl StoreStats {
+    /// Mean group-commit batch size (0.0 before the first group
+    /// commit).
+    pub fn mean_group_batch(&self) -> f64 {
+        if self.group_commits == 0 {
+            0.0
+        } else {
+            self.group_batch_frames as f64 / self.group_commits as f64
         }
     }
 }
@@ -72,8 +154,10 @@ pub struct RecoveryReport {
     pub snapshot_atoms: usize,
     /// Highest sequence number folded into the snapshot.
     pub snapshot_last_seq: u64,
-    /// Frames replayed on top of the snapshot.
+    /// Frames replayed on top of the snapshot (delta + constraint).
     pub frames_applied: u64,
+    /// Constraint frames among the replayed ones.
+    pub constraint_frames: u64,
     /// Intact frames skipped because the snapshot already covered them
     /// (the compaction-then-crash window).
     pub frames_skipped: u64,
@@ -89,34 +173,61 @@ pub struct RecoveryReport {
 /// The result of opening an existing store.
 #[derive(Debug)]
 pub struct Recovered {
-    /// The instance exactly as the snapshot recorded it (WAL deltas
-    /// **not** yet applied) — the caller replays [`Recovered::deltas`]
+    /// The instance exactly as the snapshot recorded it (WAL ops
+    /// **not** yet applied) — the caller replays [`Recovered::ops`]
     /// through its own incremental paths.
     pub snapshot_instance: Instance,
-    /// The persisted constraint set.
+    /// The constraint set as of the snapshot (WAL constraint frames
+    /// **not** yet applied).
     pub ics: IcSet,
-    /// Surviving WAL deltas in sequence order, each past the snapshot
+    /// Surviving WAL ops in sequence order, each past the snapshot
     /// horizon.
-    pub deltas: Vec<(u64, InstanceDelta)>,
+    pub ops: Vec<(u64, WalOp)>,
     /// What recovery found and did.
     pub report: RecoveryReport,
 }
 
-/// A snapshot + WAL pair rooted at one directory.
+/// Everything guarded by the store's primary lock: the WAL handle, the
+/// live snapshot layout, and the dirty-relation set that makes
+/// compaction incremental.
+#[derive(Debug)]
+struct StoreInner {
+    wal: Wal,
+    layout: SnapshotLayout,
+    /// Relations touched by appends since the last snapshot (including
+    /// ops recovered from the WAL at open). Their segments must be
+    /// rewritten at the next compaction; everything else is reused.
+    dirty: BTreeSet<RelId>,
+    /// Appends since the last fsync, for [`FsyncPolicy::EveryN`].
+    pending_syncs: u32,
+    stats: StoreStats,
+}
+
+/// Group-commit rendezvous state: which seqs are durable, which failed,
+/// and whether a leader currently owns the fsync.
+#[derive(Debug, Default)]
+struct GroupState {
+    durable_seq: u64,
+    failed_seq: u64,
+    failed_msg: String,
+    leader_active: bool,
+}
+
+/// A manifest + segments + WAL ensemble rooted at one directory.
+///
+/// All methods take `&self`; internal locking makes concurrent appends
+/// safe, which is what group commit coalesces across.
 #[derive(Debug)]
 pub struct DurableStore {
     dir: PathBuf,
-    wal: Wal,
-    snapshot_bytes: u64,
     options: StoreOptions,
     vfs: Arc<dyn Vfs>,
+    inner: Mutex<StoreInner>,
+    commit: Mutex<GroupState>,
+    commit_cv: Condvar,
 }
 
 impl DurableStore {
-    fn snapshot_path(dir: &Path) -> PathBuf {
-        dir.join("snapshot")
-    }
-
     fn wal_path(dir: &Path) -> PathBuf {
         dir.join("wal")
     }
@@ -143,25 +254,32 @@ impl DurableStore {
         vfs: Arc<dyn Vfs>,
     ) -> Result<DurableStore, StorageError> {
         vfs.create_dir_all(dir)?;
-        let snap_path = Self::snapshot_path(dir);
-        if vfs.exists(&snap_path) {
+        if vfs.exists(&snapshot::manifest_path(dir)) {
             return Err(StorageError::AlreadyExists(dir.to_path_buf()));
         }
-        let snapshot_bytes = snapshot::write_with(vfs.as_ref(), &snap_path, instance, ics, 0)?;
-        let wal = Wal::create_with(vfs.as_ref(), &Self::wal_path(dir), options.fsync)?;
+        let outcome = snapshot::write_with(vfs.as_ref(), dir, instance, ics, 0, None)?;
+        let wal = Wal::create_with(vfs.as_ref(), &Self::wal_path(dir))?;
         Ok(DurableStore {
             dir: dir.to_path_buf(),
-            wal,
-            snapshot_bytes,
             options,
             vfs,
+            inner: Mutex::new(StoreInner {
+                wal,
+                layout: outcome.layout,
+                dirty: BTreeSet::new(),
+                pending_syncs: 0,
+                stats: StoreStats::default(),
+            }),
+            commit: Mutex::new(GroupState::default()),
+            commit_cv: Condvar::new(),
         })
     }
 
-    /// Open an existing store: verify the snapshot, scan the WAL
-    /// (truncating any torn tail), and hand back the surviving deltas
-    /// for the caller to replay. Fails with [`StorageError::NotAStore`]
-    /// if `dir` has no snapshot.
+    /// Open an existing store: verify the manifest and every referenced
+    /// segment, sweep compaction debris, scan the WAL (truncating any
+    /// torn tail), and hand back the surviving ops for the caller to
+    /// replay. Fails with [`StorageError::NotAStore`] if `dir` has no
+    /// manifest.
     pub fn open(
         dir: &Path,
         options: StoreOptions,
@@ -176,67 +294,89 @@ impl DurableStore {
         options: StoreOptions,
         vfs: Arc<dyn Vfs>,
     ) -> Result<(DurableStore, Recovered), StorageError> {
-        let snap_path = Self::snapshot_path(dir);
-        if !vfs.exists(&snap_path) {
+        if !vfs.exists(&snapshot::manifest_path(dir)) {
             return Err(StorageError::NotAStore(dir.to_path_buf()));
         }
-        // A crash mid-compaction can leave a half-written tmp file; the
-        // real snapshot is intact (rename is the commit point).
-        let stale_tmp = snap_path.with_extension("tmp");
-        if vfs.exists(&stale_tmp) {
-            vfs.remove_file(&stale_tmp)?;
-        }
-
-        let snap = snapshot::read_with(vfs.as_ref(), &snap_path)?;
+        let snap = snapshot::read_with(vfs.as_ref(), dir)?;
+        // A crash mid-compaction can leave a half-written manifest.tmp
+        // or segment files no manifest references; the committed
+        // snapshot is intact (rename is the commit point), the debris
+        // is deleted, never trusted.
+        snapshot::sweep_with(vfs.as_ref(), dir, &snap.layout)?;
 
         let wal_path = Self::wal_path(dir);
         let (mut wal, scan) = if vfs.exists(&wal_path) {
-            Wal::open_with(vfs.as_ref(), &wal_path, options.fsync)?
+            Wal::open_with(vfs.as_ref(), &wal_path)?
         } else {
             // Crash window between snapshot creation and WAL creation:
             // the snapshot alone is a complete, empty-log store.
             (
-                Wal::create_with(vfs.as_ref(), &wal_path, options.fsync)?,
+                Wal::create_with(vfs.as_ref(), &wal_path)?,
                 Default::default(),
             )
         };
         // A WAL rebuilt empty (missing, or caught in the create window)
         // must not reuse sequence numbers the snapshot already covers.
-        wal.ensure_seq_at_least(snap.last_seq + 1);
+        wal.ensure_seq_at_least(snap.layout.last_seq + 1);
 
-        let mut deltas = Vec::new();
+        let schema = snap.instance.schema().clone();
+        let mut ops = Vec::new();
         let mut frames_skipped = 0u64;
-        let mut last_seq = snap.last_seq;
+        let mut constraint_frames = 0u64;
+        let mut last_seq = snap.layout.last_seq;
+        // Relations the surviving ops touch are dirty relative to the
+        // on-disk segments: the next compaction must rewrite them.
+        let mut dirty = BTreeSet::new();
         for frame in &scan.frames {
-            if frame.seq <= snap.last_seq {
+            if frame.seq <= snap.layout.last_seq {
                 frames_skipped += 1;
                 continue;
             }
-            deltas.push((frame.seq, decode_delta(&frame.payload)?));
+            let op = crate::codec::decode_op(&frame.payload, &schema)?;
+            match &op {
+                WalOp::Delta(d) => {
+                    for a in d.added.iter().chain(d.removed.iter()) {
+                        dirty.insert(a.rel);
+                    }
+                }
+                WalOp::Constraint(_) => constraint_frames += 1,
+            }
+            ops.push((frame.seq, op));
             last_seq = frame.seq;
         }
 
         let report = RecoveryReport {
             snapshot_atoms: snap.instance.len(),
-            snapshot_last_seq: snap.last_seq,
-            frames_applied: deltas.len() as u64,
+            snapshot_last_seq: snap.layout.last_seq,
+            frames_applied: ops.len() as u64,
+            constraint_frames,
             frames_skipped,
             bytes_truncated: scan.bytes_truncated,
             last_seq,
         };
         let store = DurableStore {
             dir: dir.to_path_buf(),
-            wal,
-            snapshot_bytes: snap.bytes,
             options,
             vfs,
+            inner: Mutex::new(StoreInner {
+                wal,
+                layout: snap.layout,
+                dirty,
+                pending_syncs: 0,
+                stats: StoreStats::default(),
+            }),
+            commit: Mutex::new(GroupState {
+                durable_seq: last_seq,
+                ..GroupState::default()
+            }),
+            commit_cv: Condvar::new(),
         };
         Ok((
             store,
             Recovered {
                 snapshot_instance: snap.instance,
                 ics: snap.ics,
-                deltas,
+                ops,
                 report,
             },
         ))
@@ -247,69 +387,282 @@ impl DurableStore {
         &self.dir
     }
 
-    /// Append one delta to the WAL; returns its sequence number. Per the
-    /// WAL-before-state invariant, call this *before* mutating the
-    /// in-memory instance.
-    pub fn append_delta(&mut self, delta: &InstanceDelta) -> Result<u64, StorageError> {
-        self.wal.append(&encode_delta(delta))
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner.lock().expect("store lock")
+    }
+
+    /// Append one delta to the WAL and (per policy) make it durable;
+    /// returns its sequence number. Per the WAL-before-state invariant,
+    /// call this *before* mutating the in-memory instance.
+    pub fn append_delta(&self, delta: &InstanceDelta) -> Result<u64, StorageError> {
+        let rels: BTreeSet<RelId> = delta
+            .added
+            .iter()
+            .chain(delta.removed.iter())
+            .map(|a| a.rel)
+            .collect();
+        self.append_payload(encode_delta_op(delta), rels, false)
+    }
+
+    /// Append one constraint to the WAL and (per policy) make it
+    /// durable; returns its sequence number. This is the O(delta) path
+    /// behind `add_constraint` — no snapshot rewrite; recovery replays
+    /// the frame.
+    pub fn append_constraint(&self, con: &Constraint) -> Result<u64, StorageError> {
+        self.append_payload(encode_constraint_op(con), BTreeSet::new(), true)
+    }
+
+    fn append_payload(
+        &self,
+        payload: Vec<u8>,
+        dirty_rels: BTreeSet<RelId>,
+        is_constraint: bool,
+    ) -> Result<u64, StorageError> {
+        let seq;
+        {
+            let mut inner = self.lock_inner();
+            seq = inner.wal.append(&payload)?;
+            inner.dirty.extend(dirty_rels);
+            inner.stats.appends += 1;
+            if is_constraint {
+                inner.stats.constraint_frames += 1;
+            }
+            match self.options.fsync {
+                FsyncPolicy::Always => {
+                    if !self.options.group_commit {
+                        inner.wal.sync()?;
+                        inner.stats.fsyncs += 1;
+                        return Ok(seq);
+                    }
+                    // Fall through to the group-commit rendezvous,
+                    // outside the inner lock so other appenders can
+                    // land frames for the leader's fsync to cover.
+                }
+                FsyncPolicy::EveryN(n) => {
+                    inner.pending_syncs += 1;
+                    if inner.pending_syncs >= n.max(1) {
+                        inner.wal.sync()?;
+                        inner.stats.fsyncs += 1;
+                        inner.pending_syncs = 0;
+                    }
+                    return Ok(seq);
+                }
+                FsyncPolicy::Never => return Ok(seq),
+            }
+        }
+        self.group_commit_wait(seq)?;
+        Ok(seq)
+    }
+
+    /// Block until `seq` is covered by an fsync (ours or another
+    /// thread's), becoming the group-commit leader if nobody is.
+    fn group_commit_wait(&self, seq: u64) -> Result<(), StorageError> {
+        let mut g = self.commit.lock().expect("commit lock");
+        loop {
+            if g.durable_seq >= seq {
+                return Ok(());
+            }
+            if g.failed_seq >= seq {
+                // The fsync that would have covered this frame failed;
+                // the frame was never acknowledged as durable.
+                return Err(StorageError::Io(io::Error::other(format!(
+                    "group commit failed: {}",
+                    g.failed_msg
+                ))));
+            }
+            if !g.leader_active {
+                g.leader_active = true;
+                let durable_before = g.durable_seq;
+                drop(g);
+                let led = self.lead_group_commit(durable_before);
+                let mut after = self.commit.lock().expect("commit lock");
+                after.leader_active = false;
+                match led {
+                    Ok(written) => after.durable_seq = after.durable_seq.max(written),
+                    Err((written, msg)) => {
+                        after.failed_seq = after.failed_seq.max(written);
+                        after.failed_msg = msg;
+                    }
+                }
+                self.commit_cv.notify_all();
+                g = after;
+                // Loop around: re-check our own seq against the new
+                // durable/failed horizons.
+                continue;
+            }
+            g = self.commit_cv.wait(g).expect("commit lock");
+        }
+    }
+
+    /// Issue the leader's fsync, optionally lingering up to the
+    /// straggler window first. The linger is a poll, not a fixed sleep:
+    /// it ends the moment `group_max_batch` frames are staged, so a
+    /// full batch never pays the window and a lone appender pays it at
+    /// most once. Returns the highest written seq the fsync covered, or
+    /// that seq plus the failure message.
+    fn lead_group_commit(&self, durable_before: u64) -> Result<u64, (u64, String)> {
+        if self.options.group_window_us > 0 {
+            let deadline =
+                std::time::Instant::now() + Duration::from_micros(self.options.group_window_us);
+            loop {
+                let pending = self.lock_inner().wal.next_seq() - 1 - durable_before;
+                if pending >= self.options.group_max_batch as u64
+                    || std::time::Instant::now() >= deadline
+                {
+                    break;
+                }
+                // Let stragglers run and stage their frames; the window
+                // bounds the spin.
+                std::thread::yield_now();
+            }
+        }
+        let mut inner = self.lock_inner();
+        let written = inner.wal.next_seq() - 1;
+        match inner.wal.sync() {
+            Ok(()) => {
+                inner.stats.fsyncs += 1;
+                inner.stats.group_commits += 1;
+                let batch = written.saturating_sub(durable_before);
+                inner.stats.group_batch_frames += batch;
+                inner.stats.group_batch_max = inner.stats.group_batch_max.max(batch);
+                Ok(written)
+            }
+            Err(e) => Err((written, e.to_string())),
+        }
     }
 
     /// Force all appended frames to stable storage, regardless of
     /// policy.
-    pub fn sync(&mut self) -> Result<(), StorageError> {
-        self.wal.sync()
+    pub fn sync(&self) -> Result<(), StorageError> {
+        let written;
+        {
+            let mut inner = self.lock_inner();
+            inner.wal.sync()?;
+            inner.stats.fsyncs += 1;
+            inner.pending_syncs = 0;
+            written = inner.wal.next_seq() - 1;
+        }
+        self.advance_durable(written);
+        Ok(())
     }
 
-    /// The highest sequence number acknowledged so far (0 if none).
+    /// Record that everything at or below `written` is durable and wake
+    /// any group-commit waiters it unblocks.
+    fn advance_durable(&self, written: u64) {
+        let mut g = self.commit.lock().expect("commit lock");
+        if written > g.durable_seq {
+            g.durable_seq = written;
+            self.commit_cv.notify_all();
+        }
+    }
+
+    /// The highest sequence number handed out so far (0 if none).
     pub fn last_seq(&self) -> u64 {
-        self.wal.next_seq() - 1
+        self.lock_inner().wal.next_seq() - 1
     }
 
     /// Current WAL size in bytes.
     pub fn wal_bytes(&self) -> Result<u64, StorageError> {
-        self.wal.len_bytes()
+        self.lock_inner().wal.len_bytes()
     }
 
-    /// Current snapshot size in bytes.
+    /// Current snapshot size in bytes (manifest + referenced segments).
     pub fn snapshot_bytes(&self) -> u64 {
-        self.snapshot_bytes
+        self.lock_inner().layout.total_bytes
+    }
+
+    /// A copy of the write-path counters, with
+    /// [`StoreStats::wal_bytes`] sampled at call time.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.lock_inner();
+        let mut stats = inner.stats;
+        stats.wal_bytes = inner.wal.len_bytes().unwrap_or(0);
+        stats
     }
 
     /// `true` iff the WAL has outgrown the configured fraction of the
     /// snapshot.
     pub fn wants_compaction(&self) -> Result<bool, StorageError> {
-        let wal_bytes = self.wal.len_bytes()?;
+        let inner = self.lock_inner();
+        let wal_bytes = inner.wal.len_bytes()?;
         if wal_bytes < self.options.compact_min_wal_bytes {
             return Ok(false);
         }
         // wal > snapshot * num / den, overflow-safe.
         Ok(wal_bytes as u128 * self.options.compact_den as u128
-            > self.snapshot_bytes as u128 * self.options.compact_num as u128)
+            > inner.layout.total_bytes as u128 * self.options.compact_num as u128)
     }
 
-    /// Fold the WAL into a fresh snapshot of `instance` + `ics` and
-    /// reset the log. The caller passes the *current* in-memory state —
-    /// by the WAL-before-state invariant it covers every acknowledged
-    /// frame.
-    pub fn compact(&mut self, instance: &Instance, ics: &IcSet) -> Result<(), StorageError> {
-        let last_seq = self.last_seq();
-        self.snapshot_bytes = snapshot::write_with(
-            self.vfs.as_ref(),
-            &Self::snapshot_path(&self.dir),
-            instance,
-            ics,
-            last_seq,
-        )?;
-        self.wal.reset()
+    /// Fold the WAL into the snapshot and reset the log, rewriting
+    /// *only* the segments of relations touched since the last
+    /// compaction and reusing every other segment by reference. The
+    /// caller passes the *current* in-memory state — by the
+    /// WAL-before-state invariant it covers every acknowledged frame.
+    pub fn compact(&self, instance: &Instance, ics: &IcSet) -> Result<(), StorageError> {
+        self.compact_impl(instance, ics, false)
+    }
+
+    /// Compaction that rewrites every segment regardless of the dirty
+    /// set — the full-price baseline (also what benchmarks compare the
+    /// incremental path against).
+    pub fn compact_full(&self, instance: &Instance, ics: &IcSet) -> Result<(), StorageError> {
+        self.compact_impl(instance, ics, true)
+    }
+
+    fn compact_impl(
+        &self,
+        instance: &Instance,
+        ics: &IcSet,
+        full: bool,
+    ) -> Result<(), StorageError> {
+        let written;
+        {
+            let mut inner = self.lock_inner();
+            let last_seq = inner.wal.next_seq() - 1;
+            written = last_seq;
+            let all_dirty: BTreeSet<RelId>;
+            let dirty: &BTreeSet<RelId> = if full {
+                // "Everything is dirty" rather than `prev: None`: the
+                // epoch still advances, so fresh segments never reuse a
+                // name the live manifest references.
+                all_dirty = instance.schema().rel_ids().collect();
+                &all_dirty
+            } else {
+                &inner.dirty
+            };
+            let outcome = snapshot::write_with(
+                self.vfs.as_ref(),
+                &self.dir,
+                instance,
+                ics,
+                last_seq,
+                Some((&inner.layout, dirty)),
+            )?;
+            // The new manifest is committed; replaced segment files are
+            // garbage. Deleting them is best-effort housekeeping —
+            // leftovers are swept on the next open.
+            for seg in &inner.layout.segments {
+                if !outcome.layout.references(&seg.name) {
+                    let _ = self.vfs.remove_file(&self.dir.join(&seg.name));
+                }
+            }
+            inner.layout = outcome.layout;
+            inner.dirty.clear();
+            inner.pending_syncs = 0;
+            inner.stats.compactions += 1;
+            inner.stats.segments_written += outcome.segments_written;
+            inner.stats.segments_reused += outcome.segments_reused;
+            inner.wal.reset()?;
+        }
+        // Every folded frame is durable in the snapshot now; unblock any
+        // group-commit waiters still parked on those seqs.
+        self.advance_durable(written);
+        Ok(())
     }
 
     /// Compact if [`DurableStore::wants_compaction`]; returns whether a
     /// compaction ran.
-    pub fn maybe_compact(
-        &mut self,
-        instance: &Instance,
-        ics: &IcSet,
-    ) -> Result<bool, StorageError> {
+    pub fn maybe_compact(&self, instance: &Instance, ics: &IcSet) -> Result<bool, StorageError> {
         if self.wants_compaction()? {
             self.compact(instance, ics)?;
             Ok(true)
@@ -349,6 +702,16 @@ mod tests {
         )
     }
 
+    fn replayed(rec: &Recovered) -> Instance {
+        let mut inst = rec.snapshot_instance.clone();
+        for (_, op) in &rec.ops {
+            if let WalOp::Delta(d) = op {
+                inst.apply(d.added.iter().cloned(), d.removed.iter().cloned());
+            }
+        }
+        inst
+    }
+
     #[test]
     fn create_then_open_recovers_seed_state() {
         let dir = tmpdir("seed");
@@ -359,7 +722,7 @@ mod tests {
 
         let (store, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
         assert_eq!(rec.snapshot_instance, inst);
-        assert!(rec.deltas.is_empty());
+        assert!(rec.ops.is_empty());
         assert_eq!(
             rec.report,
             RecoveryReport {
@@ -394,7 +757,7 @@ mod tests {
     fn appended_deltas_come_back_in_order() {
         let dir = tmpdir("deltas");
         let (mut inst, ics) = seed();
-        let mut store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        let store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
         for k in 0..5 {
             let a = atom(&inst, &format!("w{k}"), "y");
             let mut delta = InstanceDelta::default();
@@ -402,20 +765,162 @@ mod tests {
             assert_eq!(store.append_delta(&delta).unwrap(), k + 1);
             inst.insert(a.rel, a.tuple).unwrap();
         }
+        let stats = store.stats();
+        assert_eq!(stats.appends, 5);
+        assert_eq!(stats.fsyncs, 5, "one fsync per solo append under Always");
         drop(store);
 
         let (store, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
-        assert_eq!(rec.deltas.len(), 5);
-        let seqs: Vec<u64> = rec.deltas.iter().map(|(s, _)| *s).collect();
+        assert_eq!(rec.ops.len(), 5);
+        let seqs: Vec<u64> = rec.ops.iter().map(|(s, _)| *s).collect();
         assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
         assert_eq!(rec.report.last_seq, 5);
         assert_eq!(store.last_seq(), 5, "appends resume past recovery");
-        // Replaying onto the snapshot reproduces the live state.
-        let mut replayed = rec.snapshot_instance;
-        for (_, d) in &rec.deltas {
-            replayed.apply(d.added.iter().cloned(), d.removed.iter().cloned());
+        assert_eq!(replayed(&rec), inst);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_appends_share_group_fsyncs() {
+        let dir = tmpdir("group");
+        let (inst, ics) = seed();
+        let opts = StoreOptions {
+            group_window_us: 2_000,
+            group_max_batch: 8,
+            ..StoreOptions::default()
+        };
+        let store = Arc::new(DurableStore::create(&dir, &inst, &ics, opts).unwrap());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                let inst = inst.clone();
+                std::thread::spawn(move || {
+                    for k in 0..4 {
+                        let a = atom(&inst, &format!("t{t}w{k}"), "y");
+                        let mut delta = InstanceDelta::default();
+                        delta.added.insert(a);
+                        store.append_delta(&delta).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
         }
-        assert_eq!(replayed, inst);
+        let stats = store.stats();
+        assert_eq!(stats.appends, 32);
+        assert!(
+            stats.fsyncs < 32,
+            "32 concurrent appends must coalesce below 32 fsyncs, got {}",
+            stats.fsyncs
+        );
+        assert!(stats.group_commits > 0);
+        assert_eq!(stats.group_batch_frames, 32, "every frame acked by a group");
+        assert!(stats.group_batch_max >= 2);
+        assert!(stats.mean_group_batch() > 1.0);
+        drop(store);
+
+        let (_, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.ops.len(), 32, "every acknowledged frame recovered");
+        assert_eq!(replayed(&rec).len(), 33);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn constraint_frames_recover_without_compaction() {
+        let dir = tmpdir("confr");
+        let schema = Schema::builder()
+            .relation("r", ["x", "y"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let inst = Instance::empty(schema.clone());
+        let store =
+            DurableStore::create(&dir, &inst, &IcSet::default(), StoreOptions::default()).unwrap();
+        let con: Constraint = cqa_constraints::Nnc::new(&schema, "nn", "r", 0)
+            .unwrap()
+            .into();
+        assert_eq!(store.append_constraint(&con).unwrap(), 1);
+        let stats = store.stats();
+        assert_eq!(stats.constraint_frames, 1);
+        assert_eq!(stats.compactions, 0, "constraint append is O(delta)");
+        drop(store);
+
+        let (_, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert!(rec.ics.is_empty(), "snapshot predates the constraint");
+        assert_eq!(rec.report.constraint_frames, 1);
+        assert_eq!(rec.report.frames_applied, 1);
+        match &rec.ops[..] {
+            [(1, WalOp::Constraint(c))] => assert_eq!(c, &con),
+            other => panic!("expected one constraint op, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_compaction_rewrites_only_dirty_segments() {
+        let dir = tmpdir("incr");
+        let schema = Schema::builder()
+            .relation("hot", ["x", "y"])
+            .relation("cold", ["x", "y"])
+            .finish()
+            .unwrap()
+            .into_shared();
+        let mut inst = Instance::empty(schema.clone());
+        inst.insert_named("cold", [s("frozen"), s("row")]).unwrap();
+        let ics = IcSet::default();
+        let store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+
+        // Touch only `hot`, then compact: `cold`'s segment is reused.
+        let hot = schema.require("hot").unwrap();
+        let a = DatabaseAtom::new(hot, Tuple::new(vec![s("h"), s("1")]));
+        let mut delta = InstanceDelta::default();
+        delta.added.insert(a.clone());
+        store.append_delta(&delta).unwrap();
+        inst.insert(a.rel, a.tuple).unwrap();
+        store.compact(&inst, &ics).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!((stats.segments_written, stats.segments_reused), (1, 1));
+
+        // A full compaction rewrites everything.
+        store.compact_full(&inst, &ics).unwrap();
+        let stats = store.stats();
+        assert_eq!((stats.segments_written, stats.segments_reused), (3, 1));
+        drop(store);
+
+        let (_, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.snapshot_instance, inst);
+        assert!(rec.ops.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_ops_mark_their_relations_dirty() {
+        // Deltas that live only in the WAL must be folded into fresh
+        // segments at the next compaction even though this handle never
+        // appended them.
+        let dir = tmpdir("recdirty");
+        let (mut inst, ics) = seed();
+        let store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        let a = atom(&inst, "walonly", "y");
+        let mut delta = InstanceDelta::default();
+        delta.added.insert(a.clone());
+        store.append_delta(&delta).unwrap();
+        inst.insert(a.rel, a.tuple).unwrap();
+        drop(store);
+
+        let (store, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.ops.len(), 1);
+        store.compact(&inst, &ics).unwrap();
+        let stats = store.stats();
+        assert_eq!(
+            stats.segments_written, 1,
+            "recovered delta makes its relation's segment dirty"
+        );
+        drop(store);
+        let (_, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.snapshot_instance, inst, "compacted state holds the row");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -423,7 +928,7 @@ mod tests {
     fn compaction_folds_wal_and_survives_reopen() {
         let dir = tmpdir("compact");
         let (mut inst, ics) = seed();
-        let mut store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        let store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
         for k in 0..3 {
             let a = atom(&inst, &format!("c{k}"), "y");
             let mut delta = InstanceDelta::default();
@@ -445,11 +950,7 @@ mod tests {
         assert_eq!(rec.report.snapshot_last_seq, 3);
         assert_eq!(rec.report.frames_applied, 1);
         assert_eq!(rec.report.frames_skipped, 0);
-        let mut replayed = rec.snapshot_instance;
-        for (_, d) in &rec.deltas {
-            replayed.apply(d.added.iter().cloned(), d.removed.iter().cloned());
-        }
-        assert_eq!(replayed, inst);
+        assert_eq!(replayed(&rec), inst);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -460,7 +961,7 @@ mod tests {
         // covered frames instead of double-applying them.
         let dir = tmpdir("window");
         let (mut inst, ics) = seed();
-        let mut store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        let store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
         for k in 0..2 {
             let a = atom(&inst, &format!("v{k}"), "y");
             let mut delta = InstanceDelta::default();
@@ -468,9 +969,9 @@ mod tests {
             store.append_delta(&delta).unwrap();
             inst.insert(a.rel, a.tuple).unwrap();
         }
-        // Write the snapshot directly, bypassing the WAL reset.
-        snapshot::write(&DurableStore::snapshot_path(&dir), &inst, &ics, 2).unwrap();
         drop(store);
+        // Write the snapshot directly, bypassing the WAL reset.
+        snapshot::write(&dir, &inst, &ics, 2, None).unwrap();
 
         let (store, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
         assert_eq!(rec.report.frames_skipped, 2);
@@ -481,14 +982,17 @@ mod tests {
     }
 
     #[test]
-    fn stale_snapshot_tmp_is_swept() {
+    fn stale_manifest_tmp_and_orphan_segments_are_swept() {
         let dir = tmpdir("tmp");
         let (inst, ics) = seed();
         DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
-        let tmp = dir.join("snapshot.tmp");
+        let tmp = dir.join("manifest.tmp");
+        let orphan = dir.join("seg-0-77");
         fs::write(&tmp, b"half-written garbage").unwrap();
+        fs::write(&orphan, b"unreferenced segment").unwrap();
         let (_, rec) = DurableStore::open(&dir, StoreOptions::default()).unwrap();
         assert!(!tmp.exists(), "stale tmp removed");
+        assert!(!orphan.exists(), "orphaned segment removed");
         assert_eq!(rec.snapshot_instance, inst);
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -502,7 +1006,7 @@ mod tests {
             compact_min_wal_bytes: 0,
             ..StoreOptions::default()
         };
-        let mut store = DurableStore::create(&dir, &inst, &ics, opts).unwrap();
+        let store = DurableStore::create(&dir, &inst, &ics, opts).unwrap();
         assert!(!store.wants_compaction().unwrap(), "empty WAL never wants");
         let big = "x".repeat(store.snapshot_bytes() as usize);
         let mut delta = InstanceDelta::default();
@@ -519,7 +1023,7 @@ mod tests {
     fn torn_wal_tail_surfaces_in_report_and_keeps_prefix() {
         let dir = tmpdir("torn");
         let (mut inst, ics) = seed();
-        let mut store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
+        let store = DurableStore::create(&dir, &inst, &ics, StoreOptions::default()).unwrap();
         for k in 0..3 {
             let a = atom(&inst, &format!("t{k}"), "y");
             let mut delta = InstanceDelta::default();

@@ -75,6 +75,22 @@ pub trait Vfs: fmt::Debug + Send + Sync {
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
     /// Does `path` exist?
     fn exists(&self, path: &Path) -> bool;
+    /// File names (not full paths) in `dir`, sorted for determinism.
+    /// Used by the open-time sweep that deletes unreferenced segment
+    /// files; metadata-only, so it is neither counted nor faulted.
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>>;
+}
+
+/// Shared `read_dir_names` body: both implementations list the real
+/// filesystem and sort, so sweep order is a pure function of the
+/// directory's contents.
+fn real_read_dir_names(dir: &Path) -> io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        names.push(entry?.file_name().to_string_lossy().into_owned());
+    }
+    names.sort();
+    Ok(names)
 }
 
 // ---------------------------------------------------------------------
@@ -146,6 +162,9 @@ impl Vfs for RealVfs {
     fn exists(&self, path: &Path) -> bool {
         path.exists()
     }
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        real_read_dir_names(dir)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -166,8 +185,12 @@ pub struct FaultScript {
     /// prefix that fits and fails with an ENOSPC-flavoured error.
     pub enospc_after: Option<u64>,
     /// Fail the Nth rename without performing it — the crash point
-    /// between a fully-synced `snapshot.tmp` and its rename.
+    /// between a fully-synced `manifest.tmp` and its rename.
     pub fail_rename: Option<u64>,
+    /// Fail the Nth file removal without performing it — the crash
+    /// point in post-compaction housekeeping, after the new manifest is
+    /// durable but before replaced segment files are deleted.
+    pub fail_remove: Option<u64>,
     /// On the Nth read, flip one bit of the returned buffer (byte
     /// `offset % len`); the bytes on disk stay intact.
     pub flip_read: Option<(u64, u64)>,
@@ -201,6 +224,11 @@ impl FaultScript {
         self.fail_rename = Some(n);
         self
     }
+    /// Fail the `n`th file removal (1-based).
+    pub fn fail_remove(mut self, n: u64) -> Self {
+        self.fail_remove = Some(n);
+        self
+    }
     /// Flip a bit of the `n`th read at byte `offset % read_len`.
     pub fn flip_read(mut self, n: u64, offset: u64) -> Self {
         self.flip_read = Some((n, offset));
@@ -226,6 +254,8 @@ pub struct OpCounts {
     pub reads: u64,
     /// Renames.
     pub renames: u64,
+    /// File removals.
+    pub removes: u64,
     /// Total bytes written.
     pub bytes_written: u64,
 }
@@ -438,6 +468,16 @@ impl Vfs for FaultVfs {
     }
     fn remove_file(&self, path: &Path) -> io::Result<()> {
         self.state.check_alive()?;
+        let idx = {
+            let mut c = self.state.counts.lock().expect("fault counters");
+            c.removes += 1;
+            c.removes
+        };
+        if self.state.script.fail_remove == Some(idx) {
+            // The removal is lost: the file stays on disk, modelling a
+            // crash before housekeeping — the open-time sweep's job.
+            return Err(self.state.injected("remove lost"));
+        }
         std::fs::remove_file(path)
     }
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
@@ -449,6 +489,10 @@ impl Vfs for FaultVfs {
     }
     fn exists(&self, path: &Path) -> bool {
         path.exists()
+    }
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.state.check_alive()?;
+        real_read_dir_names(dir)
     }
 }
 
@@ -559,6 +603,27 @@ mod tests {
         assert!(vfs.rename(&dir.join("a"), &dir.join("b")).is_err());
         assert_eq!(fs::read(dir.join("a")).unwrap(), b"new");
         assert_eq!(fs::read(dir.join("b")).unwrap(), b"old");
+
+        // Lost remove leaves the file on disk and is counted.
+        let vfs = FaultVfs::new(FaultScript::default().fail_remove(1));
+        assert!(vfs.remove_file(&dir.join("a")).is_err());
+        assert!(dir.join("a").exists(), "remove lost, file survives");
+        assert_eq!(vfs.counts().removes, 1);
+        assert!(vfs.remove_file(&dir.join("a")).is_ok(), "only the 1st");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_dir_names_is_sorted_and_uncounted() {
+        let dir = tmpdir("listing");
+        for name in ["zz", "aa", "mm"] {
+            fs::write(dir.join(name), b"x").unwrap();
+        }
+        let names = RealVfs.read_dir_names(&dir).unwrap();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+        let vfs = FaultVfs::new(FaultScript::profile());
+        assert_eq!(vfs.read_dir_names(&dir).unwrap(), names);
+        assert_eq!(vfs.counts(), OpCounts::default(), "metadata-only");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

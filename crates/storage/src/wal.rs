@@ -1,16 +1,18 @@
 //! The write-ahead log: a checksummed, length-prefixed append-only file
-//! of serialized [`InstanceDelta`](cqa_relational::InstanceDelta) frames.
+//! of serialized operation frames (instance deltas and constraint
+//! additions — see [`codec::encode_delta_op`](crate::codec) and
+//! friends).
 //!
 //! ## On-disk layout
 //!
 //! ```text
-//! [ magic "CQAWAL01" : 8 bytes ]
+//! [ magic "CQAWAL02" : 8 bytes ]
 //! [ frame ]*
 //!
 //! frame := [ payload_len : u32 LE ]
 //!          [ seq         : u64 LE ]   monotonic, never reused
 //!          [ crc32       : u32 LE ]   over seq_LE || payload
-//!          [ payload     : payload_len bytes ]  (codec::encode_delta)
+//!          [ payload     : payload_len bytes ]  (a tagged codec op)
 //! ```
 //!
 //! The CRC covers the sequence number *and* the payload, so a frame
@@ -40,13 +42,16 @@ use crate::vfs::{RealVfs, Vfs, VfsFile};
 use std::io::SeekFrom;
 use std::path::Path;
 
-/// File magic: identifies a WAL and its format version.
-pub const WAL_MAGIC: &[u8; 8] = b"CQAWAL01";
+/// File magic: identifies a WAL and its format version. Version 02
+/// carries *tagged* operation payloads (delta or constraint) instead of
+/// bare delta payloads.
+pub const WAL_MAGIC: &[u8; 8] = b"CQAWAL02";
 
 /// Per-frame header size: payload_len (4) + seq (8) + crc (4).
 const FRAME_HEADER: usize = 16;
 
-/// When the OS is asked to flush appended frames to stable storage.
+/// When the store asks the OS to flush appended frames to stable
+/// storage.
 ///
 /// The knob trades acknowledged-write durability for append latency:
 /// `Always` survives power loss at every acknowledged write; `EveryN`
@@ -54,9 +59,16 @@ const FRAME_HEADER: usize = 16;
 /// `Never` leaves flushing to the OS page cache (process crashes — the
 /// crash-harness scenario — still lose nothing, because the page cache
 /// survives the process).
+///
+/// The policy is interpreted by [`DurableStore`](crate::DurableStore),
+/// not by [`Wal`] itself: `Wal::append` only writes, and the store
+/// decides when to call [`Wal::sync`] — that separation is what lets a
+/// group-commit leader cover many appended frames with one fsync.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsyncPolicy {
-    /// `fsync` after every appended frame.
+    /// `fsync` after every appended frame (coalesced into one fsync per
+    /// batch when group commit is enabled — the acknowledgment contract
+    /// is identical either way).
     Always,
     /// `fsync` after every n-th appended frame (n ≥ 1; 1 behaves like
     /// `Always`).
@@ -88,32 +100,21 @@ pub struct WalScan {
 pub struct Wal {
     file: Box<dyn VfsFile>,
     next_seq: u64,
-    fsync: FsyncPolicy,
-    appends_since_sync: u32,
 }
 
 impl Wal {
     /// Create a fresh, empty WAL at `path` (truncating any existing
     /// file), write the magic, and sync it — on the real filesystem.
-    pub fn create(path: &Path, fsync: FsyncPolicy) -> Result<Wal, StorageError> {
-        Wal::create_with(&RealVfs, path, fsync)
+    pub fn create(path: &Path) -> Result<Wal, StorageError> {
+        Wal::create_with(&RealVfs, path)
     }
 
     /// [`Wal::create`] against an explicit [`Vfs`].
-    pub fn create_with(
-        vfs: &dyn Vfs,
-        path: &Path,
-        fsync: FsyncPolicy,
-    ) -> Result<Wal, StorageError> {
+    pub fn create_with(vfs: &dyn Vfs, path: &Path) -> Result<Wal, StorageError> {
         let mut file = vfs.create_truncate(path)?;
         file.write_all(WAL_MAGIC)?;
         file.sync_all()?;
-        Ok(Wal {
-            file,
-            next_seq: 1,
-            fsync,
-            appends_since_sync: 0,
-        })
+        Ok(Wal { file, next_seq: 1 })
     }
 
     /// Open an existing WAL on the real filesystem: scan every frame,
@@ -124,16 +125,12 @@ impl Wal {
     /// Never panics on mangled bytes: a short frame, a failed checksum,
     /// an implausible length, or a sequence regression all end the scan
     /// at the last good frame boundary.
-    pub fn open(path: &Path, fsync: FsyncPolicy) -> Result<(Wal, WalScan), StorageError> {
-        Wal::open_with(&RealVfs, path, fsync)
+    pub fn open(path: &Path) -> Result<(Wal, WalScan), StorageError> {
+        Wal::open_with(&RealVfs, path)
     }
 
     /// [`Wal::open`] against an explicit [`Vfs`].
-    pub fn open_with(
-        vfs: &dyn Vfs,
-        path: &Path,
-        fsync: FsyncPolicy,
-    ) -> Result<(Wal, WalScan), StorageError> {
+    pub fn open_with(vfs: &dyn Vfs, path: &Path) -> Result<(Wal, WalScan), StorageError> {
         let mut file = vfs.open_rw(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
@@ -149,12 +146,7 @@ impl Wal {
             file.write_all(WAL_MAGIC)?;
             file.sync_all()?;
             return Ok((
-                Wal {
-                    file,
-                    next_seq: 1,
-                    fsync,
-                    appends_since_sync: 0,
-                },
+                Wal { file, next_seq: 1 },
                 WalScan {
                     frames: Vec::new(),
                     bytes_truncated: bytes.len() as u64,
@@ -215,12 +207,7 @@ impl Wal {
 
         let next_seq = frames.last().map(|f| f.seq + 1).unwrap_or(1);
         Ok((
-            Wal {
-                file,
-                next_seq,
-                fsync,
-                appends_since_sync: 0,
-            },
+            Wal { file, next_seq },
             WalScan {
                 frames,
                 bytes_truncated,
@@ -239,8 +226,12 @@ impl Wal {
     }
 
     /// Append one payload as a frame; returns its sequence number. The
-    /// frame is written (and, per policy, synced) before this returns —
-    /// callers mutate in-memory state only *after* the append succeeds.
+    /// frame is *written, not synced* — durability is the caller's move
+    /// ([`Wal::sync`]), which is what lets the store's group-commit
+    /// leader cover a whole batch of appended frames with one fsync.
+    /// Callers must not acknowledge the write (mutate in-memory state
+    /// and return to their caller) until the covering sync has
+    /// succeeded, when their fsync policy requires one.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StorageError> {
         let seq = self.next_seq;
         let mut checked = Vec::with_capacity(8 + payload.len());
@@ -256,24 +247,12 @@ impl Wal {
         self.file.write_all(&frame)?;
 
         self.next_seq += 1;
-        self.appends_since_sync += 1;
-        let should_sync = match self.fsync {
-            FsyncPolicy::Always => true,
-            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
-            FsyncPolicy::Never => false,
-        };
-        if should_sync {
-            self.file.sync_data()?;
-            self.appends_since_sync = 0;
-        }
         Ok(seq)
     }
 
-    /// Force everything appended so far to stable storage, regardless of
-    /// policy.
+    /// Flush everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<(), StorageError> {
         self.file.sync_data()?;
-        self.appends_since_sync = 0;
         Ok(())
     }
 
@@ -291,7 +270,6 @@ impl Wal {
         self.file.set_len(WAL_MAGIC.len() as u64)?;
         self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
         self.file.sync_all()?;
-        self.appends_since_sync = 0;
         Ok(())
     }
 
@@ -323,12 +301,12 @@ mod tests {
     fn append_then_open_roundtrips() {
         let dir = tmpdir("roundtrip");
         let path = dir.join("wal");
-        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        let mut wal = Wal::create(&path).unwrap();
         assert_eq!(wal.append(b"first").unwrap(), 1);
         assert_eq!(wal.append(b"second").unwrap(), 2);
         drop(wal);
 
-        let (wal, scan) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        let (wal, scan) = Wal::open(&path).unwrap();
         assert_eq!(scan.bytes_truncated, 0);
         assert_eq!(scan.frames.len(), 2);
         assert_eq!(scan.frames[0].payload, b"first");
@@ -341,7 +319,7 @@ mod tests {
     fn torn_tail_is_truncated_not_fatal() {
         let dir = tmpdir("torn");
         let path = dir.join("wal");
-        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        let mut wal = Wal::create(&path).unwrap();
         wal.append(b"keep-me").unwrap();
         wal.append(b"will-be-torn").unwrap();
         drop(wal);
@@ -352,7 +330,7 @@ mod tests {
         f.set_len(len - 3).unwrap();
         drop(f);
 
-        let (mut wal, scan) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        let (mut wal, scan) = Wal::open(&path).unwrap();
         assert_eq!(scan.frames.len(), 1);
         assert_eq!(scan.frames[0].payload, b"keep-me");
         assert!(scan.bytes_truncated > 0);
@@ -360,7 +338,7 @@ mod tests {
         // sees both frames.
         assert_eq!(wal.append(b"after-recovery").unwrap(), 2);
         drop(wal);
-        let (_, scan) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        let (_, scan) = Wal::open(&path).unwrap();
         assert_eq!(scan.frames.len(), 2);
         assert_eq!(scan.bytes_truncated, 0);
         fs::remove_dir_all(&dir).unwrap();
@@ -370,7 +348,7 @@ mod tests {
     fn bit_flip_fails_checksum_and_drops_the_tail() {
         let dir = tmpdir("flip");
         let path = dir.join("wal");
-        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        let mut wal = Wal::create(&path).unwrap();
         wal.append(b"good-frame").unwrap();
         wal.append(b"flipped-frame").unwrap();
         drop(wal);
@@ -381,7 +359,7 @@ mod tests {
         bytes[n - 2] ^= 0x40;
         fs::write(&path, &bytes).unwrap();
 
-        let (_, scan) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        let (_, scan) = Wal::open(&path).unwrap();
         assert_eq!(scan.frames.len(), 1, "flipped frame dropped by CRC");
         assert_eq!(scan.frames[0].payload, b"good-frame");
         assert!(scan.bytes_truncated > 0);
@@ -397,12 +375,12 @@ mod tests {
         for (k, stub) in [&b""[..], &b"CQA"[..], &b"CQAWAL0"[..]].iter().enumerate() {
             let path = dir.join(format!("wal{k}"));
             fs::write(&path, stub).unwrap();
-            let (mut wal, scan) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+            let (mut wal, scan) = Wal::open(&path).unwrap();
             assert!(scan.frames.is_empty());
             assert_eq!(scan.bytes_truncated, stub.len() as u64);
             assert_eq!(wal.append(b"alive").unwrap(), 1);
             drop(wal);
-            let (_, scan) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+            let (_, scan) = Wal::open(&path).unwrap();
             assert_eq!(scan.frames.len(), 1);
         }
         fs::remove_dir_all(&dir).unwrap();
@@ -412,7 +390,7 @@ mod tests {
     fn ensure_seq_floor_only_raises() {
         let dir = tmpdir("seqfloor");
         let path = dir.join("wal");
-        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        let mut wal = Wal::create(&path).unwrap();
         wal.ensure_seq_at_least(7);
         assert_eq!(wal.next_seq(), 7);
         wal.ensure_seq_at_least(3);
@@ -426,7 +404,7 @@ mod tests {
         let dir = tmpdir("magic");
         let path = dir.join("wal");
         fs::write(&path, b"NOTAWAL!rest").unwrap();
-        let err = Wal::open(&path, FsyncPolicy::Always).unwrap_err();
+        let err = Wal::open(&path).unwrap_err();
         assert!(matches!(err, StorageError::Corrupt { .. }));
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -435,13 +413,13 @@ mod tests {
     fn reset_carries_sequence_numbers_forward() {
         let dir = tmpdir("reset");
         let path = dir.join("wal");
-        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        let mut wal = Wal::create(&path).unwrap();
         wal.append(b"a").unwrap();
         wal.append(b"b").unwrap();
         wal.reset().unwrap();
         assert_eq!(wal.append(b"c").unwrap(), 3, "seq never reused");
         drop(wal);
-        let (_, scan) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        let (_, scan) = Wal::open(&path).unwrap();
         assert_eq!(scan.frames.len(), 1);
         assert_eq!(scan.frames[0].seq, 3);
         fs::remove_dir_all(&dir).unwrap();
@@ -451,13 +429,13 @@ mod tests {
     fn empty_payloads_and_large_frames_roundtrip() {
         let dir = tmpdir("sizes");
         let path = dir.join("wal");
-        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(2)).unwrap();
+        let mut wal = Wal::create(&path).unwrap();
         wal.append(b"").unwrap();
         let big = vec![0xABu8; 100_000];
         wal.append(&big).unwrap();
         wal.sync().unwrap();
         drop(wal);
-        let (_, scan) = Wal::open(&path, FsyncPolicy::Never).unwrap();
+        let (_, scan) = Wal::open(&path).unwrap();
         assert_eq!(scan.frames.len(), 2);
         assert!(scan.frames[0].payload.is_empty());
         assert_eq!(scan.frames[1].payload, big);

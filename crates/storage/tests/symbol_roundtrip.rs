@@ -23,9 +23,18 @@ use cqa_constraints::{v, CmpOp, Ic, IcSet, Nnc};
 use cqa_relational::testing::XorShift;
 use cqa_relational::{i, null, DatabaseAtom, Instance, InstanceDelta, RelId, Schema, Tuple, Value};
 use cqa_storage::codec::{decode_delta, encode_delta};
-use cqa_storage::snapshot::{decode_body, encode_body};
+use cqa_storage::snapshot;
 use std::collections::BTreeSet;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Fresh scratch directory for one snapshot round-trip.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cqa-symround-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
 
 /// Strings never interned before this call (process-unique + run-unique),
 /// in a scrambled generation order so lexicographic order ≠ intern order.
@@ -88,9 +97,12 @@ fn snapshot_roundtrip_preserves_every_pinned_order() {
         let pool = fresh_symbols(&mut rng, pool_size, &format!("snap{seed}"));
         let inst = random_instance(&mut rng, &schema, &pool);
 
-        let bytes = encode_body(&inst, &IcSet::default(), seed);
-        let (loaded, _, last_seq) = decode_body(&bytes).expect("decode");
-        assert_eq!(last_seq, seed);
+        let dir = scratch(&format!("snap{seed}"));
+        snapshot::write(&dir, &inst, &IcSet::default(), seed, None).expect("write");
+        let snap = snapshot::read(&dir).expect("read");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(snap.layout.last_seq, seed);
+        let loaded = snap.instance;
         assert_eq!(loaded, inst, "seed {seed}: instance equality");
 
         let (atoms_a, dom_a) = pinned_orders(&inst);
@@ -179,10 +191,12 @@ fn constraints_roundtrip_with_fresh_symbol_constants() {
     )
     .unwrap();
 
-    let bytes = encode_body(&inst, &ics, 3);
-    let (loaded_inst, loaded_ics, _) = decode_body(&bytes).expect("decode");
-    assert_eq!(loaded_inst, inst);
-    assert_eq!(loaded_ics, ics, "constraints Eq-equal after remap");
+    let dir = scratch("ics");
+    snapshot::write(&dir, &inst, &ics, 3, None).expect("write");
+    let snap = snapshot::read(&dir).expect("read");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(snap.instance, inst);
+    assert_eq!(snap.ics, ics, "constraints Eq-equal after remap");
 }
 
 #[test]
@@ -197,15 +211,19 @@ fn interleaved_loads_share_one_interner_without_collisions() {
         .unwrap()
         .into_shared();
     let pool = fresh_symbols(&mut rng, 2, "twin");
-    let make = |name: &str| {
+    let make = |name: &str, tag: &str| {
         let mut inst = Instance::empty(schema.clone());
         inst.insert_named("t", [cqa_relational::s(name)]).unwrap();
-        encode_body(&inst, &IcSet::default(), 0)
+        let dir = scratch(tag);
+        snapshot::write(&dir, &inst, &IcSet::default(), 0, None).unwrap();
+        dir
     };
-    let bytes_a = make(&pool[0]);
-    let bytes_b = make(&pool[1]);
-    let (a, _, _) = decode_body(&bytes_a).unwrap();
-    let (b, _, _) = decode_body(&bytes_b).unwrap();
+    let dir_a = make(&pool[0], "twin-a");
+    let dir_b = make(&pool[1], "twin-b");
+    let a = snapshot::read(&dir_a).unwrap().instance;
+    let b = snapshot::read(&dir_b).unwrap().instance;
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
     let get = |inst: &Instance| -> String {
         inst.relation_named("t")
             .unwrap()

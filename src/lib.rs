@@ -74,10 +74,10 @@ use cqa_core::{CoreError, CqaCaches, ProgramStyle, RepairConfig};
 use cqa_relational::{DatabaseAtom, Instance, InstanceDelta, Schema, Tuple};
 
 pub use cqa_relational::CancelToken;
-use cqa_storage::{DurableStore, RecoveryReport, StoreOptions};
+use cqa_storage::{DurableStore, RecoveryReport, StoreOptions, StoreStats, WalOp};
 use std::collections::BTreeSet;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Errors surfaced by the facade.
@@ -149,12 +149,16 @@ impl From<cqa_relational::RelationalError> for Error {
 /// ## Durability
 ///
 /// A database created through [`Database::persistent`] or reopened with
-/// [`Database::open`] is backed by a [`DurableStore`] (WAL + snapshot):
-/// every `insert`/`delete`/`*_many` appends an
-/// [`InstanceDelta`] frame to the write-ahead log *before* mutating, so
-/// an acknowledged write survives `kill -9`. Recovery replays surviving
-/// frames through the same incremental grounding machinery ordinary
-/// churn uses, so a reopened database arrives consistent *and* warm.
+/// [`Database::open`] is backed by a [`DurableStore`] (WAL + segmented
+/// snapshot): every `insert`/`delete`/`*_many`/`*_all` appends an
+/// [`InstanceDelta`] frame — and `add_constraint` a constraint frame —
+/// to the write-ahead log *before* mutating, so an acknowledged write
+/// survives `kill -9`. Under the default fsync policy acknowledgments
+/// are group-committed: concurrent appends share one covering fsync
+/// without weakening the contract. Recovery replays surviving frames
+/// through the same incremental grounding machinery ordinary churn
+/// uses, so a reopened database arrives consistent *and* warm.
+/// [`Database::storage_stats`] exposes the write-path counters.
 /// Clones of a *persistent* database are **read-only**: two handles
 /// with divergent in-memory views interleaving WAL appends would leave
 /// the log describing a state neither handle holds, so the write role
@@ -182,7 +186,7 @@ pub struct Database {
     config: RepairConfig,
     program_style: ProgramStyle,
     caches: Arc<CqaCaches>,
-    storage: Option<Arc<Mutex<DurableStore>>>,
+    storage: Option<Arc<DurableStore>>,
     recovery: Option<RecoveryReport>,
     /// Does this handle hold the write role for `storage`? Always true
     /// for in-memory databases; cleared on clones of persistent ones.
@@ -281,7 +285,7 @@ impl Database {
         let store =
             DurableStore::create_with_vfs(path.as_ref(), &instance, &constraints, options, vfs)?;
         let mut db = Database::new(instance, constraints);
-        db.storage = Some(Arc::new(Mutex::new(store)));
+        db.storage = Some(Arc::new(store));
         Ok(db)
     }
 
@@ -319,14 +323,27 @@ impl Database {
         let caches = Arc::new(CqaCaches::new());
         let style = ProgramStyle::default();
         let mut instance = recovered.snapshot_instance;
-        let constraints = recovered.ics;
-        if !recovered.deltas.is_empty() {
+        let mut constraints = recovered.ics;
+        let replaying_constraints = recovered
+            .ops
+            .iter()
+            .any(|(_, op)| matches!(op, WalOp::Constraint(_)));
+        if !recovered.ops.is_empty() && !replaying_constraints {
             // Ground the snapshot state first, then evolve that grounding
             // across the whole WAL in one incremental step — the replay
             // cost scales with the net drift, not the WAL length.
             cqa_core::warm_caches_in(&instance, &constraints, style, &caches)?;
-            for (_, delta) in &recovered.deltas {
-                instance.apply(delta.added.iter().cloned(), delta.removed.iter().cloned());
+        }
+        for (_, op) in &recovered.ops {
+            match op {
+                WalOp::Delta(delta) => {
+                    instance.apply(delta.added.iter().cloned(), delta.removed.iter().cloned());
+                }
+                // A replayed constraint changes the program itself, which
+                // invalidates any grounding keyed on the old constraint
+                // set — so with constraint frames in the log the single
+                // warm below (on the final state) is the whole warm-up.
+                WalOp::Constraint(con) => constraints.push(con.clone()),
             }
         }
         cqa_core::warm_caches_in(&instance, &constraints, style, &caches)?;
@@ -336,7 +353,7 @@ impl Database {
             config: RepairConfig::default(),
             program_style: style,
             caches,
-            storage: Some(Arc::new(Mutex::new(store))),
+            storage: Some(Arc::new(store)),
             recovery: Some(recovered.report),
             writer: true,
             deadline: None,
@@ -369,9 +386,18 @@ impl Database {
     /// in-memory databases.
     pub fn sync(&self) -> Result<(), Error> {
         if let Some(store) = &self.storage {
-            store.lock().expect("storage lock").sync()?;
+            store.sync()?;
         }
         Ok(())
+    }
+
+    /// Write-path counters of the backing store ([`StoreStats`]: fsyncs,
+    /// group-commit batch sizes, segments written vs reused, …), or
+    /// `None` for an in-memory database. Named stats, cheap to copy —
+    /// meaningful as before/after deltas, like the cache and planner
+    /// stats.
+    pub fn storage_stats(&self) -> Option<StoreStats> {
+        self.storage.as_ref().map(|s| s.stats())
     }
 
     /// Mutation guard: a clone of a persistent database does not hold
@@ -388,19 +414,17 @@ impl Database {
     /// recoverable.
     fn log_delta(&self, delta: &InstanceDelta) -> Result<(), Error> {
         if let Some(store) = &self.storage {
-            store.lock().expect("storage lock").append_delta(delta)?;
+            store.append_delta(delta)?;
         }
         Ok(())
     }
 
-    /// Post-mutation housekeeping: fold the WAL into a fresh snapshot
-    /// when it has outgrown the configured fraction of the snapshot.
+    /// Post-mutation housekeeping: fold the WAL into the snapshot when
+    /// it has outgrown the configured fraction — rewriting only the
+    /// segments of relations the folded frames touched.
     fn maybe_compact(&self) -> Result<(), Error> {
         if let Some(store) = &self.storage {
-            store
-                .lock()
-                .expect("storage lock")
-                .maybe_compact(&self.instance, &self.constraints)?;
+            store.maybe_compact(&self.instance, &self.constraints)?;
         }
         Ok(())
     }
@@ -524,19 +548,20 @@ impl Database {
     /// Add a constraint from text, e.g. `"r(x, y) -> exists z: s(x, z)"`
     /// or `"not null r(y)"`.
     ///
-    /// On a persistent database the new constraint set is folded into a
-    /// fresh snapshot immediately — constraints travel in snapshots, not
-    /// WAL frames, so deferring would lose the constraint on crash.
+    /// On a persistent database the constraint is appended to the WAL as
+    /// a tagged frame *before* the in-memory set changes — an O(delta)
+    /// append with the same acknowledgment contract as data writes, not
+    /// a snapshot rewrite. Recovery replays it in sequence order with
+    /// the data deltas; the next ordinary compaction folds it into the
+    /// manifest.
     pub fn add_constraint(&mut self, name: &str, text: &str) -> Result<(), Error> {
         self.check_writable()?;
         let con = cqa_sql::parse_constraint(self.schema(), name, text)?;
-        self.constraints.push(con);
         if let Some(store) = &self.storage {
-            store
-                .lock()
-                .expect("storage lock")
-                .compact(&self.instance, &self.constraints)?;
+            store.append_constraint(&con)?;
         }
+        self.constraints.push(con);
+        self.maybe_compact()?;
         Ok(())
     }
 
@@ -618,6 +643,60 @@ impl Database {
         self.check_writable()?;
         let mut delta = InstanceDelta::default();
         for tuple in tuples {
+            let atom = self.atom_for(relation, tuple.into())?;
+            if self.instance.contains(&atom) {
+                delta.removed.insert(atom);
+            }
+        }
+        if delta.removed.is_empty() {
+            return Ok(0);
+        }
+        self.log_delta(&delta)?;
+        let count = delta.removed.len();
+        self.instance.apply(std::iter::empty(), delta.removed);
+        self.maybe_compact()?;
+        Ok(count)
+    }
+
+    /// Insert a batch of `(relation, tuple)` rows spanning *any* mix of
+    /// relations as a single [`InstanceDelta`]: one WAL frame and, under
+    /// `FsyncPolicy::Always`, one fsync for the whole batch — not one
+    /// per row. Returns how many rows were actually new. Validation is
+    /// per-row and happens before anything reaches the WAL, exactly as
+    /// [`Database::insert`].
+    pub fn insert_all<'a>(
+        &mut self,
+        rows: impl IntoIterator<Item = (&'a str, impl Into<Tuple>)>,
+    ) -> Result<usize, Error> {
+        self.check_writable()?;
+        let mut delta = InstanceDelta::default();
+        for (relation, tuple) in rows {
+            let atom = self.atom_for(relation, tuple.into())?;
+            if !self.instance.contains(&atom) {
+                delta.added.insert(atom);
+            }
+        }
+        if delta.added.is_empty() {
+            return Ok(0);
+        }
+        self.log_delta(&delta)?;
+        let count = delta.added.len();
+        self.instance.apply(delta.added, std::iter::empty());
+        self.maybe_compact()?;
+        Ok(count)
+    }
+
+    /// Delete a batch of `(relation, tuple)` rows spanning any mix of
+    /// relations as a single [`InstanceDelta`] / WAL frame / fsync.
+    /// Returns how many rows were actually present. Validation is
+    /// per-row, exactly as [`Database::delete`].
+    pub fn delete_all<'a>(
+        &mut self,
+        rows: impl IntoIterator<Item = (&'a str, impl Into<Tuple>)>,
+    ) -> Result<usize, Error> {
+        self.check_writable()?;
+        let mut delta = InstanceDelta::default();
+        for (relation, tuple) in rows {
             let atom = self.atom_for(relation, tuple.into())?;
             if self.instance.contains(&atom) {
                 delta.removed.insert(atom);

@@ -36,12 +36,32 @@ const SCRIPT: &str = "CREATE TABLE r (x TEXT PRIMARY KEY, y TEXT);
      INSERT INTO s VALUES (NULL, 'a');";
 
 /// Ops per child run. Every op is *effective* (insert of a new atom,
-/// delete of a present one) so op index k ↔ WAL sequence k+1.
+/// delete of a present one, a fresh constraint) so op index k ↔ WAL
+/// sequence k+1.
 const OPS: usize = 48;
+
+/// Ops that append a *constraint frame* instead of a data delta — kill
+/// points land before, on, and after these indices across rounds, so
+/// recovery through constraint frames is exercised under real SIGKILL.
+/// Both indices are ≡ 1 (mod 3) slots (s-inserts nothing ever deletes),
+/// so hijacking them leaves the rest of the op chain intact.
+const CONSTRAINT_OPS: [usize; 2] = [7, 25];
 
 /// Apply op `k` of the deterministic churn to `db`. Panics if the op
 /// was a no-op — the 1:1 seq↔op mapping is load-bearing.
 fn apply_op(db: &mut Database, k: usize) {
+    if CONSTRAINT_OPS.contains(&k) {
+        // Satisfied-by-construction NNCs: each appends exactly one WAL
+        // frame (keeping the op↔seq mapping) without changing the
+        // repair space, so oracle comparisons stay cheap.
+        let (name, text) = if k == CONSTRAINT_OPS[0] {
+            ("nn_r_x", "not null r(x)")
+        } else {
+            ("nn_s_v", "not null s(v)")
+        };
+        db.add_constraint(name, text).expect("constraint op");
+        return;
+    }
     let effective = match k % 3 {
         0 => db
             .insert("r", [cqa::s(&format!("w{k}")), cqa::s("y")])
@@ -74,6 +94,7 @@ fn aggressive_options() -> StoreOptions {
         compact_num: 1,
         compact_den: 2,
         compact_min_wal_bytes: 0,
+        ..StoreOptions::default()
     }
 }
 
@@ -143,7 +164,8 @@ fn crash_recovery_survives_sigkill_mid_churn() {
         std::fs::create_dir_all(&ack_dir).unwrap();
 
         // Every third round churns with an aggressive compaction
-        // fraction, so kills land inside snapshot-rewrite windows too.
+        // fraction, so kills land inside segment-rewrite/manifest-
+        // rename windows too (the incremental compaction protocol).
         let compact = round % 3 == 0;
         let options = if compact {
             aggressive_options()

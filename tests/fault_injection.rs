@@ -3,11 +3,16 @@
 //! Every byte the store moves goes through the [`Vfs`] seam, so this
 //! suite can enumerate fault points instead of sampling them: a profile
 //! run against `FaultScript::profile()` counts the workload's fsyncs,
-//! writes and renames, and the matrix then replays the same workload
-//! once per operation index with exactly that operation scripted to
-//! fail — fsync failures (flush skipped), short writes, ENOSPC byte
-//! budgets, lost renames at the crash point between `snapshot.tmp` and
-//! its rename (with the VFS dying at the fault), and bit-flips on read.
+//! writes, renames and removes, and the matrix then replays the same
+//! workload once per operation index with exactly that operation
+//! scripted to fail — fsync failures (including group-commit leader
+//! fsyncs and segment/manifest syncs), short writes (WAL frames,
+//! segment bodies, the manifest), ENOSPC byte budgets, lost renames at
+//! the crash point between a fully-synced `manifest.tmp` and its
+//! rename, lost removes (segment housekeeping), and bit-flips on read.
+//! The churn itself spans two relations and includes an
+//! `add_constraint` op, so constraint frames and the incremental
+//! segment-reuse path both sit inside the fault window.
 //!
 //! The invariant under every point, checked against a never-faulted
 //! in-memory oracle:
@@ -40,34 +45,45 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
-/// No constraints: the matrix is about bytes, not repairs, and an empty
-/// IC set keeps each of the ~200 runs cheap.
+/// Nearly no constraints: the matrix is about bytes, not repairs, and a
+/// trivially-satisfied IC set keeps each of the ~200 runs cheap. Two
+/// relations, one of which the churn barely touches, so incremental
+/// compaction exercises both the rewrite and the reuse path.
 const SEED: &str = "CREATE TABLE r (x TEXT, y TEXT);
-     INSERT INTO r VALUES ('a', 'b'), ('c', 'd');";
+     CREATE TABLE t (p TEXT);
+     INSERT INTO r VALUES ('a', 'b'), ('c', 'd');
+     INSERT INTO t VALUES ('cold');";
 
 /// Effective ops per run; op `k` ↔ WAL seq `k+1` (no-ops never reach
 /// the WAL, and every op below is effective).
 const OPS: usize = 10;
 
 /// Op `k` of the deterministic churn. Two deletes target rows inserted
-/// earlier in the same run so the whole sequence stays effective.
+/// earlier in the same run, op 5 appends a constraint frame, op 8
+/// dirties the second relation — the whole sequence stays effective.
 fn apply_op(db: &mut Database, k: usize) -> Result<bool, Error> {
     match k {
         3 => db.delete("r", [cqa::s("w0"), cqa::s("y")]),
+        // Satisfied by construction (no null ever lands in r.x), so the
+        // repair space stays trivial; what matters is the tagged WAL
+        // frame it appends.
+        5 => db.add_constraint("nn_r_x", "not null r(x)").map(|()| true),
         7 => db.delete("r", [cqa::s("w4"), cqa::s("y")]),
+        8 => db.insert("t", [cqa::s("hot")]),
         _ => db.insert("r", [cqa::s(&format!("w{k}")), cqa::s("y")]),
     }
 }
 
-/// Aggressive compaction so snapshot rewrites (tmp + fsync + rename +
-/// dir sync) happen *during* the churn, putting the whole compaction
-/// protocol inside the fault window.
+/// Aggressive compaction so segment rewrites (fresh segments + fsyncs +
+/// manifest tmp + rename + dir syncs) happen *during* the churn,
+/// putting the whole compaction protocol inside the fault window.
 fn options() -> StoreOptions {
     StoreOptions {
         fsync: FsyncPolicy::Always,
         compact_num: 1,
         compact_den: 2,
         compact_min_wal_bytes: 0,
+        ..StoreOptions::default()
     }
 }
 
@@ -298,11 +314,27 @@ fn fault_matrix_every_point_is_typed_or_recoverable() {
     }
 
     // Lose the Nth rename — the crash point between a fully-synced
-    // `snapshot.tmp` and the `rename` — and die there.
+    // `manifest.tmp` and the `rename` — and die there.
     for n in 1..=profile.renames {
         run_point(
             format!("rename#{n}+crash"),
             FaultScript::default().fail_rename(n).crash_after_fault(),
+        );
+    }
+
+    // Lose the Nth remove — replaced-segment housekeeping after an
+    // incremental compaction. A lost remove must never corrupt: at
+    // worst it leaves debris for the next open's sweep.
+    assert!(
+        profile.removes > 0,
+        "churn must delete replaced segments for the remove sweep to bite"
+    );
+    let s = stride(profile.removes);
+    for n in (1..=profile.removes).step_by(s as usize) {
+        run_point(format!("remove#{n}"), FaultScript::default().fail_remove(n));
+        run_point(
+            format!("remove#{n}+crash"),
+            FaultScript::default().fail_remove(n).crash_after_fault(),
         );
     }
 
@@ -425,8 +457,9 @@ fn torn_wal_tail_reports_nonzero_truncation() {
 }
 
 /// Satellite: seeded randomized corruption — flip, truncate or smear
-/// arbitrary bytes of the WAL and snapshot. `Database::open` must never
-/// panic and never return state beyond the durable horizon.
+/// arbitrary bytes of the WAL, the manifest or a segment file.
+/// `Database::open` must never panic and never return state beyond the
+/// durable horizon.
 #[test]
 fn randomized_corruption_sweep_never_panics_never_exceeds_horizon() {
     let base = scratch("fuzz");
@@ -447,12 +480,25 @@ fn randomized_corruption_sweep_never_panics_never_exceeds_horizon() {
         db.sync().unwrap();
         drop(db);
 
-        // 1–3 corruptions per trial, across both files.
+        // 1–3 corruptions per trial. Half land on the WAL (often
+        // healable by tail truncation); the rest hit the manifest or a
+        // live segment (typed rejection — the manifest is the root of
+        // trust and pins every segment's length and CRC).
         for _ in 0..1 + rng.below(3) {
             let path = if rng.chance(1, 2) {
                 dir.join("wal")
             } else {
-                dir.join("snapshot")
+                let mut snaps: Vec<_> = std::fs::read_dir(&dir)
+                    .unwrap()
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n == "manifest" || n.starts_with("seg-"))
+                    })
+                    .collect();
+                snaps.sort();
+                snaps[rng.below(snaps.len())].clone()
             };
             let mut bytes = std::fs::read(&path).unwrap();
             if bytes.is_empty() {

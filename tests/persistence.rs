@@ -186,8 +186,8 @@ fn corrupted_wal_tail_is_detected_and_dropped() {
     }
     std::fs::write(&wal, &healthy).unwrap();
 
-    // A truncated *snapshot* is also a hard error, never a panic.
-    let snap = dir.join("snapshot");
+    // A truncated *manifest* is also a hard error, never a panic.
+    let snap = dir.join("manifest");
     let snap_bytes = std::fs::read(&snap).unwrap();
     std::fs::write(&snap, &snap_bytes[..snap_bytes.len() / 2]).unwrap();
     assert!(matches!(Database::open(&dir), Err(Error::Storage(_))));
@@ -196,13 +196,13 @@ fn corrupted_wal_tail_is_detected_and_dropped() {
 }
 
 #[test]
-fn constraints_persist_through_snapshots() {
+fn constraints_persist_as_wal_frames() {
     let dir = scratch("constraints");
     let mut db = seeded(&dir);
     let before = db.repairs().unwrap();
     let n_constraints = db.constraints().len();
-    // A new constraint forces a fresh snapshot immediately (constraints
-    // travel in snapshots, not WAL frames).
+    // A new constraint is an O(delta) WAL append — a tagged constraint
+    // frame, not a forced snapshot rewrite.
     db.add_constraint("nn_s_u", "not null s(u)").unwrap();
     let with_nnc = db.repairs().unwrap();
     assert_ne!(before, with_nnc, "the NNC changes the repair space");
@@ -217,14 +217,97 @@ fn constraints_persist_through_snapshots() {
     );
     let report = back.recovery_report().unwrap();
     assert_eq!(
-        report.frames_applied, 1,
-        "only the post-constraint insert rides the WAL"
+        report.frames_applied, 2,
+        "the constraint frame and the insert both ride the WAL"
     );
-    assert!(
-        report.snapshot_last_seq > 0 || report.frames_skipped == 0,
-        "the forced compaction moved the snapshot horizon"
+    assert_eq!(report.constraint_frames, 1);
+    assert_eq!(
+        report.snapshot_last_seq, 0,
+        "no compaction happened on the way"
     );
     assert_eq!(back.repairs().unwrap().len(), with_nnc.len());
+}
+
+/// ISSUE 10 acceptance: `add_constraint` on a persistent database is an
+/// O(delta) append, pinned by the storage counters — no compaction, no
+/// segment rewrite, exactly one constraint frame.
+#[test]
+fn add_constraint_is_an_append_not_a_compaction() {
+    let dir = scratch("odelta");
+    let mut db = seeded(&dir);
+    let n_constraints = db.constraints().len();
+    let before = db.storage_stats().unwrap();
+    assert_eq!(before.compactions, 0);
+    db.add_constraint("nn_s_u", "not null s(u)").unwrap();
+    let after = db.storage_stats().unwrap();
+    assert_eq!(
+        after.compactions, 0,
+        "constraint change must not trigger compaction"
+    );
+    assert_eq!(after.segments_written, 0, "…or any segment rewrite");
+    assert_eq!(after.appends - before.appends, 1, "exactly one WAL frame");
+    assert_eq!(after.constraint_frames - before.constraint_frames, 1);
+
+    // The constraint still folds into the manifest at the next ordinary
+    // compaction, after which the WAL no longer carries it.
+    drop(db);
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(back.recovery_report().unwrap().constraint_frames, 1);
+    assert_eq!(back.constraints().len(), n_constraints + 1);
+}
+
+/// ISSUE 10 satellite: one cross-relation batch = one WAL frame and
+/// (under `Always`) one fsync, not one per row or per relation.
+#[test]
+fn cross_relation_batches_coalesce_frames_and_fsyncs() {
+    let dir = scratch("batchall");
+    let mut db = seeded(&dir);
+    let before = db.storage_stats().unwrap();
+    let rows: Vec<(&str, [cqa::DbValue; 2])> = vec![
+        ("r", [cqa::s("m0"), cqa::s("y")]),
+        ("r", [cqa::s("m1"), cqa::s("y")]),
+        ("s", [cqa::s("m2"), cqa::s("a")]),
+        ("r", [cqa::s("a"), cqa::s("c")]), // duplicate: filtered, never logged
+    ];
+    assert_eq!(db.insert_all(rows).unwrap(), 3);
+    let after = db.storage_stats().unwrap();
+    assert_eq!(
+        after.appends - before.appends,
+        1,
+        "three effective rows over two relations = one frame"
+    );
+    assert_eq!(
+        after.fsyncs - before.fsyncs,
+        1,
+        "…and one fsync under Always"
+    );
+
+    assert_eq!(
+        db.delete_all(vec![
+            ("r", [cqa::s("m0"), cqa::s("y")]),
+            ("s", [cqa::s("m2"), cqa::s("a")]),
+            ("s", [cqa::s("ghost"), cqa::s("a")]), // absent: filtered
+        ])
+        .unwrap(),
+        2
+    );
+    let final_stats = db.storage_stats().unwrap();
+    assert_eq!(final_stats.appends - after.appends, 1);
+    assert_eq!(final_stats.fsyncs - after.fsyncs, 1);
+    // An all-no-op batch writes nothing.
+    assert_eq!(
+        db.insert_all(vec![("r", [cqa::s("a"), cqa::s("c")])])
+            .unwrap(),
+        0
+    );
+    assert_eq!(db.storage_stats().unwrap().appends, final_stats.appends);
+    let want: Vec<_> = db.instance().atoms().collect();
+    drop(db);
+
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(back.recovery_report().unwrap().frames_applied, 2);
+    let got: Vec<_> = back.instance().atoms().collect();
+    assert_eq!(got, want, "cross-relation batches replay faithfully");
 }
 
 #[test]
@@ -278,6 +361,7 @@ fn store_options_knobs_are_honoured() {
         compact_num: 1,
         compact_den: 4,
         compact_min_wal_bytes: 0,
+        ..StoreOptions::default()
     };
     let mut db =
         Database::persistent_with(&dir, catalog.instance, catalog.constraints, options).unwrap();
